@@ -1,0 +1,110 @@
+// B12 — Abort cost (DESIGN.md §4B): before-image installation scales
+// with the number of updates the transaction is responsible for —
+// including updates it received by delegation. Baseline: commit of the
+// same transaction (no undo work).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace asset::bench {
+namespace {
+
+// One iteration: a transaction writes `updates` objects, then commits.
+void BM_CommitAfterWrites(benchmark::State& state) {
+  const size_t updates = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(updates);
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * updates);
+}
+BENCHMARK(BM_CommitAfterWrites)
+    ->ArgName("updates")
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096);
+
+// One iteration: same writes, then abort (undo install + CLRs).
+void BM_AbortAfterWrites(benchmark::State& state) {
+  const size_t updates = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(updates);
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    Tid t = kernel.tm().InitiateFn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+    });
+    kernel.tm().Begin(t);
+    kernel.tm().Wait(t);
+    kernel.tm().Abort(t);
+  }
+  state.SetItemsProcessed(state.iterations() * updates);
+}
+BENCHMARK(BM_AbortAfterWrites)
+    ->ArgName("updates")
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096);
+
+// Abort after receiving the work by delegation: the delegatee pays the
+// undo bill for operations it never performed.
+void BM_AbortDelegatedWrites(benchmark::State& state) {
+  const size_t updates = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(updates);
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    Tid worker = kernel.tm().InitiateFn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+    });
+    kernel.tm().Begin(worker);
+    kernel.tm().Wait(worker);
+    Tid owner = kernel.tm().InitiateFn([] {});
+    kernel.tm().Delegate(worker, owner).ok();
+    kernel.tm().Commit(worker);  // nothing left to commit
+    kernel.tm().Abort(owner);    // undoes all delegated updates
+  }
+  state.SetItemsProcessed(state.iterations() * updates);
+}
+BENCHMARK(BM_AbortDelegatedWrites)
+    ->ArgName("updates")
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096);
+
+// Abort cost vs object size (before-image bytes dominate at some
+// point).
+void BM_AbortByImageSize(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(32, bytes);
+  auto payload = Payload(bytes, 0xEF);
+  for (auto _ : state) {
+    Tid t = kernel.tm().InitiateFn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+    });
+    kernel.tm().Begin(t);
+    kernel.tm().Wait(t);
+    kernel.tm().Abort(t);
+  }
+  state.SetBytesProcessed(state.iterations() * 32 * bytes);
+}
+BENCHMARK(BM_AbortByImageSize)
+    ->ArgName("object_bytes")
+    ->Arg(16)
+    ->Arg(512)
+    ->Arg(4096);
+
+}  // namespace
+}  // namespace asset::bench

@@ -1,0 +1,129 @@
+// B14 — Transactional B+-tree characterization (DESIGN.md §4B): insert
+// and lookup throughput vs tree size, range scans, and the cost of
+// running the index through the transaction kernel (vs an in-memory
+// std::map ceiling).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "ode/btree.h"
+
+namespace asset::bench {
+namespace {
+
+using ode::BTree;
+
+BTree MakeTree(BenchKernel& kernel, int preload) {
+  ObjectId header = kNullObjectId;
+  kernel.RunTxn([&] {
+    Tid self = TransactionManager::Self();
+    auto tree = BTree::Create(&kernel.tm(), self);
+    header = tree->header_oid();
+    for (int i = 0; i < preload; ++i) {
+      tree->Insert(self, i * 2, static_cast<uint64_t>(i)).value();
+    }
+  });
+  return BTree::Open(&kernel.tm(), header);
+}
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const int preload = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  BTree tree = MakeTree(kernel, preload);
+  Random rng(11);
+  for (auto _ : state) {
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (int i = 0; i < 8; ++i) {
+        tree.Insert(self, static_cast<int64_t>(rng.Next() % 1000000),
+                    rng.Next())
+            .value();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_BTreeInsert)
+    ->ArgName("preload")
+    ->Arg(0)
+    ->Arg(1000)
+    ->Arg(10000);
+
+void BM_BTreeSearch(benchmark::State& state) {
+  const int preload = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  BTree tree = MakeTree(kernel, preload);
+  Random rng(12);
+  for (auto _ : state) {
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (int i = 0; i < 8; ++i) {
+        benchmark::DoNotOptimize(
+            tree.Search(self, static_cast<int64_t>(
+                                  rng.Uniform(preload) * 2)));
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_BTreeSearch)->ArgName("preload")->Arg(1000)->Arg(10000);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  const int span = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  BTree tree = MakeTree(kernel, 10000);
+  Random rng(13);
+  for (auto _ : state) {
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      int64_t lo = static_cast<int64_t>(rng.Uniform(10000 - span)) * 2;
+      benchmark::DoNotOptimize(tree.Range(self, lo, lo + span * 2));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * span);
+}
+BENCHMARK(BM_BTreeRangeScan)->ArgName("span")->Arg(10)->Arg(100)->Arg(1000);
+
+// Delete+reinsert pairs keep the workload cyclic (a pure delete stream
+// would exhaust the tree before the benchmark's iteration budget).
+void BM_BTreeDeleteInsert(benchmark::State& state) {
+  BenchKernel kernel;
+  constexpr int kPreload = 10000;
+  BTree tree = MakeTree(kernel, kPreload);
+  int64_t cursor = 0;
+  for (auto _ : state) {
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (int i = 0; i < 4; ++i) {
+        int64_t key = (cursor % kPreload) * 2;
+        ++cursor;
+        tree.Delete(self, key).ok();
+        tree.Insert(self, key, 1).value();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_BTreeDeleteInsert);
+
+// Ceiling: the same operations against std::map (no transactions, no
+// persistence) — the price of transactional indexing in context.
+void BM_StdMapCeiling(benchmark::State& state) {
+  std::map<int64_t, uint64_t> m;
+  for (int i = 0; i < 10000; ++i) m[i * 2] = static_cast<uint64_t>(i);
+  Random rng(14);
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      auto it = m.find(static_cast<int64_t>(rng.Uniform(10000)) * 2);
+      benchmark::DoNotOptimize(it);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_StdMapCeiling);
+
+}  // namespace
+}  // namespace asset::bench

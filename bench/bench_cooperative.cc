@@ -1,0 +1,146 @@
+// B6 — Cooperative (permit ping-pong) vs blocking 2PL (DESIGN.md §4B).
+//
+// Question: for k workers taking turns updating one hot design object,
+// how does one long cooperative session (mutual permits, §3.2.1)
+// compare with the strict-2PL alternative (a separate short
+// transaction per update)? This is the paper's CAD motivation: the
+// cooperative group exchanges the object without commit/begin cycles.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bench_util.h"
+#include "models/cooperative.h"
+
+namespace asset::bench {
+namespace {
+
+constexpr int kRoundsPerWorker = 32;
+
+// Cooperative: k long transactions with mutual permits alternate writes
+// to one object; one iteration = the whole session (k * rounds writes).
+void BM_CooperativeSession(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchKernel kernel;
+    ObjectId hot = kernel.MakeObjects(1)[0];
+    auto payload = Payload(64);
+    std::atomic<int> turn{0};
+    std::vector<Tid> tids;
+    for (int w = 0; w < workers; ++w) {
+      tids.push_back(kernel.tm().InitiateFn([&, w] {
+        Tid self = TransactionManager::Self();
+        for (int r = 0; r < kRoundsPerWorker; ++r) {
+          while (turn.load(std::memory_order_acquire) % workers != w) {
+            std::this_thread::yield();
+          }
+          kernel.tm().Write(self, hot, payload).ok();
+          turn.fetch_add(1, std::memory_order_release);
+        }
+      }));
+    }
+    models::CooperativeGroup group(kernel.tm(), ObjectSet{hot},
+                                   models::CommitCoupling::kNone);
+    for (Tid t : tids) group.Enroll(t).ok();
+    state.ResumeTiming();
+    for (Tid t : tids) kernel.tm().Begin(t);
+    group.CommitAll();
+    state.PauseTiming();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * workers * kRoundsPerWorker);
+}
+BENCHMARK(BM_CooperativeSession)
+    ->ArgName("workers")
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// Baseline: the same update pattern with strict 2PL — every update is
+// its own transaction, handing the lock over through commit.
+void BM_Strict2plSession(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchKernel kernel;
+    ObjectId hot = kernel.MakeObjects(1)[0];
+    auto payload = Payload(64);
+    std::atomic<int> turn{0};
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (int r = 0; r < kRoundsPerWorker; ++r) {
+          while (turn.load(std::memory_order_acquire) % workers != w) {
+            std::this_thread::yield();
+          }
+          kernel.RunTxn([&] {
+            kernel.tm()
+                .Write(TransactionManager::Self(), hot, payload)
+                .ok();
+          });
+          turn.fetch_add(1, std::memory_order_release);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * workers * kRoundsPerWorker);
+}
+BENCHMARK(BM_Strict2plSession)
+    ->ArgName("workers")
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// The raw hand-off primitive: one suspended-lock exchange (write by A,
+// permitted write by B) measured tightly with two resident
+// transactions.
+void BM_PingPongHandoff(benchmark::State& state) {
+  BenchKernel kernel;
+  ObjectId hot = kernel.MakeObjects(1)[0];
+  auto payload = Payload(64);
+  std::atomic<int> turn{0};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writes{0};
+  auto worker = [&](int me) {
+    Tid self = TransactionManager::Self();
+    while (!stop.load(std::memory_order_acquire)) {
+      if (turn.load(std::memory_order_acquire) % 2 != me) {
+        std::this_thread::yield();
+        continue;
+      }
+      kernel.tm().Write(self, hot, payload).ok();
+      writes.fetch_add(1, std::memory_order_relaxed);
+      turn.fetch_add(1, std::memory_order_release);
+    }
+  };
+  Tid a = kernel.tm().InitiateFn([&] { worker(0); });
+  Tid b = kernel.tm().InitiateFn([&] { worker(1); });
+  kernel.tm().Permit(a, b, ObjectSet{hot}, OpSet::All()).ok();
+  kernel.tm().Permit(b, a, ObjectSet{hot}, OpSet::All()).ok();
+  kernel.tm().Begin(a);
+  kernel.tm().Begin(b);
+  uint64_t before = writes.load();
+  for (auto _ : state) {
+    uint64_t target = before + 1;
+    while (writes.load(std::memory_order_relaxed) < target) {
+    }
+    before = target;
+  }
+  stop.store(true, std::memory_order_release);
+  kernel.tm().Commit(a);
+  kernel.tm().Commit(b);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["suspensions"] = static_cast<double>(
+      kernel.tm().stats().lock_suspensions.load());
+}
+BENCHMARK(BM_PingPongHandoff)->UseRealTime();
+
+}  // namespace
+}  // namespace asset::bench

@@ -1,0 +1,125 @@
+// B4 — Delegation cost (DESIGN.md §4B).
+//
+// Question: what does delegate(ti, tj, ob_set) cost as the number of
+// moved locks/operations grows, for concrete sets vs the delegate-all
+// wildcard? Baseline: committing and re-acquiring in a fresh
+// transaction (what you would do without delegation).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace asset::bench {
+namespace {
+
+// Ping-pong delegate-all of N write locks (with their undo
+// responsibility) between two transactions; each iteration is one
+// delegation of N locks.
+void BM_DelegateAll(benchmark::State& state) {
+  const size_t locks = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(locks);
+  auto payload = Payload(64);
+  Tid holder = kernel.tm().InitiateFn([&] {
+    Tid self = TransactionManager::Self();
+    for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+  });
+  kernel.tm().Begin(holder);
+  kernel.tm().Wait(holder);
+  Tid other = kernel.tm().InitiateFn([] {});
+  Tid current = holder, next = other;
+  for (auto _ : state) {
+    kernel.tm().Delegate(current, next).ok();
+    std::swap(current, next);
+  }
+  state.SetItemsProcessed(state.iterations() * locks);
+  kernel.tm().Abort(holder);
+  kernel.tm().Abort(other);
+}
+BENCHMARK(BM_DelegateAll)
+    ->ArgName("locks")
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096);
+
+// Concrete-set delegation: only half of the held objects move.
+void BM_DelegateSubset(benchmark::State& state) {
+  const size_t locks = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(locks);
+  auto payload = Payload(64);
+  Tid holder = kernel.tm().InitiateFn([&] {
+    Tid self = TransactionManager::Self();
+    for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+  });
+  kernel.tm().Begin(holder);
+  kernel.tm().Wait(holder);
+  std::vector<ObjectId> half(oids.begin(), oids.begin() + oids.size() / 2);
+  ObjectSet subset(half);
+  Tid other = kernel.tm().InitiateFn([] {});
+  Tid current = holder, next = other;
+  for (auto _ : state) {
+    kernel.tm().Delegate(current, next, subset).ok();
+    std::swap(current, next);
+  }
+  state.SetItemsProcessed(state.iterations() * half.size());
+  kernel.tm().Abort(holder);
+  kernel.tm().Abort(other);
+}
+BENCHMARK(BM_DelegateSubset)->ArgName("locks")->Arg(16)->Arg(256)->Arg(4096);
+
+// Baseline: achieving a hand-off without delegation — the first
+// transaction commits (publishing its intermediate state!) and the
+// second re-acquires every lock. Semantically weaker AND slower for
+// large lock sets.
+void BM_CommitAndReacquireBaseline(benchmark::State& state) {
+  const size_t locks = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(locks);
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+    });
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * locks);
+}
+BENCHMARK(BM_CommitAndReacquireBaseline)
+    ->ArgName("locks")
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096);
+
+// Split-transaction shape (§3.1.5): delegate at split point, both
+// halves commit independently.
+void BM_SplitShape(benchmark::State& state) {
+  const size_t locks = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(locks);
+  auto payload = Payload(64);
+  std::vector<ObjectId> half(oids.begin(), oids.begin() + oids.size() / 2);
+  ObjectSet subset(half);
+  for (auto _ : state) {
+    Tid split_tid = kNullTid;
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+      Tid s = kernel.tm().InitiateFn([] {});
+      kernel.tm().Delegate(self, s, subset).ok();
+      kernel.tm().Begin(s);
+      split_tid = s;
+    });
+    kernel.tm().Commit(split_tid);
+  }
+  state.SetItemsProcessed(state.iterations() * locks);
+}
+BENCHMARK(BM_SplitShape)->ArgName("locks")->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace asset::bench

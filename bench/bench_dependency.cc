@@ -1,0 +1,152 @@
+// B5 — Dependency-graph commit cost (DESIGN.md §4B).
+//
+// Question: what do CD chains and GC groups cost at commit time
+// compared with independent commits of the same transaction count?
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace asset::bench {
+namespace {
+
+// Baseline: N independent transactions committed one by one.
+void BM_IndependentCommits(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  for (auto _ : state) {
+    std::vector<Tid> tids;
+    for (int i = 0; i < n; ++i) {
+      Tid t = kernel.tm().InitiateFn([] {});
+      kernel.tm().Begin(t);
+      tids.push_back(t);
+    }
+    for (Tid t : tids) kernel.tm().Commit(t);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IndependentCommits)
+    ->ArgName("txns")
+    ->Arg(2)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+// CD chain t1 <- t2 <- ... <- tN committed from the head: each commit
+// finds its dependee already terminated, so this measures the
+// dependency-evaluation overhead itself.
+void BM_CdChainCommit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  for (auto _ : state) {
+    std::vector<Tid> tids;
+    for (int i = 0; i < n; ++i) {
+      Tid t = kernel.tm().InitiateFn([] {});
+      kernel.tm().Begin(t);
+      tids.push_back(t);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      kernel.tm()
+          .FormDependency(DependencyType::kCommit, tids[i], tids[i + 1])
+          .ok();
+    }
+    for (Tid t : tids) kernel.tm().Commit(t);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CdChainCommit)
+    ->ArgName("depth")
+    ->Arg(2)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+// GC group of size N committed through one commit() call — the paper's
+// simultaneous group commit.
+void BM_GcGroupCommit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  for (auto _ : state) {
+    std::vector<Tid> tids;
+    for (int i = 0; i < n; ++i) {
+      Tid t = kernel.tm().InitiateFn([] {});
+      kernel.tm().Begin(t);
+      tids.push_back(t);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      kernel.tm()
+          .FormDependency(DependencyType::kGroupCommit, tids[i],
+                          tids[i + 1])
+          .ok();
+    }
+    kernel.tm().Commit(tids[0]);  // commits the whole group
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GcGroupCommit)
+    ->ArgName("group")
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(64);
+
+// Abort propagation down an AD chain of depth N: one abort at the head
+// cascades to everyone.
+void BM_AdChainAbort(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  for (auto _ : state) {
+    std::vector<Tid> tids;
+    for (int i = 0; i < n; ++i) {
+      Tid t = kernel.tm().InitiateFn([] {});
+      kernel.tm().Begin(t);
+      kernel.tm().Wait(t);
+      tids.push_back(t);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      kernel.tm()
+          .FormDependency(DependencyType::kAbort, tids[i], tids[i + 1])
+          .ok();
+    }
+    kernel.tm().Abort(tids[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdChainAbort)->ArgName("depth")->Arg(2)->Arg(16)->Arg(64);
+
+// form_dependency itself, including the cycle check, against a standing
+// chain of the given depth.
+void BM_FormDependencyWithCycleCheck(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  std::vector<Tid> tids;
+  for (int i = 0; i < depth + 2; ++i) {
+    Tid t = kernel.tm().InitiateFn([] {});
+    kernel.tm().Begin(t);
+    tids.push_back(t);
+  }
+  for (int i = 0; i + 3 < static_cast<int>(tids.size()); ++i) {
+    kernel.tm()
+        .FormDependency(DependencyType::kCommit, tids[i], tids[i + 1])
+        .ok();
+  }
+  Tid a = tids[tids.size() - 2], b = tids[tids.size() - 1];
+  bool flip = false;
+  for (auto _ : state) {
+    // Alternate an add/no-op pair so the edge set stays bounded: the
+    // duplicate insert still runs the scan + cycle check.
+    kernel.tm()
+        .FormDependency(DependencyType::kCommit, flip ? a : b, flip ? b : a)
+        .ok();
+    flip = !flip;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FormDependencyWithCycleCheck)
+    ->ArgName("graph_depth")
+    ->Arg(2)
+    ->Arg(64)
+    ->Arg(256);
+
+}  // namespace
+}  // namespace asset::bench

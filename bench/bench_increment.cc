@@ -1,0 +1,115 @@
+// B13 — Semantic increments vs read-modify-write (DESIGN.md §4B /
+// paper §5 ablation).
+//
+// Question: on a hot counter, how do commutative increment locks
+// (compatible with each other) compare with the classical alternative —
+// a read-modify-write under write locks, retried on deadlock — as
+// adders contend?
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/database.h"
+#include "models/atomic.h"
+
+namespace asset::bench {
+namespace {
+
+constexpr int kAddsPerTxn = 4;
+
+// Increment-lock adders: one transaction performs kAddsPerTxn adds.
+void BM_IncrementHotCounter(benchmark::State& state) {
+  static BenchKernel* kernel = nullptr;
+  static ObjectId counter = kNullObjectId;
+  if (state.thread_index() == 0) {
+    kernel = new BenchKernel();
+    counter = kernel->store()
+                  .Create(ObjectStore::EncodeCounter(kNullLsn, 0))
+                  .value();
+  }
+  for (auto _ : state) {
+    kernel->RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (int i = 0; i < kAddsPerTxn; ++i) {
+        kernel->tm().Increment(self, counter, 1).ok();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kAddsPerTxn);
+  if (state.thread_index() == 0) {
+    state.counters["lock_waits"] =
+        static_cast<double>(kernel->tm().stats().lock_waits.load());
+    delete kernel;
+  }
+}
+BENCHMARK(BM_IncrementHotCounter)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Baseline: read-modify-write under ordinary write locks (what you
+// must do without semantic operations), retried on deadlock/timeout.
+void BM_RmwHotCounter(benchmark::State& state) {
+  static BenchKernel* kernel = nullptr;
+  static ObjectId counter = kNullObjectId;
+  if (state.thread_index() == 0) {
+    kernel = new BenchKernel();
+    counter = kernel->store().Create(EncodeI64(0)).value();
+  }
+  for (auto _ : state) {
+    Tid t = kernel->tm().InitiateFn([&] {
+      Tid self = TransactionManager::Self();
+      for (int i = 0; i < kAddsPerTxn; ++i) {
+        auto bytes = kernel->tm().Read(self, counter);
+        if (!bytes.ok()) return;
+        int64_t v = DecodeI64(*bytes).value();
+        if (!kernel->tm().Write(self, counter, EncodeI64(v + 1)).ok()) {
+          return;
+        }
+      }
+    });
+    kernel->tm().Begin(t);
+    kernel->tm().Commit(t);
+  }
+  state.SetItemsProcessed(state.iterations() * kAddsPerTxn);
+  if (state.thread_index() == 0) {
+    state.counters["lock_waits"] =
+        static_cast<double>(kernel->tm().stats().lock_waits.load());
+    state.counters["deadlocks"] =
+        static_cast<double>(kernel->tm().stats().deadlocks.load());
+    delete kernel;
+  }
+}
+BENCHMARK(BM_RmwHotCounter)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Undo cost of increments: add N deltas, then abort (logical undo).
+void BM_AbortIncrements(benchmark::State& state) {
+  const int adds = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  ObjectId counter = kernel.store()
+                         .Create(ObjectStore::EncodeCounter(kNullLsn, 0))
+                         .value();
+  for (auto _ : state) {
+    Tid t = kernel.tm().InitiateFn([&] {
+      Tid self = TransactionManager::Self();
+      for (int i = 0; i < adds; ++i) {
+        kernel.tm().Increment(self, counter, 1).ok();
+      }
+    });
+    kernel.tm().Begin(t);
+    kernel.tm().Wait(t);
+    kernel.tm().Abort(t);
+  }
+  state.SetItemsProcessed(state.iterations() * adds);
+}
+BENCHMARK(BM_AbortIncrements)->ArgName("adds")->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace asset::bench

@@ -1,0 +1,122 @@
+// B10 — Latch protocol (DESIGN.md §4B): the paper's test-and-set latch
+// with S-counter and X-bit vs std::shared_mutex, under read-heavy and
+// write-heavy contention.
+
+#include <benchmark/benchmark.h>
+
+#include <shared_mutex>
+
+#include "common/latch.h"
+#include "common/random.h"
+
+namespace asset {
+namespace {
+
+SpinLatch g_latch;
+std::shared_mutex g_shared_mutex;
+int64_t g_value = 0;
+
+void BM_SpinLatchShared(benchmark::State& state) {
+  for (auto _ : state) {
+    g_latch.LockShared();
+    benchmark::DoNotOptimize(g_value);
+    g_latch.UnlockShared();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpinLatchShared)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_SharedMutexShared(benchmark::State& state) {
+  for (auto _ : state) {
+    g_shared_mutex.lock_shared();
+    benchmark::DoNotOptimize(g_value);
+    g_shared_mutex.unlock_shared();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedMutexShared)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_SpinLatchExclusive(benchmark::State& state) {
+  for (auto _ : state) {
+    g_latch.LockExclusive();
+    g_value++;
+    g_latch.UnlockExclusive();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpinLatchExclusive)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_SharedMutexExclusive(benchmark::State& state) {
+  for (auto _ : state) {
+    g_shared_mutex.lock();
+    g_value++;
+    g_shared_mutex.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedMutexExclusive)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Mixed workload: range(0)% writers. Writer preference (the X-bit)
+// keeps writer latency bounded as readers flood.
+void BM_SpinLatchMixed(benchmark::State& state) {
+  Random rng(17 * (state.thread_index() + 1));
+  const uint64_t write_pct = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    if (rng.Uniform(100) < write_pct) {
+      g_latch.LockExclusive();
+      g_value++;
+      g_latch.UnlockExclusive();
+    } else {
+      g_latch.LockShared();
+      benchmark::DoNotOptimize(g_value);
+      g_latch.UnlockShared();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpinLatchMixed)
+    ->ArgName("write_pct")
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(50)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_SharedMutexMixed(benchmark::State& state) {
+  Random rng(17 * (state.thread_index() + 1));
+  const uint64_t write_pct = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    if (rng.Uniform(100) < write_pct) {
+      g_shared_mutex.lock();
+      g_value++;
+      g_shared_mutex.unlock();
+    } else {
+      g_shared_mutex.lock_shared();
+      benchmark::DoNotOptimize(g_value);
+      g_shared_mutex.unlock_shared();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedMutexMixed)
+    ->ArgName("write_pct")
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(50)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace asset

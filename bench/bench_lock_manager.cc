@@ -1,0 +1,123 @@
+// B1 — Lock-manager throughput (DESIGN.md §4B).
+//
+// Question: what does the permit-aware lock manager cost on the plain
+// (no permits, no dependencies) path, across thread counts, object-pool
+// sizes, and read/write mixes? Baseline: the same data path with no
+// transaction kernel at all (raw object-store access).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+
+namespace asset::bench {
+namespace {
+
+constexpr size_t kOpsPerTxn = 8;
+
+// One iteration = one transaction performing kOpsPerTxn reads/writes on
+// a pool of state.range(0) objects with state.range(1)% writes.
+void BM_TxnOps(benchmark::State& state) {
+  static BenchKernel* kernel = nullptr;
+  static std::vector<ObjectId>* oids = nullptr;
+  if (state.thread_index() == 0) {
+    kernel = new BenchKernel();
+    oids = new std::vector<ObjectId>(
+        kernel->MakeObjects(static_cast<size_t>(state.range(0))));
+  }
+  Random rng(7 * (state.thread_index() + 1));
+  const int write_pct = static_cast<int>(state.range(1));
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    bool ok = kernel->RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      // Sorted object picks avoid deadlocks so the benchmark measures
+      // the lock path, not abort storms.
+      std::vector<ObjectId> picks;
+      for (size_t i = 0; i < kOpsPerTxn; ++i) {
+        picks.push_back((*oids)[rng.Uniform(oids->size())]);
+      }
+      std::sort(picks.begin(), picks.end());
+      picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+      for (ObjectId oid : picks) {
+        if (rng.Uniform(100) < static_cast<uint64_t>(write_pct)) {
+          kernel->tm().Write(self, oid, payload).ok();
+        } else {
+          kernel->tm().Read(self, oid).ok();
+        }
+      }
+    });
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerTxn);
+  if (state.thread_index() == 0) {
+    state.counters["lock_waits"] = static_cast<double>(
+        kernel->tm().stats().lock_waits.load());
+    delete oids;
+    delete kernel;
+  }
+}
+BENCHMARK(BM_TxnOps)
+    ->ArgNames({"objects", "write_pct"})
+    ->Args({16, 50})
+    ->Args({256, 50})
+    ->Args({4096, 50})
+    ->Args({256, 0})
+    ->Args({256, 100})
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Baseline: identical data path without the transaction kernel.
+void BM_RawStoreOps(benchmark::State& state) {
+  static BenchKernel* kernel = nullptr;
+  static std::vector<ObjectId>* oids = nullptr;
+  if (state.thread_index() == 0) {
+    kernel = new BenchKernel();
+    oids = new std::vector<ObjectId>(
+        kernel->MakeObjects(static_cast<size_t>(state.range(0))));
+  }
+  Random rng(7 * (state.thread_index() + 1));
+  const int write_pct = static_cast<int>(state.range(1));
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    for (size_t i = 0; i < kOpsPerTxn; ++i) {
+      ObjectId oid = (*oids)[rng.Uniform(oids->size())];
+      if (rng.Uniform(100) < static_cast<uint64_t>(write_pct)) {
+        kernel->store().Write(oid, payload).ok();
+      } else {
+        benchmark::DoNotOptimize(kernel->store().Read(oid));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerTxn);
+  if (state.thread_index() == 0) {
+    delete oids;
+    delete kernel;
+  }
+}
+BENCHMARK(BM_RawStoreOps)
+    ->ArgNames({"objects", "write_pct"})
+    ->Args({256, 50})
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime();
+
+// Pure lock-grant cost: a transaction acquiring N read locks on
+// distinct cold objects, then committing (release).
+void BM_LockAcquireRelease(benchmark::State& state) {
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Read(self, oid).ok();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LockAcquireRelease)->ArgName("locks")->Arg(1)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace asset::bench

@@ -1,0 +1,115 @@
+// B8 — Nested-transaction overhead (DESIGN.md §4B).
+//
+// Question: what does the per-subtransaction protocol of §3.1.4
+// (initiate + permit(self, child) + begin + wait + delegate + commit)
+// cost against a flat transaction doing the same writes, across
+// fan-out and depth?
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "models/atomic.h"
+#include "models/nested.h"
+
+namespace asset::bench {
+namespace {
+
+// Flat baseline: one transaction writes `fanout` objects.
+void BM_FlatTransaction(benchmark::State& state) {
+  const size_t fanout = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(fanout);
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    kernel.RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Write(self, oid, payload).ok();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_FlatTransaction)
+    ->ArgName("fanout")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+
+// Nested: the same writes, each inside its own subtransaction.
+void BM_NestedFanout(benchmark::State& state) {
+  const size_t fanout = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(fanout);
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    models::RunNestedRoot(kernel.tm(), [&] {
+      for (ObjectId oid : oids) {
+        models::RunSubtransaction(kernel.tm(), [&, oid] {
+          kernel.tm()
+              .Write(TransactionManager::Self(), oid, payload)
+              .ok();
+        }).ok();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_NestedFanout)
+    ->ArgName("fanout")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+
+// Depth: a chain of nested subtransactions, one write per level.
+void BM_NestedDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(static_cast<size_t>(depth));
+  auto payload = Payload(64);
+  std::function<void(int)> descend = [&](int level) {
+    kernel.tm()
+        .Write(TransactionManager::Self(), oids[level], payload)
+        .ok();
+    if (level + 1 < depth) {
+      models::RunSubtransaction(kernel.tm(),
+                                [&, level] { descend(level + 1); })
+          .ok();
+    }
+  };
+  for (auto _ : state) {
+    models::RunNestedRoot(kernel.tm(), [&] { descend(0); });
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_NestedDepth)->ArgName("depth")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Subtransaction abort containment: half the children abort; the
+// parent carries on (kReportOnly). Measures the undo + containment
+// path.
+void BM_NestedWithChildAborts(benchmark::State& state) {
+  const size_t fanout = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(fanout);
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    models::RunNestedRoot(kernel.tm(), [&] {
+      for (size_t i = 0; i < fanout; ++i) {
+        models::RunSubtransaction(kernel.tm(), [&, i] {
+          Tid self = TransactionManager::Self();
+          kernel.tm().Write(self, oids[i], payload).ok();
+          if (i % 2 == 1) kernel.tm().Abort(self);
+        }).ok();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_NestedWithChildAborts)
+    ->ArgName("fanout")
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+
+}  // namespace
+}  // namespace asset::bench

@@ -1,0 +1,108 @@
+// B2 — Cost of permits on the lock path (DESIGN.md §4B).
+//
+// Question: how much does each outstanding permit on an object cost a
+// conflicting requester (the §4.2 step-1b scan), and what is the cost
+// of issuing the four permit forms? Baseline: zero permits.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace asset::bench {
+namespace {
+
+// A writer acquires a write lock on an object that carries `permits`
+// outstanding any-transaction permits from idle read-holders, so every
+// acquire scans `permits` granted locks and exercises the permit check.
+void BM_PermittedWriteThroughHolders(benchmark::State& state) {
+  const int holders = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(1);
+  ObjectId hot = oids[0];
+  // Idle read-holders that each permit everyone to write.
+  std::vector<Tid> holder_tids;
+  for (int i = 0; i < holders; ++i) {
+    Tid t = kernel.tm().InitiateFn([&kernel, hot] {
+      kernel.tm().Read(TransactionManager::Self(), hot).ok();
+    });
+    kernel.tm().Begin(t);
+    kernel.tm().Wait(t);  // completed: lock held, not committed
+    kernel.tm()
+        .PermitAny(t, ObjectSet{hot}, OpSet(Operation::kWrite))
+        .ok();
+    holder_tids.push_back(t);
+  }
+  auto payload = Payload(64);
+  for (auto _ : state) {
+    bool ok = kernel.RunTxn([&] {
+      kernel.tm().Write(TransactionManager::Self(), hot, payload).ok();
+    });
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["permit_checks"] = static_cast<double>(
+      kernel.tm().stats().permit_checks.load());
+  for (Tid t : holder_tids) kernel.tm().Abort(t);
+}
+BENCHMARK(BM_PermittedWriteThroughHolders)
+    ->ArgName("holders")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+
+// Cost of issuing permit(ti, tj, ob_set, ops) with ob_set of the given
+// size (no transitivity in play).
+void BM_PermitInsert(benchmark::State& state) {
+  const size_t set_size = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(set_size);
+  ObjectSet objs(oids);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Tid a = kernel.tm().InitiateFn([] {});
+    Tid b = kernel.tm().InitiateFn([] {});
+    state.ResumeTiming();
+    kernel.tm().Permit(a, b, objs, OpSet::All()).ok();
+    state.PauseTiming();
+    kernel.tm().Abort(a);
+    kernel.tm().Abort(b);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PermitInsert)->ArgName("obset")->Arg(1)->Arg(16)->Arg(256);
+
+// Cost of the wildcard form permit(ti, tj) — expands over everything ti
+// accessed (lock-list traversal, §4.2).
+void BM_PermitWildcardExpansion(benchmark::State& state) {
+  const size_t locks = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(locks);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Tid a = kernel.tm().InitiateFn([&] {
+      Tid self = TransactionManager::Self();
+      for (ObjectId oid : oids) kernel.tm().Read(self, oid).ok();
+    });
+    kernel.tm().Begin(a);
+    kernel.tm().Wait(a);
+    Tid b = kernel.tm().InitiateFn([] {});
+    state.ResumeTiming();
+    kernel.tm().Permit(a, b).ok();
+    state.PauseTiming();
+    kernel.tm().Abort(a);
+    kernel.tm().Abort(b);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PermitWildcardExpansion)
+    ->ArgName("locks")
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256);
+
+}  // namespace
+}  // namespace asset::bench

@@ -1,0 +1,159 @@
+// B7 — Saga vs one long transaction under contention (DESIGN.md §4B).
+//
+// The saga motivation (§3.1.6): a long-lived activity that holds locks
+// across all of its steps starves everyone else; breaking it into
+// independently-committing components releases hot locks early.
+//
+// Workload: each activity touches one HOT object (shared by everyone)
+// and `steps` private objects, with think-time per step. We measure
+// activity makespan with `workers` concurrent activities, monolithic
+// vs saga. The saga should win increasingly with contention; the
+// abort-rate sweep shows the compensation cost it pays for that.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "models/atomic.h"
+#include "models/saga.h"
+
+namespace asset::bench {
+namespace {
+
+constexpr int kSteps = 4;
+constexpr auto kThinkTime = std::chrono::microseconds(100);
+
+// The activity shape behind the saga motivation: the FIRST step touches
+// a hot shared object briefly; the remaining steps are private think
+// time. A monolithic transaction keeps the hot lock until its final
+// commit, serializing every concurrent activity; a saga releases it
+// when step 1 commits.
+void StepWork(BenchKernel& kernel, ObjectId hot, ObjectId priv, int step) {
+  Tid self = TransactionManager::Self();
+  auto payload = Payload(64);
+  if (step == 0) {
+    kernel.tm().Write(self, hot, payload).ok();
+  }
+  kernel.tm().Write(self, priv, payload).ok();
+  std::this_thread::sleep_for(kThinkTime);
+}
+
+// Monolithic: one transaction does all steps, holding the hot lock for
+// the whole activity.
+void BM_MonolithicActivity(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  ObjectId hot = kernel.MakeObjects(1)[0];
+  auto privs = kernel.MakeObjects(static_cast<size_t>(workers) * kSteps);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        models::RunAtomicWithRetry(
+            kernel.tm(),
+            [&] {
+              for (int s = 0; s < kSteps; ++s) {
+                StepWork(kernel, hot, privs[w * kSteps + s], s);
+              }
+            },
+            10);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * workers);
+}
+BENCHMARK(BM_MonolithicActivity)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Saga: each step is its own component transaction; the hot lock is
+// released at every step commit.
+void BM_SagaActivity(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  ObjectId hot = kernel.MakeObjects(1)[0];
+  auto privs = kernel.MakeObjects(static_cast<size_t>(workers) * kSteps);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        models::Saga saga;
+        for (int s = 0; s < kSteps; ++s) {
+          saga.AddStep(
+              [&, w, s] { StepWork(kernel, hot, privs[w * kSteps + s], s); },
+              [&, w, s] {
+                kernel.tm()
+                    .Write(TransactionManager::Self(), privs[w * kSteps + s],
+                           Payload(64, 0))
+                    .ok();
+              });
+        }
+        saga.Run(kernel.tm());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * workers);
+}
+BENCHMARK(BM_SagaActivity)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Compensation cost: sagas whose last step aborts with the given
+// percentage, forcing the ct_k..ct_1 unwind.
+void BM_SagaWithAborts(benchmark::State& state) {
+  const int abort_pct = static_cast<int>(state.range(0));
+  BenchKernel kernel;
+  ObjectId hot = kernel.MakeObjects(1)[0];
+  auto privs = kernel.MakeObjects(kSteps);
+  Random rng(99);
+  uint64_t compensations = 0;
+  for (auto _ : state) {
+    bool fail = rng.Uniform(100) < static_cast<uint64_t>(abort_pct);
+    models::Saga saga;
+    for (int s = 0; s < kSteps - 1; ++s) {
+      saga.AddStep([&, s] { StepWork(kernel, hot, privs[s], s); },
+                   [&, s] {
+                     kernel.tm()
+                         .Write(TransactionManager::Self(), privs[s],
+                                Payload(64, 0))
+                         .ok();
+                   });
+    }
+    saga.AddStep([&, fail] {
+      if (fail) {
+        kernel.tm().Abort(TransactionManager::Self());
+        return;
+      }
+      StepWork(kernel, hot, privs[kSteps - 1], kSteps - 1);
+    });
+    auto out = saga.Run(kernel.tm());
+    compensations += out.compensations_run;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["compensations"] = static_cast<double>(compensations);
+}
+BENCHMARK(BM_SagaWithAborts)
+    ->ArgName("abort_pct")
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace asset::bench

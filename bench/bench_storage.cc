@@ -1,0 +1,163 @@
+// B9 — Storage substrate characterization (DESIGN.md §4B): object
+// store CRUD, buffer-pool hit/miss behaviour, WAL append/flush.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "storage/recovery.h"
+
+namespace asset::bench {
+namespace {
+
+void BM_ObjectCreate(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto data = Payload(size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.store().Create(data));
+  }
+  state.SetBytesProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_ObjectCreate)->ArgName("bytes")->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ObjectReadHot(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(64, size);
+  Random rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernel.store().Read(oids[rng.Uniform(oids.size())]));
+  }
+  state.SetBytesProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_ObjectReadHot)->ArgName("bytes")->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ObjectWriteSameSize(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(64, size);
+  auto data = Payload(size, 0xCD);
+  Random rng(4);
+  for (auto _ : state) {
+    kernel.store().Write(oids[rng.Uniform(oids.size())], data).ok();
+  }
+  state.SetBytesProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_ObjectWriteSameSize)
+    ->ArgName("bytes")
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096);
+
+// Working set larger than the pool: every access is a likely miss with
+// a dirty write-back — the steal path.
+void BM_PoolThrash(benchmark::State& state) {
+  const size_t pool_pages = 64;
+  InMemoryDiskManager disk;
+  LogManager log;
+  BufferPool pool(&disk, pool_pages, &log);
+  ObjectStore store(&pool);
+  store.Open().ok();
+  // ~8 objects per page, working set = range(0) * pool size.
+  const size_t objects =
+      pool_pages * 8 * static_cast<size_t>(state.range(0));
+  std::vector<ObjectId> oids;
+  auto data = Payload(900);
+  for (size_t i = 0; i < objects; ++i) {
+    oids.push_back(store.Create(data).value());
+  }
+  Random rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Read(oids[rng.Uniform(oids.size())]));
+  }
+  auto stats = pool.stats();
+  state.counters["hit_rate"] =
+      static_cast<double>(stats.hits) /
+      static_cast<double>(stats.hits + stats.misses);
+}
+BENCHMARK(BM_PoolThrash)->ArgName("ws_over_pool")->Arg(1)->Arg(2)->Arg(8);
+
+void BM_WalAppend(benchmark::State& state) {
+  const size_t image = static_cast<size_t>(state.range(0));
+  LogManager log;
+  auto bytes = Payload(image);
+  for (auto _ : state) {
+    LogRecord rec;
+    rec.type = LogRecordType::kUpdate;
+    rec.tid = 1;
+    rec.oid = 1;
+    rec.before = bytes;
+    rec.after = bytes;
+    benchmark::DoNotOptimize(log.Append(std::move(rec)));
+  }
+  state.SetBytesProcessed(state.iterations() * image * 2);
+}
+BENCHMARK(BM_WalAppend)->ArgName("image_bytes")->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_WalAppendFlushEvery(benchmark::State& state) {
+  const int group = static_cast<int>(state.range(0));
+  LogManager log;
+  auto bytes = Payload(64);
+  int pending = 0;
+  for (auto _ : state) {
+    LogRecord rec;
+    rec.type = LogRecordType::kUpdate;
+    rec.tid = 1;
+    rec.oid = 1;
+    rec.before = bytes;
+    rec.after = bytes;
+    log.Append(std::move(rec));
+    if (++pending >= group) {
+      log.Flush().ok();
+      pending = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppendFlushEvery)
+    ->ArgName("group")
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64);
+
+// Recovery speed: replay a log of N committed single-object updates.
+void BM_RecoveryReplay(benchmark::State& state) {
+  const int updates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    InMemoryDiskManager disk;
+    LogManager log;
+    BufferPool pool(&disk, 256, &log);
+    ObjectStore store(&pool);
+    store.Open().ok();
+    auto data = Payload(64);
+    store.CreateWithId(1, data).ok();
+    for (int i = 0; i < updates; ++i) {
+      LogRecord rec;
+      rec.type = LogRecordType::kUpdate;
+      rec.tid = 1;
+      rec.oid = 1;
+      rec.before = data;
+      rec.after = data;
+      log.Append(std::move(rec));
+    }
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.tid = 1;
+    log.Append(std::move(commit));
+    log.Flush().ok();
+    state.ResumeTiming();
+    RecoveryManager::Recover(&log, &store).ok();
+  }
+  state.SetItemsProcessed(state.iterations() * updates);
+}
+BENCHMARK(BM_RecoveryReplay)
+    ->ArgName("updates")
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(8192);
+
+}  // namespace
+}  // namespace asset::bench

@@ -1,0 +1,71 @@
+#ifndef ASSET_BENCH_BENCH_UTIL_H_
+#define ASSET_BENCH_BENCH_UTIL_H_
+
+// Shared benchmark harness: an in-memory storage stack plus a
+// TransactionManager configured for benchmarking (no log force at
+// commit, generous timeouts). Each benchmark builds one `BenchKernel`
+// and drives transactions through the public API.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/transaction_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/object_store.h"
+#include "storage/wal.h"
+
+namespace asset::bench {
+
+inline std::vector<uint8_t> Payload(size_t size, uint8_t fill = 0xAB) {
+  return std::vector<uint8_t>(size, fill);
+}
+
+class BenchKernel {
+ public:
+  explicit BenchKernel(bool force_log = false, size_t pool_pages = 4096)
+      : pool_(&disk_, pool_pages, &log_), store_(&pool_) {
+    store_.Open().ok();
+    TransactionManager::Options o;
+    o.force_log_at_commit = force_log;
+    o.lock.lock_timeout = std::chrono::milliseconds(30000);
+    o.commit_timeout = std::chrono::milliseconds(60000);
+    o.max_transactions = 1 << 20;
+    tm_ = std::make_unique<TransactionManager>(&log_, &store_, o);
+  }
+
+  TransactionManager& tm() { return *tm_; }
+  ObjectStore& store() { return store_; }
+  LogManager& log() { return log_; }
+  BufferPool& pool() { return pool_; }
+
+  /// Creates `n` committed objects of `size` bytes; returns their ids.
+  std::vector<ObjectId> MakeObjects(size_t n, size_t size = 64) {
+    std::vector<ObjectId> oids;
+    oids.reserve(n);
+    auto data = Payload(size);
+    for (size_t i = 0; i < n; ++i) {
+      oids.push_back(store_.Create(data).value());
+    }
+    return oids;
+  }
+
+  /// Runs fn as one committed transaction; returns commit success.
+  bool RunTxn(std::function<void()> fn) {
+    Tid t = tm_->InitiateFn(std::move(fn));
+    if (t == kNullTid || !tm_->Begin(t)) return false;
+    return tm_->Commit(t);
+  }
+
+ private:
+  InMemoryDiskManager disk_;
+  LogManager log_;
+  BufferPool pool_;
+  ObjectStore store_;
+  std::unique_ptr<TransactionManager> tm_;
+};
+
+}  // namespace asset::bench
+
+#endif  // ASSET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,125 @@
+// B11 — End-to-end workflow throughput (DESIGN.md §4B): the appendix
+// X_conference shape (contingent flight, required hotel, raced car),
+// swept over failure mixes that drive the contingency cascade and the
+// compensation path. Baseline: the same work as plain sequential
+// transactions with no alternatives or compensation machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "models/workflow.h"
+
+namespace asset::bench {
+namespace {
+
+// One iteration = one full X_conference-shaped workflow.
+// range(0): % chance each flight alternative fails.
+// range(1): % chance the hotel fails (driving flight compensation).
+void BM_ConferenceWorkflow(benchmark::State& state) {
+  const uint64_t flight_fail_pct = static_cast<uint64_t>(state.range(0));
+  const uint64_t hotel_fail_pct = static_cast<uint64_t>(state.range(1));
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(3);
+  ObjectId flight = oids[0], hotel = oids[1], car = oids[2];
+  Random rng(42);
+  auto payload = Payload(32);
+  uint64_t succeeded = 0, compensations = 0;
+  for (auto _ : state) {
+    models::Workflow wf;
+    models::Workflow::Step flights;
+    flights.name = "flight";
+    for (int alt = 0; alt < 3; ++alt) {
+      bool fail = rng.Uniform(100) < flight_fail_pct;
+      flights.alternatives.push_back([&kernel, &payload, flight, fail] {
+        Tid self = TransactionManager::Self();
+        if (fail) {
+          kernel.tm().Abort(self);
+          return;
+        }
+        kernel.tm().Write(self, flight, payload).ok();
+      });
+    }
+    flights.compensation = [&kernel, &payload, flight] {
+      kernel.tm()
+          .Write(TransactionManager::Self(), flight, Payload(32, 0))
+          .ok();
+    };
+    wf.AddStep(std::move(flights));
+
+    bool hotel_fails = rng.Uniform(100) < hotel_fail_pct;
+    wf.AddRequired("hotel", [&kernel, &payload, hotel, hotel_fails] {
+      Tid self = TransactionManager::Self();
+      if (hotel_fails) {
+        kernel.tm().Abort(self);
+        return;
+      }
+      kernel.tm().Write(self, hotel, payload).ok();
+    });
+
+    wf.AddOptional("car", [&kernel, &payload, car] {
+      kernel.tm().Write(TransactionManager::Self(), car, payload).ok();
+    });
+
+    auto out = wf.Run(kernel.tm());
+    succeeded += out.succeeded ? 1 : 0;
+    compensations += out.compensations_run;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["success_rate"] =
+      static_cast<double>(succeeded) / static_cast<double>(state.iterations());
+  state.counters["compensations"] = static_cast<double>(compensations);
+}
+BENCHMARK(BM_ConferenceWorkflow)
+    ->ArgNames({"flight_fail_pct", "hotel_fail_pct"})
+    ->Args({0, 0})
+    ->Args({50, 0})
+    ->Args({90, 0})
+    ->Args({0, 50})
+    ->Args({50, 50});
+
+// The car-rental race as its own measurement: two alternatives raced in
+// parallel per step.
+void BM_RaceStep(benchmark::State& state) {
+  BenchKernel kernel;
+  ObjectId car = kernel.MakeObjects(1)[0];
+  auto payload = Payload(32);
+  for (auto _ : state) {
+    models::Workflow wf;
+    models::Workflow::Step step;
+    step.name = "car";
+    step.mode = models::Workflow::Mode::kRace;
+    step.required = false;
+    step.alternatives = {
+        [&kernel, &payload, car] {
+          kernel.tm().Write(TransactionManager::Self(), car, payload).ok();
+        },
+        [&kernel, &payload, car] {
+          kernel.tm().Write(TransactionManager::Self(), car, payload).ok();
+        },
+    };
+    wf.AddStep(std::move(step));
+    benchmark::DoNotOptimize(wf.Run(kernel.tm()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RaceStep);
+
+// Baseline: the same three writes as straight-line transactions.
+void BM_SequentialBaseline(benchmark::State& state) {
+  BenchKernel kernel;
+  auto oids = kernel.MakeObjects(3);
+  auto payload = Payload(32);
+  for (auto _ : state) {
+    for (ObjectId oid : oids) {
+      kernel.RunTxn([&] {
+        kernel.tm().Write(TransactionManager::Self(), oid, payload).ok();
+      });
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialBaseline);
+
+}  // namespace
+}  // namespace asset::bench

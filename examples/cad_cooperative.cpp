@@ -1,0 +1,101 @@
+// Cooperative design (§3.2.1): two long-running designer transactions
+// refine one shared design object *concurrently*, exchanging permits so
+// neither blocks the other, with group-commit coupling so the final
+// design lands only if both designers finish successfully.
+//
+// This is the CAD scenario from the paper's introduction: strict
+// serializability would force one designer to wait hours for the other;
+// ASSET's permit/dependency primitives express the intended
+// interleaving directly.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "core/database.h"
+#include "models/atomic.h"
+#include "models/cooperative.h"
+
+using asset::Database;
+using asset::ObjectId;
+using asset::ObjectSet;
+using asset::Tid;
+using asset::TransactionManager;
+
+namespace {
+
+struct Design {
+  int64_t revision;
+  int64_t width;
+  int64_t height;
+  char last_editor[16];
+};
+
+}  // namespace
+
+int main() {
+  auto db = Database::Open().value();
+  TransactionManager& tm = db->txn();
+
+  ObjectId design = 0;
+  asset::models::RunAtomic(tm, [&] {
+    design = db->Create(Design{0, 100, 100, "init"}).value();
+  });
+
+  // Alternation protocol between the designers (volatile coordination —
+  // fine, it does not outlive the transactions).
+  std::atomic<int> turn{0};
+
+  auto designer = [&](const char* name, int me, int rounds,
+                      int64_t Design::*field, int64_t delta) {
+    Tid self = TransactionManager::Self();
+    for (int r = 0; r < rounds; ++r) {
+      while (turn.load() % 2 != me) std::this_thread::yield();
+      auto d = db->Get<Design>(design, self);
+      if (!d.ok()) return;
+      Design next = *d;
+      next.revision += 1;
+      next.*field += delta;
+      std::snprintf(next.last_editor, sizeof(next.last_editor), "%s", name);
+      if (!db->Put(design, next, self).ok()) return;
+      std::printf("  %-5s rev=%lld width=%lld height=%lld\n", name,
+                  (long long)next.revision, (long long)next.width,
+                  (long long)next.height);
+      turn.fetch_add(1);
+    }
+  };
+
+  // Two designers, initiated (not yet begun) so permits can be set up
+  // first — the §2.2 design point.
+  Tid alice = tm.Initiate([&] {
+    designer("alice", 0, 4, &Design::width, +10);
+  });
+  Tid bob = tm.Initiate([&] {
+    designer("bob", 1, 4, &Design::height, -5);
+  });
+
+  // Enroll both in a cooperative group over the design object: mutual
+  // permits plus GC coupling (both designs land or neither).
+  asset::models::CooperativeGroup group(
+      tm, ObjectSet{design}, asset::models::CommitCoupling::kAtomic);
+  group.Enroll(alice).ok();
+  group.Enroll(bob).ok();
+
+  std::printf("designers working concurrently on one object:\n");
+  tm.Begin({alice, bob});
+  bool committed = group.CommitAll();
+  std::printf("cooperative session %s\n",
+              committed ? "committed as a group" : "aborted as a group");
+
+  asset::models::RunAtomic(tm, [&] {
+    auto d = db->Get<Design>(design).value();
+    std::printf("final design: rev=%lld width=%lld height=%lld by=%s\n",
+                (long long)d.revision, (long long)d.width,
+                (long long)d.height, d.last_editor);
+  });
+
+  auto stats = tm.stats().snapshot();
+  std::printf("lock suspensions (permit ping-pong): %llu\n",
+              (unsigned long long)stats.lock_suspensions);
+  return 0;
+}

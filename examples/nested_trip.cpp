@@ -1,0 +1,136 @@
+// The paper's §3.1.4 nested transaction, written two ways:
+//
+//  1. with the model layer (RunSubtransaction), and
+//  2. with the raw primitives, exactly as the paper synthesizes the
+//     `trip` function:
+//
+//        t1 = initiate(make_airline_reservation);
+//        permit(self(), t1);
+//        begin(t1);
+//        if (!wait(t1)) abort(self());
+//        delegate(t1, self());
+//        commit(t1);
+//        ... same for the hotel ...
+//
+// Run:
+//   nested_trip            # both reservations succeed
+//   nested_trip no-hotel   # hotel fails -> the whole trip (including
+//                          # the airline reservation) is undone
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/database.h"
+#include "models/atomic.h"
+#include "models/nested.h"
+
+using asset::Database;
+using asset::ObjectId;
+using asset::Tid;
+using asset::TransactionManager;
+
+namespace {
+
+struct Slots {
+  ObjectId airline;
+  ObjectId hotel;
+};
+
+void Report(Database& db, const Slots& s, const char* label) {
+  asset::models::RunAtomic(db.txn(), [&] {
+    std::printf("%s: airline=%lld hotel=%lld\n", label,
+                (long long)db.Get<int64_t>(s.airline).value(),
+                (long long)db.Get<int64_t>(s.hotel).value());
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool hotel_available = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "no-hotel") == 0) hotel_available = false;
+  }
+
+  auto db = Database::Open().value();
+  TransactionManager& tm = db->txn();
+
+  Slots s{};
+  asset::models::RunAtomic(tm, [&] {
+    s.airline = db->Create<int64_t>(0).value();
+    s.hotel = db->Create<int64_t>(0).value();
+  });
+
+  // --- Version 1: the model layer ------------------------------------
+  bool ok = asset::models::RunNestedRoot(tm, [&] {
+    asset::models::RunSubtransaction(
+        tm,
+        [&] { db->Put<int64_t>(s.airline, 1).ok(); },
+        asset::models::OnChildAbort::kAbortParent)
+        .ok();
+    asset::models::RunSubtransaction(
+        tm,
+        [&] {
+          if (!hotel_available) {
+            tm.Abort(TransactionManager::Self());
+            return;
+          }
+          db->Put<int64_t>(s.hotel, 1).ok();
+        },
+        asset::models::OnChildAbort::kAbortParent)
+        .ok();
+  });
+  std::printf("model-layer trip %s\n", ok ? "committed" : "aborted");
+  Report(*db, s, "after model-layer trip");
+
+  // Reset.
+  asset::models::RunAtomic(tm, [&] {
+    db->Put<int64_t>(s.airline, 0).ok();
+    db->Put<int64_t>(s.hotel, 0).ok();
+  });
+
+  // --- Version 2: the paper's raw-primitive synthesis -----------------
+  auto make_airline_reservation = [&] {
+    db->Put<int64_t>(s.airline, 1).ok();
+  };
+  auto make_hotel_reservation = [&] {
+    if (!hotel_available) {
+      tm.Abort(TransactionManager::Self());
+      return;
+    }
+    db->Put<int64_t>(s.hotel, 1).ok();
+  };
+
+  auto trip = [&] {
+    Tid self = TransactionManager::Self();
+    {
+      Tid t1 = tm.Initiate(make_airline_reservation);
+      tm.Permit(self, t1).ok();
+      tm.Begin(t1);
+      if (!tm.Wait(t1)) {
+        tm.Abort(self);
+        return;
+      }
+      tm.Delegate(t1, self).ok();
+      tm.Commit(t1);
+    }
+    {
+      Tid t2 = tm.Initiate(make_hotel_reservation);
+      tm.Permit(self, t2).ok();
+      tm.Begin(t2);
+      if (!tm.Wait(t2)) {
+        tm.Abort(self);
+        return;
+      }
+      tm.Delegate(t2, self).ok();
+      tm.Commit(t2);
+    }
+  };
+
+  Tid t = tm.Initiate(trip);
+  tm.Begin(t);
+  bool committed = tm.Commit(t);
+  std::printf("raw-primitive trip %s\n", committed ? "committed" : "aborted");
+  Report(*db, s, "after raw-primitive trip");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Order-fulfillment saga (§3.1.6): a long-lived activity broken into
+// independently-committing component transactions with compensations.
+//
+//   t1: reserve inventory          ct1: release inventory
+//   t2: charge the customer        ct2: refund the customer
+//   t3: schedule shipping          (last step: commits the saga)
+//
+// Component transactions commit as they go — other activity sees their
+// effects immediately (isolation only at the component level). When a
+// later component fails, the committed prefix is undone *semantically*
+// by the compensating transactions, in reverse order, each retried
+// until it commits.
+//
+// Run:
+//   order_saga            # happy path
+//   order_saga no-truck   # shipping fails -> charge and reservation
+//                         # are compensated
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/database.h"
+#include "models/atomic.h"
+#include "models/saga.h"
+
+using asset::Database;
+using asset::ObjectId;
+using asset::TransactionManager;
+
+int main(int argc, char** argv) {
+  bool truck_available = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "no-truck") == 0) truck_available = false;
+  }
+
+  auto db = Database::Open().value();
+  TransactionManager& tm = db->txn();
+
+  ObjectId inventory = 0, balance = 0, shipments = 0;
+  asset::models::RunAtomic(tm, [&] {
+    inventory = db->Create<int64_t>(5).value();    // units in stock
+    balance = db->Create<int64_t>(200).value();    // customer balance
+    shipments = db->Create<int64_t>(0).value();    // scheduled shipments
+  });
+
+  constexpr int64_t kPrice = 80;
+
+  auto adjust = [&](ObjectId obj, int64_t delta, const char* what) {
+    int64_t v = db->Get<int64_t>(obj).value();
+    db->Put<int64_t>(obj, v + delta).ok();
+    std::printf("  %-22s %lld -> %lld\n", what, (long long)v,
+                (long long)(v + delta));
+  };
+
+  asset::models::Saga saga;
+  saga.AddStep([&] { adjust(inventory, -1, "reserve inventory"); },
+               [&] { adjust(inventory, +1, "RELEASE inventory"); });
+  saga.AddStep([&] { adjust(balance, -kPrice, "charge customer"); },
+               [&] { adjust(balance, +kPrice, "REFUND customer"); });
+  saga.AddStep([&] {
+    if (!truck_available) {
+      std::printf("  schedule shipping      FAILED (no truck)\n");
+      tm.Abort(TransactionManager::Self());
+      return;
+    }
+    adjust(shipments, +1, "schedule shipping");
+  });
+
+  std::printf("running order saga...\n");
+  auto out = saga.Run(tm);
+  std::printf("\nsaga %s: %zu/%zu steps committed, %zu compensations\n",
+              out.committed ? "COMMITTED" : "ABORTED", out.steps_committed,
+              saga.size(), out.compensations_run);
+
+  asset::models::RunAtomic(tm, [&] {
+    std::printf("final state: inventory=%lld balance=%lld shipments=%lld\n",
+                (long long)db->Get<int64_t>(inventory).value(),
+                (long long)db->Get<int64_t>(balance).value(),
+                (long long)db->Get<int64_t>(shipments).value());
+  });
+  return out.committed ? 0 : 1;
+}

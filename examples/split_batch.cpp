@@ -1,0 +1,103 @@
+// Split transactions for open-ended activities (§3.1.5): a long-running
+// batch job periodically splits off the chunk of work it has finished
+// and commits that chunk, so results flow out (and locks flow back)
+// incrementally while the job keeps running — and the final remainder
+// is joined into a finisher transaction.
+//
+// The classic use: "open-ended activities" (Pu, Kaiser, Hutchinson)
+// whose results should stream out instead of appearing all-or-nothing
+// at the end.
+//
+// Run: split_batch
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "models/atomic.h"
+#include "models/split_join.h"
+
+using asset::Database;
+using asset::ObjectId;
+using asset::ObjectSet;
+using asset::Tid;
+using asset::TransactionManager;
+
+int main() {
+  auto db = Database::Open().value();
+  TransactionManager& tm = db->txn();
+
+  constexpr int kItems = 10;
+  constexpr int kChunk = 3;
+  std::vector<ObjectId> items;
+  asset::models::RunAtomic(tm, [&] {
+    for (int i = 0; i < kItems; ++i) {
+      items.push_back(db->Create<int64_t>(0).value());
+    }
+  });
+
+  // How many items have been published (committed) so far; the poller
+  // only reads those, so it never blocks on the batch's held locks.
+  std::atomic<int> published{0};
+
+  Tid batch = tm.Initiate([&] {
+    Tid self = TransactionManager::Self();
+    std::vector<ObjectId> chunk;
+    for (int i = 0; i < kItems; ++i) {
+      db->Put<int64_t>(items[i], 1000 + i, self).ok();  // "process" item i
+      chunk.push_back(items[i]);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (chunk.size() == kChunk) {
+        // s = split trans { }: responsibility for the finished chunk
+        // moves to s; committing s publishes it mid-batch.
+        auto s = asset::models::Split(tm, ObjectSet(chunk), [] {});
+        if (s.ok() && tm.Commit(*s)) {
+          published.fetch_add(static_cast<int>(chunk.size()));
+        }
+        chunk.clear();
+      }
+    }
+  });
+
+  tm.Begin(batch);
+  // Watch results stream out while the batch is still running.
+  int last_seen = -1;
+  while (tm.IsActiveTxn(batch) || last_seen < published.load()) {
+    int visible = published.load();
+    if (visible != last_seen) {
+      int64_t sum = 0;
+      asset::models::RunAtomic(tm, [&] {
+        for (int i = 0; i < visible; ++i) {
+          sum += db->Get<int64_t>(items[i]).value();
+        }
+      });
+      std::printf("published=%2d (checksum %lld) — batch still %s\n",
+                  visible, (long long)sum,
+                  tm.IsActiveTxn(batch) ? "running" : "finishing");
+      last_seen = visible;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (tm.IsCompleted(batch) && last_seen >= published.load()) break;
+  }
+
+  // The last partial chunk still belongs to the batch: join it into a
+  // finisher (join(s, t) = wait(s); delegate(s, t)) and commit that.
+  Tid finisher = tm.Initiate([] {});
+  asset::models::Join(tm, batch, finisher).ok();
+  tm.Commit(batch);  // nothing left in the batch itself
+  tm.Begin(finisher);
+  tm.Commit(finisher);
+
+  int64_t done = 0;
+  asset::models::RunAtomic(tm, [&] {
+    for (ObjectId it : items) {
+      done += db->Get<int64_t>(it).value() != 0 ? 1 : 0;
+    }
+  });
+  std::printf("after join + final commit: %lld/%d items visible\n",
+              (long long)done, kItems);
+  return done == kItems ? 0 : 1;
+}

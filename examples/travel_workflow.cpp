@@ -1,0 +1,140 @@
+// The paper's appendix workflow, X_conference: person X flies NY → LA
+// for a conference (June 11-14, 1994), staying at hotel Equator.
+//
+//  * Flight: Delta, then United, then American, in that order; no other
+//    airline — a required contingent step.
+//  * Hotel: Equator only — required; failure compensates (cancels) the
+//    flight reservation already made.
+//  * Car: National and Avis raced in parallel; whichever completes
+//    first wins; if neither, the trip still proceeds (public
+//    transportation) — an optional step.
+//
+// Run with an argument to exercise failure paths:
+//   travel_workflow            # everything available
+//   travel_workflow no-hotel   # hotel full: flight is compensated
+//   travel_workflow no-delta   # Delta full: United gets the booking
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/database.h"
+#include "models/atomic.h"
+#include "models/workflow.h"
+
+using asset::Database;
+using asset::ObjectId;
+using asset::TransactionManager;
+using asset::models::Workflow;
+
+namespace {
+
+struct Reservation {
+  char holder[24];
+  char dates[16];
+  int64_t booked;
+};
+
+Reservation MakeReservation(const char* holder, bool booked) {
+  Reservation r{};
+  std::snprintf(r.holder, sizeof(r.holder), "%s", holder);
+  std::snprintf(r.dates, sizeof(r.dates), "%s", "6/11-6/14/1994");
+  r.booked = booked ? 1 : 0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool delta_available = true;
+  bool hotel_available = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "no-delta") == 0) delta_available = false;
+    if (std::strcmp(argv[i], "no-hotel") == 0) hotel_available = false;
+  }
+
+  auto db = Database::Open().value();
+  TransactionManager& tm = db->txn();
+
+  // Reservation records in the database.
+  ObjectId flight = 0, hotel = 0, car = 0;
+  asset::models::RunAtomic(tm, [&] {
+    flight = db->Create(MakeReservation("none", false)).value();
+    hotel = db->Create(MakeReservation("none", false)).value();
+    car = db->Create(MakeReservation("none", false)).value();
+  });
+
+  auto reserve = [&](ObjectId slot, const char* who, bool available) {
+    return [&db, &tm, slot, who, available] {
+      if (!available) {
+        std::printf("  %-8s : sold out\n", who);
+        tm.Abort(TransactionManager::Self());
+        return;
+      }
+      db->Put(slot, MakeReservation(who, true)).ok();
+      std::printf("  %-8s : reserved\n", who);
+    };
+  };
+
+  Workflow wf;
+
+  // Flight: the §3.1.3-style cascade from the appendix.
+  Workflow::Step flights;
+  flights.name = "flight";
+  flights.alternatives = {
+      reserve(flight, "Delta", delta_available),
+      reserve(flight, "United", true),
+      reserve(flight, "American", true),
+  };
+  flights.compensation = [&] {
+    // cancel_flight_reservation — retried until it commits.
+    db->Put(flight, MakeReservation("cancelled", false)).ok();
+    std::printf("  flight   : cancelled (compensation)\n");
+  };
+  wf.AddStep(std::move(flights));
+
+  // Hotel: required; no alternatives — the trip dies without Equator.
+  wf.AddRequired("hotel", reserve(hotel, "Equator", hotel_available));
+
+  // Car: National vs Avis raced; first completion wins; optional.
+  Workflow::Step cars;
+  cars.name = "car";
+  cars.mode = Workflow::Mode::kRace;
+  cars.required = false;
+  cars.alternatives = {
+      [&] {
+        // National's booking system is slow today.
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        db->Put(car, MakeReservation("National", true)).ok();
+      },
+      [&] { db->Put(car, MakeReservation("Avis", true)).ok(); },
+  };
+  wf.AddStep(std::move(cars));
+
+  std::printf("running X_conference workflow...\n");
+  auto out = wf.Run(tm);
+
+  std::printf("\nworkflow %s\n", out.succeeded ? "SUCCEEDED" : "FAILED");
+  for (const auto& step : out.steps) {
+    std::printf("  step %-7s -> %s (alternative %d)\n", step.name.c_str(),
+                step.committed ? "committed" : "failed", step.winner);
+  }
+  if (out.compensations_run > 0) {
+    std::printf("  compensations run: %zu\n", out.compensations_run);
+  }
+
+  asset::models::RunAtomic(tm, [&] {
+    auto f = db->Get<Reservation>(flight).value();
+    auto h = db->Get<Reservation>(hotel).value();
+    auto c = db->Get<Reservation>(car).value();
+    std::printf("\nfinal reservations:\n");
+    std::printf("  flight : %-10s booked=%lld\n", f.holder,
+                (long long)f.booked);
+    std::printf("  hotel  : %-10s booked=%lld\n", h.holder,
+                (long long)h.booked);
+    std::printf("  car    : %-10s booked=%lld\n", c.holder,
+                (long long)c.booked);
+  });
+  return out.succeeded ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+#ifndef ASSET_COMMON_IDS_H_
+#define ASSET_COMMON_IDS_H_
+
+/// \file ids.h
+/// Strongly-typed identifiers used across the library.
+///
+/// The paper (§2.1) represents transactions by an opaque `tid` with a
+/// distinguished null value; objects are identified by object ids. We keep
+/// both as 64-bit integers with value 0 reserved for "null".
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace asset {
+
+/// Transaction identifier. `kNullTid` plays the role of the paper's
+/// "null tid": returned by a failed `initiate`, and by `parent()` for
+/// top-level transactions.
+using Tid = uint64_t;
+inline constexpr Tid kNullTid = 0;
+
+/// Identifier of a persistent object in the store.
+using ObjectId = uint64_t;
+inline constexpr ObjectId kNullObjectId = 0;
+
+/// Ids 1..15 are reserved for system objects (e.g. the catalog root);
+/// the store assigns user objects from here.
+inline constexpr ObjectId kFirstUserObjectId = 16;
+
+/// Identifier of a page in the storage manager.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// Log sequence number in the write-ahead log.
+using Lsn = uint64_t;
+inline constexpr Lsn kNullLsn = 0;
+
+}  // namespace asset
+
+#endif  // ASSET_COMMON_IDS_H_

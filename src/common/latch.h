@@ -1,0 +1,115 @@
+#ifndef ASSET_COMMON_LATCH_H_
+#define ASSET_COMMON_LATCH_H_
+
+/// \file latch.h
+/// The EOS spin latch of the paper (§4.1).
+///
+/// "Latches in EOS are implemented by an atomic test-and-set operation. If
+/// a process cannot (test-and-)set a latch it 'spins' on it (perhaps with
+/// some time-varying delay) until the latch is unset. Each latch, in
+/// addition to the value that can be set or unset atomically, contains an
+/// S-counter indicating the number of processes holding the latch in S
+/// mode and an X-bit indicating whether a process is waiting to get the
+/// latch in X mode. The X-bit blocks new readers from setting the latch,
+/// thus preventing starvation of update transactions."
+///
+/// We pack the whole latch into one 32-bit atomic word:
+///
+///   bit 0      X-held   — a writer holds the latch exclusively
+///   bit 1      X-bit    — a writer is waiting (blocks new readers)
+///   bits 2..31 S-counter — number of shared holders
+///
+/// The paper's processes are our threads; the "time-varying delay" is an
+/// exponential backoff capped with a yield.
+
+#include <atomic>
+#include <cstdint>
+
+namespace asset {
+
+/// A shared/exclusive spin latch with writer preference.
+///
+/// Latches guard *short* critical sections (an in-cache object read or
+/// write); they are held across a handful of instructions, never across a
+/// blocking wait. For long waits the transaction kernel uses its own
+/// queueing — exactly the latch/lock split the paper makes.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  /// Acquires the latch in shared (S) mode; spins while a writer holds it
+  /// or a writer is waiting (the X-bit check).
+  void LockShared();
+
+  /// Single shared-mode attempt; returns false instead of spinning.
+  bool TryLockShared();
+
+  /// Releases one shared hold.
+  void UnlockShared();
+
+  /// Acquires the latch in exclusive (X) mode; sets the X-bit first so new
+  /// readers are held off while existing readers drain.
+  void LockExclusive();
+
+  /// Single exclusive-mode attempt; returns false instead of spinning.
+  /// Does not set the X-bit on failure.
+  bool TryLockExclusive();
+
+  /// Releases the exclusive hold.
+  void UnlockExclusive();
+
+  /// Number of shared holders, for tests and statistics (racy snapshot).
+  uint32_t SharedCount() const {
+    return word_.load(std::memory_order_relaxed) >> kSharedShift;
+  }
+  /// True if a writer currently holds the latch (racy snapshot).
+  bool ExclusiveHeld() const {
+    return (word_.load(std::memory_order_relaxed) & kXHeld) != 0;
+  }
+  /// True if a writer is waiting — the X-bit (racy snapshot).
+  bool WriterWaiting() const {
+    return (word_.load(std::memory_order_relaxed) & kXWait) != 0;
+  }
+
+ private:
+  static constexpr uint32_t kXHeld = 1u << 0;
+  static constexpr uint32_t kXWait = 1u << 1;
+  static constexpr uint32_t kSharedShift = 2;
+  static constexpr uint32_t kSharedOne = 1u << kSharedShift;
+
+  std::atomic<uint32_t> word_{0};
+};
+
+/// RAII shared-mode holder.
+class SharedLatchGuard {
+ public:
+  explicit SharedLatchGuard(SpinLatch& latch) : latch_(latch) {
+    latch_.LockShared();
+  }
+  ~SharedLatchGuard() { latch_.UnlockShared(); }
+  SharedLatchGuard(const SharedLatchGuard&) = delete;
+  SharedLatchGuard& operator=(const SharedLatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+/// RAII exclusive-mode holder.
+class ExclusiveLatchGuard {
+ public:
+  explicit ExclusiveLatchGuard(SpinLatch& latch) : latch_(latch) {
+    latch_.LockExclusive();
+  }
+  ~ExclusiveLatchGuard() { latch_.UnlockExclusive(); }
+  ExclusiveLatchGuard(const ExclusiveLatchGuard&) = delete;
+  ExclusiveLatchGuard& operator=(const ExclusiveLatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_COMMON_LATCH_H_

@@ -1,0 +1,16 @@
+#include "common/object_set.h"
+
+namespace asset {
+
+std::string ObjectSet::ToString() const {
+  if (all_) return "*";
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace asset

@@ -1,0 +1,120 @@
+#ifndef ASSET_COMMON_OBJECT_SET_H_
+#define ASSET_COMMON_OBJECT_SET_H_
+
+/// \file object_set.h
+/// Sets of object ids, with an "all objects" wildcard.
+///
+/// `delegate` and `permit` (§2.2) take object sets; the wildcard forms
+/// (delegate all responsibility, permit on any object) are represented by
+/// `ObjectSet::All()`. Concrete sets are kept sorted so intersection —
+/// needed for transitive permits — is a linear merge.
+
+#include <algorithm>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace asset {
+
+/// An immutable-ish set of `ObjectId`s or the universal set.
+class ObjectSet {
+ public:
+  /// The empty set.
+  ObjectSet() = default;
+
+  /// A concrete set; duplicates are removed.
+  ObjectSet(std::initializer_list<ObjectId> ids)
+      : ids_(ids) {
+    Normalize();
+  }
+  explicit ObjectSet(std::vector<ObjectId> ids) : ids_(std::move(ids)) {
+    Normalize();
+  }
+
+  /// The universal set — the paper's "any object" wildcard.
+  static ObjectSet All() {
+    ObjectSet s;
+    s.all_ = true;
+    return s;
+  }
+  static ObjectSet Of(ObjectId id) { return ObjectSet({id}); }
+
+  bool IsAll() const { return all_; }
+  bool empty() const { return !all_ && ids_.empty(); }
+  /// Number of explicit ids; only meaningful when !IsAll().
+  size_t size() const { return ids_.size(); }
+
+  bool Contains(ObjectId id) const {
+    if (all_) return true;
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  void Insert(ObjectId id) {
+    if (all_) return;
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) ids_.insert(it, id);
+  }
+
+  /// Set intersection — used to derive transitive permits (§2.2 rule 3):
+  /// ob_set ∩ ob_set'.
+  ObjectSet Intersect(const ObjectSet& other) const {
+    if (all_) return other;
+    if (other.all_) return *this;
+    ObjectSet out;
+    std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                          other.ids_.end(), std::back_inserter(out.ids_));
+    return out;
+  }
+
+  /// True if every member of `other` is in this set.
+  bool Covers(const ObjectSet& other) const {
+    if (all_) return true;
+    if (other.all_) return false;
+    return std::includes(ids_.begin(), ids_.end(), other.ids_.begin(),
+                         other.ids_.end());
+  }
+
+  /// Elements of this set not in `other`. Only defined for concrete
+  /// receivers (the universal set has no representable complement).
+  ObjectSet Difference(const ObjectSet& other) const {
+    if (other.all_) return ObjectSet();
+    ObjectSet out;
+    if (all_) return All();  // caller must not subtract from All()
+    std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                        other.ids_.end(), std::back_inserter(out.ids_));
+    return out;
+  }
+
+  ObjectSet Union(const ObjectSet& other) const {
+    if (all_ || other.all_) return All();
+    ObjectSet out;
+    std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                   other.ids_.end(), std::back_inserter(out.ids_));
+    return out;
+  }
+
+  bool operator==(const ObjectSet& other) const {
+    return all_ == other.all_ && ids_ == other.ids_;
+  }
+
+  /// Explicit ids, sorted ascending. Empty when IsAll().
+  const std::vector<ObjectId>& ids() const { return ids_; }
+
+  /// "*" for the universal set, otherwise "{1,2,3}".
+  std::string ToString() const;
+
+ private:
+  void Normalize() {
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
+  bool all_ = false;
+  std::vector<ObjectId> ids_;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_COMMON_OBJECT_SET_H_

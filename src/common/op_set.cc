@@ -1,0 +1,43 @@
+#include "common/op_set.h"
+
+namespace asset {
+
+bool LockModeCovers(LockMode held, LockMode wanted) {
+  if (wanted == LockMode::kNone) return true;
+  if (held == wanted) return true;
+  return held == LockMode::kWrite;
+}
+
+bool LockModesConflict(LockMode a, LockMode b) {
+  if (a == LockMode::kNone || b == LockMode::kNone) return false;
+  if (a == LockMode::kWrite || b == LockMode::kWrite) return true;
+  // Read-read compatible; increment-increment commutes (§5 semantics);
+  // read vs increment conflicts (an increment is invisible to a
+  // repeatable reader only if serialized).
+  return a != b;
+}
+
+LockMode JoinLockModes(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kNone) return b;
+  if (b == LockMode::kNone) return a;
+  return LockMode::kWrite;  // any distinct non-None pair joins at Write
+}
+
+LockMode LockModeFor(Operation op) {
+  return op == Operation::kRead ? LockMode::kRead : LockMode::kWrite;
+}
+
+std::string OpSet::ToString() const {
+  if (empty()) return "{}";
+  std::string out = "{";
+  if (Contains(Operation::kRead)) out += "read";
+  if (Contains(Operation::kWrite)) {
+    if (out.size() > 1) out += ",";
+    out += "write";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace asset

@@ -1,0 +1,117 @@
+#ifndef ASSET_COMMON_OP_SET_H_
+#define ASSET_COMMON_OP_SET_H_
+
+/// \file op_set.h
+/// Operation kinds and sets of operations.
+///
+/// The elementary operations in the paper's implementation (§4.2) are
+/// `read` and `write`; `permit` takes a set of operations (possibly "all
+/// operations", the paper's null). `OpSet` is a small bitmask over
+/// `Operation` with an explicit "all" value so the four permit forms of
+/// §2.2 map directly onto the API.
+
+#include <cstdint>
+#include <string>
+
+namespace asset {
+
+/// An elementary operation on an object.
+enum class Operation : uint8_t {
+  kRead = 1,
+  kWrite = 2,
+};
+
+/// Lock modes of a lock-request descriptor (paper §4.1: read, write,
+/// none). kIncrement is our implementation of the paper's §5 future
+/// work — exploiting the commutativity of class-specific operations:
+/// blind additive updates commute with each other, so increment locks
+/// are compatible among themselves while still conflicting with reads
+/// and writes.
+enum class LockMode : uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kIncrement = 3,
+};
+
+/// Returns true if holding `held` makes acquiring `wanted` a no-op
+/// ("covers" in the paper's read-lock/write-lock algorithm, §4.2 step 1a).
+/// Write covers read; every mode covers itself and kNone.
+bool LockModeCovers(LockMode held, LockMode wanted);
+
+/// Returns true if the two modes conflict when held by *different*
+/// transactions: write conflicts with everything; increment conflicts
+/// with read and write but not with increment.
+bool LockModesConflict(LockMode a, LockMode b);
+
+/// Least mode covering both `a` and `b` (the upgrade lattice):
+/// None < Read, Increment < Write, with Read ∨ Increment = Write.
+LockMode JoinLockModes(LockMode a, LockMode b);
+
+/// The lock mode an operation needs.
+LockMode LockModeFor(Operation op);
+
+/// A set of operations; a bitmask with a dedicated "all" constructor that
+/// represents the paper's null-operations wildcard.
+class OpSet {
+ public:
+  /// The empty set.
+  constexpr OpSet() = default;
+
+  /// A singleton set.
+  constexpr OpSet(Operation op)  // NOLINT(runtime/explicit)
+      : bits_(static_cast<uint8_t>(op)) {}
+
+  /// All operations — the wildcard used by permit(ti, tj) and friends.
+  static constexpr OpSet All() { return OpSet(kAllBits); }
+  /// No operations.
+  static constexpr OpSet None() { return OpSet(); }
+  /// Reads and writes spelled out (equal to All() for our two-op model,
+  /// kept distinct in name for call-site clarity).
+  static constexpr OpSet ReadWrite() { return OpSet(kAllBits); }
+
+  constexpr bool Contains(Operation op) const {
+    return (bits_ & static_cast<uint8_t>(op)) != 0;
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr bool IsAll() const { return bits_ == kAllBits; }
+
+  /// Set intersection — the semantics of transitive permits (§2.2):
+  /// permit(ti,tj,ops) ∘ permit(tj,tk,ops') ⇒ permit(ti,tk,ops ∩ ops').
+  constexpr OpSet Intersect(OpSet other) const {
+    return OpSet(static_cast<uint8_t>(bits_ & other.bits_));
+  }
+  /// True if every operation in `other` is in this set.
+  constexpr bool Covers(OpSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+
+  constexpr OpSet Union(OpSet other) const {
+    return OpSet(static_cast<uint8_t>(bits_ | other.bits_));
+  }
+
+  constexpr bool operator==(const OpSet& other) const {
+    return bits_ == other.bits_;
+  }
+
+  /// Raw bits, exposed for hashing/serialization.
+  constexpr uint8_t bits() const { return bits_; }
+  static constexpr OpSet FromBits(uint8_t bits) {
+    return OpSet(static_cast<uint8_t>(bits & kAllBits));
+  }
+
+  /// "{}", "{read}", "{write}", or "{read,write}".
+  std::string ToString() const;
+
+ private:
+  static constexpr uint8_t kAllBits = static_cast<uint8_t>(Operation::kRead) |
+                                      static_cast<uint8_t>(Operation::kWrite);
+
+  explicit constexpr OpSet(uint8_t bits) : bits_(bits) {}
+
+  uint8_t bits_ = 0;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_COMMON_OP_SET_H_

@@ -1,0 +1,75 @@
+#ifndef ASSET_COMMON_RANDOM_H_
+#define ASSET_COMMON_RANDOM_H_
+
+/// \file random.h
+/// A small, fast, deterministic PRNG for workload generation.
+///
+/// Tests and benchmarks need reproducible randomness that does not depend
+/// on the standard library's unspecified distributions; this is
+/// xoshiro256** with splitmix64 seeding.
+
+#include <cstdint>
+
+namespace asset {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 to spread a possibly-low-entropy seed over the state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p (p in [0,1]).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  /// Zipfian-ish skewed pick in [0, n): repeatedly halves the range with
+  /// probability `skew`. skew=0 gives uniform; larger values concentrate
+  /// mass on small indices — a cheap stand-in for hot-key workloads.
+  uint64_t Skewed(uint64_t n, double skew) {
+    uint64_t range = n;
+    while (range > 1 && Bernoulli(skew)) range = (range + 1) / 2;
+    return Uniform(range);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace asset
+
+#endif  // ASSET_COMMON_RANDOM_H_

@@ -1,0 +1,85 @@
+#ifndef ASSET_COMMON_RESULT_H_
+#define ASSET_COMMON_RESULT_H_
+
+/// \file result.h
+/// `Result<T>`: a value or a non-OK `Status`.
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace asset {
+
+/// Holds either a `T` (success) or a non-OK `Status` (failure).
+///
+/// A `Result` constructed from an OK status is a programming error and is
+/// converted to an Internal error so the bug surfaces loudly rather than
+/// as an apparently-valid value.
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure. `status` must not be OK.
+  Result(Status status) {  // NOLINT(runtime/explicit)
+    if (status.ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    } else {
+      repr_ = std::move(status);
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value. Must hold a value.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates the error of a `Result` expression, otherwise assigns the
+/// unwrapped value to `lhs`.
+#define ASSET_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto ASSET_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!ASSET_CONCAT_(_res_, __LINE__).ok())          \
+    return ASSET_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(ASSET_CONCAT_(_res_, __LINE__)).value()
+
+#define ASSET_CONCAT_INNER_(a, b) a##b
+#define ASSET_CONCAT_(a, b) ASSET_CONCAT_INNER_(a, b)
+
+}  // namespace asset
+
+#endif  // ASSET_COMMON_RESULT_H_

@@ -1,0 +1,134 @@
+#ifndef ASSET_COMMON_STATUS_H_
+#define ASSET_COMMON_STATUS_H_
+
+/// \file status.h
+/// Error-handling primitives for the ASSET library.
+///
+/// The library does not use exceptions. Fallible operations return a
+/// `Status`; fallible operations that also produce a value return a
+/// `Result<T>` (see result.h). This mirrors the conventions of
+/// production storage engines.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace asset {
+
+/// Classified error codes. Keep this list short and meaningful: a code is
+/// something a caller can reasonably dispatch on; everything else belongs
+/// in the message.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// A malformed argument (null tid, empty object set, bad size...).
+  kInvalidArgument = 1,
+  /// The named entity (transaction, object, page) does not exist.
+  kNotFound = 2,
+  /// The operation is illegal in the entity's current state, e.g.
+  /// beginning a transaction twice or delegating from a committed one.
+  kIllegalState = 3,
+  /// A resource limit was hit (transaction table full, buffer pool
+  /// exhausted, page full).
+  kResourceExhausted = 4,
+  /// A deadlock was detected and this request chosen as the victim.
+  kDeadlock = 5,
+  /// The transaction was aborted (by the user, a dependency, or the
+  /// system) while the operation was in flight.
+  kTxnAborted = 6,
+  /// Forming the dependency would create a forbidden cycle.
+  kDependencyCycle = 7,
+  /// An I/O failure from the (simulated) disk.
+  kIOError = 8,
+  /// Data failed an integrity check (checksum, magic, torn record).
+  kCorruption = 9,
+  /// A wait exceeded its deadline.
+  kTimedOut = 10,
+  /// Internal invariant violation; indicates a bug in the library.
+  kInternal = 11,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation);
+/// error states carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IllegalState(std::string msg) {
+    return Status(StatusCode::kIllegalState, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status TxnAborted(std::string msg) {
+    return Status(StatusCode::kTxnAborted, std::move(msg));
+  }
+  static Status DependencyCycle(std::string msg) {
+    return Status(StatusCode::kDependencyCycle, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIllegalState() const { return code_ == StatusCode::kIllegalState; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define ASSET_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::asset::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace asset
+
+#endif  // ASSET_COMMON_STATUS_H_

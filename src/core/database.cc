@@ -1,0 +1,65 @@
+#include "core/database.h"
+
+namespace asset {
+
+Result<std::unique_ptr<Database>> Database::Open() { return Open(Options()); }
+
+Result<std::unique_ptr<Database>> Database::Open(Options options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->options_ = options;
+  if (options.path.empty()) {
+    db->disk_ = std::make_unique<InMemoryDiskManager>();
+  } else {
+    auto file = std::make_unique<FileDiskManager>(options.path);
+    if (!file->status().ok()) return file->status();
+    db->disk_ = std::move(file);
+    // The WAL lives next to the data file; a previous process's durable
+    // records are loaded so recovery below can replay them.
+    ASSET_RETURN_NOT_OK(db->log_.AttachFile(options.path + ".wal"));
+  }
+  db->pool_ = std::make_unique<BufferPool>(
+      db->disk_.get(), options.buffer_pool_pages, &db->log_);
+  db->store_ = std::make_unique<ObjectStore>(db->pool_.get());
+  ASSET_RETURN_NOT_OK(db->store_->Open());
+  if (db->log_.durable_lsn() != kNullLsn) {
+    // Reopening after a (possibly unclean) shutdown: bring the store to
+    // the committed state before admitting transactions.
+    ASSET_RETURN_NOT_OK(
+        RecoveryManager::Recover(&db->log_, db->store_.get()).status());
+  }
+  db->tm_ = std::make_unique<TransactionManager>(&db->log_, db->store_.get(),
+                                                 options.txn);
+  return db;
+}
+
+Database::~Database() {
+  // Kernel first (aborts in-flight transactions, which still reference
+  // the store and log), then storage.
+  tm_.reset();
+}
+
+Status Database::Checkpoint() {
+  if (!tm_->WaitIdle(std::chrono::milliseconds(30000))) {
+    return Status::TimedOut("checkpoint: transactions still active");
+  }
+  return RecoveryManager::Checkpoint(&log_, pool_.get());
+}
+
+Status Database::CrashAndRecover(RecoveryManager::Report* report) {
+  // Tear down the kernel; any straggler transactions are aborted, but
+  // the records that abort appends are not flushed, so the simulated
+  // crash below erases them — the log reads exactly as if the power had
+  // failed.
+  tm_.reset();
+  log_.SimulateCrash();
+  pool_->DropAllUnflushed();
+  ASSET_RETURN_NOT_OK(store_->Open());
+  auto rec = RecoveryManager::Recover(&log_, store_.get());
+  if (!rec.ok()) return rec.status();
+  if (report != nullptr) *report = *rec;
+  tm_ = std::make_unique<TransactionManager>(&log_, store_.get(),
+                                             options_.txn);
+  return Status::OK();
+}
+
+}  // namespace asset

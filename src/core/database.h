@@ -1,0 +1,144 @@
+#ifndef ASSET_CORE_DATABASE_H_
+#define ASSET_CORE_DATABASE_H_
+
+/// \file database.h
+/// The assembled system: disk, page cache, WAL, object store, and the
+/// ASSET transaction kernel, with typed convenience accessors.
+///
+/// This is the surface the examples and the model library (src/models/)
+/// program against — the Ode-database role in the paper, minus the O++
+/// compiler (whose generated code src/models/ supplies as a library).
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/transaction_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/object_store.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+
+namespace asset {
+
+/// One database instance. Construction wires the storage stack and the
+/// kernel; destruction aborts stragglers.
+class Database {
+ public:
+  struct Options {
+    /// Page frames in the cache.
+    size_t buffer_pool_pages = 1024;
+    /// Backing file; empty means an in-memory device.
+    std::string path;
+    TransactionManager::Options txn;
+  };
+
+  /// Opens (or creates) a database.
+  static Result<std::unique_ptr<Database>> Open(Options options);
+  /// Opens with default options (in-memory device).
+  static Result<std::unique_ptr<Database>> Open();
+
+  ~Database();
+
+  TransactionManager& txn() { return *tm_; }
+  ObjectStore& store() { return *store_; }
+  LogManager& log() { return log_; }
+  BufferPool& pool() { return *pool_; }
+
+  // --- Typed object helpers (trivially-copyable values) ----------------
+
+  template <typename T>
+  static std::vector<uint8_t> Encode(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Encode requires a trivially copyable type");
+    std::vector<uint8_t> out(sizeof(T));
+    std::memcpy(out.data(), &value, sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  static Result<T> Decode(const std::vector<uint8_t>& bytes) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Decode requires a trivially copyable type");
+    if (bytes.size() != sizeof(T)) {
+      return Status::Corruption("decoded size mismatch");
+    }
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+
+  /// Creates an object holding `value` under transaction `t` (defaults
+  /// to the calling transaction).
+  template <typename T>
+  Result<ObjectId> Create(const T& value, Tid t = kNullTid) {
+    return tm_->CreateObject(ResolveTid(t), Encode(value));
+  }
+
+  /// Reads the object as a `T` under transaction `t`.
+  template <typename T>
+  Result<T> Get(ObjectId oid, Tid t = kNullTid) {
+    auto bytes = tm_->Read(ResolveTid(t), oid);
+    if (!bytes.ok()) return bytes.status();
+    return Decode<T>(*bytes);
+  }
+
+  /// Overwrites the object with `value` under transaction `t`.
+  template <typename T>
+  Status Put(ObjectId oid, const T& value, Tid t = kNullTid) {
+    return tm_->Write(ResolveTid(t), oid, Encode(value));
+  }
+
+  // --- Counters (semantic increments, paper Â§5) -------------------------
+
+  /// Creates a counter initialized to `initial`.
+  Result<ObjectId> CreateCounter(int64_t initial, Tid t = kNullTid) {
+    return tm_->CreateCounter(ResolveTid(t), initial);
+  }
+
+  /// Commutative add: concurrent adders never conflict.
+  Status Add(ObjectId oid, int64_t delta, Tid t = kNullTid) {
+    return tm_->Increment(ResolveTid(t), oid, delta);
+  }
+
+  /// Counter value under a read lock.
+  Result<int64_t> GetCounter(ObjectId oid, Tid t = kNullTid) {
+    return tm_->ReadCounter(ResolveTid(t), oid);
+  }
+
+  // --- Maintenance -------------------------------------------------------
+
+  /// Quiescent checkpoint: waits for all transactions to terminate, then
+  /// flushes pages and logs a checkpoint record.
+  Status Checkpoint();
+
+  /// Simulates a crash and runs recovery: tears down the kernel, drops
+  /// every non-durable log record and every cached page, rescans the
+  /// store, replays the log, and brings up a fresh kernel. No user
+  /// threads may be inside the database during the call.
+  Status CrashAndRecover(RecoveryManager::Report* report = nullptr);
+
+ private:
+  Database() = default;
+
+  static Tid ResolveTid(Tid t) {
+    return t == kNullTid ? TransactionManager::Self() : t;
+  }
+
+  Options options_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  LogManager log_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<TransactionManager> tm_;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_DATABASE_H_

@@ -1,0 +1,36 @@
+#ifndef ASSET_CORE_DEADLOCK_DETECTOR_H_
+#define ASSET_CORE_DEADLOCK_DETECTOR_H_
+
+/// \file deadlock_detector.h
+/// Waits-for-graph deadlock detection.
+///
+/// The paper's blocked requesters simply "block and retry"; with strict
+/// two-phase holds that admits classic deadlocks, so — as a documented
+/// extension (DESIGN.md S6) — the lock manager consults this detector
+/// before sleeping. The victim is always the requester: its acquire
+/// returns kDeadlock and the caller decides whether to abort.
+
+#include <vector>
+
+#include "common/ids.h"
+#include "core/kernel.h"
+
+namespace asset {
+
+/// Stateless cycle check over the waits-for edges recorded in the TDs.
+class DeadlockDetector {
+ public:
+  /// True if blocking `requester` (whose `waiting_for` must already name
+  /// the holders it would wait on) closes a waits-for cycle through it.
+  /// Caller holds the kernel mutex.
+  static bool WouldDeadlock(const TransactionDescriptor* requester,
+                            const TdTable& txns);
+
+  /// All tids on some waits-for cycle (diagnostics). Caller holds the
+  /// kernel mutex.
+  static std::vector<Tid> FindCycle(const TdTable& txns);
+};
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_DEADLOCK_DETECTOR_H_

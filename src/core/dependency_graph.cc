@@ -1,0 +1,168 @@
+#include "core/dependency_graph.h"
+
+#include <deque>
+
+namespace asset {
+
+Status DependencyGraph::Add(DependencyType type, Tid ti, Tid tj) {
+  if (ti == kNullTid || tj == kNullTid) {
+    return Status::InvalidArgument("form_dependency requires concrete tids");
+  }
+  if (ti == tj) {
+    return Status::InvalidArgument("a transaction cannot depend on itself");
+  }
+  const Tid dependent = tj;
+  const Tid dependee = ti;
+
+  // Collapse duplicates; upgrade CD to AD (AD covers CD).
+  for (Dependency& e : edges_) {
+    bool same_pair = e.dependent == dependent && e.dependee == dependee;
+    bool gc_pair = type == DependencyType::kGroupCommit &&
+                   e.type == DependencyType::kGroupCommit &&
+                   ((e.dependent == dependent && e.dependee == dependee) ||
+                    (e.dependent == dependee && e.dependee == dependent));
+    if (gc_pair) return Status::OK();
+    if (same_pair && e.type == type) return Status::OK();
+    if (same_pair && type == DependencyType::kCommit &&
+        e.type == DependencyType::kAbort) {
+      return Status::OK();  // AD already covers CD
+    }
+    if (same_pair && type == DependencyType::kAbort &&
+        e.type == DependencyType::kCommit) {
+      e.type = DependencyType::kAbort;
+      return Status::OK();
+    }
+  }
+
+  // Cycle prevention (§4.2 form_dependency): a CD/AD edge from
+  // `dependent` to `dependee` is rejected when `dependee` already waits
+  // on `dependent` transitively.
+  if (type != DependencyType::kGroupCommit &&
+      ReachesViaWait(dependee, dependent)) {
+    return Status::DependencyCycle(
+        "dependency would create a commit-wait cycle");
+  }
+
+  size_t idx = edges_.size();
+  edges_.push_back(Dependency{dependent, dependee, type});
+  by_dependent_[dependent].push_back(idx);
+  by_dependee_[dependee].push_back(idx);
+  return Status::OK();
+}
+
+bool DependencyGraph::ReachesViaWait(Tid from, Tid to) const {
+  std::unordered_set<Tid> visited;
+  std::deque<Tid> work{from};
+  while (!work.empty()) {
+    Tid cur = work.front();
+    work.pop_front();
+    if (cur == to) return true;
+    if (!visited.insert(cur).second) continue;
+    auto it = by_dependent_.find(cur);
+    if (it == by_dependent_.end()) continue;
+    for (size_t idx : it->second) {
+      const Dependency& e = edges_[idx];
+      if (e.type == DependencyType::kGroupCommit) continue;
+      work.push_back(e.dependee);  // CD/AD/BD/BCD all make tj wait on ti
+    }
+  }
+  return false;
+}
+
+std::vector<Dependency> DependencyGraph::DependenciesOf(Tid t) const {
+  std::vector<Dependency> out;
+  auto it = by_dependent_.find(t);
+  if (it != by_dependent_.end()) {
+    for (size_t idx : it->second) out.push_back(edges_[idx]);
+  }
+  // GC edges are symmetric: surface those where t is the stored dependee
+  // with endpoints flipped.
+  auto jt = by_dependee_.find(t);
+  if (jt != by_dependee_.end()) {
+    for (size_t idx : jt->second) {
+      const Dependency& e = edges_[idx];
+      if (e.type == DependencyType::kGroupCommit) {
+        out.push_back(Dependency{t, e.dependent, e.type});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Dependency> DependencyGraph::DependenciesOn(Tid t) const {
+  std::vector<Dependency> out;
+  auto it = by_dependee_.find(t);
+  if (it != by_dependee_.end()) {
+    for (size_t idx : it->second) out.push_back(edges_[idx]);
+  }
+  auto jt = by_dependent_.find(t);
+  if (jt != by_dependent_.end()) {
+    for (size_t idx : jt->second) {
+      const Dependency& e = edges_[idx];
+      if (e.type == DependencyType::kGroupCommit) {
+        out.push_back(Dependency{e.dependee, t, e.type});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Tid> DependencyGraph::GroupOf(Tid t) const {
+  std::unordered_set<Tid> seen{t};
+  std::deque<Tid> work{t};
+  while (!work.empty()) {
+    Tid cur = work.front();
+    work.pop_front();
+    for (const Dependency& e : edges_) {
+      if (e.type != DependencyType::kGroupCommit) continue;
+      Tid peer = kNullTid;
+      if (e.dependent == cur) peer = e.dependee;
+      if (e.dependee == cur) peer = e.dependent;
+      if (peer != kNullTid && seen.insert(peer).second) {
+        work.push_back(peer);
+      }
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+void DependencyGraph::RemoveAllFor(Tid t) {
+  std::vector<Dependency> kept;
+  kept.reserve(edges_.size());
+  for (const Dependency& e : edges_) {
+    if (e.dependent == t || e.dependee == t) continue;
+    kept.push_back(e);
+  }
+  if (kept.size() != edges_.size()) {
+    edges_ = std::move(kept);
+    RebuildIndexes();
+  }
+}
+
+void DependencyGraph::Remove(const Dependency& d) {
+  std::vector<Dependency> kept;
+  kept.reserve(edges_.size());
+  bool removed = false;
+  for (const Dependency& e : edges_) {
+    if (!removed && e == d) {
+      removed = true;
+      continue;
+    }
+    kept.push_back(e);
+  }
+  if (removed) {
+    edges_ = std::move(kept);
+    RebuildIndexes();
+  }
+}
+
+void DependencyGraph::RebuildIndexes() {
+  by_dependent_.clear();
+  by_dependee_.clear();
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    by_dependent_[edges_[i].dependent].push_back(i);
+    by_dependee_[edges_[i].dependee].push_back(i);
+  }
+}
+
+}  // namespace asset

@@ -1,0 +1,50 @@
+#include "core/descriptors.h"
+
+namespace asset {
+
+const char* TxnStatusToString(TxnStatus s) {
+  switch (s) {
+    case TxnStatus::kInitiated:
+      return "initiated";
+    case TxnStatus::kRunning:
+      return "running";
+    case TxnStatus::kCompleted:
+      return "completed";
+    case TxnStatus::kCommitting:
+      return "committing";
+    case TxnStatus::kCommitted:
+      return "committed";
+    case TxnStatus::kAborting:
+      return "aborting";
+    case TxnStatus::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+bool IsTerminated(TxnStatus s) {
+  return s == TxnStatus::kCommitted || s == TxnStatus::kAborted;
+}
+
+bool IsActive(TxnStatus s) {
+  return s == TxnStatus::kRunning || s == TxnStatus::kCompleted ||
+         s == TxnStatus::kCommitting || s == TxnStatus::kAborting;
+}
+
+const char* DependencyTypeToString(DependencyType t) {
+  switch (t) {
+    case DependencyType::kCommit:
+      return "CD";
+    case DependencyType::kAbort:
+      return "AD";
+    case DependencyType::kGroupCommit:
+      return "GC";
+    case DependencyType::kBeginOnBegin:
+      return "BD";
+    case DependencyType::kBeginOnCommit:
+      return "BCD";
+  }
+  return "??";
+}
+
+}  // namespace asset

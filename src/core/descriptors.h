@@ -1,0 +1,149 @@
+#ifndef ASSET_CORE_DESCRIPTORS_H_
+#define ASSET_CORE_DESCRIPTORS_H_
+
+/// \file descriptors.h
+/// The paper's §4.1 data structures: transaction descriptors (TD), object
+/// descriptors (OD), lock request descriptors (LRD), and the transaction
+/// status vocabulary of §2.1.
+///
+/// Ownership: the TransactionManager owns TDs; the LockManager owns ODs,
+/// and each OD owns the LRDs granted on its object. TDs and ODs
+/// cross-reference LRDs by raw pointer (the paper's linked lists).
+/// Everything here is protected by the kernel mutex except the OD's data
+/// latch, which guards the object's bytes during reads/writes (§4.2).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/latch.h"
+#include "common/op_set.h"
+
+namespace asset {
+
+/// Transaction lifecycle states (§2.1). A transaction is *active* when
+/// running or completed; it is *terminated* when committed or aborted.
+enum class TxnStatus : uint8_t {
+  /// Registered via initiate(); has not begun executing.
+  kInitiated = 0,
+  /// Executing its code.
+  kRunning = 1,
+  /// Its code has finished; locks are still held, changes not persistent
+  /// (§2.1: completion is recorded, commit is explicit).
+  kCompleted = 2,
+  /// Inside the commit algorithm, possibly blocked on dependencies.
+  kCommitting = 3,
+  kCommitted = 4,
+  /// Marked for abort; physical undo pending (e.g. its code is still
+  /// running and must first reach a safe point).
+  kAborting = 5,
+  kAborted = 6,
+};
+
+const char* TxnStatusToString(TxnStatus s);
+
+/// True for kCommitted / kAborted.
+bool IsTerminated(TxnStatus s);
+/// True for kRunning / kCompleted / kCommitting / kAborting.
+bool IsActive(TxnStatus s);
+
+/// Dependency types of form_dependency (§2.2). The paper presents CD,
+/// AD and GC as "three that occur more often" among the ACTA dependency
+/// family [8]; the begin-dependencies below are the next most common
+/// members, implemented here as an extension.
+enum class DependencyType : uint8_t {
+  /// CD — commit dependency: if both commit, t_j cannot commit before
+  /// t_i; if t_i aborts, t_j may still commit.
+  kCommit = 0,
+  /// AD — abort dependency: if t_i aborts, t_j must abort. Implies CD.
+  kAbort = 1,
+  /// GC — group commit: both commit or neither.
+  kGroupCommit = 2,
+  /// BD — begin dependency: t_j cannot begin executing until t_i has
+  /// begun.
+  kBeginOnBegin = 3,
+  /// BCD — begin-on-commit dependency: t_j cannot begin executing until
+  /// t_i has committed; if t_i aborts, t_j can never begin (its begin
+  /// fails).
+  kBeginOnCommit = 4,
+};
+
+const char* DependencyTypeToString(DependencyType t);
+
+struct ObjectDescriptor;
+struct TransactionDescriptor;
+
+/// LRD — a granted lock request by one transaction on one object (§4.1).
+/// Pending requests are not materialized as LRDs: a blocked requester
+/// waits on the kernel condition variable and retries from step 1,
+/// exactly the paper's "blocks and retries later starting at step 1".
+struct LockRequestDescriptor {
+  TransactionDescriptor* td = nullptr;
+  ObjectDescriptor* od = nullptr;
+  LockMode mode = LockMode::kNone;
+  /// A suspended lock is one whose holder permitted a conflicting
+  /// operation; it no longer "covers" and must be re-acquired (§4.2
+  /// read-lock step 1).
+  bool suspended = false;
+};
+
+/// OD — per-object lock state (§4.1, Figure 1): the granted-lock list and
+/// the data latch that serializes elementary operations. (Permits are
+/// held centrally in the PermitTable, doubly indexed by the two tids, as
+/// the paper prescribes for efficient lookup.)
+struct ObjectDescriptor {
+  explicit ObjectDescriptor(ObjectId id) : oid(id) {}
+
+  ObjectId oid;
+  /// Granted locks, including suspended ones. Owned here.
+  std::vector<std::unique_ptr<LockRequestDescriptor>> granted;
+  /// Number of requesters currently blocked on this object (for stats
+  /// and for deciding when an OD may be reclaimed).
+  uint32_t waiters = 0;
+  /// Guards the object's bytes during an elementary read/write (§4.2:
+  /// S-latch for read, X-latch for write).
+  SpinLatch data_latch;
+};
+
+/// TD — per-transaction state (§4.1).
+struct TransactionDescriptor {
+  TransactionDescriptor(Tid id, Tid parent_id)
+      : tid(id), parent(parent_id) {}
+
+  const Tid tid;
+  const Tid parent;
+  TxnStatus status = TxnStatus::kInitiated;
+
+  /// The registered function (the paper's f with args already bound).
+  std::function<void()> fn;
+
+  /// False while a (detached) thread is executing fn; set under the
+  /// kernel mutex as the thread's last act. A TD may be reclaimed only
+  /// when terminated and thread_exited.
+  bool thread_exited = true;
+
+  /// Locks this transaction currently holds (raw pointers; ODs own them).
+  std::vector<LockRequestDescriptor*> lrds;
+
+  /// Lsns of the data operations this transaction is currently
+  /// *responsible* for, in append order. Delegation moves entries
+  /// between TDs; abort walks them in reverse.
+  std::vector<Lsn> responsible_ops;
+
+  /// Set when this transaction blocks waiting for a lock, naming the
+  /// holder it waits for (for the waits-for deadlock check).
+  std::vector<Tid> waiting_for;
+
+  /// True once begin() ran (the active-transaction accounting needs to
+  /// distinguish begun transactions from initiated-only ones).
+  bool begun = false;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_DESCRIPTORS_H_

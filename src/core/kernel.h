@@ -1,0 +1,39 @@
+#ifndef ASSET_CORE_KERNEL_H_
+#define ASSET_CORE_KERNEL_H_
+
+/// \file kernel.h
+/// Shared kernel state: the big kernel mutex, its condition variable, and
+/// the transaction-descriptor table type.
+///
+/// The paper latches individual control structures; we use one kernel
+/// mutex for all of them (TD/OD tables, permit table, dependency graph)
+/// plus per-object data latches for the object bytes. The single mutex is
+/// the classic lock-manager-partition simplification: all *blocking*
+/// (lock waits, commit waits) happens on the shared condition variable,
+/// which gives us the paper's "block and retry from step 1" loops
+/// directly.
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "core/descriptors.h"
+
+namespace asset {
+
+/// The kernel mutex and the wait channel every blocked primitive sleeps
+/// on. Broadcast on any state change that could unblock someone: lock
+/// release, suspension, permit insertion, delegation, status transition.
+struct KernelSync {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+/// The chained-hash transaction table of §4.1 (TDs keyed by tid).
+using TdTable = std::unordered_map<Tid, std::unique_ptr<TransactionDescriptor>>;
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_KERNEL_H_

@@ -1,0 +1,232 @@
+#include "core/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace asset {
+
+namespace {
+
+Operation OperationFor(LockMode mode) {
+  // Increments mutate the object, so for permit purposes they are
+  // writes.
+  return mode == LockMode::kRead ? Operation::kRead : Operation::kWrite;
+}
+
+}  // namespace
+
+ObjectDescriptor* LockManager::GetOrCreateLocked(ObjectId oid) {
+  auto it = table_.find(oid);
+  if (it != table_.end()) return it->second.get();
+  auto od = std::make_unique<ObjectDescriptor>(oid);
+  ObjectDescriptor* raw = od.get();
+  table_.emplace(oid, std::move(od));
+  return raw;
+}
+
+ObjectDescriptor* LockManager::FindLocked(ObjectId oid) {
+  auto it = table_.find(oid);
+  return it == table_.end() ? nullptr : it->second.get();
+}
+
+Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
+                            LockMode mode) {
+  if (mode == LockMode::kNone) return Status::OK();
+  std::unique_lock<std::mutex> lock(sync_->mu);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        options_.lock_timeout;
+  bool waited = false;
+
+  for (;;) {  // the paper's "retries later starting at step 1"
+    if (td->status == TxnStatus::kAborting ||
+        td->status == TxnStatus::kAborted) {
+      return Status::TxnAborted("transaction " + std::to_string(td->tid) +
+                                " is aborting");
+    }
+    ObjectDescriptor* od = GetOrCreateLocked(oid);
+
+    LockRequestDescriptor* own = nullptr;
+    for (auto& lrd : od->granted) {
+      if (lrd->td == td) {
+        own = lrd.get();
+        break;
+      }
+    }
+    // Step 1a: our own unsuspended lock covering the request.
+    if (own != nullptr && !own->suspended && LockModeCovers(own->mode, mode)) {
+      return Status::OK();
+    }
+
+    // The mode the grant will carry: re-asserting a suspended lock keeps
+    // its strength, an upgrade raises it.
+    const LockMode needed =
+        own != nullptr ? JoinLockModes(own->mode, mode) : mode;
+
+    // Step 1b: scan other holders; permitted conflicts get suspended,
+    // unpermitted ones block us. A lock that is already suspended still
+    // blocks requesters its holder has NOT permitted — suspension only
+    // cancels the "covers" property for the holder itself, it does not
+    // surrender the object to the world.
+    std::vector<LockRequestDescriptor*> to_suspend;
+    std::vector<Tid> blockers;
+    for (auto& lrd : od->granted) {
+      if (lrd->td == td) continue;
+      if (!LockModesConflict(lrd->mode, needed)) continue;
+      stats_->permit_checks.fetch_add(1, std::memory_order_relaxed);
+      if (permits_->Permits(lrd->td->tid, td->tid, oid,
+                            OperationFor(needed))) {
+        stats_->permit_hits.fetch_add(1, std::memory_order_relaxed);
+        if (!lrd->suspended) to_suspend.push_back(lrd.get());
+      } else {
+        blockers.push_back(lrd->td->tid);
+      }
+    }
+
+    if (blockers.empty()) {
+      // Step 2: grant.
+      for (LockRequestDescriptor* lrd : to_suspend) {
+        lrd->suspended = true;
+        stats_->lock_suspensions.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (own != nullptr) {
+        own->mode = needed;
+        own->suspended = false;
+      } else {
+        auto lrd = std::make_unique<LockRequestDescriptor>();
+        lrd->td = td;
+        lrd->od = od;
+        lrd->mode = needed;
+        lrd->suspended = false;
+        td->lrds.push_back(lrd.get());
+        od->granted.push_back(std::move(lrd));
+      }
+      stats_->locks_granted.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+
+    // Block. Record the waits-for edges first so the deadlock check and
+    // other requesters can see them.
+    td->waiting_for = blockers;
+    if (options_.detect_deadlocks &&
+        DeadlockDetector::WouldDeadlock(td, *txns_)) {
+      td->waiting_for.clear();
+      stats_->deadlocks.fetch_add(1, std::memory_order_relaxed);
+      return Status::Deadlock("lock on object " + std::to_string(oid) +
+                              " would deadlock transaction " +
+                              std::to_string(td->tid));
+    }
+    if (!waited) {
+      stats_->lock_waits.fetch_add(1, std::memory_order_relaxed);
+      waited = true;
+    }
+    od->waiters++;
+    bool timed_out = false;
+    if (options_.lock_timeout.count() == 0) {
+      sync_->cv.wait(lock);
+    } else {
+      timed_out = sync_->cv.wait_until(lock, deadline) ==
+                  std::cv_status::timeout;
+    }
+    od->waiters--;
+    td->waiting_for.clear();
+    if (timed_out) {
+      stats_->lock_timeouts.fetch_add(1, std::memory_order_relaxed);
+      return Status::TimedOut("lock on object " + std::to_string(oid) +
+                              " timed out for transaction " +
+                              std::to_string(td->tid));
+    }
+  }
+}
+
+void LockManager::ReleaseAllLocked(TransactionDescriptor* td) {
+  for (LockRequestDescriptor* lrd : td->lrds) {
+    ObjectDescriptor* od = lrd->od;
+    auto& granted = od->granted;
+    granted.erase(std::remove_if(granted.begin(), granted.end(),
+                                 [&](const auto& p) {
+                                   return p.get() == lrd;
+                                 }),
+                  granted.end());
+    MaybeReclaimLocked(od->oid);
+  }
+  td->lrds.clear();
+  sync_->cv.notify_all();
+}
+
+size_t LockManager::DelegateLocked(TransactionDescriptor* ti,
+                                   TransactionDescriptor* tj,
+                                   const ObjectSet& objs) {
+  size_t moved = 0;
+  std::vector<LockRequestDescriptor*> remaining;
+  remaining.reserve(ti->lrds.size());
+  for (LockRequestDescriptor* lrd : ti->lrds) {
+    if (!objs.Contains(lrd->od->oid)) {
+      remaining.push_back(lrd);
+      continue;
+    }
+    // Does tj already hold a lock on this object? Merge.
+    LockRequestDescriptor* existing = nullptr;
+    for (LockRequestDescriptor* other : tj->lrds) {
+      if (other->od == lrd->od) {
+        existing = other;
+        break;
+      }
+    }
+    if (existing != nullptr) {
+      existing->mode = JoinLockModes(existing->mode, lrd->mode);
+      existing->suspended = existing->suspended && lrd->suspended;
+      auto& granted = lrd->od->granted;
+      granted.erase(std::remove_if(granted.begin(), granted.end(),
+                                   [&](const auto& p) {
+                                     return p.get() == lrd;
+                                   }),
+                    granted.end());
+    } else {
+      lrd->td = tj;
+      tj->lrds.push_back(lrd);
+    }
+    ++moved;
+  }
+  ti->lrds = std::move(remaining);
+  if (moved > 0) {
+    stats_->locks_delegated.fetch_add(moved, std::memory_order_relaxed);
+    sync_->cv.notify_all();
+  }
+  return moved;
+}
+
+ObjectSet LockManager::LockedObjectsLocked(
+    const TransactionDescriptor* td) const {
+  std::vector<ObjectId> ids;
+  ids.reserve(td->lrds.size());
+  for (const LockRequestDescriptor* lrd : td->lrds) {
+    ids.push_back(lrd->od->oid);
+  }
+  return ObjectSet(std::move(ids));
+}
+
+LockMode LockManager::HeldModeLocked(const TransactionDescriptor* td,
+                                     ObjectId oid) const {
+  for (const LockRequestDescriptor* lrd : td->lrds) {
+    if (lrd->od->oid == oid) return lrd->mode;
+  }
+  return LockMode::kNone;
+}
+
+bool LockManager::IsSuspendedLocked(const TransactionDescriptor* td,
+                                    ObjectId oid) const {
+  for (const LockRequestDescriptor* lrd : td->lrds) {
+    if (lrd->od->oid == oid) return lrd->suspended;
+  }
+  return false;
+}
+
+void LockManager::MaybeReclaimLocked(ObjectId oid) {
+  auto it = table_.find(oid);
+  if (it == table_.end()) return;
+  if (it->second->granted.empty() && it->second->waiters == 0) {
+    table_.erase(it);
+  }
+}
+
+}  // namespace asset

@@ -1,0 +1,115 @@
+#ifndef ASSET_CORE_LOCK_MANAGER_H_
+#define ASSET_CORE_LOCK_MANAGER_H_
+
+/// \file lock_manager.h
+/// The permit-aware lock manager (§4.2 read-lock / write-lock).
+///
+/// Acquisition algorithm, straight from the paper:
+///
+///  1. Scan the granted locks on the object. A non-suspended lock of our
+///     own that covers the request means success. A conflicting lock
+///     held by t_j is tolerable if t_j (transitively) permits us — it
+///     gets *suspended*; otherwise we block and retry from step 1.
+///  2. Create or upgrade our LRD (removing any suspension).
+///
+/// Suspension is the mechanism behind cooperative transactions: a
+/// suspended lock no longer covers, so its holder's next access
+/// re-acquires — possibly suspending us right back (§3.2.1's
+/// "ping-ponging of permits").
+///
+/// Blocking uses the kernel condition variable; a deadlock check (our
+/// documented extension) and a configurable timeout bound the wait.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/object_set.h"
+#include "common/op_set.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/deadlock_detector.h"
+#include "core/descriptors.h"
+#include "core/kernel.h"
+#include "core/permit_table.h"
+#include "core/statistics.h"
+
+namespace asset {
+
+/// Lock table plus acquisition/release/delegation over it.
+class LockManager {
+ public:
+  struct Options {
+    /// Upper bound on one blocking acquire. Zero means wait forever.
+    std::chrono::milliseconds lock_timeout{5000};
+    /// Run the waits-for cycle check before every sleep.
+    bool detect_deadlocks = true;
+  };
+
+  LockManager(KernelSync* sync, PermitTable* permits, const TdTable* txns,
+              KernelStats* stats, Options options)
+      : sync_(sync),
+        permits_(permits),
+        txns_(txns),
+        stats_(stats),
+        options_(options) {}
+
+  /// Blocking acquire of `mode` on `oid` for `td`. Returns OK,
+  /// kTxnAborted if the transaction was marked aborting while blocked,
+  /// kDeadlock if sleeping would close a waits-for cycle, or kTimedOut.
+  /// Takes the kernel mutex itself.
+  Status Acquire(TransactionDescriptor* td, ObjectId oid, LockMode mode);
+
+  /// Releases every lock `td` holds and wakes waiters (§4.2 commit step
+  /// 6, abort step 3). Caller holds the kernel mutex.
+  void ReleaseAllLocked(TransactionDescriptor* td);
+
+  /// Moves `ti`'s LRDs on objects in `objs` to `tj`, merging with any
+  /// lock `tj` already holds (§4.2 delegate step a). Returns the number
+  /// of locks moved. Caller holds the kernel mutex.
+  size_t DelegateLocked(TransactionDescriptor* ti, TransactionDescriptor* tj,
+                        const ObjectSet& objs);
+
+  /// The concrete objects `td` currently holds locks on. Caller holds
+  /// the kernel mutex.
+  ObjectSet LockedObjectsLocked(const TransactionDescriptor* td) const;
+
+  /// Object descriptor for `oid`, creating it if needed. Caller holds
+  /// the kernel mutex.
+  ObjectDescriptor* GetOrCreateLocked(ObjectId oid);
+
+  /// Object descriptor for `oid`, or nullptr. Caller holds the kernel
+  /// mutex.
+  ObjectDescriptor* FindLocked(ObjectId oid);
+
+  /// `td`'s granted lock mode on `oid` (kNone if absent or suspended
+  /// counts as its recorded mode — suspension is reported separately by
+  /// IsSuspendedLocked). Caller holds the kernel mutex.
+  LockMode HeldModeLocked(const TransactionDescriptor* td,
+                          ObjectId oid) const;
+
+  /// True if `td`'s lock on `oid` exists and is suspended. Caller holds
+  /// the kernel mutex.
+  bool IsSuspendedLocked(const TransactionDescriptor* td, ObjectId oid) const;
+
+  /// Number of object descriptors currently in the table.
+  size_t NumObjectsLocked() const { return table_.size(); }
+
+ private:
+  /// Drops ODs with no granted locks and no waiters.
+  void MaybeReclaimLocked(ObjectId oid);
+
+  KernelSync* sync_;
+  PermitTable* permits_;
+  const TdTable* txns_;
+  KernelStats* stats_;
+  Options options_;
+
+  std::unordered_map<ObjectId, std::unique_ptr<ObjectDescriptor>> table_;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_LOCK_MANAGER_H_

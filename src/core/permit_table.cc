@@ -1,0 +1,219 @@
+#include "core/permit_table.h"
+
+#include <deque>
+
+namespace asset {
+
+Status PermitTable::Insert(Tid grantor, Tid grantee, ObjectSet objects,
+                           OpSet ops) {
+  if (grantor == kNullTid) {
+    return Status::InvalidArgument("permit requires a concrete grantor");
+  }
+  if (objects.IsAll()) {
+    return Status::InvalidArgument(
+        "wildcard object sets must be expanded before insertion");
+  }
+  if (objects.empty() || ops.empty()) {
+    return Status::OK();  // vacuous permit
+  }
+  if (grantor == grantee) {
+    return Status::OK();  // self-permit is meaningless
+  }
+
+  // Worklist closure (§2.2 rule 3). Each element is a candidate permit;
+  // on admission we chain it with existing permits in both directions.
+  struct Candidate {
+    Tid grantor;
+    Tid grantee;
+    ObjectSet objects;
+    OpSet ops;
+    bool direct;
+  };
+  std::deque<Candidate> work;
+  work.push_back({grantor, grantee, std::move(objects), ops, true});
+  size_t derived = 0;
+
+  while (!work.empty()) {
+    Candidate c = std::move(work.front());
+    work.pop_front();
+    if (c.objects.empty() || c.ops.empty()) continue;
+    if (c.grantor == c.grantee) continue;
+    if (SubsumedLocked(c.grantor, c.grantee, c.objects, c.ops)) continue;
+    if (++derived > kMaxDerivedPerInsert) {
+      return Status::ResourceExhausted(
+          "permit closure exceeded kMaxDerivedPerInsert");
+    }
+
+    // Chain with existing permits before inserting, so the scans below
+    // don't see the new permit itself (it cannot usefully chain with
+    // itself: the result would be subsumed).
+    //
+    // c as the first edge: c = (a permits b); existing (b permits x)
+    // yields (a permits x). Only concrete grantees chain — a wildcard
+    // grantee already permits everyone directly.
+    if (c.grantee != kNullTid) {
+      auto it = by_grantor_.find(c.grantee);
+      if (it != by_grantor_.end()) {
+        for (size_t idx : it->second) {
+          const Permit& q = permits_[idx];
+          work.push_back({c.grantor, q.grantee,
+                          c.objects.Intersect(q.objects),
+                          c.ops.Intersect(q.ops), false});
+        }
+      }
+    }
+    // c as the second edge: existing (x permits a) with a == c.grantor
+    // yields (x permits c.grantee). A wildcard-grantee existing permit
+    // already covers c.grantee directly, so only concrete matches chain.
+    {
+      auto it = by_grantee_.find(c.grantor);
+      if (it != by_grantee_.end()) {
+        for (size_t idx : it->second) {
+          const Permit& q = permits_[idx];
+          work.push_back({q.grantor, c.grantee,
+                          q.objects.Intersect(c.objects),
+                          q.ops.Intersect(c.ops), false});
+        }
+      }
+    }
+
+    AddRawLocked(Permit{c.grantor, c.grantee, std::move(c.objects), c.ops,
+                        c.direct});
+  }
+  return Status::OK();
+}
+
+bool PermitTable::Permits(Tid grantor, Tid grantee, ObjectId ob,
+                          Operation op) const {
+  auto it = by_grantor_.find(grantor);
+  if (it == by_grantor_.end()) return false;
+  for (size_t idx : it->second) {
+    const Permit& p = permits_[idx];
+    if (p.grantee != kNullTid && p.grantee != grantee) continue;
+    if (!p.ops.Contains(op)) continue;
+    if (!p.objects.Contains(ob)) continue;
+    return true;
+  }
+  return false;
+}
+
+bool PermitTable::SubsumedLocked(Tid grantor, Tid grantee,
+                                 const ObjectSet& objs, OpSet ops) const {
+  auto it = by_grantor_.find(grantor);
+  if (it == by_grantor_.end()) return false;
+  for (size_t idx : it->second) {
+    const Permit& p = permits_[idx];
+    if (p.grantee != kNullTid && p.grantee != grantee) continue;
+    if (!p.ops.Covers(ops)) continue;
+    if (!p.objects.Covers(objs)) continue;
+    return true;
+  }
+  return false;
+}
+
+void PermitTable::AddRawLocked(Permit p) {
+  size_t idx = permits_.size();
+  by_grantor_[p.grantor].push_back(idx);
+  if (p.grantee != kNullTid) by_grantee_[p.grantee].push_back(idx);
+  permits_.push_back(std::move(p));
+}
+
+void PermitTable::RemoveAllFor(Tid t) {
+  std::vector<Permit> kept;
+  kept.reserve(permits_.size());
+  for (Permit& p : permits_) {
+    if (p.grantor == t || p.grantee == t) continue;
+    kept.push_back(std::move(p));
+  }
+  permits_ = std::move(kept);
+  RebuildIndexes();
+}
+
+void PermitTable::RedirectGrantor(Tid from, Tid to, const ObjectSet& objs) {
+  std::vector<Permit> to_add;
+  for (Permit& p : permits_) {
+    if (p.grantor != from) continue;
+    ObjectSet moved = p.objects.Intersect(objs);
+    if (moved.empty()) continue;
+    ObjectSet stays = p.objects.Difference(objs);
+    if (stays.empty()) {
+      // Whole permit moves: (from, tk, op) becomes (to, tk, op) —
+      // §4.2 delegate.
+      p.grantor = to;
+    } else {
+      p.objects = std::move(stays);
+      to_add.push_back(Permit{to, p.grantee, std::move(moved), p.ops,
+                              p.direct});
+    }
+  }
+  for (Permit& p : to_add) {
+    // Bypass closure: redirected permits keep exactly the force they had.
+    permits_.push_back(std::move(p));
+  }
+  RebuildIndexes();
+  // Drop permits that now name `to` on both sides.
+  bool has_self = false;
+  for (const Permit& p : permits_) {
+    if (p.grantor == p.grantee) {
+      has_self = true;
+      break;
+    }
+  }
+  if (has_self) {
+    std::vector<Permit> kept;
+    kept.reserve(permits_.size());
+    for (Permit& p : permits_) {
+      if (p.grantor == p.grantee) continue;
+      kept.push_back(std::move(p));
+    }
+    permits_ = std::move(kept);
+    RebuildIndexes();
+  }
+}
+
+std::vector<Permit> PermitTable::GivenBy(Tid t) const {
+  std::vector<Permit> out;
+  auto it = by_grantor_.find(t);
+  if (it == by_grantor_.end()) return out;
+  for (size_t idx : it->second) out.push_back(permits_[idx]);
+  return out;
+}
+
+std::vector<Permit> PermitTable::GivenTo(Tid t) const {
+  std::vector<Permit> out;
+  auto it = by_grantee_.find(t);
+  if (it == by_grantee_.end()) return out;
+  for (size_t idx : it->second) out.push_back(permits_[idx]);
+  return out;
+}
+
+ObjectSet PermitTable::ObjectsPermittedTo(Tid t) const {
+  ObjectSet out;
+  for (const Permit& p : permits_) {
+    if (p.grantee == t || p.grantee == kNullTid) {
+      out = out.Union(p.objects);
+    }
+  }
+  return out;
+}
+
+size_t PermitTable::direct_size() const {
+  size_t n = 0;
+  for (const Permit& p : permits_) {
+    if (p.direct) ++n;
+  }
+  return n;
+}
+
+void PermitTable::RebuildIndexes() {
+  by_grantor_.clear();
+  by_grantee_.clear();
+  for (size_t i = 0; i < permits_.size(); ++i) {
+    by_grantor_[permits_[i].grantor].push_back(i);
+    if (permits_[i].grantee != kNullTid) {
+      by_grantee_[permits_[i].grantee].push_back(i);
+    }
+  }
+}
+
+}  // namespace asset

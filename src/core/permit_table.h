@@ -1,0 +1,107 @@
+#ifndef ASSET_CORE_PERMIT_TABLE_H_
+#define ASSET_CORE_PERMIT_TABLE_H_
+
+/// \file permit_table.h
+/// Permit descriptors (PD) and the permit relation of §2.2.
+///
+/// A permit (ti, tj, ob_set, ops) lets tj perform the listed operations
+/// on the listed objects even when they conflict with ti's locks, without
+/// creating a serialization edge from ti to tj. The paper's PD triples
+/// hang off object descriptors and are "doubly hashed on the tid of the
+/// two transactions involved"; we keep them in one table with grantor and
+/// grantee indexes, which provides exactly those two lookups.
+///
+/// Transitivity (§2.2, rule 3) — permit(ti,tj,O,P) and permit(tj,tk,O',P')
+/// act as if permit(ti,tk,O∩O',P∩P') had been executed — is *materialized
+/// eagerly* at insert time with a worklist, so the lock-acquisition path
+/// only ever scans direct permits. (tests verify eager materialization
+/// against an on-demand closure oracle.)
+///
+/// Not thread-safe by itself; the kernel mutex serializes access.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/object_set.h"
+#include "common/op_set.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace asset {
+
+/// One permit descriptor. grantee == kNullTid means "any transaction"
+/// (the permit(ti, ob_set, operations) form).
+struct Permit {
+  Tid grantor = kNullTid;
+  Tid grantee = kNullTid;
+  ObjectSet objects;  // possibly All()
+  OpSet ops;          // possibly All()
+  /// False for permits synthesized by transitivity; true for permits
+  /// inserted directly. Used for statistics and debugging only.
+  bool direct = true;
+};
+
+/// The permit relation with eager transitive closure.
+class PermitTable {
+ public:
+  /// Maximum permits a single Insert may synthesize before giving up
+  /// (defensive bound against adversarial permit graphs).
+  static constexpr size_t kMaxDerivedPerInsert = 65536;
+
+  /// Inserts permit(grantor, grantee, objects, ops) and materializes all
+  /// transitive consequences. `grantee == kNullTid` grants to everyone.
+  /// Self-permits (grantor == grantee) are meaningless and dropped.
+  ///
+  /// `objects` must be a concrete set: the paper expands the
+  /// wildcard-object permit forms at insert time over the objects the
+  /// grantor has accessed or been permitted on (§4.2), and the
+  /// TransactionManager performs that expansion before calling here.
+  Status Insert(Tid grantor, Tid grantee, ObjectSet objects, OpSet ops);
+
+  /// True if `grantor` (directly or transitively) permits `grantee` to
+  /// perform `op` on `ob` — the check in read-lock/write-lock step 1b.
+  bool Permits(Tid grantor, Tid grantee, ObjectId ob, Operation op) const;
+
+  /// Removes every permit given by or to `t` (commit step 6 / abort).
+  void RemoveAllFor(Tid t);
+
+  /// Delegation support (§4.2 delegate): permits *given by* `from` on
+  /// objects in `objs` become permits given by `to`. The wildcard
+  /// delegate(ti, tj) passes ObjectSet::All().
+  void RedirectGrantor(Tid from, Tid to, const ObjectSet& objs);
+
+  /// All permits currently given by `t` (direct and derived).
+  std::vector<Permit> GivenBy(Tid t) const;
+  /// All permits currently given to `t` explicitly (not via wildcard).
+  std::vector<Permit> GivenTo(Tid t) const;
+
+  /// Objects named in permits given *to* `t` (explicitly or via the
+  /// any-transaction wildcard) — the "has permission to access" half of
+  /// the permit(ti, tj, op) expansion in §4.2.
+  ObjectSet ObjectsPermittedTo(Tid t) const;
+
+  size_t size() const { return permits_.size(); }
+  /// Number of directly-inserted permits (excludes derived ones).
+  size_t direct_size() const;
+
+ private:
+  /// True if an existing permit subsumes (grantor, grantee, objs, ops).
+  bool SubsumedLocked(Tid grantor, Tid grantee, const ObjectSet& objs,
+                      OpSet ops) const;
+
+  /// Appends and indexes one permit; no closure.
+  void AddRawLocked(Permit p);
+
+  void RebuildIndexes();
+
+  std::vector<Permit> permits_;
+  // Index: tid -> positions in permits_. Rebuilt lazily after removals.
+  std::unordered_map<Tid, std::vector<size_t>> by_grantor_;
+  std::unordered_map<Tid, std::vector<size_t>> by_grantee_;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_PERMIT_TABLE_H_

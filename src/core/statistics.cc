@@ -1,0 +1,81 @@
+#include "core/statistics.h"
+
+#include <sstream>
+
+namespace asset {
+
+KernelStats::Snapshot KernelStats::snapshot() const {
+  Snapshot s;
+  s.txns_initiated = txns_initiated.load(std::memory_order_relaxed);
+  s.txns_begun = txns_begun.load(std::memory_order_relaxed);
+  s.txns_committed = txns_committed.load(std::memory_order_relaxed);
+  s.txns_aborted = txns_aborted.load(std::memory_order_relaxed);
+  s.group_commits = group_commits.load(std::memory_order_relaxed);
+  s.locks_granted = locks_granted.load(std::memory_order_relaxed);
+  s.lock_waits = lock_waits.load(std::memory_order_relaxed);
+  s.lock_suspensions = lock_suspensions.load(std::memory_order_relaxed);
+  s.deadlocks = deadlocks.load(std::memory_order_relaxed);
+  s.lock_timeouts = lock_timeouts.load(std::memory_order_relaxed);
+  s.permits_inserted = permits_inserted.load(std::memory_order_relaxed);
+  s.permits_derived = permits_derived.load(std::memory_order_relaxed);
+  s.permit_checks = permit_checks.load(std::memory_order_relaxed);
+  s.permit_hits = permit_hits.load(std::memory_order_relaxed);
+  s.delegations = delegations.load(std::memory_order_relaxed);
+  s.locks_delegated = locks_delegated.load(std::memory_order_relaxed);
+  s.dependencies_formed = dependencies_formed.load(std::memory_order_relaxed);
+  s.dependency_cycles_rejected =
+      dependency_cycles_rejected.load(std::memory_order_relaxed);
+  s.reads = reads.load(std::memory_order_relaxed);
+  s.writes = writes.load(std::memory_order_relaxed);
+  s.increments = increments.load(std::memory_order_relaxed);
+  s.undo_installs = undo_installs.load(std::memory_order_relaxed);
+  return s;
+}
+
+void KernelStats::Reset() {
+  txns_initiated = 0;
+  txns_begun = 0;
+  txns_committed = 0;
+  txns_aborted = 0;
+  group_commits = 0;
+  locks_granted = 0;
+  lock_waits = 0;
+  lock_suspensions = 0;
+  deadlocks = 0;
+  lock_timeouts = 0;
+  permits_inserted = 0;
+  permits_derived = 0;
+  permit_checks = 0;
+  permit_hits = 0;
+  delegations = 0;
+  locks_delegated = 0;
+  dependencies_formed = 0;
+  dependency_cycles_rejected = 0;
+  reads = 0;
+  writes = 0;
+  increments = 0;
+  undo_installs = 0;
+}
+
+std::string KernelStats::Snapshot::ToString() const {
+  std::ostringstream os;
+  os << "txns{initiated=" << txns_initiated << " begun=" << txns_begun
+     << " committed=" << txns_committed << " aborted=" << txns_aborted
+     << " group_commits=" << group_commits << "} "
+     << "locks{granted=" << locks_granted << " waits=" << lock_waits
+     << " suspensions=" << lock_suspensions << " deadlocks=" << deadlocks
+     << " timeouts=" << lock_timeouts << "} "
+     << "permits{inserted=" << permits_inserted
+     << " derived=" << permits_derived << " checks=" << permit_checks
+     << " hits=" << permit_hits << "} "
+     << "delegation{calls=" << delegations << " locks=" << locks_delegated
+     << "} "
+     << "deps{formed=" << dependencies_formed
+     << " cycles_rejected=" << dependency_cycles_rejected << "} "
+     << "data{reads=" << reads << " writes=" << writes
+     << " increments=" << increments
+     << " undo_installs=" << undo_installs << "}";
+  return os.str();
+}
+
+}  // namespace asset

@@ -1,0 +1,64 @@
+#ifndef ASSET_CORE_STATISTICS_H_
+#define ASSET_CORE_STATISTICS_H_
+
+/// \file statistics.h
+/// Kernel counters. All counters are atomics so the hot paths can bump
+/// them without the kernel mutex; readers take racy-but-consistent-enough
+/// snapshots.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace asset {
+
+/// Monotonic event counters for the transaction kernel.
+struct KernelStats {
+  std::atomic<uint64_t> txns_initiated{0};
+  std::atomic<uint64_t> txns_begun{0};
+  std::atomic<uint64_t> txns_committed{0};
+  std::atomic<uint64_t> txns_aborted{0};
+  std::atomic<uint64_t> group_commits{0};
+
+  std::atomic<uint64_t> locks_granted{0};
+  std::atomic<uint64_t> lock_waits{0};
+  std::atomic<uint64_t> lock_suspensions{0};
+  std::atomic<uint64_t> deadlocks{0};
+  std::atomic<uint64_t> lock_timeouts{0};
+
+  std::atomic<uint64_t> permits_inserted{0};
+  std::atomic<uint64_t> permits_derived{0};
+  std::atomic<uint64_t> permit_checks{0};
+  std::atomic<uint64_t> permit_hits{0};
+
+  std::atomic<uint64_t> delegations{0};
+  std::atomic<uint64_t> locks_delegated{0};
+  std::atomic<uint64_t> dependencies_formed{0};
+  std::atomic<uint64_t> dependency_cycles_rejected{0};
+
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> increments{0};
+  std::atomic<uint64_t> undo_installs{0};
+
+  /// Plain-value copy of every counter.
+  struct Snapshot {
+    uint64_t txns_initiated, txns_begun, txns_committed, txns_aborted,
+        group_commits;
+    uint64_t locks_granted, lock_waits, lock_suspensions, deadlocks,
+        lock_timeouts;
+    uint64_t permits_inserted, permits_derived, permit_checks, permit_hits;
+    uint64_t delegations, locks_delegated, dependencies_formed,
+        dependency_cycles_rejected;
+    uint64_t reads, writes, increments, undo_installs;
+
+    std::string ToString() const;
+  };
+
+  Snapshot snapshot() const;
+  void Reset();
+};
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_STATISTICS_H_

@@ -1,0 +1,46 @@
+#include "core/thread_cache.h"
+
+namespace asset {
+
+ThreadCache::~ThreadCache() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadCache::Submit(std::function<void()> task) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_.push_back(std::move(task));
+  if (idle_ > 0) {
+    cv_.notify_one();
+  } else {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadCache::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    while (pending_.empty() && !stopping_) {
+      ++idle_;
+      cv_.wait(lk);
+      --idle_;
+    }
+    if (pending_.empty()) return;  // stopping
+    std::function<void()> task = std::move(pending_.front());
+    pending_.pop_front();
+    lk.unlock();
+    task();
+    lk.lock();
+  }
+}
+
+size_t ThreadCache::WorkersCreated() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return workers_.size();
+}
+
+}  // namespace asset

@@ -1,0 +1,853 @@
+#include "core/transaction_manager.h"
+
+#include <cassert>
+#include <cstring>
+#include <thread>
+#include <unordered_set>
+
+namespace asset {
+
+namespace {
+
+/// The transaction executing on this thread (the paper's per-process
+/// current transaction; self()/parent() read it).
+thread_local TransactionDescriptor* tls_current = nullptr;
+
+/// Collect terminated TDs once the table grows past this.
+constexpr size_t kCollectThreshold = 1024;
+
+}  // namespace
+
+TransactionManager::TransactionManager(LogManager* log, ObjectStore* store,
+                                       Options options)
+    : options_(options),
+      log_(log),
+      store_(store),
+      locks_(&sync_, &permit_table_, &txns_, &stats_, options.lock),
+      undo_(log, store, &stats_) {}
+
+TransactionManager::TransactionManager(LogManager* log, ObjectStore* store)
+    : TransactionManager(log, store, Options()) {}
+
+TransactionManager::~TransactionManager() {
+  std::unique_lock<std::mutex> lk(sync_.mu);
+  shutting_down_ = true;
+  for (auto& [tid, td] : txns_) {
+    if (!IsTerminated(td->status)) {
+      StartAbortLocked(td.get());
+    }
+  }
+  sync_.cv.wait(lk, [&] { return live_threads_ == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// Lookup helpers
+
+TransactionDescriptor* TransactionManager::FindLocked(Tid t) const {
+  auto it = txns_.find(t);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+TxnStatus TransactionManager::StatusOfLocked(Tid t) const {
+  if (const TransactionDescriptor* td = FindLocked(t)) return td->status;
+  auto it = tombstones_.find(t);
+  if (it != tombstones_.end()) return it->second;
+  // Unknown tids should not arise (dependencies validate both ends);
+  // fail safe by treating them as aborted.
+  return TxnStatus::kAborted;
+}
+
+void TransactionManager::CollectLocked() {
+  for (auto it = txns_.begin(); it != txns_.end();) {
+    TransactionDescriptor* td = it->second.get();
+    if (IsTerminated(td->status) && td->thread_exited) {
+      tombstones_.emplace(td->tid, td->status);
+      it = txns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Basic primitives (§2.1)
+
+Tid TransactionManager::InitiateFn(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  if (shutting_down_) return kNullTid;
+  if (txns_.size() >= kCollectThreshold) CollectLocked();
+  size_t unterminated = 0;
+  for (const auto& [tid, td] : txns_) {
+    if (!IsTerminated(td->status)) ++unterminated;
+  }
+  if (unterminated >= options_.max_transactions) {
+    return kNullTid;  // the paper's "no resources available" error
+  }
+  Tid tid = next_tid_++;
+  Tid parent = tls_current != nullptr ? tls_current->tid : kNullTid;
+  auto td = std::make_unique<TransactionDescriptor>(tid, parent);
+  td->fn = fn ? std::move(fn) : [] {};
+  txns_.emplace(tid, std::move(td));
+  stats_.txns_initiated.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+bool TransactionManager::Begin(Tid t) {
+  TransactionDescriptor* td;
+  {
+    std::unique_lock<std::mutex> lk(sync_.mu);
+    const bool bounded = options_.commit_timeout.count() > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.commit_timeout;
+    // Begin-dependency gate (ACTA BD/BCD extension): block until every
+    // begin-dependency is satisfied; fail if one became unsatisfiable.
+    for (;;) {
+      td = FindLocked(t);
+      if (td == nullptr || td->status != TxnStatus::kInitiated ||
+          shutting_down_) {
+        return false;
+      }
+      bool blocked = false;
+      for (const Dependency& d : deps_.DependenciesOf(t)) {
+        if (d.type == DependencyType::kBeginOnBegin) {
+          const TransactionDescriptor* dep = FindLocked(d.dependee);
+          TxnStatus ds = StatusOfLocked(d.dependee);
+          bool dep_begun =
+              dep != nullptr ? dep->begun : ds == TxnStatus::kCommitted;
+          if (dep_begun) continue;
+          if (ds == TxnStatus::kAborted) return false;  // never will begin
+          blocked = true;
+        } else if (d.type == DependencyType::kBeginOnCommit) {
+          TxnStatus ds = StatusOfLocked(d.dependee);
+          if (ds == TxnStatus::kCommitted) continue;
+          if (ds == TxnStatus::kAborted) return false;
+          blocked = true;
+        }
+      }
+      if (!blocked) break;
+      if (bounded) {
+        if (sync_.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+          return false;
+        }
+      } else {
+        sync_.cv.wait(lk);
+      }
+    }
+    td->status = TxnStatus::kRunning;
+    td->begun = true;
+    td->thread_exited = false;
+    active_count_++;
+    live_threads_++;
+    LogRecord rec;
+    rec.type = LogRecordType::kBegin;
+    rec.tid = t;
+    log_->Append(std::move(rec));
+    stats_.txns_begun.fetch_add(1, std::memory_order_relaxed);
+  }
+  executor_.Submit([this, td] { ThreadMain(td); });
+  return true;
+}
+
+bool TransactionManager::Begin(std::initializer_list<Tid> ts) {
+  bool all = true;
+  for (Tid t : ts) all = Begin(t) && all;
+  return all;
+}
+
+void TransactionManager::ThreadMain(TransactionDescriptor* td) {
+  tls_current = td;
+  try {
+    td->fn();
+  } catch (...) {
+    // The library itself never throws; an escaping user exception aborts
+    // the transaction rather than the process.
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    if (td->status == TxnStatus::kRunning) {
+      td->status = TxnStatus::kAborting;
+    }
+  }
+  tls_current = nullptr;
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  td->thread_exited = true;
+  live_threads_--;
+  if (td->status == TxnStatus::kRunning) {
+    // §2.1: locks are kept and changes stay volatile; the manager just
+    // records the completion.
+    td->status = TxnStatus::kCompleted;
+  } else if (td->status == TxnStatus::kAborting) {
+    FinishAbortLocked(td);
+  }
+  sync_.cv.notify_all();
+}
+
+bool TransactionManager::Commit(Tid t) {
+  std::unique_lock<std::mutex> lk(sync_.mu);
+  const bool bounded = options_.commit_timeout.count() > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.commit_timeout;
+  for (;;) {  // the paper's "blocks and retries later starting at step 1"
+    TransactionDescriptor* td = FindLocked(t);
+    if (td == nullptr) {
+      auto it = tombstones_.find(t);
+      return it != tombstones_.end() && it->second == TxnStatus::kCommitted;
+    }
+    switch (td->status) {
+      case TxnStatus::kCommitted:
+        return true;
+      case TxnStatus::kAborted:
+        return false;
+      case TxnStatus::kAborting:
+        break;  // wait for the physical abort, then report failure
+      case TxnStatus::kCompleted:
+        td->status = TxnStatus::kCommitting;
+        [[fallthrough]];
+      case TxnStatus::kCommitting: {
+        std::vector<TransactionDescriptor*> group;
+        CommitEval eval = EvaluateCommitLocked(td, &group);
+        if (eval == CommitEval::kCommit) {
+          CommitGroupLocked(group);
+          return true;
+        }
+        if (eval == CommitEval::kAbort) {
+          // An abort/group dependency makes commit impossible: the whole
+          // GC component aborts (§4.2 commit step 2a via abort step 4a).
+          for (Tid m : deps_.GroupOf(t)) {
+            if (TransactionDescriptor* mtd = FindLocked(m)) {
+              StartAbortLocked(mtd);
+            }
+          }
+          break;  // wait until the abort lands, then return false
+        }
+        break;  // kWait
+      }
+      case TxnStatus::kInitiated:
+      case TxnStatus::kRunning:
+        break;  // commit blocks until execution completes (§2.1)
+    }
+    if (bounded) {
+      if (sync_.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+        // Unresolvable within the bound: abort so the 0 return is true.
+        TransactionDescriptor* again = FindLocked(t);
+        if (again == nullptr) {
+          auto it = tombstones_.find(t);
+          return it != tombstones_.end() &&
+                 it->second == TxnStatus::kCommitted;
+        }
+        if (again->status == TxnStatus::kCommitted) return true;
+        if (again->status != TxnStatus::kAborted) {
+          StartAbortLocked(again);
+        }
+        return false;
+      }
+    } else {
+      sync_.cv.wait(lk);
+    }
+  }
+}
+
+int TransactionManager::Wait(Tid t) {
+  if (tls_current != nullptr && tls_current->tid == t) {
+    // wait(self()) — the appendix uses it as "am I still viable?".
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    return (tls_current->status == TxnStatus::kAborting ||
+            tls_current->status == TxnStatus::kAborted)
+               ? 0
+               : 1;
+  }
+  std::unique_lock<std::mutex> lk(sync_.mu);
+  for (;;) {
+    TransactionDescriptor* td = FindLocked(t);
+    if (td == nullptr) {
+      auto it = tombstones_.find(t);
+      return it != tombstones_.end() && it->second == TxnStatus::kCommitted
+                 ? 1
+                 : 0;
+    }
+    switch (td->status) {
+      case TxnStatus::kCompleted:
+      case TxnStatus::kCommitting:
+      case TxnStatus::kCommitted:
+        return 1;
+      case TxnStatus::kAborting:
+      case TxnStatus::kAborted:
+        return 0;
+      case TxnStatus::kInitiated:
+      case TxnStatus::kRunning:
+        sync_.cv.wait(lk);
+        break;
+    }
+  }
+}
+
+bool TransactionManager::Abort(Tid t) {
+  std::unique_lock<std::mutex> lk(sync_.mu);
+  for (;;) {
+    TransactionDescriptor* td = FindLocked(t);
+    if (td == nullptr) {
+      auto it = tombstones_.find(t);
+      return !(it != tombstones_.end() &&
+               it->second == TxnStatus::kCommitted);
+    }
+    switch (td->status) {
+      case TxnStatus::kCommitted:
+        return false;
+      case TxnStatus::kAborted:
+        return true;
+      case TxnStatus::kAborting:
+        // Someone (possibly us, one iteration ago) is already aborting
+        // it; wait for the physical abort to finish.
+        if (tls_current == td) return true;  // own thread finishes later
+        sync_.cv.wait(lk);
+        break;
+      default:
+        StartAbortLocked(td);
+        if (tls_current == td) {
+          // abort(self()): the physical abort runs when our function
+          // returns; report success now.
+          return true;
+        }
+        break;
+    }
+  }
+}
+
+Tid TransactionManager::Self() {
+  return tls_current != nullptr ? tls_current->tid : kNullTid;
+}
+
+Tid TransactionManager::Parent() {
+  return tls_current != nullptr ? tls_current->parent : kNullTid;
+}
+
+Tid TransactionManager::ParentOf(Tid t) const {
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  const TransactionDescriptor* td = FindLocked(t);
+  return td != nullptr ? td->parent : kNullTid;
+}
+
+TxnStatus TransactionManager::GetStatus(Tid t) const {
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  return StatusOfLocked(t);
+}
+
+// ---------------------------------------------------------------------------
+// Commit machinery
+
+TransactionManager::CommitEval TransactionManager::EvaluateCommitLocked(
+    TransactionDescriptor* td, std::vector<TransactionDescriptor*>* group) {
+  group->clear();
+  std::vector<Tid> member_tids = deps_.GroupOf(td->tid);
+  std::unordered_set<Tid> in_group(member_tids.begin(), member_tids.end());
+  for (Tid m : member_tids) {
+    TransactionDescriptor* mtd = FindLocked(m);
+    if (mtd == nullptr) {
+      // Terminated and collected; GC edges are removed at termination,
+      // so this should not happen — fail safe.
+      return CommitEval::kAbort;
+    }
+    group->push_back(mtd);
+  }
+  // Every member must have completed execution and not be aborting
+  // (commit blocks until execution completes; GC commits as one).
+  for (TransactionDescriptor* m : *group) {
+    switch (m->status) {
+      case TxnStatus::kAborting:
+      case TxnStatus::kAborted:
+        return CommitEval::kAbort;
+      case TxnStatus::kInitiated:
+      case TxnStatus::kRunning:
+        return CommitEval::kWait;
+      default:
+        break;
+    }
+  }
+  // §4.2 commit step 2: outgoing CD/AD dependencies of every member on
+  // transactions outside the group.
+  for (TransactionDescriptor* m : *group) {
+    for (const Dependency& d : deps_.DependenciesOf(m->tid)) {
+      if (d.type == DependencyType::kGroupCommit) continue;
+      if (d.type == DependencyType::kBeginOnBegin ||
+          d.type == DependencyType::kBeginOnCommit) {
+        continue;  // satisfied at begin() time, no commit constraint
+      }
+      if (in_group.count(d.dependee) != 0) continue;  // commits with us
+      TxnStatus xs = StatusOfLocked(d.dependee);
+      if (d.type == DependencyType::kAbort) {
+        // 2a: wait until the dependee commits; its abort dooms us.
+        if (xs == TxnStatus::kAborted) return CommitEval::kAbort;
+        if (xs != TxnStatus::kCommitted) return CommitEval::kWait;
+      } else {
+        // 2b: CD — wait until the dependee terminates either way.
+        if (!IsTerminated(xs)) return CommitEval::kWait;
+      }
+    }
+  }
+  return CommitEval::kCommit;
+}
+
+void TransactionManager::CommitGroupLocked(
+    const std::vector<TransactionDescriptor*>& group) {
+  for (TransactionDescriptor* m : group) {
+    LogRecord rec;
+    rec.type = LogRecordType::kCommit;
+    rec.tid = m->tid;
+    log_->Append(std::move(rec));  // §4.2 commit step 4
+  }
+  if (options_.force_log_at_commit) {
+    log_->Flush();
+  }
+  for (TransactionDescriptor* m : group) {
+    m->status = TxnStatus::kCommitted;
+    m->responsible_ops.clear();
+    locks_.ReleaseAllLocked(m);            // step 6
+    permit_table_.RemoveAllFor(m->tid);    // step 6
+    deps_.RemoveAllFor(m->tid);            // step 5
+    if (m->begun) active_count_--;
+    stats_.txns_committed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (group.size() > 1) {
+    stats_.group_commits.fetch_add(1, std::memory_order_relaxed);
+  }
+  sync_.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Abort machinery
+
+void TransactionManager::StartAbortLocked(TransactionDescriptor* td) {
+  switch (td->status) {
+    case TxnStatus::kCommitted:
+    case TxnStatus::kAborted:
+    case TxnStatus::kAborting:
+      return;
+    case TxnStatus::kRunning:
+      // Mark it; its in-flight operations fail fast and the physical
+      // abort runs when its thread exits.
+      td->status = TxnStatus::kAborting;
+      sync_.cv.notify_all();
+      return;
+    case TxnStatus::kInitiated:
+    case TxnStatus::kCompleted:
+    case TxnStatus::kCommitting:
+      td->status = TxnStatus::kAborting;
+      if (td->thread_exited) {
+        FinishAbortLocked(td);
+      }
+      return;
+  }
+}
+
+void TransactionManager::FinishAbortLocked(TransactionDescriptor* td) {
+  assert(td->status == TxnStatus::kAborting);
+  assert(td->thread_exited);
+  // Step 2: install before images (with CLRs) in reverse order.
+  Status undo = undo_.UndoAllLocked(td, &locks_);
+  assert(undo.ok());
+  (void)undo;
+  LogRecord rec;
+  rec.type = LogRecordType::kAbort;
+  rec.tid = td->tid;
+  log_->Append(std::move(rec));
+  // Step 3: release locks.
+  locks_.ReleaseAllLocked(td);
+  // Step 4: propagate along incoming dependencies.
+  for (const Dependency& d : deps_.DependenciesOn(td->tid)) {
+    switch (d.type) {
+      case DependencyType::kCommit:
+        deps_.Remove(d);  // 4b: a CD on an aborted transaction dissolves
+        break;
+      case DependencyType::kBeginOnBegin:
+        if (td->begun) {
+          deps_.Remove(d);  // was satisfied the moment td began
+          break;
+        }
+        [[fallthrough]];  // never began: the dependent can never begin
+      case DependencyType::kBeginOnCommit:
+      case DependencyType::kAbort:
+      case DependencyType::kGroupCommit:
+        // 4a (and the begin-dependency analogue): the dependent aborts.
+        if (TransactionDescriptor* dep = FindLocked(d.dependent)) {
+          StartAbortLocked(dep);
+        }
+        break;
+    }
+  }
+  // Step 5: drop remaining edges; also permits either way.
+  deps_.RemoveAllFor(td->tid);
+  permit_table_.RemoveAllFor(td->tid);
+  // Step 6.
+  td->status = TxnStatus::kAborted;
+  if (td->begun) active_count_--;
+  stats_.txns_aborted.fetch_add(1, std::memory_order_relaxed);
+  sync_.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// New primitives (§2.2)
+
+Status TransactionManager::Delegate(Tid ti, Tid tj, const ObjectSet& objs) {
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  TransactionDescriptor* tdi = FindLocked(ti);
+  TransactionDescriptor* tdj = FindLocked(tj);
+  if (tdi == nullptr || tdj == nullptr) {
+    return Status::NotFound("delegate: unknown transaction");
+  }
+  if (IsTerminated(tdi->status) || IsTerminated(tdj->status)) {
+    return Status::IllegalState("delegate: transaction already terminated");
+  }
+  // Delegation *to* an initiated transaction is explicitly supported
+  // (§2.2's noteworthy design decision).
+  locks_.DelegateLocked(tdi, tdj, objs);
+  permit_table_.RedirectGrantor(ti, tj, objs);
+  undo_.DelegateLocked(tdi, tdj, objs);
+  stats_.delegations.fetch_add(1, std::memory_order_relaxed);
+  sync_.cv.notify_all();
+  return Status::OK();
+}
+
+Status TransactionManager::Delegate(Tid ti, Tid tj) {
+  return Delegate(ti, tj, ObjectSet::All());
+}
+
+Status TransactionManager::Permit(Tid ti, Tid tj, const ObjectSet& objs,
+                                  OpSet ops) {
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  TransactionDescriptor* tdi = FindLocked(ti);
+  if (tdi == nullptr) return Status::NotFound("permit: unknown grantor");
+  if (IsTerminated(tdi->status)) {
+    return Status::IllegalState("permit: grantor already terminated");
+  }
+  if (tj != kNullTid) {
+    TransactionDescriptor* tdj = FindLocked(tj);
+    if (tdj == nullptr) return Status::NotFound("permit: unknown grantee");
+    if (IsTerminated(tdj->status)) {
+      return Status::IllegalState("permit: grantee already terminated");
+    }
+  }
+  ObjectSet concrete = objs;
+  if (objs.IsAll()) {
+    // §4.2: expand over the objects the grantor accessed or has
+    // permission to access.
+    concrete = locks_.LockedObjectsLocked(tdi).Union(
+        permit_table_.ObjectsPermittedTo(ti));
+  }
+  size_t before = permit_table_.size();
+  ASSET_RETURN_NOT_OK(permit_table_.Insert(ti, tj, std::move(concrete), ops));
+  stats_.permits_inserted.fetch_add(1, std::memory_order_relaxed);
+  size_t grew = permit_table_.size() - before;
+  if (grew > 1) {
+    stats_.permits_derived.fetch_add(grew - 1, std::memory_order_relaxed);
+  }
+  sync_.cv.notify_all();  // a new permit can unblock lock waiters
+  return Status::OK();
+}
+
+Status TransactionManager::Permit(Tid ti, Tid tj, OpSet ops) {
+  return Permit(ti, tj, ObjectSet::All(), ops);
+}
+
+Status TransactionManager::Permit(Tid ti, Tid tj) {
+  return Permit(ti, tj, ObjectSet::All(), OpSet::All());
+}
+
+Status TransactionManager::PermitAny(Tid ti, const ObjectSet& objs,
+                                     OpSet ops) {
+  return Permit(ti, kNullTid, objs, ops);
+}
+
+Status TransactionManager::FormDependency(DependencyType type, Tid ti,
+                                          Tid tj) {
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  TxnStatus si = StatusOfLocked(ti);
+  TxnStatus sj = StatusOfLocked(tj);
+  if (FindLocked(ti) == nullptr && tombstones_.count(ti) == 0) {
+    return Status::NotFound("form_dependency: unknown transaction ti");
+  }
+  if (FindLocked(tj) == nullptr && tombstones_.count(tj) == 0) {
+    return Status::NotFound("form_dependency: unknown transaction tj");
+  }
+  if (sj == TxnStatus::kAborted || sj == TxnStatus::kAborting) {
+    return Status::OK();  // constraining an aborted dependent is vacuous
+  }
+  if (sj == TxnStatus::kCommitted) {
+    return Status::IllegalState(
+        "form_dependency: dependent already committed");
+  }
+  if (si == TxnStatus::kCommitted) {
+    // CD/AD on a committed dependee can never fire; GC degenerates to
+    // "tj commits normally". All vacuous.
+    return Status::OK();
+  }
+  if (si == TxnStatus::kAborted || si == TxnStatus::kAborting) {
+    if (type == DependencyType::kCommit) return Status::OK();
+    if (type == DependencyType::kBeginOnBegin) {
+      // Vacuous if the aborted dependee did begin at some point.
+      const TransactionDescriptor* tdi = FindLocked(ti);
+      if (tdi != nullptr && tdi->begun) return Status::OK();
+    }
+    return Status::IllegalState(
+        "form_dependency: dependee already aborted; the dependency would "
+        "be instantly violated");
+  }
+  Status s = deps_.Add(type, ti, tj);
+  if (s.ok()) {
+    stats_.dependencies_formed.fetch_add(1, std::memory_order_relaxed);
+  } else if (s.code() == StatusCode::kDependencyCycle) {
+    stats_.dependency_cycles_rejected.fetch_add(1,
+                                                std::memory_order_relaxed);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Data operations (§4.2)
+
+Status TransactionManager::AcquireOrDoom(TransactionDescriptor* td,
+                                         ObjectId oid, LockMode mode) {
+  Status s = locks_.Acquire(td, oid, mode);
+  if (s.IsDeadlock() || s.IsTimedOut()) {
+    // Under strict two-phase locking these are unrecoverable for this
+    // transaction: mark it aborting so a later commit cannot publish a
+    // partial result the caller never noticed.
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    StartAbortLocked(td);
+  }
+  return s;
+}
+
+Result<std::vector<uint8_t>> TransactionManager::Read(Tid t, ObjectId oid) {
+  TransactionDescriptor* td;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    td = FindLocked(t);
+    if (td == nullptr) return Status::NotFound("read: unknown transaction");
+    if (td->status != TxnStatus::kRunning) {
+      if (td->status == TxnStatus::kAborting ||
+          td->status == TxnStatus::kAborted) {
+        return Status::TxnAborted("read: transaction is aborting");
+      }
+      return Status::IllegalState("read: transaction is not running");
+    }
+  }
+  ASSET_RETURN_NOT_OK(AcquireOrDoom(td, oid, LockMode::kRead));
+  ObjectDescriptor* od;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    od = locks_.FindLocked(oid);
+  }
+  // §4.2 read: S-latch, read, unlatch. Holding our lock keeps the OD
+  // alive.
+  od->data_latch.LockShared();
+  auto value = store_->Read(oid);
+  od->data_latch.UnlockShared();
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  return value;
+}
+
+Status TransactionManager::Write(Tid t, ObjectId oid,
+                                 std::span<const uint8_t> data) {
+  TransactionDescriptor* td;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    td = FindLocked(t);
+    if (td == nullptr) return Status::NotFound("write: unknown transaction");
+    if (td->status != TxnStatus::kRunning) {
+      if (td->status == TxnStatus::kAborting ||
+          td->status == TxnStatus::kAborted) {
+        return Status::TxnAborted("write: transaction is aborting");
+      }
+      return Status::IllegalState("write: transaction is not running");
+    }
+  }
+  ASSET_RETURN_NOT_OK(AcquireOrDoom(td, oid, LockMode::kWrite));
+  ObjectDescriptor* od;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    od = locks_.FindLocked(oid);
+  }
+  // §4.2 write: X-latch; log before image; write; log after image.
+  od->data_latch.LockExclusive();
+  auto before = store_->Read(oid);
+  if (!before.ok()) {
+    od->data_latch.UnlockExclusive();
+    return before.status();
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.tid = t;
+  rec.oid = oid;
+  rec.before = std::move(before).value();
+  rec.after.assign(data.begin(), data.end());
+  Lsn lsn = log_->Append(std::move(rec));
+  Status applied = store_->Write(oid, data);
+  od->data_latch.UnlockExclusive();
+  if (!applied.ok()) return applied;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    undo_.RecordLocked(td, lsn);
+  }
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<ObjectId> TransactionManager::CreateObject(
+    Tid t, std::span<const uint8_t> data) {
+  TransactionDescriptor* td;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    td = FindLocked(t);
+    if (td == nullptr) {
+      return Status::NotFound("create: unknown transaction");
+    }
+    if (td->status != TxnStatus::kRunning) {
+      return Status::IllegalState("create: transaction is not running");
+    }
+  }
+  auto oid = store_->Create(data);
+  if (!oid.ok()) return oid.status();
+  Status locked = locks_.Acquire(td, *oid, LockMode::kWrite);
+  if (!locked.ok()) {
+    // Unreachable contention (the id is fresh), but the transaction may
+    // have been marked aborting while we allocated.
+    (void)store_->ApplyDelete(*oid);
+    return locked;
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kCreate;
+  rec.tid = t;
+  rec.oid = *oid;
+  rec.after.assign(data.begin(), data.end());
+  Lsn lsn = log_->Append(std::move(rec));
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    undo_.RecordLocked(td, lsn);
+  }
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  return oid;
+}
+
+Status TransactionManager::DeleteObject(Tid t, ObjectId oid) {
+  TransactionDescriptor* td;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    td = FindLocked(t);
+    if (td == nullptr) {
+      return Status::NotFound("delete: unknown transaction");
+    }
+    if (td->status != TxnStatus::kRunning) {
+      return Status::IllegalState("delete: transaction is not running");
+    }
+  }
+  ASSET_RETURN_NOT_OK(AcquireOrDoom(td, oid, LockMode::kWrite));
+  ObjectDescriptor* od;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    od = locks_.FindLocked(oid);
+  }
+  od->data_latch.LockExclusive();
+  auto before = store_->Read(oid);
+  if (!before.ok()) {
+    od->data_latch.UnlockExclusive();
+    return before.status();
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kDelete;
+  rec.tid = t;
+  rec.oid = oid;
+  rec.before = std::move(before).value();
+  Lsn lsn = log_->Append(std::move(rec));
+  Status applied = store_->ApplyDelete(oid);
+  od->data_latch.UnlockExclusive();
+  if (!applied.ok()) return applied;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    undo_.RecordLocked(td, lsn);
+  }
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Semantic operations (paper Â§5)
+
+Result<ObjectId> TransactionManager::CreateCounter(Tid t, int64_t initial) {
+  return CreateObject(t, ObjectStore::EncodeCounter(kNullLsn, initial));
+}
+
+Status TransactionManager::Increment(Tid t, ObjectId oid, int64_t delta) {
+  TransactionDescriptor* td;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    td = FindLocked(t);
+    if (td == nullptr) {
+      return Status::NotFound("increment: unknown transaction");
+    }
+    if (td->status != TxnStatus::kRunning) {
+      if (td->status == TxnStatus::kAborting ||
+          td->status == TxnStatus::kAborted) {
+        return Status::TxnAborted("increment: transaction is aborting");
+      }
+      return Status::IllegalState("increment: transaction is not running");
+    }
+  }
+  ASSET_RETURN_NOT_OK(AcquireOrDoom(td, oid, LockMode::kIncrement));
+  ObjectDescriptor* od;
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    od = locks_.FindLocked(oid);
+  }
+  od->data_latch.LockExclusive();
+  // Validate counter shape before logging, so the log never carries an
+  // increment that cannot replay.
+  auto current = store_->ReadCounter(oid);
+  if (!current.ok()) {
+    od->data_latch.UnlockExclusive();
+    return current.status();
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kIncrement;
+  rec.tid = t;
+  rec.oid = oid;
+  rec.after = EncodeI64(delta);
+  Lsn lsn = log_->Append(std::move(rec));
+  auto applied = store_->ApplyDelta(oid, lsn, delta);
+  od->data_latch.UnlockExclusive();
+  if (!applied.ok()) return applied.status();
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    undo_.RecordLocked(td, lsn);
+  }
+  stats_.increments.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<int64_t> TransactionManager::ReadCounter(Tid t, ObjectId oid) {
+  auto bytes = Read(t, oid);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes->size() != sizeof(Lsn) + sizeof(int64_t)) {
+    return Status::InvalidArgument("object is not counter-shaped");
+  }
+  int64_t value;
+  std::memcpy(&value, bytes->data() + sizeof(Lsn), sizeof(int64_t));
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+size_t TransactionManager::ActiveTransactions() const {
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  return active_count_;
+}
+
+bool TransactionManager::WaitIdle(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lk(sync_.mu);
+  auto idle = [&] { return active_count_ == 0 && live_threads_ == 0; };
+  if (timeout.count() == 0) {
+    sync_.cv.wait(lk, idle);
+    return true;
+  }
+  return sync_.cv.wait_for(lk, timeout, idle);
+}
+
+}  // namespace asset

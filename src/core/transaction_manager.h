@@ -1,0 +1,287 @@
+#ifndef ASSET_CORE_TRANSACTION_MANAGER_H_
+#define ASSET_CORE_TRANSACTION_MANAGER_H_
+
+/// \file transaction_manager.h
+/// The ASSET transaction primitives (§2) and their §4.2 algorithms.
+///
+/// Basic primitives: Initiate / Begin / Commit / Wait / Abort / Self /
+/// Parent (§2.1). New primitives: Delegate, Permit (all four forms), and
+/// FormDependency (§2.2). Data operations (Read / Write / CreateObject /
+/// DeleteObject) implement the §4.2 read/write algorithms: lock, latch,
+/// log before+after images, apply in the shared cache.
+///
+/// Execution model: each begun transaction runs its registered function
+/// on a dedicated worker thread drawn from a cached, unbounded pool
+/// (ThreadCache); Self()/Parent() consult a thread-local pointer to the
+/// executing TD, matching the paper's per-transaction process. Commit is
+/// blocking; a transaction completes (holding its locks, changes not yet
+/// persistent) when its function returns, and terminates only through
+/// Commit or Abort.
+///
+/// Volatile data must not persist across transaction boundaries (§2):
+/// bind arguments by value and do not share mutable captures between
+/// transaction functions.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/object_set.h"
+#include "common/op_set.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/dependency_graph.h"
+#include "core/descriptors.h"
+#include "core/kernel.h"
+#include "core/lock_manager.h"
+#include "core/permit_table.h"
+#include "core/statistics.h"
+#include "core/thread_cache.h"
+#include "core/undo_log.h"
+#include "storage/object_store.h"
+#include "storage/wal.h"
+
+namespace asset {
+
+/// The transaction kernel. One instance per database.
+class TransactionManager {
+ public:
+  struct Options {
+    LockManager::Options lock;
+    /// Force the log at commit (durability). Benchmarks may disable.
+    bool force_log_at_commit = true;
+    /// Upper bound on active (begun, unterminated) transactions; the
+    /// paper's initiate returns the null tid "if no resources are
+    /// available".
+    size_t max_transactions = 100000;
+    /// A blocking commit that cannot resolve its dependencies within
+    /// this bound aborts the transaction (so its 0 return is truthful).
+    /// Zero means wait forever.
+    std::chrono::milliseconds commit_timeout{10000};
+  };
+
+  TransactionManager(LogManager* log, ObjectStore* store, Options options);
+  /// Default options.
+  TransactionManager(LogManager* log, ObjectStore* store);
+
+  /// Aborts every still-active transaction and waits for their threads.
+  ~TransactionManager();
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  // --- Basic primitives (§2.1) ---------------------------------------
+
+  /// initiate(f, args): registers a transaction that will run f(args...)
+  /// when begun. Arguments are captured by value now (volatile data must
+  /// not cross transaction boundaries). Returns kNullTid if the
+  /// transaction table is full.
+  template <typename F, typename... Args>
+  Tid Initiate(F&& f, Args&&... args) {
+    return InitiateFn(
+        [fn = std::forward<F>(f),
+         ... bound = std::forward<Args>(args)]() mutable { fn(bound...); });
+  }
+
+  /// Type-erased initiate.
+  Tid InitiateFn(std::function<void()> fn);
+
+  /// begin(t): starts execution. Returns true on success (t existed and
+  /// was initiated).
+  bool Begin(Tid t);
+
+  /// begin(t1, ..., tn): starts several transactions; true iff all
+  /// started.
+  bool Begin(std::initializer_list<Tid> ts);
+
+  /// commit(t): blocking commit. Waits for t (and any group-commit
+  /// peers) to complete execution and for t's dependencies to resolve.
+  /// Returns true if t commits or had already committed; false if t is
+  /// aborted.
+  bool Commit(Tid t);
+
+  /// wait(t): returns 1 once t's code has completed (or t committed),
+  /// 0 if t has aborted. From t's own thread it reports whether t is
+  /// still viable (not aborting).
+  int Wait(Tid t);
+
+  /// abort(t): returns true unless t has already committed.
+  bool Abort(Tid t);
+
+  /// Tid of the transaction executing on this thread, or kNullTid.
+  static Tid Self();
+
+  /// Tid of the parent (initiating) transaction of the transaction
+  /// executing on this thread; kNullTid for top-level transactions.
+  static Tid Parent();
+
+  /// Parent of an arbitrary transaction.
+  Tid ParentOf(Tid t) const;
+
+  /// Status query (the paper mentions "primitives to query the status
+  /// of transactions, for instance, to determine whether a transaction
+  /// has aborted" without detailing them; these are ours).
+  TxnStatus GetStatus(Tid t) const;
+
+  /// True iff t has committed.
+  bool IsCommitted(Tid t) const { return GetStatus(t) == TxnStatus::kCommitted; }
+
+  /// True iff t has aborted or is in the middle of aborting.
+  bool IsAborted(Tid t) const {
+    TxnStatus s = GetStatus(t);
+    return s == TxnStatus::kAborted || s == TxnStatus::kAborting;
+  }
+
+  /// True iff t has begun and not yet terminated (§2.1's "active").
+  bool IsActiveTxn(Tid t) const { return IsActive(GetStatus(t)); }
+
+  /// True iff t's code has finished but t is not yet terminated — the
+  /// §2.1 "completed" window in which locks are held and changes are
+  /// volatile.
+  bool IsCompleted(Tid t) const {
+    TxnStatus s = GetStatus(t);
+    return s == TxnStatus::kCompleted || s == TxnStatus::kCommitting;
+  }
+
+  // --- New primitives (§2.2) ------------------------------------------
+
+  /// delegate(ti, tj, ob_set): ti transfers to tj the responsibility for
+  /// ti's operations on objects in `objs` — their locks, their permits
+  /// given, and their undo/redo attribution.
+  Status Delegate(Tid ti, Tid tj, const ObjectSet& objs);
+
+  /// delegate(ti, tj): everything ti is responsible for.
+  Status Delegate(Tid ti, Tid tj);
+
+  /// permit(ti, tj, ob_set, operations).
+  Status Permit(Tid ti, Tid tj, const ObjectSet& objs, OpSet ops);
+
+  /// permit(ti, tj, operations): any object ti accessed or is permitted
+  /// on (§4.2 expansion).
+  Status Permit(Tid ti, Tid tj, OpSet ops);
+
+  /// permit(ti, tj): any operation on any such object.
+  Status Permit(Tid ti, Tid tj);
+
+  /// permit(ti, ob_set, operations): any transaction.
+  Status PermitAny(Tid ti, const ObjectSet& objs, OpSet ops);
+
+  /// form_dependency(type, ti, tj): tj becomes dependent on ti.
+  Status FormDependency(DependencyType type, Tid ti, Tid tj);
+
+  // --- Data operations (§4.2 read/write) -------------------------------
+
+  /// read(t, ob): read-lock, S-latch, copy out.
+  Result<std::vector<uint8_t>> Read(Tid t, ObjectId oid);
+
+  /// write(t, ob): write-lock, X-latch, log before/after images, apply.
+  Status Write(Tid t, ObjectId oid, std::span<const uint8_t> data);
+
+  /// Creates a new object owned (and write-locked) by t.
+  Result<ObjectId> CreateObject(Tid t, std::span<const uint8_t> data);
+
+  /// Deletes an object (write-locked; before image logged).
+  Status DeleteObject(Tid t, ObjectId oid);
+
+  // --- Semantic operations (paper §5 future work) -----------------------
+  //
+  // Counters support commutative increments: increment locks are
+  // compatible with each other, so concurrent adders never block or
+  // conflict; undo is logical (the negated delta), so aborting one
+  // adder does not erase the others' committed additions.
+
+  /// Creates a counter object initialized to `initial`, write-locked by
+  /// t like any create.
+  Result<ObjectId> CreateCounter(Tid t, int64_t initial);
+
+  /// Adds `delta` under an increment lock. Conflicts only with readers
+  /// and writers, never with other increments.
+  Status Increment(Tid t, ObjectId oid, int64_t delta);
+
+  /// Reads the counter's value under a read lock (serializing against
+  /// in-flight increments, as §5's semantics require).
+  Result<int64_t> ReadCounter(Tid t, ObjectId oid);
+
+  // --- Introspection ----------------------------------------------------
+
+  KernelStats& stats() { return stats_; }
+  LockManager& lock_manager() { return locks_; }
+
+  /// Count of begun-but-unterminated transactions.
+  size_t ActiveTransactions() const;
+
+  /// Blocks until no transaction is active (for quiescent checkpoints).
+  /// False if `timeout` elapsed first (zero = wait forever).
+  bool WaitIdle(std::chrono::milliseconds timeout =
+                    std::chrono::milliseconds(0)) const;
+
+  /// Direct access for white-box tests.
+  PermitTable& permit_table_for_test() { return permit_table_; }
+  DependencyGraph& dependency_graph_for_test() { return deps_; }
+  KernelSync& sync_for_test() { return sync_; }
+
+ private:
+  enum class CommitEval { kCommit, kAbort, kWait };
+
+  TransactionDescriptor* FindLocked(Tid t) const;
+  TxnStatus StatusOfLocked(Tid t) const;
+
+  /// Evaluates the §4.2 commit algorithm for `td` under the kernel
+  /// mutex; on kCommit fills `group` with the GC component to commit
+  /// simultaneously.
+  CommitEval EvaluateCommitLocked(TransactionDescriptor* td,
+                                  std::vector<TransactionDescriptor*>* group);
+
+  /// Commits `group` simultaneously (log records, release locks/permits,
+  /// drop dependencies).
+  void CommitGroupLocked(const std::vector<TransactionDescriptor*>& group);
+
+  /// Marks `td` aborting; if its thread has already exited, performs the
+  /// physical abort too.
+  void StartAbortLocked(TransactionDescriptor* td);
+
+  /// §4.2 abort steps 2-6. `td` must be kAborting with no running
+  /// thread.
+  void FinishAbortLocked(TransactionDescriptor* td);
+
+  /// Lock acquisition for a data op. A deadlock or timeout is fatal to
+  /// the transaction under strict 2PL: the transaction is marked
+  /// aborting so a later commit cannot publish partial effects.
+  Status AcquireOrDoom(TransactionDescriptor* td, ObjectId oid,
+                       LockMode mode);
+
+  /// Body run on each transaction's thread.
+  void ThreadMain(TransactionDescriptor* td);
+
+  /// Reclaims TDs that are terminated with exited threads.
+  void CollectLocked();
+
+  Options options_;
+  LogManager* log_;
+  ObjectStore* store_;
+
+  mutable KernelSync sync_;
+  KernelStats stats_;
+  PermitTable permit_table_;
+  DependencyGraph deps_;
+  TdTable txns_;
+  LockManager locks_;
+  /// Runs transaction bodies on cached worker threads.
+  ThreadCache executor_;
+  UndoManager undo_;
+
+  /// Terminal statuses of reclaimed TDs.
+  std::unordered_map<Tid, TxnStatus> tombstones_;
+  Tid next_tid_ = 1;
+  size_t active_count_ = 0;   // begun, not yet terminated
+  size_t live_threads_ = 0;   // threads between Begin and thread_exited
+  bool shutting_down_ = false;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_TRANSACTION_MANAGER_H_

@@ -1,0 +1,107 @@
+#include "core/undo_log.h"
+
+#include <algorithm>
+
+namespace asset {
+
+void UndoManager::RecordLocked(TransactionDescriptor* td, Lsn lsn) {
+  td->responsible_ops.push_back(lsn);
+}
+
+size_t UndoManager::DelegateLocked(TransactionDescriptor* ti,
+                                   TransactionDescriptor* tj,
+                                   const ObjectSet& objs) {
+  std::vector<Lsn> remaining;
+  std::vector<Lsn> moved;
+  remaining.reserve(ti->responsible_ops.size());
+  for (Lsn lsn : ti->responsible_ops) {
+    LogRecord rec = log_->At(lsn);
+    if (objs.Contains(rec.oid)) {
+      moved.push_back(lsn);
+    } else {
+      remaining.push_back(lsn);
+    }
+  }
+  if (moved.empty() && !objs.IsAll()) {
+    // Still log the intent below only when something moved or the form
+    // was the wildcard; an empty concrete delegation is a no-op.
+    ti->responsible_ops = std::move(remaining);
+    return 0;
+  }
+  ti->responsible_ops = std::move(remaining);
+  // Merge into tj preserving global lsn order, so tj's later abort
+  // undoes in true reverse-chronological order.
+  auto& dst = tj->responsible_ops;
+  dst.insert(dst.end(), moved.begin(), moved.end());
+  std::sort(dst.begin(), dst.end());
+
+  LogRecord rec;
+  rec.tid = ti->tid;
+  rec.other_tid = tj->tid;
+  if (objs.IsAll()) {
+    rec.type = LogRecordType::kDelegateAll;
+  } else {
+    rec.type = LogRecordType::kDelegateSet;
+    rec.oid_set = objs.ids();
+  }
+  log_->Append(std::move(rec));
+  return moved.size();
+}
+
+Status UndoManager::UndoAllLocked(TransactionDescriptor* td,
+                                  LockManager* locks) {
+  // Reverse chronological order (§4.2 abort step 2).
+  std::vector<Lsn> ops = td->responsible_ops;
+  std::sort(ops.begin(), ops.end());
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    LogRecord rec = log_->At(*it);
+    ObjectDescriptor* od = locks->FindLocked(rec.oid);
+
+    LogRecord clr;
+    clr.tid = td->tid;
+    clr.oid = rec.oid;
+    clr.undo_of = rec.lsn;
+
+    Status s;
+    if (od != nullptr) od->data_latch.LockExclusive();
+    switch (rec.type) {
+      case LogRecordType::kCreate:
+        s = store_->ApplyDelete(rec.oid);
+        clr.type = LogRecordType::kClrDelete;
+        log_->Append(std::move(clr));
+        break;
+      case LogRecordType::kUpdate:
+      case LogRecordType::kDelete:
+        s = store_->ApplyPut(rec.oid, rec.before);
+        clr.type = LogRecordType::kClrPut;
+        clr.after = rec.before;
+        log_->Append(std::move(clr));
+        break;
+      case LogRecordType::kIncrement: {
+        // Logical undo: apply the negated delta under the compensation
+        // record's own lsn so replay stays idempotent.
+        auto delta = DecodeI64(rec.after);
+        if (!delta.ok()) {
+          s = delta.status();
+          break;
+        }
+        clr.type = LogRecordType::kIncrement;
+        clr.after = EncodeI64(-*delta);
+        Lsn clr_lsn = log_->Append(std::move(clr));
+        auto applied = store_->ApplyDelta(rec.oid, clr_lsn, -*delta);
+        s = applied.ok() ? Status::OK() : applied.status();
+        break;
+      }
+      default:
+        s = Status::Internal("responsible_ops names a non-data record");
+        break;
+    }
+    if (od != nullptr) od->data_latch.UnlockExclusive();
+    if (!s.ok()) return s;
+    stats_->undo_installs.fetch_add(1, std::memory_order_relaxed);
+  }
+  td->responsible_ops.clear();
+  return Status::OK();
+}
+
+}  // namespace asset

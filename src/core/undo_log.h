@@ -1,0 +1,60 @@
+#ifndef ASSET_CORE_UNDO_LOG_H_
+#define ASSET_CORE_UNDO_LOG_H_
+
+/// \file undo_log.h
+/// Per-transaction operation responsibility and undo.
+///
+/// "A transaction that has invoked operations on an object but has not
+/// yet committed is *responsible* for the uncommitted operations" (§2.1).
+/// Each TD carries the lsns of the data operations it is responsible
+/// for; delegation moves lsns between TDs (and logs the move so recovery
+/// sees the same final attribution); abort installs the before images of
+/// those operations in reverse order (§4.2 abort step 2), emitting
+/// compensation records so crash recovery never undoes twice.
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/object_set.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/descriptors.h"
+#include "core/lock_manager.h"
+#include "core/statistics.h"
+#include "storage/object_store.h"
+#include "storage/wal.h"
+
+namespace asset {
+
+/// Tracks and applies operation responsibility. All methods require the
+/// kernel mutex (the TD lists they mutate are kernel state).
+class UndoManager {
+ public:
+  UndoManager(LogManager* log, ObjectStore* store, KernelStats* stats)
+      : log_(log), store_(store), stats_(stats) {}
+
+  /// Makes `td` responsible for the data operation logged at `lsn`.
+  void RecordLocked(TransactionDescriptor* td, Lsn lsn);
+
+  /// Moves responsibility for operations on objects in `objs` from `ti`
+  /// to `tj` and appends the matching delegate log record. Pass
+  /// ObjectSet::All() for the delegate(ti, tj) form. Returns the number
+  /// of operations moved.
+  size_t DelegateLocked(TransactionDescriptor* ti, TransactionDescriptor* tj,
+                        const ObjectSet& objs);
+
+  /// Installs before images for everything `td` is responsible for, in
+  /// reverse order, appending CLRs. Objects are X-latched one at a time
+  /// via `locks` (later updates by cooperating transactions are lost —
+  /// the paper's documented §4.2 implication). Clears the list.
+  Status UndoAllLocked(TransactionDescriptor* td, LockManager* locks);
+
+ private:
+  LogManager* log_;
+  ObjectStore* store_;
+  KernelStats* stats_;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_UNDO_LOG_H_

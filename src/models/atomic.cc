@@ -1,0 +1,24 @@
+#include "models/atomic.h"
+
+#include <thread>
+
+namespace asset::models {
+
+bool RunAtomic(TransactionManager& tm, std::function<void()> body) {
+  Tid t = tm.InitiateFn(std::move(body));
+  if (t == kNullTid) return false;
+  if (!tm.Begin(t)) return false;
+  return tm.Commit(t);
+}
+
+bool RunAtomicWithRetry(TransactionManager& tm, std::function<void()> body,
+                        int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (RunAtomic(tm, body)) return true;
+    // Brief, growing pause so colliding retriers de-synchronize.
+    std::this_thread::sleep_for(std::chrono::microseconds(50 << attempt));
+  }
+  return false;
+}
+
+}  // namespace asset::models

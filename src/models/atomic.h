@@ -1,0 +1,38 @@
+#ifndef ASSET_MODELS_ATOMIC_H_
+#define ASSET_MODELS_ATOMIC_H_
+
+/// \file atomic.h
+/// Atomic transactions — the §3.1.1 translation.
+///
+/// The O++ compiler turns `trans { body }` into
+///
+///     tid t;
+///     if ((t = initiate(f)) != NULL) {
+///       if (begin(t)) {
+///         commit(t);
+///       }
+///     }
+///
+/// `RunAtomic` is that code as a library call.
+
+#include <functional>
+
+#include "core/transaction_manager.h"
+
+namespace asset::models {
+
+/// Runs `body` as a serializable, failure-atomic transaction. Returns
+/// true iff the transaction committed. The body may call Abort(Self())
+/// to abandon its own work.
+bool RunAtomic(TransactionManager& tm, std::function<void()> body);
+
+/// RunAtomic with automatic retry on abort (deadlock victims, lock
+/// timeouts). Retries the body up to `max_attempts` times in total;
+/// returns true iff some attempt committed. The body must therefore be
+/// written to be re-executable from scratch.
+bool RunAtomicWithRetry(TransactionManager& tm, std::function<void()> body,
+                        int max_attempts = 3);
+
+}  // namespace asset::models
+
+#endif  // ASSET_MODELS_ATOMIC_H_

@@ -1,0 +1,22 @@
+#include "models/contingent.h"
+
+namespace asset::models {
+
+ContingentTransaction& ContingentTransaction::AddAlternative(
+    std::function<void()> body) {
+  alternatives_.push_back(std::move(body));
+  return *this;
+}
+
+int ContingentTransaction::Run(TransactionManager& tm) {
+  // t1 = initiate(f1); begin(t1); if (commit(t1)); else { t2 = ... }
+  for (size_t i = 0; i < alternatives_.size(); ++i) {
+    Tid t = tm.InitiateFn(alternatives_[i]);
+    if (t == kNullTid) continue;
+    if (!tm.Begin(t)) continue;
+    if (tm.Commit(t)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace asset::models

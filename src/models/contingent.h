@@ -1,0 +1,34 @@
+#ifndef ASSET_MODELS_CONTINGENT_H_
+#define ASSET_MODELS_CONTINGENT_H_
+
+/// \file contingent.h
+/// Contingent transactions — the §3.1.3 translation.
+///
+/// `trans {f1()} else trans {f2()} else ... else trans {fn()}`: the
+/// alternatives are tried in the given order; at most one commits.
+
+#include <functional>
+#include <vector>
+
+#include "core/transaction_manager.h"
+
+namespace asset::models {
+
+/// Builder for one contingent transaction.
+class ContingentTransaction {
+ public:
+  /// Adds the next alternative.
+  ContingentTransaction& AddAlternative(std::function<void()> body);
+
+  /// Runs alternatives in order until one commits. Returns the 0-based
+  /// index of the committed alternative, or -1 if every alternative
+  /// aborted.
+  int Run(TransactionManager& tm);
+
+ private:
+  std::vector<std::function<void()>> alternatives_;
+};
+
+}  // namespace asset::models
+
+#endif  // ASSET_MODELS_CONTINGENT_H_

@@ -1,0 +1,41 @@
+#include "models/cooperative.h"
+
+namespace asset::models {
+
+Status CooperativeGroup::Enroll(Tid t, OpSet ops) {
+  for (Tid m : members_) {
+    // The §3.2.1 exchange, both directions:
+    //   form_dependency(CD, t_i, t_j); permit(t_i, t_j, ob, op);
+    //   permit(t_j, t_i, ob, op);
+    ASSET_RETURN_NOT_OK(tm_.Permit(m, t, shared_, ops));
+    ASSET_RETURN_NOT_OK(tm_.Permit(t, m, shared_, ops));
+    switch (coupling_) {
+      case CommitCoupling::kOrdered:
+        // t joined later: it saw m's work, so it must not commit before
+        // m terminates.
+        ASSET_RETURN_NOT_OK(
+            tm_.FormDependency(DependencyType::kCommit, m, t));
+        break;
+      case CommitCoupling::kAtomic:
+        ASSET_RETURN_NOT_OK(
+            tm_.FormDependency(DependencyType::kGroupCommit, m, t));
+        break;
+      case CommitCoupling::kNone:
+        break;
+    }
+  }
+  members_.push_back(t);
+  return Status::OK();
+}
+
+bool CooperativeGroup::CommitAll() {
+  bool all = true;
+  for (Tid m : members_) all = tm_.Commit(m) && all;
+  return all;
+}
+
+void CooperativeGroup::AbortAll() {
+  for (Tid m : members_) tm_.Abort(m);
+}
+
+}  // namespace asset::models

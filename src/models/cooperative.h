@@ -1,0 +1,65 @@
+#ifndef ASSET_MODELS_COOPERATIVE_H_
+#define ASSET_MODELS_COOPERATIVE_H_
+
+/// \file cooperative.h
+/// Cooperating transactions — §3.2.1.
+///
+/// Members of a cooperative group mutually permit conflicting operations
+/// on a shared set of (design) objects, so their accesses interleave
+/// rather than block — the "ping-ponging of permits". Commit coupling is
+/// selectable:
+///
+///   * kOrdered  — later members carry a CD on earlier members, so they
+///                 cannot commit before the earlier work terminates;
+///   * kAtomic   — GC dependencies: the whole group commits or none of
+///                 it does (the cooperative-design scenario where shared
+///                 changes land only if the final state satisfies all
+///                 designers);
+///   * kNone     — permits only, any commit order (each member fends for
+///                 itself).
+
+#include <vector>
+
+#include "common/object_set.h"
+#include "common/status.h"
+#include "core/transaction_manager.h"
+
+namespace asset::models {
+
+/// How cooperative members' commits are tied together.
+enum class CommitCoupling {
+  kNone,
+  kOrdered,
+  kAtomic,
+};
+
+/// A group of transactions cooperating on a fixed object set.
+class CooperativeGroup {
+ public:
+  CooperativeGroup(TransactionManager& tm, ObjectSet shared,
+                   CommitCoupling coupling = CommitCoupling::kOrdered)
+      : tm_(tm), shared_(std::move(shared)), coupling_(coupling) {}
+
+  /// Adds `t` to the group: mutual permits with every existing member on
+  /// the shared objects, plus the coupling dependencies. `ops` bounds
+  /// what the others may do to this member's locked objects.
+  Status Enroll(Tid t, OpSet ops = OpSet::All());
+
+  /// Commits every member, in enrollment order. True iff all committed.
+  bool CommitAll();
+
+  /// Aborts every member (first abort propagates under kAtomic).
+  void AbortAll();
+
+  const std::vector<Tid>& members() const { return members_; }
+
+ private:
+  TransactionManager& tm_;
+  ObjectSet shared_;
+  CommitCoupling coupling_;
+  std::vector<Tid> members_;
+};
+
+}  // namespace asset::models
+
+#endif  // ASSET_MODELS_COOPERATIVE_H_

@@ -1,0 +1,18 @@
+#include "models/cursor_stability.h"
+
+namespace asset::models {
+
+Result<std::vector<uint8_t>> StableCursor::Next() {
+  if (Done()) return Status::IllegalState("cursor exhausted");
+  ObjectId record = records_[pos_];
+  auto value = tm_.Read(reader_, record);
+  if (!value.ok()) return value.status();
+  // Before moving the cursor: permit(t_i, record, write). No dependency
+  // is formed, so the reader and any writer may commit in either order.
+  ASSET_RETURN_NOT_OK(
+      tm_.PermitAny(reader_, ObjectSet::Of(record), Operation::kWrite));
+  ++pos_;
+  return value;
+}
+
+}  // namespace asset::models

@@ -1,0 +1,48 @@
+#ifndef ASSET_MODELS_CURSOR_STABILITY_H_
+#define ASSET_MODELS_CURSOR_STABILITY_H_
+
+/// \file cursor_stability.h
+/// Cursor stability — §3.2.2.
+///
+/// A reading transaction scanning records keeps full protection only on
+/// the record under its cursor; before moving on, it executes
+/// permit(t_i, record, write), letting *any* transaction write the
+/// record it has finished with — trading repeatable reads for
+/// concurrency, exactly the commercial degree-2 consistency.
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/transaction_manager.h"
+
+namespace asset::models {
+
+/// A cursor over an ordered set of records with cursor-stability
+/// semantics for the owning reader transaction.
+class StableCursor {
+ public:
+  /// `reader` scans `records` in order.
+  StableCursor(TransactionManager& tm, Tid reader,
+               std::vector<ObjectId> records)
+      : tm_(tm), reader_(reader), records_(std::move(records)) {}
+
+  /// True when every record has been consumed.
+  bool Done() const { return pos_ >= records_.size(); }
+
+  /// Object id under the cursor (Done() must be false).
+  ObjectId Current() const { return records_[pos_]; }
+
+  /// Reads the record under the cursor, then releases its write
+  /// protection — permit(reader, record, write) — and advances.
+  Result<std::vector<uint8_t>> Next();
+
+ private:
+  TransactionManager& tm_;
+  Tid reader_;
+  std::vector<ObjectId> records_;
+  size_t pos_ = 0;
+};
+
+}  // namespace asset::models
+
+#endif  // ASSET_MODELS_CURSOR_STABILITY_H_

@@ -1,0 +1,48 @@
+#include "models/distributed.h"
+
+namespace asset::models {
+
+DistributedTransaction& DistributedTransaction::AddComponent(
+    std::function<void()> body) {
+  components_.push_back(std::move(body));
+  return *this;
+}
+
+bool DistributedTransaction::Run(TransactionManager& tm) {
+  tids_.clear();
+  if (components_.empty()) return true;
+  // t1 = initiate(f1); ... tn = initiate(fn);
+  for (auto& body : components_) {
+    Tid t = tm.InitiateFn(body);
+    if (t == kNullTid) {
+      // Clean up anything already initiated.
+      for (Tid earlier : tids_) tm.Abort(earlier);
+      tids_.clear();
+      return false;
+    }
+    tids_.push_back(t);
+  }
+  // form_dependency(GC, ti, ti+1): chaining makes one GC component.
+  for (size_t i = 0; i + 1 < tids_.size(); ++i) {
+    Status s = tm.FormDependency(DependencyType::kGroupCommit, tids_[i],
+                                 tids_[i + 1]);
+    if (!s.ok()) {
+      for (Tid t : tids_) tm.Abort(t);
+      return false;
+    }
+  }
+  // begin(t1, t2, ..., tn);
+  for (Tid t : tids_) {
+    if (!tm.Begin(t)) {
+      for (Tid u : tids_) tm.Abort(u);
+      return false;
+    }
+  }
+  // commit(t1); commit(t2); ... — the first performs the group commit,
+  // the rest merely observe the outcome.
+  bool committed = true;
+  for (Tid t : tids_) committed = tm.Commit(t) && committed;
+  return committed;
+}
+
+}  // namespace asset::models

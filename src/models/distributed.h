@@ -1,0 +1,42 @@
+#ifndef ASSET_MODELS_DISTRIBUTED_H_
+#define ASSET_MODELS_DISTRIBUTED_H_
+
+/// \file distributed.h
+/// Distributed transactions — the §3.1.2 translation.
+///
+/// Component transactions execute in parallel and "can only commit as a
+/// group": pairwise group-commit dependencies chain the components into
+/// one GC component, so committing any one of them commits all of them,
+/// and an abort anywhere aborts everything.
+
+#include <functional>
+#include <vector>
+
+#include "core/transaction_manager.h"
+
+namespace asset::models {
+
+/// Builder for one distributed transaction.
+class DistributedTransaction {
+ public:
+  /// Adds a component to execute in parallel with the others.
+  DistributedTransaction& AddComponent(std::function<void()> body);
+
+  /// Initiates all components, chains them with GC dependencies, begins
+  /// them in parallel, and commits the group (the paper notes that
+  /// committing t1 suffices; we still call commit on every component and
+  /// check they agree, as the translation does). Returns true iff the
+  /// group committed.
+  bool Run(TransactionManager& tm);
+
+  /// Component tids of the last Run (for inspection/tests).
+  const std::vector<Tid>& tids() const { return tids_; }
+
+ private:
+  std::vector<std::function<void()>> components_;
+  std::vector<Tid> tids_;
+};
+
+}  // namespace asset::models
+
+#endif  // ASSET_MODELS_DISTRIBUTED_H_

@@ -1,0 +1,52 @@
+#ifndef ASSET_MODELS_NESTED_H_
+#define ASSET_MODELS_NESTED_H_
+
+/// \file nested.h
+/// Nested transactions — the §3.1.4 translation.
+///
+/// A subtransaction may access whatever its ancestors hold without
+/// conflict (permit), aborts without dooming the parent unless the
+/// caller asks for that, and on success hands everything it did to the
+/// parent (delegate), whose eventual top-level commit makes it durable.
+/// The per-subtransaction protocol the paper synthesizes inside `trip`:
+///
+///     t1 = initiate(child);
+///     permit(self(), t1);
+///     begin(t1);
+///     if (!wait(t1)) abort(self());
+///     delegate(t1, self());
+///     commit(t1);
+
+#include <functional>
+
+#include "common/status.h"
+#include "core/transaction_manager.h"
+
+namespace asset::models {
+
+/// What to do with the parent when a subtransaction aborts.
+enum class OnChildAbort {
+  /// abort(self()) — the paper's trip example: a failed reservation
+  /// cancels the whole trip.
+  kAbortParent,
+  /// Report failure to the caller and keep the parent alive (the general
+  /// nested-transaction semantics: subtransactions "can abort without
+  /// causing the whole transaction to abort").
+  kReportOnly,
+};
+
+/// Runs `body` as a subtransaction of the calling transaction. Must be
+/// invoked from inside a running transaction's function. Returns OK if
+/// the subtransaction completed and its effects were delegated to the
+/// parent; kTxnAborted if it aborted (with the parent additionally
+/// marked aborting under kAbortParent).
+Status RunSubtransaction(TransactionManager& tm, std::function<void()> body,
+                         OnChildAbort on_abort = OnChildAbort::kReportOnly);
+
+/// Convenience root runner: RunAtomic with a name that reads well at
+/// nested call sites.
+bool RunNestedRoot(TransactionManager& tm, std::function<void()> body);
+
+}  // namespace asset::models
+
+#endif  // ASSET_MODELS_NESTED_H_

@@ -1,0 +1,52 @@
+#include "models/saga.h"
+
+namespace asset::models {
+
+Saga& Saga::AddStep(std::function<void()> action,
+                    std::function<void()> compensation) {
+  steps_.push_back(Step{std::move(action), std::move(compensation)});
+  return *this;
+}
+
+Saga& Saga::AddStep(std::function<void()> action) {
+  steps_.push_back(Step{std::move(action), nullptr});
+  return *this;
+}
+
+Saga::Outcome Saga::Run(TransactionManager& tm,
+                        int max_compensation_attempts) {
+  Outcome outcome;
+  // Forward phase: ti = initiate(fi); begin(ti); if (!commit(ti)) break;
+  size_t i = 0;
+  for (; i < steps_.size(); ++i) {
+    Tid t = tm.InitiateFn(steps_[i].action);
+    if (t == kNullTid) break;
+    if (!tm.Begin(t)) break;
+    if (!tm.Commit(t)) break;
+    outcome.steps_committed++;
+  }
+  if (outcome.steps_committed == steps_.size()) {
+    outcome.committed = true;
+    return outcome;
+  }
+  // Compensation phase: the switch cascade — ct_k .. ct_1, each retried
+  // until it commits.
+  for (size_t k = outcome.steps_committed; k-- > 0;) {
+    if (!steps_[k].compensation) continue;
+    int attempts = 0;
+    for (;;) {
+      Tid ct = tm.InitiateFn(steps_[k].compensation);
+      bool ok = ct != kNullTid && tm.Begin(ct) && tm.Commit(ct);
+      if (ok) break;
+      if (max_compensation_attempts > 0 &&
+          ++attempts >= max_compensation_attempts) {
+        // Give up; the outcome still reports how far we got.
+        return outcome;
+      }
+    }
+    outcome.compensations_run++;
+  }
+  return outcome;
+}
+
+}  // namespace asset::models

@@ -1,0 +1,31 @@
+#include "models/split_join.h"
+
+namespace asset::models {
+
+Result<Tid> Split(TransactionManager& tm, const ObjectSet& delegated,
+                  std::function<void()> body) {
+  Tid self = TransactionManager::Self();
+  if (self == kNullTid) {
+    return Status::IllegalState("Split must be called from inside a "
+                                "transaction");
+  }
+  Tid s = tm.InitiateFn(std::move(body));
+  if (s == kNullTid) {
+    return Status::ResourceExhausted("could not initiate split transaction");
+  }
+  // delegate(parent(s), s, X) — parent(s) is the splitting transaction.
+  ASSET_RETURN_NOT_OK(tm.Delegate(self, s, delegated));
+  if (!tm.Begin(s)) {
+    return Status::IllegalState("could not begin split transaction");
+  }
+  return s;
+}
+
+Status Join(TransactionManager& tm, Tid s, Tid t) {
+  if (!tm.Wait(s)) {
+    return Status::TxnAborted("join: transaction aborted before joining");
+  }
+  return tm.Delegate(s, t);
+}
+
+}  // namespace asset::models

@@ -1,0 +1,42 @@
+#ifndef ASSET_MODELS_SPLIT_JOIN_H_
+#define ASSET_MODELS_SPLIT_JOIN_H_
+
+/// \file split_join.h
+/// Split and join transactions — the §3.1.5 translation.
+///
+/// Split: a running transaction carves off responsibility for a set of
+/// objects into a fresh transaction that commits or aborts
+/// independently:
+///
+///     s = initiate(f);
+///     delegate(self(), s, X);
+///     begin(s);
+///
+/// Join: a transaction's work is folded into another:
+///
+///     wait(s);
+///     delegate(s, t);
+
+#include <functional>
+
+#include "common/object_set.h"
+#include "common/status.h"
+#include "core/transaction_manager.h"
+
+namespace asset::models {
+
+/// Splits the calling transaction: operations already performed on the
+/// objects in `delegated` (and their locks) move to a new transaction
+/// running `body`. Returns the new transaction's tid. Must be called
+/// from inside a running transaction.
+Result<Tid> Split(TransactionManager& tm, const ObjectSet& delegated,
+                  std::function<void()> body);
+
+/// Joins transaction `s` into transaction `t`: waits for s's code to
+/// complete, then delegates everything s is responsible for to t.
+/// Returns kTxnAborted if s aborted before it could be joined.
+Status Join(TransactionManager& tm, Tid s, Tid t);
+
+}  // namespace asset::models
+
+#endif  // ASSET_MODELS_SPLIT_JOIN_H_

@@ -1,0 +1,196 @@
+#include "models/workflow_lang.h"
+
+#include <cctype>
+
+namespace asset::models {
+
+namespace {
+
+/// Token stream over the spec text; identifiers, braces, and
+/// end-of-input, with `#` comments skipped and line numbers tracked.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const std::string& token() const { return token_; }
+  int line() const { return token_line_; }
+  bool AtEnd() const { return token_.empty(); }
+
+  /// Consumes the current token.
+  void Advance() {
+    SkipSpaceAndComments();
+    token_line_ = line_;
+    token_.clear();
+    if (pos_ >= text_.size()) return;
+    char c = text_[pos_];
+    if (c == '{' || c == '}') {
+      token_ = std::string(1, c);
+      ++pos_;
+      return;
+    }
+    while (pos_ < text_.size() && !std::isspace(Peek()) && Peek() != '{' &&
+           Peek() != '}' && Peek() != '#') {
+      token_.push_back(text_[pos_++]);
+    }
+  }
+
+  /// Consumes `expected` or reports where something else was found.
+  Status Expect(const std::string& expected) {
+    if (token_ != expected) {
+      return Error("expected '" + expected + "', found '" +
+                   (AtEnd() ? "<end>" : token_) + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("workflow spec line " +
+                                   std::to_string(token_line_) + ": " + msg);
+  }
+
+ private:
+  char Peek() const { return text_[pos_]; }
+
+  void SkipSpaceAndComments() {
+    for (;;) {
+      while (pos_ < text_.size() && std::isspace(Peek())) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ < text_.size() && Peek() == '#') {
+        while (pos_ < text_.size() && Peek() != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int token_line_ = 1;
+  std::string token_;
+};
+
+bool IsKeyword(const std::string& t) {
+  return t == "workflow" || t == "step" || t == "required" ||
+         t == "optional" || t == "ordered" || t == "race" || t == "try" ||
+         t == "compensate" || t == "{" || t == "}";
+}
+
+Result<std::string> ParseIdent(Lexer& lex, const char* what) {
+  if (lex.AtEnd() || IsKeyword(lex.token())) {
+    return lex.Error(std::string("expected ") + what + ", found '" +
+                     (lex.AtEnd() ? "<end>" : lex.token()) + "'");
+  }
+  std::string name = lex.token();
+  lex.Advance();
+  return name;
+}
+
+Result<WorkflowSpec::StepSpec> ParseStep(Lexer& lex) {
+  WorkflowSpec::StepSpec step;
+  ASSET_RETURN_NOT_OK(lex.Expect("step"));
+  ASSET_ASSIGN_OR_RETURN(step.name, ParseIdent(lex, "step name"));
+  // Flags, in any order, each at most once.
+  bool saw_need = false, saw_mode = false;
+  for (;;) {
+    const std::string& t = lex.token();
+    if (t == "required" || t == "optional") {
+      if (saw_need) return lex.Error("duplicate required/optional flag");
+      saw_need = true;
+      step.required = t == "required";
+      lex.Advance();
+    } else if (t == "ordered" || t == "race") {
+      if (saw_mode) return lex.Error("duplicate ordered/race flag");
+      saw_mode = true;
+      step.mode =
+          t == "race" ? Workflow::Mode::kRace : Workflow::Mode::kOrdered;
+      lex.Advance();
+    } else {
+      break;
+    }
+  }
+  ASSET_RETURN_NOT_OK(lex.Expect("{"));
+  while (lex.token() == "try") {
+    lex.Advance();
+    std::string task;
+    ASSET_ASSIGN_OR_RETURN(task, ParseIdent(lex, "task name"));
+    step.tasks.push_back(std::move(task));
+  }
+  if (step.tasks.empty()) {
+    return lex.Error("step '" + step.name + "' has no 'try' alternatives");
+  }
+  ASSET_RETURN_NOT_OK(lex.Expect("}"));
+  if (lex.token() == "compensate") {
+    lex.Advance();
+    ASSET_ASSIGN_OR_RETURN(step.compensation,
+                           ParseIdent(lex, "compensation task name"));
+  }
+  return step;
+}
+
+}  // namespace
+
+Result<WorkflowSpec> ParseWorkflowSpec(const std::string& text) {
+  Lexer lex(text);
+  WorkflowSpec spec;
+  ASSET_RETURN_NOT_OK(lex.Expect("workflow"));
+  ASSET_ASSIGN_OR_RETURN(spec.name, ParseIdent(lex, "workflow name"));
+  ASSET_RETURN_NOT_OK(lex.Expect("{"));
+  while (lex.token() == "step") {
+    auto step = ParseStep(lex);
+    if (!step.ok()) return step.status();
+    spec.steps.push_back(std::move(step).value());
+  }
+  ASSET_RETURN_NOT_OK(lex.Expect("}"));
+  if (!lex.AtEnd()) {
+    return lex.Error("trailing input after workflow definition");
+  }
+  if (spec.steps.empty()) {
+    return Status::InvalidArgument("workflow spec: workflow '" + spec.name +
+                                   "' has no steps");
+  }
+  return spec;
+}
+
+Result<Workflow> CompileWorkflow(const WorkflowSpec& spec,
+                                 const TaskRegistry& registry) {
+  auto resolve = [&](const std::string& name) -> Result<Workflow::Task> {
+    auto it = registry.find(name);
+    if (it == registry.end()) {
+      return Status::NotFound("workflow '" + spec.name +
+                              "': no task registered for '" + name + "'");
+    }
+    return it->second;
+  };
+  Workflow wf;
+  for (const WorkflowSpec::StepSpec& s : spec.steps) {
+    Workflow::Step step;
+    step.name = s.name;
+    step.required = s.required;
+    step.mode = s.mode;
+    for (const std::string& task : s.tasks) {
+      auto fn = resolve(task);
+      if (!fn.ok()) return fn.status();
+      step.alternatives.push_back(std::move(fn).value());
+    }
+    if (!s.compensation.empty()) {
+      auto fn = resolve(s.compensation);
+      if (!fn.ok()) return fn.status();
+      step.compensation = std::move(fn).value();
+    }
+    wf.AddStep(std::move(step));
+  }
+  return wf;
+}
+
+Result<Workflow> BuildWorkflow(const std::string& text,
+                               const TaskRegistry& registry) {
+  auto spec = ParseWorkflowSpec(text);
+  if (!spec.ok()) return spec.status();
+  return CompileWorkflow(*spec, registry);
+}
+
+}  // namespace asset::models

@@ -1,0 +1,84 @@
+#ifndef ASSET_MODELS_WORKFLOW_LANG_H_
+#define ASSET_MODELS_WORKFLOW_LANG_H_
+
+/// \file workflow_lang.h
+/// A small workflow-specification language.
+///
+/// §3.2.3: "Just as we had higher-level language constructs corresponding
+/// to each of the transaction models discussed earlier, it is possible to
+/// design a language to specify workflows. These would then be
+/// translated into the code given here." This header is that language
+/// and its translator. The appendix's X_conference activity reads:
+///
+///     # X attends the conference (June 11-14, 1994)
+///     workflow x_conference {
+///       step flight required {
+///         try delta
+///         try united
+///         try american
+///       } compensate cancel_flight
+///       step hotel required {
+///         try equator
+///       }
+///       step car optional race {
+///         try national
+///         try avis
+///       }
+///     }
+///
+/// ParseWorkflowSpec turns the text into a WorkflowSpec; CompileWorkflow
+/// binds the task names against a registry of callables and emits a
+/// runnable models::Workflow — the §3.2.3 "translated into the code
+/// given here".
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "models/workflow.h"
+
+namespace asset::models {
+
+/// Parsed form of one workflow definition.
+struct WorkflowSpec {
+  struct StepSpec {
+    std::string name;
+    bool required = true;
+    Workflow::Mode mode = Workflow::Mode::kOrdered;
+    /// Alternative task names, in preference (or race) order.
+    std::vector<std::string> tasks;
+    /// Compensating task name; empty if none.
+    std::string compensation;
+  };
+
+  std::string name;
+  std::vector<StepSpec> steps;
+};
+
+/// Parses a workflow definition. Grammar (comments run `#` to newline):
+///
+///   workflow  := "workflow" ident "{" step* "}"
+///   step      := "step" ident flags "{" try+ "}" [ "compensate" ident ]
+///   flags     := [ "required" | "optional" ] [ "ordered" | "race" ]
+///   try       := "try" ident
+///
+/// Errors carry the offending line number.
+Result<WorkflowSpec> ParseWorkflowSpec(const std::string& text);
+
+/// Name → callable bindings for compilation.
+using TaskRegistry = std::unordered_map<std::string, Workflow::Task>;
+
+/// Translates a parsed spec into a runnable Workflow. Every task name
+/// (including compensations) must be bound in `registry`.
+Result<Workflow> CompileWorkflow(const WorkflowSpec& spec,
+                                 const TaskRegistry& registry);
+
+/// Convenience: parse + compile.
+Result<Workflow> BuildWorkflow(const std::string& text,
+                               const TaskRegistry& registry);
+
+}  // namespace asset::models
+
+#endif  // ASSET_MODELS_WORKFLOW_LANG_H_

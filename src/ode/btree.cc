@@ -1,0 +1,497 @@
+#include "ode/btree.h"
+
+#include <algorithm>
+
+#include "ode/bytes.h"
+
+namespace asset::ode {
+
+namespace {
+
+/// Child index covering `key`: children[i] holds keys k with
+/// keys[i-1] <= k < keys[i] (separators are the first key of the right
+/// subtree, so equal keys route right).
+size_t RouteIndex(const std::vector<int64_t>& keys, int64_t key) {
+  return static_cast<size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Persistence
+
+std::vector<uint8_t> BTree::EncodeNode(const Node& n) {
+  ByteWriter w;
+  w.U8(n.leaf ? 1 : 0);
+  w.U16(static_cast<uint16_t>(n.keys.size()));
+  for (int64_t k : n.keys) w.I64(k);
+  if (n.leaf) {
+    for (uint64_t v : n.values) w.U64(v);
+    w.U64(n.next);
+  } else {
+    for (ObjectId c : n.children) w.U64(c);
+  }
+  return w.Take();
+}
+
+Result<BTree::Node> BTree::DecodeNode(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  Node n;
+  auto leaf = r.U8();
+  if (!leaf.ok()) return leaf.status();
+  n.leaf = *leaf != 0;
+  auto count = r.U16();
+  if (!count.ok()) return count.status();
+  n.keys.resize(*count);
+  for (auto& k : n.keys) {
+    ASSET_ASSIGN_OR_RETURN(k, r.I64());
+  }
+  if (n.leaf) {
+    n.values.resize(*count);
+    for (auto& v : n.values) {
+      ASSET_ASSIGN_OR_RETURN(v, r.U64());
+    }
+    ASSET_ASSIGN_OR_RETURN(n.next, r.U64());
+  } else {
+    n.children.resize(*count + 1);
+    for (auto& c : n.children) {
+      ASSET_ASSIGN_OR_RETURN(c, r.U64());
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in B-tree node");
+  }
+  return n;
+}
+
+Result<BTree::Header> BTree::ReadHeader(Tid t) const {
+  auto bytes = tm_->Read(t, header_);
+  if (!bytes.ok()) return bytes.status();
+  ByteReader r(*bytes);
+  Header h;
+  ASSET_ASSIGN_OR_RETURN(h.root, r.U64());
+  ASSET_ASSIGN_OR_RETURN(h.height, r.U32());
+  ASSET_ASSIGN_OR_RETURN(h.size, r.U64());
+  return h;
+}
+
+Status BTree::WriteHeader(Tid t, const Header& h) {
+  ByteWriter w;
+  w.U64(h.root);
+  w.U32(h.height);
+  w.U64(h.size);
+  return tm_->Write(t, header_, w.buffer());
+}
+
+Result<BTree::Node> BTree::ReadNode(Tid t, ObjectId oid) const {
+  auto bytes = tm_->Read(t, oid);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeNode(*bytes);
+}
+
+Status BTree::WriteNode(Tid t, ObjectId oid, const Node& n) {
+  return tm_->Write(t, oid, EncodeNode(n));
+}
+
+Result<ObjectId> BTree::NewNode(Tid t, const Node& n) {
+  return tm_->CreateObject(t, EncodeNode(n));
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Result<BTree> BTree::Create(TransactionManager* tm, Tid t) {
+  Node root;  // empty leaf
+  auto root_oid = tm->CreateObject(t, EncodeNode(root));
+  if (!root_oid.ok()) return root_oid.status();
+  ByteWriter w;
+  w.U64(*root_oid);
+  w.U32(1);  // height
+  w.U64(0);  // size
+  auto header = tm->CreateObject(t, w.buffer());
+  if (!header.ok()) return header.status();
+  return BTree(tm, *header);
+}
+
+// ---------------------------------------------------------------------------
+// Search / Range
+
+Result<uint64_t> BTree::Search(Tid t, int64_t key) const {
+  auto h = ReadHeader(t);
+  if (!h.ok()) return h.status();
+  ObjectId cur = h->root;
+  for (;;) {
+    auto n = ReadNode(t, cur);
+    if (!n.ok()) return n.status();
+    if (n->leaf) {
+      auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+      if (it == n->keys.end() || *it != key) {
+        return Status::NotFound("key " + std::to_string(key));
+      }
+      return n->values[static_cast<size_t>(it - n->keys.begin())];
+    }
+    cur = n->children[RouteIndex(n->keys, key)];
+  }
+}
+
+Result<std::vector<BTreeEntry>> BTree::Range(Tid t, int64_t lo,
+                                             int64_t hi) const {
+  std::vector<BTreeEntry> out;
+  if (lo > hi) return out;
+  auto h = ReadHeader(t);
+  if (!h.ok()) return h.status();
+  // Descend to the leaf that would hold `lo`.
+  ObjectId cur = h->root;
+  for (;;) {
+    auto n = ReadNode(t, cur);
+    if (!n.ok()) return n.status();
+    if (n->leaf) break;
+    cur = n->children[RouteIndex(n->keys, lo)];
+  }
+  // Walk the leaf chain.
+  while (cur != kNullObjectId) {
+    auto n = ReadNode(t, cur);
+    if (!n.ok()) return n.status();
+    for (size_t i = 0; i < n->keys.size(); ++i) {
+      if (n->keys[i] < lo) continue;
+      if (n->keys[i] > hi) return out;
+      out.push_back(BTreeEntry{n->keys[i], n->values[i]});
+    }
+    cur = n->next;
+  }
+  return out;
+}
+
+Result<uint64_t> BTree::Size(Tid t) const {
+  auto h = ReadHeader(t);
+  if (!h.ok()) return h.status();
+  return h->size;
+}
+
+Result<uint32_t> BTree::Height(Tid t) const {
+  auto h = ReadHeader(t);
+  if (!h.ok()) return h.status();
+  return h->height;
+}
+
+// ---------------------------------------------------------------------------
+// Insert
+
+Result<bool> BTree::Insert(Tid t, int64_t key, uint64_t value) {
+  auto h = ReadHeader(t);
+  if (!h.ok()) return h.status();
+  auto r = InsertRec(t, h->root, key, value);
+  if (!r.ok()) return r.status();
+  bool header_dirty = false;
+  if (r->split) {
+    Node new_root;
+    new_root.leaf = false;
+    new_root.keys = {r->sep};
+    new_root.children = {h->root, r->right};
+    auto root_oid = NewNode(t, new_root);
+    if (!root_oid.ok()) return root_oid.status();
+    h->root = *root_oid;
+    h->height++;
+    header_dirty = true;
+  }
+  if (r->inserted_new) {
+    h->size++;
+    header_dirty = true;
+  }
+  if (header_dirty) {
+    ASSET_RETURN_NOT_OK(WriteHeader(t, *h));
+  }
+  return r->inserted_new;
+}
+
+Result<BTree::InsertResult> BTree::InsertRec(Tid t, ObjectId node_oid,
+                                             int64_t key, uint64_t value) {
+  auto node = ReadNode(t, node_oid);
+  if (!node.ok()) return node.status();
+  Node& n = *node;
+  InsertResult out;
+
+  if (n.leaf) {
+    auto it = std::lower_bound(n.keys.begin(), n.keys.end(), key);
+    size_t pos = static_cast<size_t>(it - n.keys.begin());
+    if (it != n.keys.end() && *it == key) {
+      n.values[pos] = value;  // upsert
+      ASSET_RETURN_NOT_OK(WriteNode(t, node_oid, n));
+      return out;
+    }
+    n.keys.insert(it, key);
+    n.values.insert(n.values.begin() + pos, value);
+    out.inserted_new = true;
+    if (n.keys.size() > kMaxKeys) {
+      size_t mid = n.keys.size() / 2;
+      Node right;
+      right.leaf = true;
+      right.keys.assign(n.keys.begin() + mid, n.keys.end());
+      right.values.assign(n.values.begin() + mid, n.values.end());
+      right.next = n.next;
+      auto right_oid = NewNode(t, right);
+      if (!right_oid.ok()) return right_oid.status();
+      n.keys.resize(mid);
+      n.values.resize(mid);
+      n.next = *right_oid;
+      out.split = true;
+      out.sep = right.keys.front();
+      out.right = *right_oid;
+    }
+    ASSET_RETURN_NOT_OK(WriteNode(t, node_oid, n));
+    return out;
+  }
+
+  size_t idx = RouteIndex(n.keys, key);
+  auto child = InsertRec(t, n.children[idx], key, value);
+  if (!child.ok()) return child.status();
+  out.inserted_new = child->inserted_new;
+  if (!child->split) return out;
+
+  n.keys.insert(n.keys.begin() + idx, child->sep);
+  n.children.insert(n.children.begin() + idx + 1, child->right);
+  if (n.keys.size() > kMaxKeys) {
+    size_t mid = n.keys.size() / 2;
+    int64_t sep_up = n.keys[mid];
+    Node right;
+    right.leaf = false;
+    right.keys.assign(n.keys.begin() + mid + 1, n.keys.end());
+    right.children.assign(n.children.begin() + mid + 1, n.children.end());
+    auto right_oid = NewNode(t, right);
+    if (!right_oid.ok()) return right_oid.status();
+    n.keys.resize(mid);
+    n.children.resize(mid + 1);
+    out.split = true;
+    out.sep = sep_up;
+    out.right = *right_oid;
+  }
+  ASSET_RETURN_NOT_OK(WriteNode(t, node_oid, n));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Delete
+
+Status BTree::Delete(Tid t, int64_t key) {
+  auto h = ReadHeader(t);
+  if (!h.ok()) return h.status();
+  bool underflow = false;  // root underflow handled by collapsing below
+  ASSET_RETURN_NOT_OK(DeleteRec(t, h->root, key, &underflow));
+  h->size--;
+  // Collapse an empty internal root.
+  auto root = ReadNode(t, h->root);
+  if (!root.ok()) return root.status();
+  if (!root->leaf && root->keys.empty()) {
+    ObjectId old_root = h->root;
+    h->root = root->children[0];
+    h->height--;
+    ASSET_RETURN_NOT_OK(tm_->DeleteObject(t, old_root));
+  }
+  return WriteHeader(t, *h);
+}
+
+Status BTree::DeleteRec(Tid t, ObjectId node_oid, int64_t key,
+                        bool* underflow) {
+  auto node = ReadNode(t, node_oid);
+  if (!node.ok()) return node.status();
+  Node& n = *node;
+
+  if (n.leaf) {
+    auto it = std::lower_bound(n.keys.begin(), n.keys.end(), key);
+    if (it == n.keys.end() || *it != key) {
+      return Status::NotFound("key " + std::to_string(key));
+    }
+    size_t pos = static_cast<size_t>(it - n.keys.begin());
+    n.keys.erase(it);
+    n.values.erase(n.values.begin() + pos);
+    ASSET_RETURN_NOT_OK(WriteNode(t, node_oid, n));
+    *underflow = n.keys.size() < kMinKeys;
+    return Status::OK();
+  }
+
+  size_t idx = RouteIndex(n.keys, key);
+  bool child_underflow = false;
+  ASSET_RETURN_NOT_OK(DeleteRec(t, n.children[idx], key, &child_underflow));
+  if (!child_underflow) {
+    *underflow = false;
+    return Status::OK();
+  }
+  return Rebalance(t, node_oid, &n, idx, underflow);
+}
+
+Status BTree::Rebalance(Tid t, ObjectId parent_oid, Node* parent, size_t idx,
+                        bool* parent_underflow) {
+  *parent_underflow = false;
+  ObjectId child_oid = parent->children[idx];
+  auto child_r = ReadNode(t, child_oid);
+  if (!child_r.ok()) return child_r.status();
+  Node child = std::move(*child_r);
+
+  // Borrow from the left sibling.
+  if (idx > 0) {
+    ObjectId left_oid = parent->children[idx - 1];
+    auto left_r = ReadNode(t, left_oid);
+    if (!left_r.ok()) return left_r.status();
+    Node left = std::move(*left_r);
+    if (left.keys.size() > kMinKeys) {
+      if (child.leaf) {
+        child.keys.insert(child.keys.begin(), left.keys.back());
+        child.values.insert(child.values.begin(), left.values.back());
+        left.keys.pop_back();
+        left.values.pop_back();
+        parent->keys[idx - 1] = child.keys.front();
+      } else {
+        child.keys.insert(child.keys.begin(), parent->keys[idx - 1]);
+        parent->keys[idx - 1] = left.keys.back();
+        left.keys.pop_back();
+        child.children.insert(child.children.begin(), left.children.back());
+        left.children.pop_back();
+      }
+      ASSET_RETURN_NOT_OK(WriteNode(t, left_oid, left));
+      ASSET_RETURN_NOT_OK(WriteNode(t, child_oid, child));
+      return WriteNode(t, parent_oid, *parent);
+    }
+  }
+
+  // Borrow from the right sibling.
+  if (idx + 1 < parent->children.size()) {
+    ObjectId right_oid = parent->children[idx + 1];
+    auto right_r = ReadNode(t, right_oid);
+    if (!right_r.ok()) return right_r.status();
+    Node right = std::move(*right_r);
+    if (right.keys.size() > kMinKeys) {
+      if (child.leaf) {
+        child.keys.push_back(right.keys.front());
+        child.values.push_back(right.values.front());
+        right.keys.erase(right.keys.begin());
+        right.values.erase(right.values.begin());
+        parent->keys[idx] = right.keys.front();
+      } else {
+        child.keys.push_back(parent->keys[idx]);
+        parent->keys[idx] = right.keys.front();
+        right.keys.erase(right.keys.begin());
+        child.children.push_back(right.children.front());
+        right.children.erase(right.children.begin());
+      }
+      ASSET_RETURN_NOT_OK(WriteNode(t, right_oid, right));
+      ASSET_RETURN_NOT_OK(WriteNode(t, child_oid, child));
+      return WriteNode(t, parent_oid, *parent);
+    }
+  }
+
+  // Merge. Prefer folding the child into its left sibling; at idx == 0
+  // fold the right sibling into the child.
+  if (idx > 0) {
+    ObjectId left_oid = parent->children[idx - 1];
+    auto left_r = ReadNode(t, left_oid);
+    if (!left_r.ok()) return left_r.status();
+    Node left = std::move(*left_r);
+    if (left.leaf) {
+      left.keys.insert(left.keys.end(), child.keys.begin(), child.keys.end());
+      left.values.insert(left.values.end(), child.values.begin(),
+                         child.values.end());
+      left.next = child.next;
+    } else {
+      left.keys.push_back(parent->keys[idx - 1]);
+      left.keys.insert(left.keys.end(), child.keys.begin(), child.keys.end());
+      left.children.insert(left.children.end(), child.children.begin(),
+                           child.children.end());
+    }
+    parent->keys.erase(parent->keys.begin() + idx - 1);
+    parent->children.erase(parent->children.begin() + idx);
+    ASSET_RETURN_NOT_OK(WriteNode(t, left_oid, left));
+    ASSET_RETURN_NOT_OK(tm_->DeleteObject(t, child_oid));
+  } else {
+    ObjectId right_oid = parent->children[idx + 1];
+    auto right_r = ReadNode(t, right_oid);
+    if (!right_r.ok()) return right_r.status();
+    Node right = std::move(*right_r);
+    if (child.leaf) {
+      child.keys.insert(child.keys.end(), right.keys.begin(),
+                        right.keys.end());
+      child.values.insert(child.values.end(), right.values.begin(),
+                          right.values.end());
+      child.next = right.next;
+    } else {
+      child.keys.push_back(parent->keys[idx]);
+      child.keys.insert(child.keys.end(), right.keys.begin(),
+                        right.keys.end());
+      child.children.insert(child.children.end(), right.children.begin(),
+                            right.children.end());
+    }
+    parent->keys.erase(parent->keys.begin() + idx);
+    parent->children.erase(parent->children.begin() + idx + 1);
+    ASSET_RETURN_NOT_OK(WriteNode(t, child_oid, child));
+    ASSET_RETURN_NOT_OK(tm_->DeleteObject(t, right_oid));
+  }
+  ASSET_RETURN_NOT_OK(WriteNode(t, parent_oid, *parent));
+  *parent_underflow = parent->keys.size() < kMinKeys;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+
+Status BTree::CheckInvariants(Tid t) const {
+  auto h = ReadHeader(t);
+  if (!h.ok()) return h.status();
+  uint64_t leaf_keys = 0;
+  ASSET_RETURN_NOT_OK(
+      CheckRec(t, h->root, 1, h->height, nullptr, nullptr, &leaf_keys));
+  if (leaf_keys != h->size) {
+    return Status::Internal("size mismatch: header says " +
+                            std::to_string(h->size) + ", leaves hold " +
+                            std::to_string(leaf_keys));
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckRec(Tid t, ObjectId node_oid, uint32_t depth,
+                       uint32_t height, const int64_t* lo, const int64_t* hi,
+                       uint64_t* leaf_keys) const {
+  auto node = ReadNode(t, node_oid);
+  if (!node.ok()) return node.status();
+  const Node& n = *node;
+  if (!std::is_sorted(n.keys.begin(), n.keys.end())) {
+    return Status::Internal("unsorted keys in node " +
+                            std::to_string(node_oid));
+  }
+  for (int64_t k : n.keys) {
+    if ((lo != nullptr && k < *lo) || (hi != nullptr && k >= *hi)) {
+      return Status::Internal("key out of bounds in node " +
+                              std::to_string(node_oid));
+    }
+  }
+  // Fill factor: the root is exempt; leaves may be the root.
+  bool is_root = depth == 1;
+  if (!is_root && n.keys.size() < kMinKeys) {
+    return Status::Internal("underfull node " + std::to_string(node_oid));
+  }
+  if (n.keys.size() > kMaxKeys) {
+    return Status::Internal("overfull node " + std::to_string(node_oid));
+  }
+  if (n.leaf) {
+    if (depth != height) {
+      return Status::Internal("leaf at depth " + std::to_string(depth) +
+                              " but height is " + std::to_string(height));
+    }
+    if (n.values.size() != n.keys.size()) {
+      return Status::Internal("leaf value count mismatch");
+    }
+    *leaf_keys += n.keys.size();
+    return Status::OK();
+  }
+  if (n.children.size() != n.keys.size() + 1) {
+    return Status::Internal("internal child count mismatch");
+  }
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    const int64_t* clo = i == 0 ? lo : &n.keys[i - 1];
+    const int64_t* chi = i == n.keys.size() ? hi : &n.keys[i];
+    ASSET_RETURN_NOT_OK(
+        CheckRec(t, n.children[i], depth + 1, height, clo, chi, leaf_keys));
+  }
+  return Status::OK();
+}
+
+}  // namespace asset::ode

@@ -1,0 +1,88 @@
+#ifndef ASSET_ODE_BYTES_H_
+#define ASSET_ODE_BYTES_H_
+
+/// \file bytes.h
+/// Little-endian serialization helpers for Ode-layer persistent
+/// structures (B-tree nodes, catalog entries).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace asset::ode {
+
+/// Appends fixed-width values and length-prefixed strings to a buffer.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U16(static_cast<uint16_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads values written by ByteWriter; every getter fails cleanly on a
+/// short buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  Result<uint8_t> U8() {
+    if (off_ + 1 > buf_.size()) return Short();
+    return buf_[off_++];
+  }
+  Result<uint16_t> U16() { return Fixed<uint16_t>(); }
+  Result<uint32_t> U32() { return Fixed<uint32_t>(); }
+  Result<uint64_t> U64() { return Fixed<uint64_t>(); }
+  Result<int64_t> I64() { return Fixed<int64_t>(); }
+  Result<std::string> Str() {
+    auto len = U16();
+    if (!len.ok()) return len.status();
+    if (off_ + *len > buf_.size()) return Short();
+    std::string out(buf_.begin() + off_, buf_.begin() + off_ + *len);
+    off_ += *len;
+    return out;
+  }
+
+  bool AtEnd() const { return off_ == buf_.size(); }
+  size_t offset() const { return off_; }
+
+ private:
+  template <typename T>
+  Result<T> Fixed() {
+    if (off_ + sizeof(T) > buf_.size()) return Short();
+    T v;
+    std::memcpy(&v, buf_.data() + off_, sizeof(T));
+    off_ += sizeof(T);
+    return v;
+  }
+  Status Short() const {
+    return Status::Corruption("serialized structure truncated at offset " +
+                              std::to_string(off_));
+  }
+
+  const std::vector<uint8_t>& buf_;
+  size_t off_ = 0;
+};
+
+}  // namespace asset::ode
+
+#endif  // ASSET_ODE_BYTES_H_

@@ -1,0 +1,92 @@
+#include "ode/catalog.h"
+
+#include <algorithm>
+
+#include "ode/bytes.h"
+
+namespace asset::ode {
+
+Status Catalog::Bootstrap(Tid t, ObjectStore* store) {
+  if (store->Exists(kCatalogOid)) return Status::OK();
+  // The catalog object must carry its reserved id, which CreateObject
+  // cannot choose; create it through the store and take a write lock so
+  // the creating transaction owns it like any other create. Since the
+  // id is reserved and this races only with other bootstrappers, a
+  // late IllegalState means someone else won — also fine.
+  ByteWriter w;
+  w.U32(0);
+  Status s = store->CreateWithId(kCatalogOid, w.buffer());
+  if (!s.ok() && !s.IsIllegalState()) return s;
+  // Touch it transactionally so the usual locking applies from now on.
+  return tm_->Read(t, kCatalogOid).status();
+}
+
+Result<std::vector<Catalog::Entry>> Catalog::Load(Tid t) const {
+  auto bytes = tm_->Read(t, kCatalogOid);
+  if (!bytes.ok()) return bytes.status();
+  ByteReader r(*bytes);
+  auto count = r.U32();
+  if (!count.ok()) return count.status();
+  std::vector<Entry> entries(*count);
+  for (auto& e : entries) {
+    ASSET_ASSIGN_OR_RETURN(e.name, r.Str());
+    ASSET_ASSIGN_OR_RETURN(e.oid, r.U64());
+  }
+  return entries;
+}
+
+Status Catalog::Store(Tid t, const std::vector<Entry>& entries) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    w.Str(e.name);
+    w.U64(e.oid);
+  }
+  return tm_->Write(t, kCatalogOid, w.buffer());
+}
+
+Status Catalog::Bind(Tid t, const std::string& name, ObjectId oid) {
+  auto entries = Load(t);
+  if (!entries.ok()) return entries.status();
+  for (Entry& e : *entries) {
+    if (e.name == name) {
+      e.oid = oid;
+      return Store(t, *entries);
+    }
+  }
+  entries->push_back(Entry{name, oid});
+  return Store(t, *entries);
+}
+
+Result<ObjectId> Catalog::Lookup(Tid t, const std::string& name) const {
+  auto entries = Load(t);
+  if (!entries.ok()) return entries.status();
+  for (const Entry& e : *entries) {
+    if (e.name == name) return e.oid;
+  }
+  return Status::NotFound("no binding for '" + name + "'");
+}
+
+Status Catalog::Unbind(Tid t, const std::string& name) {
+  auto entries = Load(t);
+  if (!entries.ok()) return entries.status();
+  auto it = std::find_if(entries->begin(), entries->end(),
+                         [&](const Entry& e) { return e.name == name; });
+  if (it == entries->end()) {
+    return Status::NotFound("no binding for '" + name + "'");
+  }
+  entries->erase(it);
+  return Store(t, *entries);
+}
+
+Result<std::vector<std::string>> Catalog::List(Tid t) const {
+  auto entries = Load(t);
+  if (!entries.ok()) return entries.status();
+  std::vector<std::string> names;
+  names.reserve(entries->size());
+  for (const Entry& e : *entries) names.push_back(e.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace asset::ode

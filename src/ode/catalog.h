@@ -1,0 +1,62 @@
+#ifndef ASSET_ODE_CATALOG_H_
+#define ASSET_ODE_CATALOG_H_
+
+/// \file catalog.h
+/// Named persistent roots.
+///
+/// Everything in the store is reachable only by ObjectId; the catalog is
+/// the well-known root object (reserved id 1) mapping names to ids, so
+/// applications can find their indexes and top-level objects across
+/// restarts. All catalog operations run inside the caller's transaction
+/// — binding a name commits or rolls back with the rest of the work.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/transaction_manager.h"
+
+namespace asset::ode {
+
+/// The name → ObjectId root directory.
+class Catalog {
+ public:
+  /// The catalog's reserved object id.
+  static constexpr ObjectId kCatalogOid = 1;
+
+  explicit Catalog(TransactionManager* tm) : tm_(tm) {}
+
+  /// Creates the (empty) catalog object if it does not exist yet.
+  /// Idempotent; call once inside a transaction after opening a fresh
+  /// store. Uses the store directly for the existence probe, the
+  /// transaction for the create.
+  Status Bootstrap(Tid t, ObjectStore* store);
+
+  /// Binds `name` to `oid`, replacing any previous binding.
+  Status Bind(Tid t, const std::string& name, ObjectId oid);
+
+  /// The object bound to `name`; NotFound otherwise.
+  Result<ObjectId> Lookup(Tid t, const std::string& name) const;
+
+  /// Removes the binding; NotFound if absent.
+  Status Unbind(Tid t, const std::string& name);
+
+  /// All bound names, sorted.
+  Result<std::vector<std::string>> List(Tid t) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    ObjectId oid;
+  };
+
+  Result<std::vector<Entry>> Load(Tid t) const;
+  Status Store(Tid t, const std::vector<Entry>& entries);
+
+  TransactionManager* tm_;
+};
+
+}  // namespace asset::ode
+
+#endif  // ASSET_ODE_CATALOG_H_

@@ -1,0 +1,209 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace asset {
+
+// ---------------------------------------------------------------------------
+// PageHandle
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    page_id_ = other.page_id_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+    other.page_id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::MarkDirty() {
+  if (pool_ != nullptr) {
+    std::lock_guard<std::mutex> g(pool_->mu_);
+    auto it = pool_->page_table_.find(page_id_);
+    if (it != pool_->page_table_.end()) {
+      pool_->frames_[it->second].dirty = true;
+    }
+  }
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(page_id_, /*dirty=*/false);
+    pool_ = nullptr;
+    frame_ = nullptr;
+    page_id_ = kInvalidPageId;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, LogManager* wal)
+    : disk_(disk), wal_(wal) {
+  frames_.resize(capacity);
+  free_frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
+    free_frames_.push_back(capacity - 1 - i);
+  }
+}
+
+Result<size_t> BufferPool::GrabFrameLocked() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  assert(f.pin_count == 0);
+  if (f.dirty) {
+    // Write-ahead rule: no dirty page reaches the device before the log.
+    if (wal_ != nullptr) {
+      Status ws = wal_->Flush();
+      if (!ws.ok()) return ws;
+    }
+    Page(f.data.get()).UpdateChecksum();
+    Status s = disk_->WritePage(f.page_id, f.data.get());
+    if (!s.ok()) {
+      // Put the frame back; the page must not be silently lost.
+      f.lru_pos = lru_.insert(lru_.begin(), idx);
+      f.in_lru = true;
+      return s;
+    }
+    stats_.dirty_writebacks++;
+  }
+  page_table_.erase(f.page_id);
+  f.page_id = kInvalidPageId;
+  f.dirty = false;
+  stats_.evictions++;
+  return idx;
+}
+
+Result<PageHandle> BufferPool::FetchPage(PageId page_id, bool validate) {
+  std::unique_lock<std::mutex> g(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.pin_count++;
+    stats_.hits++;
+    return PageHandle(this, page_id, f.data.get());
+  }
+  stats_.misses++;
+  auto frame_idx = GrabFrameLocked();
+  if (!frame_idx.ok()) return frame_idx.status();
+  Frame& f = frames_[*frame_idx];
+  // Read outside the lock would allow higher concurrency; we keep the
+  // lock for simplicity — the disk managers here are memory-speed.
+  Status s = disk_->ReadPage(page_id, f.data.get());
+  if (!s.ok()) {
+    free_frames_.push_back(*frame_idx);
+    return s;
+  }
+  if (validate) {
+    Status valid = Page(f.data.get()).Validate();
+    if (!valid.ok()) {
+      free_frames_.push_back(*frame_idx);
+      return valid;
+    }
+  }
+  f.page_id = page_id;
+  f.pin_count = 1;
+  f.dirty = false;
+  page_table_[page_id] = *frame_idx;
+  return PageHandle(this, page_id, f.data.get());
+}
+
+Result<PageHandle> BufferPool::NewPage() {
+  std::unique_lock<std::mutex> g(mu_);
+  auto page_id = disk_->AllocatePage();
+  if (!page_id.ok()) return page_id.status();
+  auto frame_idx = GrabFrameLocked();
+  if (!frame_idx.ok()) return frame_idx.status();
+  Frame& f = frames_[*frame_idx];
+  Page p(f.data.get());
+  p.Init(*page_id);
+  f.page_id = *page_id;
+  f.pin_count = 1;
+  f.dirty = true;
+  page_table_[*page_id] = *frame_idx;
+  return PageHandle(this, *page_id, f.data.get());
+}
+
+void BufferPool::Unpin(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  Frame& f = frames_[it->second];
+  assert(f.pin_count > 0);
+  if (dirty) f.dirty = true;
+  f.pin_count--;
+  if (f.pin_count == 0) {
+    f.lru_pos = lru_.insert(lru_.end(), it->second);
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (!f.dirty) return Status::OK();
+  if (wal_ != nullptr) ASSET_RETURN_NOT_OK(wal_->Flush());
+  Page(f.data.get()).UpdateChecksum();
+  ASSET_RETURN_NOT_OK(disk_->WritePage(page_id, f.data.get()));
+  f.dirty = false;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (wal_ != nullptr) ASSET_RETURN_NOT_OK(wal_->Flush());
+  for (Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      Page(f.data.get()).UpdateChecksum();
+      ASSET_RETURN_NOT_OK(disk_->WritePage(f.page_id, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return disk_->Sync();
+}
+
+void BufferPool::DropAllUnflushed() {
+  std::lock_guard<std::mutex> g(mu_);
+  lru_.clear();
+  page_table_.clear();
+  free_frames_.clear();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    assert(f.pin_count == 0 && "DropAllUnflushed with outstanding pins");
+    f.page_id = kInvalidPageId;
+    f.dirty = false;
+    f.in_lru = false;
+    free_frames_.push_back(frames_.size() - 1 - i);
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+}  // namespace asset

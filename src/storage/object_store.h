@@ -1,0 +1,112 @@
+#ifndef ASSET_STORAGE_OBJECT_STORE_H_
+#define ASSET_STORAGE_OBJECT_STORE_H_
+
+/// \file object_store.h
+/// Variable-size persistent objects over the page cache.
+///
+/// This is the EOS-shaped surface the transaction kernel runs on: a
+/// database is "a collection of persistent objects" (§2), each identified
+/// by an ObjectId, read and written in place in the shared cache. Objects
+/// are stored as page records prefixed by their 8-byte id; an in-memory
+/// directory maps ids to (page, slot) and is rebuilt by scanning pages at
+/// open time.
+///
+/// Thread-safety: reads share; any mutation is exclusive. (Object-level
+/// isolation between transactions is the lock manager's job, one level
+/// up; this mutex only protects the physical structures.)
+
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace asset {
+
+/// A heap of persistent objects. One store owns the whole page device.
+class ObjectStore {
+ public:
+  explicit ObjectStore(BufferPool* pool) : pool_(pool) {}
+
+  /// Rebuilds the object directory by scanning every page on the device.
+  /// Call once before use; also after recovery reopens a device.
+  Status Open();
+
+  /// Creates an object with a store-assigned id.
+  Result<ObjectId> Create(std::span<const uint8_t> data);
+
+  /// Creates an object with a caller-chosen id (used by recovery redo and
+  /// by applications with natural keys). Fails if the id exists.
+  Status CreateWithId(ObjectId oid, std::span<const uint8_t> data);
+
+  /// Copies the object's current value.
+  Result<std::vector<uint8_t>> Read(ObjectId oid) const;
+
+  /// Overwrites the object's value (size may change).
+  Status Write(ObjectId oid, std::span<const uint8_t> data);
+
+  /// Removes the object.
+  Status Delete(ObjectId oid);
+
+  bool Exists(ObjectId oid) const;
+  size_t NumObjects() const;
+
+  /// All live object ids (unordered). For scans, tests, recovery checks.
+  std::vector<ObjectId> ListObjects() const;
+
+  // Idempotent mutators used by recovery's repeat-history pass.
+  /// Creates if absent, overwrites otherwise.
+  Status ApplyPut(ObjectId oid, std::span<const uint8_t> data);
+  /// Deletes if present; OK if absent.
+  Status ApplyDelete(ObjectId oid);
+
+  // --- Counters (semantic increment operations, paper §5) --------------
+  //
+  // A counter object is 16 bytes: [u64 applied_lsn][i64 value]. Deltas
+  // are applied conditionally on the stored lsn, which makes delta
+  // replay idempotent: recovery can repeat history without page lsns.
+
+  /// Serialized counter image with the given state.
+  static std::vector<uint8_t> EncodeCounter(Lsn applied_lsn, int64_t value);
+
+  /// The counter's current value; kInvalidArgument if the object is not
+  /// counter-shaped.
+  Result<int64_t> ReadCounter(ObjectId oid) const;
+
+  /// Adds `delta` to the counter iff `lsn` is newer than its stored
+  /// applied-lsn, then stamps `lsn`. Returns the post-apply value.
+  Result<int64_t> ApplyDelta(ObjectId oid, Lsn lsn, int64_t delta);
+
+ private:
+  struct Located {
+    RecordId rid;
+  };
+
+  /// Builds the page record image ([oid][data]).
+  static std::vector<uint8_t> MakeRecord(ObjectId oid,
+                                         std::span<const uint8_t> data);
+
+  /// Finds a page with room for `bytes` more, allocating if needed.
+  /// Caller holds mu_ exclusively.
+  Result<PageHandle> FindPageWithRoomLocked(size_t bytes);
+
+  Status CreateLocked(ObjectId oid, std::span<const uint8_t> data);
+  Status WriteLocked(ObjectId oid, std::span<const uint8_t> data);
+  Status DeleteLocked(ObjectId oid);
+
+  BufferPool* pool_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<ObjectId, Located> directory_;
+  ObjectId next_oid_ = kFirstUserObjectId;
+  /// Hint: page most recently found to have room.
+  PageId last_insert_page_ = kInvalidPageId;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_STORAGE_OBJECT_STORE_H_

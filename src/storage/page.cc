@@ -1,0 +1,190 @@
+#include "storage/page.h"
+
+#include <algorithm>
+
+namespace asset {
+
+namespace {
+
+/// FNV-1a over a byte range; cheap and adequate for torn-write detection.
+uint32_t Fnv1a(const uint8_t* data, size_t len) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Page::Init(PageId page_id) {
+  std::memset(data_, 0, kPageSize);
+  Header& h = header();
+  h.magic = kMagic;
+  h.page_id = page_id;
+  h.lsn = kNullLsn;
+  h.slot_count = 0;
+  h.free_lower = sizeof(Header);
+  h.free_upper = kPageSize;
+  h.garbage_bytes = 0;
+  UpdateChecksum();
+}
+
+uint32_t Page::ComputeChecksum() const {
+  // Checksum everything except the checksum field itself (last header
+  // word before the slot directory).
+  const size_t off = offsetof(Header, checksum);
+  uint32_t h = Fnv1a(data_, off);
+  h ^= Fnv1a(data_ + off + sizeof(uint32_t),
+             kPageSize - off - sizeof(uint32_t));
+  return h;
+}
+
+void Page::UpdateChecksum() { header().checksum = ComputeChecksum(); }
+
+Status Page::Validate() const {
+  const Header& h = header();
+  if (h.magic != kMagic) {
+    return Status::Corruption("page magic mismatch");
+  }
+  if (h.free_lower > h.free_upper || h.free_upper > kPageSize ||
+      h.free_lower != sizeof(Header) + h.slot_count * sizeof(Slot)) {
+    return Status::Corruption("page header geometry invalid");
+  }
+  if (h.checksum != ComputeChecksum()) {
+    return Status::Corruption("page checksum mismatch");
+  }
+  return Status::OK();
+}
+
+bool Page::HasRoomFor(size_t size) const {
+  const Header& h = header();
+  const size_t contiguous = h.free_upper - h.free_lower;
+  return contiguous >= size + sizeof(Slot) ||
+         contiguous + h.garbage_bytes >= size + sizeof(Slot);
+}
+
+Result<SlotId> Page::Insert(std::span<const uint8_t> record) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument("record larger than page capacity");
+  }
+  Header& h = header();
+  size_t need = record.size() + sizeof(Slot);
+  if (static_cast<size_t>(h.free_upper - h.free_lower) < need) {
+    if (static_cast<size_t>(h.free_upper - h.free_lower) + h.garbage_bytes <
+        need) {
+      return Status::ResourceExhausted("page full");
+    }
+    Compact();
+    if (static_cast<size_t>(h.free_upper - h.free_lower) < need) {
+      return Status::ResourceExhausted("page full after compaction");
+    }
+  }
+  SlotId slot = h.slot_count;
+  h.slot_count++;
+  h.free_lower += sizeof(Slot);
+  h.free_upper -= static_cast<uint16_t>(record.size());
+  slots()[slot].offset = h.free_upper;
+  slots()[slot].length = static_cast<uint16_t>(record.size());
+  std::memcpy(data_ + h.free_upper, record.data(), record.size());
+  return slot;
+}
+
+Result<std::span<const uint8_t>> Page::Read(SlotId slot) const {
+  if (slot >= header().slot_count) {
+    return Status::NotFound("slot out of range");
+  }
+  const Slot& s = slots()[slot];
+  if (s.offset == 0) {
+    return Status::NotFound("slot is tombstoned");
+  }
+  return std::span<const uint8_t>(data_ + s.offset, s.length);
+}
+
+bool Page::IsLive(SlotId slot) const {
+  return slot < header().slot_count && slots()[slot].offset != 0;
+}
+
+Status Page::Update(SlotId slot, std::span<const uint8_t> record) {
+  if (slot >= header().slot_count || slots()[slot].offset == 0) {
+    return Status::NotFound("no live record at slot");
+  }
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument("record larger than page capacity");
+  }
+  Header& h = header();
+  Slot& s = slots()[slot];
+  if (record.size() <= s.length) {
+    // Shrink or same-size in place; the tail gap becomes garbage.
+    h.garbage_bytes += static_cast<uint16_t>(s.length - record.size());
+    s.length = static_cast<uint16_t>(record.size());
+    std::memcpy(data_ + s.offset, record.data(), record.size());
+    return Status::OK();
+  }
+  // Relocate: tombstone the old bytes, place the new copy in free space
+  // (compacting if needed).
+  const uint16_t old_len = s.length;
+  size_t contiguous = h.free_upper - h.free_lower;
+  if (contiguous < record.size()) {
+    if (contiguous + h.garbage_bytes + old_len < record.size()) {
+      return Status::ResourceExhausted("page cannot fit grown record");
+    }
+    h.garbage_bytes += old_len;
+    s.offset = 0;  // let Compact reclaim the old copy
+    s.length = 0;
+    Compact();
+    if (static_cast<size_t>(h.free_upper - h.free_lower) < record.size()) {
+      return Status::ResourceExhausted("page cannot fit grown record");
+    }
+  } else {
+    h.garbage_bytes += old_len;
+  }
+  h.free_upper -= static_cast<uint16_t>(record.size());
+  s.offset = h.free_upper;
+  s.length = static_cast<uint16_t>(record.size());
+  std::memcpy(data_ + s.offset, record.data(), record.size());
+  return Status::OK();
+}
+
+Status Page::Delete(SlotId slot) {
+  if (slot >= header().slot_count || slots()[slot].offset == 0) {
+    return Status::NotFound("no live record at slot");
+  }
+  Header& h = header();
+  Slot& s = slots()[slot];
+  h.garbage_bytes += s.length;
+  s.offset = 0;
+  s.length = 0;
+  return Status::OK();
+}
+
+void Page::Compact() {
+  Header& h = header();
+  // Gather live records, rewrite the heap from the top down.
+  struct Live {
+    SlotId slot;
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<Live> lives;
+  lives.reserve(h.slot_count);
+  for (SlotId i = 0; i < h.slot_count; ++i) {
+    const Slot& s = slots()[i];
+    if (s.offset != 0) {
+      lives.push_back(
+          {i, std::vector<uint8_t>(data_ + s.offset,
+                                   data_ + s.offset + s.length)});
+    }
+  }
+  uint16_t upper = kPageSize;
+  for (const Live& l : lives) {
+    upper -= static_cast<uint16_t>(l.bytes.size());
+    std::memcpy(data_ + upper, l.bytes.data(), l.bytes.size());
+    slots()[l.slot].offset = upper;
+    slots()[l.slot].length = static_cast<uint16_t>(l.bytes.size());
+  }
+  h.free_upper = upper;
+  h.garbage_bytes = 0;
+}
+
+}  // namespace asset

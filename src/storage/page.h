@@ -1,0 +1,146 @@
+#ifndef ASSET_STORAGE_PAGE_H_
+#define ASSET_STORAGE_PAGE_H_
+
+/// \file page.h
+/// Slotted pages — the unit of storage and caching.
+///
+/// EOS (the paper's storage manager) stores variable-size objects on
+/// pages in a shared cache. We reproduce that substrate with a classic
+/// slotted-page layout:
+///
+///   [ PageHeader | slot directory (grows up) ... free ... records (grow down) ]
+///
+/// Each record holds one object: an 8-byte ObjectId header followed by the
+/// object's bytes. Slots are never reused for a *different* object while
+/// the page lives, so (page, slot) is a stable object locator; deleted
+/// slots are tombstoned and reclaimed by Compact().
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace asset {
+
+/// Size of every page in bytes.
+inline constexpr size_t kPageSize = 8192;
+
+/// Slot index within a page.
+using SlotId = uint16_t;
+inline constexpr SlotId kInvalidSlot = UINT16_MAX;
+
+/// A (page, slot) object locator.
+struct RecordId {
+  PageId page_id = kInvalidPageId;
+  SlotId slot_id = kInvalidSlot;
+
+  bool Valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const RecordId&) const = default;
+};
+
+/// In-memory view over one page frame. `Page` does not own its buffer —
+/// the buffer pool does — which keeps frames movable and recovery able to
+/// operate on raw buffers.
+class Page {
+ public:
+  /// Wraps `frame`, which must point at kPageSize writable bytes.
+  explicit Page(uint8_t* frame) : data_(frame) {}
+
+  /// Formats the frame as an empty page with the given id.
+  void Init(PageId page_id);
+
+  /// Returns OK if the header magic and checksum are consistent.
+  /// Call after reading a frame from disk.
+  Status Validate() const;
+
+  /// Recomputes and stores the checksum. Call before writing to disk.
+  void UpdateChecksum();
+
+  PageId page_id() const { return header().page_id; }
+  Lsn lsn() const { return header().lsn; }
+  void set_lsn(Lsn lsn) { header().lsn = lsn; }
+
+  /// Number of slots, including tombstones.
+  uint16_t SlotCount() const { return header().slot_count; }
+
+  /// Contiguous free bytes available for a new record of `size` bytes
+  /// (including its slot entry).
+  bool HasRoomFor(size_t size) const;
+
+  /// Bytes reclaimable by Compact() (tombstoned record space).
+  size_t GarbageBytes() const { return header().garbage_bytes; }
+
+  /// Inserts a record; returns its slot, or ResourceExhausted if the page
+  /// cannot fit it even after compaction.
+  Result<SlotId> Insert(std::span<const uint8_t> record);
+
+  /// Reads the record at `slot`. NotFound for tombstoned/invalid slots.
+  Result<std::span<const uint8_t>> Read(SlotId slot) const;
+
+  /// Overwrites the record at `slot`. Grows or shrinks in place when the
+  /// tail record, otherwise relocates within the page; ResourceExhausted
+  /// if the new size does not fit.
+  Status Update(SlotId slot, std::span<const uint8_t> record);
+
+  /// Tombstones the record at `slot`; its bytes become garbage.
+  Status Delete(SlotId slot);
+
+  /// True if `slot` currently holds a live record.
+  bool IsLive(SlotId slot) const;
+
+  /// Rewrites the page dropping tombstoned records; live slot ids are
+  /// preserved (slots are stable locators).
+  void Compact();
+
+  /// Raw frame access, used by the disk manager and tests.
+  uint8_t* raw() { return data_; }
+  const uint8_t* raw() const { return data_; }
+
+  /// Upper bound on a record that can live on an empty page.
+  static constexpr size_t MaxRecordSize();
+
+ private:
+  struct Header {
+    uint32_t magic;
+    PageId page_id;
+    Lsn lsn;
+    uint16_t slot_count;
+    uint16_t free_lower;   // first byte past the slot directory
+    uint16_t free_upper;   // first byte of the record heap
+    uint16_t garbage_bytes;
+    uint32_t checksum;
+  };
+  struct Slot {
+    uint16_t offset;  // 0 => tombstone
+    uint16_t length;
+  };
+
+  static constexpr uint32_t kMagic = 0x41535354;  // "ASST"
+
+  Header& header() { return *reinterpret_cast<Header*>(data_); }
+  const Header& header() const {
+    return *reinterpret_cast<const Header*>(data_);
+  }
+  Slot* slots() { return reinterpret_cast<Slot*>(data_ + sizeof(Header)); }
+  const Slot* slots() const {
+    return reinterpret_cast<const Slot*>(data_ + sizeof(Header));
+  }
+
+  uint32_t ComputeChecksum() const;
+
+  uint8_t* data_;
+};
+
+constexpr size_t Page::MaxRecordSize() {
+  return kPageSize - sizeof(Header) - sizeof(Slot);
+}
+
+}  // namespace asset
+
+#endif  // ASSET_STORAGE_PAGE_H_

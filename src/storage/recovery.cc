@@ -1,0 +1,215 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace asset {
+
+namespace {
+
+bool IsDataOp(LogRecordType t) {
+  return t == LogRecordType::kCreate || t == LogRecordType::kUpdate ||
+         t == LogRecordType::kDelete || t == LogRecordType::kIncrement;
+}
+
+bool IsClr(LogRecordType t) {
+  return t == LogRecordType::kClrPut || t == LogRecordType::kClrDelete;
+}
+
+}  // namespace
+
+Result<RecoveryManager::Report> RecoveryManager::Recover(LogManager* log,
+                                                         ObjectStore* store) {
+  Report report;
+  std::vector<LogRecord> records = log->ReadDurable();
+  const Lsn start = log->last_checkpoint_lsn();  // records after this matter
+
+  // --- Analysis ---------------------------------------------------------
+  // Final responsibility for each data operation, after replaying
+  // delegation; and terminal status of each transaction.
+  std::unordered_map<Lsn, Tid> responsible;        // data-op lsn -> tid
+  std::unordered_set<Lsn> compensated;             // data-op lsns undone by CLRs
+  std::unordered_set<Tid> committed, aborted, seen;
+
+  for (const LogRecord& rec : records) {
+    if (rec.lsn <= start) continue;
+    report.records_scanned++;
+    switch (rec.type) {
+      case LogRecordType::kBegin:
+        seen.insert(rec.tid);
+        break;
+      case LogRecordType::kCreate:
+      case LogRecordType::kUpdate:
+      case LogRecordType::kDelete:
+        seen.insert(rec.tid);
+        responsible[rec.lsn] = rec.tid;
+        break;
+      case LogRecordType::kIncrement:
+        if (rec.undo_of != kNullLsn) {
+          // Compensation of an earlier increment: redo-only.
+          compensated.insert(rec.undo_of);
+        } else {
+          seen.insert(rec.tid);
+          responsible[rec.lsn] = rec.tid;
+        }
+        break;
+      case LogRecordType::kCommit:
+        committed.insert(rec.tid);
+        break;
+      case LogRecordType::kAbort:
+        aborted.insert(rec.tid);
+        break;
+      case LogRecordType::kDelegateAll:
+        for (auto& [lsn, tid] : responsible) {
+          if (tid == rec.tid) tid = rec.other_tid;
+        }
+        seen.insert(rec.other_tid);
+        break;
+      case LogRecordType::kDelegateSet: {
+        std::unordered_set<ObjectId> set(rec.oid_set.begin(),
+                                         rec.oid_set.end());
+        for (auto& [lsn, tid] : responsible) {
+          if (tid == rec.tid && set.count(log->At(lsn).oid) != 0) {
+            tid = rec.other_tid;
+          }
+        }
+        seen.insert(rec.other_tid);
+        break;
+      }
+      case LogRecordType::kClrPut:
+      case LogRecordType::kClrDelete:
+        if (rec.undo_of != kNullLsn) compensated.insert(rec.undo_of);
+        break;
+      case LogRecordType::kCheckpoint:
+        break;
+    }
+  }
+
+  // --- Redo: repeat history ---------------------------------------------
+  for (const LogRecord& rec : records) {
+    if (rec.lsn <= start) continue;
+    switch (rec.type) {
+      case LogRecordType::kCreate:
+      case LogRecordType::kUpdate:
+        ASSET_RETURN_NOT_OK(store->ApplyPut(rec.oid, rec.after));
+        report.redo_applied++;
+        break;
+      case LogRecordType::kDelete:
+        ASSET_RETURN_NOT_OK(store->ApplyDelete(rec.oid));
+        report.redo_applied++;
+        break;
+      case LogRecordType::kClrPut:
+        ASSET_RETURN_NOT_OK(store->ApplyPut(rec.oid, rec.after));
+        report.redo_applied++;
+        break;
+      case LogRecordType::kClrDelete:
+        ASSET_RETURN_NOT_OK(store->ApplyDelete(rec.oid));
+        report.redo_applied++;
+        break;
+      case LogRecordType::kIncrement: {
+        auto delta = DecodeI64(rec.after);
+        if (!delta.ok()) return delta.status();
+        // Conditional on the counter's applied-lsn: already-applied
+        // deltas (flushed before the crash) are skipped.
+        auto applied = store->ApplyDelta(rec.oid, rec.lsn, *delta);
+        if (!applied.ok() && !applied.status().IsNotFound()) {
+          return applied.status();
+        }
+        report.redo_applied++;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // --- Undo losers -------------------------------------------------------
+  // A loser is a transaction that owns at least one data op but has
+  // neither committed nor been fully aborted (abort record present means
+  // its CLRs are already in the log and were redone above).
+  std::unordered_set<Tid> losers;
+  for (const auto& [lsn, tid] : responsible) {
+    if (committed.count(tid) == 0 && aborted.count(tid) == 0) {
+      losers.insert(tid);
+    }
+  }
+  // Also count began-but-write-free in-flight transactions as losers for
+  // reporting (nothing to undo).
+  for (Tid t : seen) {
+    if (committed.count(t) == 0 && aborted.count(t) == 0) losers.insert(t);
+  }
+
+  std::vector<const LogRecord*> to_undo;
+  for (const LogRecord& rec : records) {
+    if (rec.lsn <= start || !IsDataOp(rec.type)) continue;
+    auto it = responsible.find(rec.lsn);
+    if (it == responsible.end()) continue;
+    if (losers.count(it->second) == 0) continue;
+    if (compensated.count(rec.lsn) != 0) continue;  // already undone
+    to_undo.push_back(&rec);
+  }
+  std::sort(to_undo.begin(), to_undo.end(),
+            [](const LogRecord* a, const LogRecord* b) {
+              return a->lsn > b->lsn;  // reverse order
+            });
+
+  for (const LogRecord* rec : to_undo) {
+    LogRecord clr;
+    clr.tid = responsible[rec->lsn];
+    clr.oid = rec->oid;
+    clr.undo_of = rec->lsn;
+    switch (rec->type) {
+      case LogRecordType::kCreate:
+        ASSET_RETURN_NOT_OK(store->ApplyDelete(rec->oid));
+        clr.type = LogRecordType::kClrDelete;
+        log->Append(std::move(clr));
+        break;
+      case LogRecordType::kUpdate:
+      case LogRecordType::kDelete:
+        ASSET_RETURN_NOT_OK(store->ApplyPut(rec->oid, rec->before));
+        clr.type = LogRecordType::kClrPut;
+        clr.after = rec->before;
+        log->Append(std::move(clr));
+        break;
+      case LogRecordType::kIncrement: {
+        auto delta = DecodeI64(rec->after);
+        if (!delta.ok()) return delta.status();
+        clr.type = LogRecordType::kIncrement;
+        clr.after = EncodeI64(-*delta);
+        Lsn clr_lsn = log->Append(std::move(clr));
+        auto applied = store->ApplyDelta(rec->oid, clr_lsn, -*delta);
+        if (!applied.ok() && !applied.status().IsNotFound()) {
+          return applied.status();
+        }
+        break;
+      }
+      default:
+        continue;
+    }
+    report.undo_applied++;
+  }
+  for (Tid t : losers) {
+    LogRecord abort_rec;
+    abort_rec.type = LogRecordType::kAbort;
+    abort_rec.tid = t;
+    log->Append(std::move(abort_rec));
+  }
+  ASSET_RETURN_NOT_OK(log->Flush());
+
+  report.winners.assign(committed.begin(), committed.end());
+  report.losers.assign(losers.begin(), losers.end());
+  std::sort(report.winners.begin(), report.winners.end());
+  std::sort(report.losers.begin(), report.losers.end());
+  return report;
+}
+
+Status RecoveryManager::Checkpoint(LogManager* log, BufferPool* pool) {
+  ASSET_RETURN_NOT_OK(pool->FlushAll());
+  LogRecord rec;
+  rec.type = LogRecordType::kCheckpoint;
+  log->Append(std::move(rec));
+  return log->Flush();
+}
+
+}  // namespace asset

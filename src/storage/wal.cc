@@ -1,0 +1,304 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+namespace asset {
+
+namespace {
+
+uint32_t Fnv1a(const uint8_t* data, size_t len) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutBytes(std::vector<uint8_t>* out, const std::vector<uint8_t>& b) {
+  PutU32(out, static_cast<uint32_t>(b.size()));
+  out->insert(out->end(), b.begin(), b.end());
+}
+
+bool GetU32(const std::vector<uint8_t>& in, size_t* off, uint32_t* v) {
+  if (*off + 4 > in.size()) return false;
+  *v = static_cast<uint32_t>(in[*off]) |
+       (static_cast<uint32_t>(in[*off + 1]) << 8) |
+       (static_cast<uint32_t>(in[*off + 2]) << 16) |
+       (static_cast<uint32_t>(in[*off + 3]) << 24);
+  *off += 4;
+  return true;
+}
+
+bool GetU64(const std::vector<uint8_t>& in, size_t* off, uint64_t* v) {
+  uint32_t lo, hi;
+  if (!GetU32(in, off, &lo) || !GetU32(in, off, &hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool GetBytes(const std::vector<uint8_t>& in, size_t* off,
+              std::vector<uint8_t>* b) {
+  uint32_t len;
+  if (!GetU32(in, off, &len)) return false;
+  if (*off + len > in.size()) return false;
+  b->assign(in.begin() + *off, in.begin() + *off + len);
+  *off += len;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeI64(int64_t v) {
+  std::vector<uint8_t> out(sizeof(int64_t));
+  std::memcpy(out.data(), &v, sizeof(int64_t));
+  return out;
+}
+
+Result<int64_t> DecodeI64(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() != sizeof(int64_t)) {
+    return Status::Corruption("i64 payload size mismatch");
+  }
+  int64_t v;
+  std::memcpy(&v, bytes.data(), sizeof(int64_t));
+  return v;
+}
+
+void LogRecord::EncodeTo(std::vector<uint8_t>* out) const {
+  std::vector<uint8_t> body;
+  body.push_back(static_cast<uint8_t>(type));
+  PutU64(&body, lsn);
+  PutU64(&body, tid);
+  PutU64(&body, other_tid);
+  PutU64(&body, oid);
+  PutU64(&body, undo_of);
+  PutBytes(&body, before);
+  PutBytes(&body, after);
+  PutU32(&body, static_cast<uint32_t>(oid_set.size()));
+  for (ObjectId id : oid_set) PutU64(&body, id);
+
+  PutU32(out, static_cast<uint32_t>(body.size()));
+  PutU32(out, Fnv1a(body.data(), body.size()));
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+Result<LogRecord> LogRecord::DecodeFrom(const std::vector<uint8_t>& data,
+                                        size_t* offset) {
+  if (*offset == data.size()) {
+    return Status::NotFound("end of log");
+  }
+  size_t off = *offset;
+  uint32_t len, crc;
+  if (!GetU32(data, &off, &len) || !GetU32(data, &off, &crc) ||
+      off + len > data.size()) {
+    return Status::Corruption("torn log record frame");
+  }
+  if (Fnv1a(data.data() + off, len) != crc) {
+    return Status::Corruption("log record checksum mismatch");
+  }
+  size_t body_end = off + len;
+  LogRecord rec;
+  uint8_t type_byte = data[off++];
+  if (type_byte < static_cast<uint8_t>(LogRecordType::kBegin) ||
+      type_byte > static_cast<uint8_t>(LogRecordType::kIncrement)) {
+    return Status::Corruption("unknown log record type");
+  }
+  rec.type = static_cast<LogRecordType>(type_byte);
+  uint32_t nset = 0;
+  if (!GetU64(data, &off, &rec.lsn) || !GetU64(data, &off, &rec.tid) ||
+      !GetU64(data, &off, &rec.other_tid) || !GetU64(data, &off, &rec.oid) ||
+      !GetU64(data, &off, &rec.undo_of) ||
+      !GetBytes(data, &off, &rec.before) ||
+      !GetBytes(data, &off, &rec.after) || !GetU32(data, &off, &nset)) {
+    return Status::Corruption("truncated log record body");
+  }
+  rec.oid_set.resize(nset);
+  for (uint32_t i = 0; i < nset; ++i) {
+    if (!GetU64(data, &off, &rec.oid_set[i])) {
+      return Status::Corruption("truncated delegate set");
+    }
+  }
+  if (off != body_end) {
+    return Status::Corruption("log record body length mismatch");
+  }
+  *offset = body_end;
+  return rec;
+}
+
+LogManager::~LogManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status LogManager::AttachFile(const std::string& path) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!records_.empty()) {
+    return Status::IllegalState("AttachFile must precede any Append");
+  }
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IOError("lseek: " + std::string(std::strerror(errno)));
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0) {
+    ssize_t n = ::pread(fd_, bytes.data(), bytes.size(), 0);
+    if (n != size) {
+      return Status::IOError("short read of log file");
+    }
+  }
+  size_t off = 0;
+  size_t good_end = 0;
+  for (;;) {
+    auto rec = LogRecord::DecodeFrom(bytes, &off);
+    if (!rec.ok()) {
+      // Clean end or a torn tail from a crash mid-append: both end the
+      // durable prefix. Truncate the file to the last whole record.
+      break;
+    }
+    records_.push_back(std::move(rec).value());
+    good_end = off;
+  }
+  if (good_end != bytes.size()) {
+    if (::ftruncate(fd_, static_cast<off_t>(good_end)) != 0) {
+      return Status::IOError("ftruncate: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+  durable_lsn_ = static_cast<Lsn>(records_.size());
+  for (Lsn l = 1; l <= durable_lsn_; ++l) {
+    if (records_[l - 1].type == LogRecordType::kCheckpoint) {
+      last_checkpoint_ = l;
+    }
+  }
+  return Status::OK();
+}
+
+Lsn LogManager::Append(LogRecord rec) {
+  std::lock_guard<std::mutex> g(mu_);
+  rec.lsn = static_cast<Lsn>(records_.size() + 1);
+  Lsn lsn = rec.lsn;
+  records_.push_back(std::move(rec));
+  return lsn;
+}
+
+Status LogManager::Flush(Lsn upto) {
+  std::lock_guard<std::mutex> g(mu_);
+  Lsn target = (upto == kNullLsn) ? static_cast<Lsn>(records_.size()) : upto;
+  if (target > records_.size()) {
+    return Status::InvalidArgument("flush beyond end of log");
+  }
+  if (target > durable_lsn_) {
+    if (fd_ >= 0) {
+      // Persist the newly durable records before acknowledging them.
+      std::vector<uint8_t> bytes;
+      for (Lsn l = durable_lsn_ + 1; l <= target; ++l) {
+        records_[l - 1].EncodeTo(&bytes);
+      }
+      ssize_t n = ::pwrite(fd_, bytes.data(), bytes.size(),
+                           ::lseek(fd_, 0, SEEK_END));
+      if (n != static_cast<ssize_t>(bytes.size())) {
+        return Status::IOError("short write to log file");
+      }
+      if (::fsync(fd_) != 0) {
+        return Status::IOError("fsync: " +
+                               std::string(std::strerror(errno)));
+      }
+    }
+    // Checkpoint tracking: remember the newest checkpoint that just
+    // became durable.
+    for (Lsn l = durable_lsn_ + 1; l <= target; ++l) {
+      if (records_[l - 1].type == LogRecordType::kCheckpoint) {
+        last_checkpoint_ = l;
+      }
+    }
+    durable_lsn_ = target;
+  }
+  return Status::OK();
+}
+
+Lsn LogManager::last_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return static_cast<Lsn>(records_.size());
+}
+
+Lsn LogManager::durable_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return durable_lsn_;
+}
+
+Lsn LogManager::last_checkpoint_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return last_checkpoint_;
+}
+
+void LogManager::SimulateCrash() {
+  std::lock_guard<std::mutex> g(mu_);
+  records_.resize(durable_lsn_);
+}
+
+LogRecord LogManager::At(Lsn lsn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  assert(lsn >= 1 && lsn <= records_.size());
+  return records_[lsn - 1];
+}
+
+std::vector<LogRecord> LogManager::ReadAll() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return {records_.begin(), records_.end()};
+}
+
+std::vector<LogRecord> LogManager::ReadDurable() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return {records_.begin(), records_.begin() + durable_lsn_};
+}
+
+std::vector<uint8_t> LogManager::SerializeDurable() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<uint8_t> out;
+  for (Lsn l = 1; l <= durable_lsn_; ++l) {
+    records_[l - 1].EncodeTo(&out);
+  }
+  return out;
+}
+
+Result<std::vector<LogRecord>> LogManager::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  std::vector<LogRecord> out;
+  size_t off = 0;
+  for (;;) {
+    auto rec = LogRecord::DecodeFrom(bytes, &off);
+    if (!rec.ok()) {
+      if (rec.status().IsNotFound()) break;  // clean end
+      return rec.status();
+    }
+    out.push_back(std::move(rec).value());
+  }
+  return out;
+}
+
+size_t LogManager::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return records_.size();
+}
+
+}  // namespace asset

@@ -1,0 +1,156 @@
+#ifndef ASSET_STORAGE_WAL_H_
+#define ASSET_STORAGE_WAL_H_
+
+/// \file wal.h
+/// Write-ahead log with before/after images.
+///
+/// The paper's write path (§4.2) logs the before image of an object, then
+/// performs the write, then logs the after image; abort installs before
+/// images (§4.2 abort step 2); commit places a commit record (§4.2 commit
+/// step 4). We keep one record per update carrying both images.
+///
+/// Delegation (§2.2) transfers *responsibility* for uncommitted
+/// operations between transactions. Because recovery must decide whether
+/// an update wins by looking at the transaction that was responsible for
+/// it *at the end*, delegation itself is logged (kDelegateAll /
+/// kDelegateSet) and replayed during analysis.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace asset {
+
+enum class LogRecordType : uint8_t {
+  /// Transaction began executing.
+  kBegin = 1,
+  /// Object created by `tid`; `after` holds the initial value.
+  kCreate = 2,
+  /// Object updated by `tid`; `before` and `after` hold the images.
+  kUpdate = 3,
+  /// Object deleted by `tid`; `before` holds the last value.
+  kDelete = 4,
+  /// Transaction (and any group-committed peers) committed.
+  kCommit = 5,
+  /// Transaction aborted (its undo has been applied).
+  kAbort = 6,
+  /// delegate(tid, other_tid): all of tid's responsibility moved.
+  kDelegateAll = 7,
+  /// delegate(tid, other_tid, oid_set): responsibility for operations on
+  /// the listed objects moved.
+  kDelegateSet = 8,
+  /// All dirty pages were flushed before this record; recovery may start
+  /// here.
+  kCheckpoint = 9,
+  /// Compensation record: abort (runtime or recovery) restored object
+  /// `oid` to the value in `after`; `undo_of` names the compensated
+  /// update. Redo-only — never undone.
+  kClrPut = 10,
+  /// Compensation record: abort removed object `oid` (undoing a create).
+  /// Redo-only.
+  kClrDelete = 11,
+  /// Commutative counter increment (§5 semantic operations): `after`
+  /// holds the signed 64-bit delta. Applied conditionally on the
+  /// counter's stored applied-lsn, so replay is idempotent despite
+  /// being delta-based. A kIncrement with `undo_of` set is the
+  /// compensation of an earlier increment (redo-only).
+  kIncrement = 12,
+};
+
+/// Little-endian i64 payload helpers (kIncrement deltas).
+std::vector<uint8_t> EncodeI64(int64_t v);
+Result<int64_t> DecodeI64(const std::vector<uint8_t>& bytes);
+
+/// One log record. `lsn` is assigned by LogManager::Append; lsns start at
+/// 1 and are dense.
+struct LogRecord {
+  Lsn lsn = kNullLsn;
+  LogRecordType type = LogRecordType::kBegin;
+  Tid tid = kNullTid;
+  Tid other_tid = kNullTid;  // delegate target
+  ObjectId oid = kNullObjectId;
+  /// For kClr*: the lsn of the update this record compensates.
+  Lsn undo_of = kNullLsn;
+  std::vector<uint8_t> before;
+  std::vector<uint8_t> after;
+  std::vector<ObjectId> oid_set;  // kDelegateSet only
+
+  /// Wire encoding: length-prefixed, checksummed frame.
+  void EncodeTo(std::vector<uint8_t>* out) const;
+
+  /// Decodes one record starting at `data + *offset`; advances *offset.
+  /// Returns NotFound on a clean end of log, Corruption on a torn or
+  /// damaged frame.
+  static Result<LogRecord> DecodeFrom(const std::vector<uint8_t>& data,
+                                      size_t* offset);
+};
+
+/// Append-only log. Thread-safe. Records become *durable* only when
+/// flushed; SimulateCrash() discards the non-durable tail, which is how
+/// recovery tests model power loss.
+///
+/// Optionally file-backed: AttachFile() loads the records persisted by
+/// a previous process and makes every subsequent Flush() append the
+/// newly durable records to the file and fsync it.
+class LogManager {
+ public:
+  LogManager() = default;
+  ~LogManager();
+
+  /// Binds the log to `path`: existing records are loaded (all durable),
+  /// future flushes append. Must be called before any Append. A torn
+  /// tail from a mid-write crash is truncated, not an error.
+  Status AttachFile(const std::string& path);
+
+  /// Appends `rec`, assigning and returning its lsn.
+  Lsn Append(LogRecord rec);
+
+  /// Makes all records with lsn <= `upto` durable (everything, if
+  /// kNullLsn).
+  Status Flush(Lsn upto = kNullLsn);
+
+  Lsn last_lsn() const;
+  Lsn durable_lsn() const;
+
+  /// Lsn of the most recent durable checkpoint record, or kNullLsn.
+  Lsn last_checkpoint_lsn() const;
+
+  /// Drops every record that was never flushed.
+  void SimulateCrash();
+
+  /// Copy of record `lsn` (1-based). Must exist.
+  LogRecord At(Lsn lsn) const;
+
+  /// Copies of all records, durable and not — the runtime view.
+  std::vector<LogRecord> ReadAll() const;
+
+  /// Copies of durable records only — the recovery view.
+  std::vector<LogRecord> ReadDurable() const;
+
+  /// Serializes durable records to bytes (for file shipping) and back.
+  std::vector<uint8_t> SerializeDurable() const;
+  static Result<std::vector<LogRecord>> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+  /// Total appended records.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<LogRecord> records_;
+  Lsn durable_lsn_ = kNullLsn;
+  Lsn last_checkpoint_ = kNullLsn;
+  /// File descriptor of the attached log file, or -1.
+  int fd_ = -1;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_STORAGE_WAL_H_

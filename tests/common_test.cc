@@ -1,0 +1,246 @@
+// Unit tests for src/common: Status, Result, OpSet, ObjectSet, Random.
+
+#include <gtest/gtest.h>
+
+#include "common/object_set.h"
+#include "common/op_set.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace asset {
+namespace {
+
+// --- Status ---------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("object 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "object 7");
+  EXPECT_EQ(s.ToString(), "NotFound: object 7");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::Deadlock("x").IsDeadlock());
+  EXPECT_TRUE(Status::TxnAborted("x").IsTxnAborted());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::IllegalState("x").IsIllegalState());
+  EXPECT_FALSE(Status::IOError("x").IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    ASSET_RETURN_NOT_OK(Status::IOError("disk gone"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIOError);
+  auto passes = []() -> Status {
+    ASSET_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(passes().code(), StatusCode::kInternal);
+}
+
+// --- Result ---------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// --- OpSet / LockMode -------------------------------------------------------
+
+TEST(OpSetTest, SingletonAndAll) {
+  OpSet r(Operation::kRead);
+  EXPECT_TRUE(r.Contains(Operation::kRead));
+  EXPECT_FALSE(r.Contains(Operation::kWrite));
+  EXPECT_FALSE(r.IsAll());
+  EXPECT_TRUE(OpSet::All().Contains(Operation::kWrite));
+  EXPECT_TRUE(OpSet::All().IsAll());
+  EXPECT_TRUE(OpSet::None().empty());
+}
+
+TEST(OpSetTest, IntersectIsSetIntersection) {
+  OpSet r(Operation::kRead), w(Operation::kWrite);
+  EXPECT_TRUE(r.Intersect(w).empty());
+  EXPECT_EQ(OpSet::All().Intersect(r), r);
+  EXPECT_EQ(r.Union(w), OpSet::All());
+}
+
+TEST(OpSetTest, CoversIsSuperset) {
+  EXPECT_TRUE(OpSet::All().Covers(OpSet(Operation::kRead)));
+  EXPECT_FALSE(OpSet(Operation::kRead).Covers(OpSet::All()));
+  EXPECT_TRUE(OpSet(Operation::kRead).Covers(OpSet::None()));
+}
+
+TEST(OpSetTest, ToString) {
+  EXPECT_EQ(OpSet::None().ToString(), "{}");
+  EXPECT_EQ(OpSet(Operation::kRead).ToString(), "{read}");
+  EXPECT_EQ(OpSet(Operation::kWrite).ToString(), "{write}");
+  EXPECT_EQ(OpSet::All().ToString(), "{read,write}");
+}
+
+TEST(LockModeTest, Covers) {
+  EXPECT_TRUE(LockModeCovers(LockMode::kWrite, LockMode::kRead));
+  EXPECT_TRUE(LockModeCovers(LockMode::kWrite, LockMode::kWrite));
+  EXPECT_TRUE(LockModeCovers(LockMode::kRead, LockMode::kRead));
+  EXPECT_FALSE(LockModeCovers(LockMode::kRead, LockMode::kWrite));
+  EXPECT_TRUE(LockModeCovers(LockMode::kNone, LockMode::kNone));
+}
+
+TEST(LockModeTest, Conflicts) {
+  EXPECT_FALSE(LockModesConflict(LockMode::kRead, LockMode::kRead));
+  EXPECT_TRUE(LockModesConflict(LockMode::kRead, LockMode::kWrite));
+  EXPECT_TRUE(LockModesConflict(LockMode::kWrite, LockMode::kRead));
+  EXPECT_TRUE(LockModesConflict(LockMode::kWrite, LockMode::kWrite));
+  EXPECT_FALSE(LockModesConflict(LockMode::kNone, LockMode::kWrite));
+}
+
+// --- ObjectSet ---------------------------------------------------------------
+
+TEST(ObjectSetTest, EmptyAndAll) {
+  ObjectSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.Contains(1));
+  ObjectSet all = ObjectSet::All();
+  EXPECT_TRUE(all.IsAll());
+  EXPECT_FALSE(all.empty());
+  EXPECT_TRUE(all.Contains(123456789));
+}
+
+TEST(ObjectSetTest, DedupAndSort) {
+  ObjectSet s{5, 1, 3, 1, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ids(), (std::vector<ObjectId>{1, 3, 5}));
+}
+
+TEST(ObjectSetTest, Insert) {
+  ObjectSet s{2};
+  s.Insert(1);
+  s.Insert(2);  // duplicate
+  s.Insert(3);
+  EXPECT_EQ(s.ids(), (std::vector<ObjectId>{1, 2, 3}));
+}
+
+TEST(ObjectSetTest, IntersectConcrete) {
+  ObjectSet a{1, 2, 3}, b{2, 3, 4};
+  EXPECT_EQ(a.Intersect(b), (ObjectSet{2, 3}));
+  EXPECT_EQ(a.Intersect(ObjectSet()), ObjectSet());
+}
+
+TEST(ObjectSetTest, IntersectWithAll) {
+  ObjectSet a{1, 2};
+  EXPECT_EQ(a.Intersect(ObjectSet::All()), a);
+  EXPECT_EQ(ObjectSet::All().Intersect(a), a);
+  EXPECT_TRUE(ObjectSet::All().Intersect(ObjectSet::All()).IsAll());
+}
+
+TEST(ObjectSetTest, UnionAndCovers) {
+  ObjectSet a{1, 2}, b{2, 3};
+  EXPECT_EQ(a.Union(b), (ObjectSet{1, 2, 3}));
+  EXPECT_TRUE(ObjectSet::All().Covers(a));
+  EXPECT_FALSE(a.Covers(ObjectSet::All()));
+  EXPECT_TRUE((ObjectSet{1, 2, 3}).Covers(a));
+  EXPECT_FALSE(a.Covers((ObjectSet{1, 3})));
+}
+
+TEST(ObjectSetTest, Difference) {
+  ObjectSet a{1, 2, 3};
+  EXPECT_EQ(a.Difference(ObjectSet{2}), (ObjectSet{1, 3}));
+  EXPECT_TRUE(a.Difference(ObjectSet::All()).empty());
+  EXPECT_EQ(a.Difference(ObjectSet()), a);
+}
+
+TEST(ObjectSetTest, ToString) {
+  EXPECT_EQ(ObjectSet::All().ToString(), "*");
+  EXPECT_EQ((ObjectSet{3, 1}).ToString(), "{1,3}");
+  EXPECT_EQ(ObjectSet().ToString(), "{}");
+}
+
+// --- Random ---------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+    uint64_t x = r.Range(5, 9);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 9u);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random r(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyFair) {
+  Random r(3);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.Bernoulli(0.5);
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RandomTest, SkewedConcentratesOnSmallIndices) {
+  Random r(4);
+  int small_uniform = 0, small_skewed = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.Skewed(1024, 0.0) < 64) small_uniform++;
+    if (r.Skewed(1024, 0.8) < 64) small_skewed++;
+  }
+  EXPECT_GT(small_skewed, small_uniform * 2);
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,192 @@
+// Begin-dependency extension (ACTA BD / BCD): tj cannot begin until ti
+// has begun (BD) or committed (BCD); an unsatisfiable begin dependency
+// makes begin() fail, and dependents that can never begin abort with
+// their dependee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "kernel_fixture.h"
+
+namespace asset {
+namespace {
+
+using namespace std::chrono_literals;
+using DT = DependencyType;
+
+class BeginDepTest : public KernelFixture {};
+
+TEST_F(BeginDepTest, BeginOnBeginBlocksUntilDependeeBegins) {
+  Tid ti = tm_->Initiate([] {});
+  std::atomic<bool> tj_ran{false};
+  Tid tj = tm_->Initiate([&] { tj_ran = true; });
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnBegin, ti, tj).ok());
+  std::atomic<bool> tj_begun{false};
+  std::thread beginner([&] {
+    EXPECT_TRUE(tm_->Begin(tj));  // blocks until ti begins
+    tj_begun = true;
+  });
+  std::this_thread::sleep_for(60ms);
+  EXPECT_FALSE(tj_begun.load());
+  EXPECT_FALSE(tj_ran.load());
+  EXPECT_TRUE(tm_->Begin(ti));
+  beginner.join();
+  EXPECT_TRUE(tj_begun.load());
+  EXPECT_TRUE(tm_->Commit(ti));
+  EXPECT_TRUE(tm_->Commit(tj));
+  EXPECT_TRUE(tj_ran.load());
+}
+
+TEST_F(BeginDepTest, BeginOnCommitWaitsForCommit) {
+  std::vector<std::string> order;
+  std::mutex mu;
+  auto mark = [&](const char* s) {
+    std::lock_guard<std::mutex> g(mu);
+    order.push_back(s);
+  };
+  Tid ti = tm_->Initiate([&] { mark("ti-ran"); });
+  Tid tj = tm_->Initiate([&] { mark("tj-ran"); });
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnCommit, ti, tj).ok());
+  tm_->Begin(ti);
+  ASSERT_EQ(tm_->Wait(ti), 1);
+  std::atomic<bool> tj_begun{false};
+  std::thread beginner([&] {
+    EXPECT_TRUE(tm_->Begin(tj));
+    tj_begun = true;
+  });
+  std::this_thread::sleep_for(60ms);
+  // ti completed but did NOT commit yet: tj must still be gated.
+  EXPECT_FALSE(tj_begun.load());
+  EXPECT_TRUE(tm_->Commit(ti));
+  beginner.join();
+  EXPECT_TRUE(tm_->Commit(tj));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "ti-ran");
+  EXPECT_EQ(order[1], "tj-ran");
+}
+
+TEST_F(BeginDepTest, BeginOnCommitFailsWhenDependeeAborts) {
+  Tid ti = tm_->Initiate([] {});
+  Tid tj = tm_->Initiate([] {});
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnCommit, ti, tj).ok());
+  tm_->Begin(ti);
+  ASSERT_EQ(tm_->Wait(ti), 1);
+  EXPECT_TRUE(tm_->Abort(ti));
+  // tj can never begin; the abort propagation already doomed it.
+  EXPECT_FALSE(tm_->Begin(tj));
+  EXPECT_EQ(tm_->GetStatus(tj), TxnStatus::kAborted);
+}
+
+TEST_F(BeginDepTest, BeginOnBeginSatisfiedByAlreadyRunningDependee) {
+  std::atomic<bool> release{false};
+  Tid ti = tm_->Initiate([&] {
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  tm_->Begin(ti);
+  Tid tj = tm_->Initiate([] {});
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnBegin, ti, tj).ok());
+  EXPECT_TRUE(tm_->Begin(tj));  // immediate: ti already began
+  EXPECT_TRUE(tm_->Commit(tj));
+  release = true;
+  EXPECT_TRUE(tm_->Commit(ti));
+}
+
+TEST_F(BeginDepTest, BeginOnBeginSurvivesDependeeAbortAfterBegin) {
+  Tid ti = tm_->Initiate([] {});
+  tm_->Begin(ti);
+  ASSERT_EQ(tm_->Wait(ti), 1);
+  EXPECT_TRUE(tm_->Abort(ti));  // ti began, then aborted
+  Tid tj = tm_->Initiate([] {});
+  // BD on a begun-then-aborted dependee is vacuously satisfied.
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnBegin, ti, tj).ok());
+  EXPECT_TRUE(tm_->Begin(tj));
+  EXPECT_TRUE(tm_->Commit(tj));
+}
+
+TEST_F(BeginDepTest, NeverBegunAbortedDependeeDoomsBdDependent) {
+  Tid ti = tm_->Initiate([] {});
+  Tid tj = tm_->Initiate([] {});
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnBegin, ti, tj).ok());
+  EXPECT_TRUE(tm_->Abort(ti));  // ti never began
+  EXPECT_FALSE(tm_->Begin(tj));
+  EXPECT_EQ(tm_->GetStatus(tj), TxnStatus::kAborted);
+}
+
+TEST_F(BeginDepTest, BeginDependencyDoesNotConstrainCommit) {
+  // Once begun, tj may commit before ti terminates: BD/BCD are begin
+  // gates, not commit gates.
+  std::atomic<bool> release{false};
+  Tid ti = tm_->Initiate([&] {
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  tm_->Begin(ti);
+  Tid tj = tm_->Initiate([] {});
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnBegin, ti, tj).ok());
+  EXPECT_TRUE(tm_->Begin(tj));
+  EXPECT_TRUE(tm_->Commit(tj));  // ti still running — no commit wait
+  release = true;
+  EXPECT_TRUE(tm_->Commit(ti));
+}
+
+TEST_F(BeginDepTest, BeginDependencyCyclesRejected) {
+  Tid a = tm_->Initiate([] {});
+  Tid b = tm_->Initiate([] {});
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnBegin, a, b).ok());
+  EXPECT_EQ(tm_->FormDependency(DT::kBeginOnCommit, b, a).code(),
+            StatusCode::kDependencyCycle);
+  tm_->Abort(a);
+  tm_->Abort(b);
+}
+
+TEST_F(BeginDepTest, BeginTimeoutFailsBegin) {
+  TransactionManager::Options o;
+  o.commit_timeout = std::chrono::milliseconds(100);
+  LogManager log;
+  TransactionManager quick(&log, &store_, o);
+  Tid ti = quick.Initiate([] {});
+  Tid tj = quick.Initiate([] {});
+  ASSERT_TRUE(quick.FormDependency(DT::kBeginOnBegin, ti, tj).ok());
+  EXPECT_FALSE(quick.Begin(tj));  // ti never begins; gate times out
+  quick.Abort(ti);
+  quick.Abort(tj);
+}
+
+TEST_F(BeginDepTest, PipelineOfBeginOnCommitStages) {
+  // A mini-workflow: three stages chained by BCD run strictly in commit
+  // order even when begun all at once from different threads.
+  ObjectId oid = MakeObject("");
+  auto appender = [&](const char* tag) {
+    return [this, oid, tag] {
+      Tid self = TransactionManager::Self();
+      auto v = tm_->Read(self, oid);
+      ASSERT_TRUE(v.ok());
+      std::string s = TestStr(*v) + tag;
+      ASSERT_TRUE(tm_->Write(self, oid, TestBytes(s)).ok());
+    };
+  };
+  Tid s1 = tm_->Initiate(appender("a"));
+  Tid s2 = tm_->Initiate(appender("b"));
+  Tid s3 = tm_->Initiate(appender("c"));
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnCommit, s1, s2).ok());
+  ASSERT_TRUE(tm_->FormDependency(DT::kBeginOnCommit, s2, s3).ok());
+  std::thread b3([&] {
+    EXPECT_TRUE(tm_->Begin(s3));
+    EXPECT_TRUE(tm_->Commit(s3));
+  });
+  std::thread b2([&] {
+    EXPECT_TRUE(tm_->Begin(s2));
+    EXPECT_TRUE(tm_->Commit(s2));
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(tm_->Begin(s1));
+  EXPECT_TRUE(tm_->Commit(s1));
+  b2.join();
+  b3.join();
+  EXPECT_EQ(ReadCommitted(oid), "abc");
+}
+
+}  // namespace
+}  // namespace asset

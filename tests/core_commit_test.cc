@@ -1,0 +1,287 @@
+// Dependency-driven commit and abort: CD ordering, AD abort
+// propagation, GC group commit/abort (§4.2 commit and abort algorithms).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "kernel_fixture.h"
+
+namespace asset {
+namespace {
+
+using namespace std::chrono_literals;
+using DT = DependencyType;
+
+class CommitTest : public KernelFixture {
+ protected:
+  Tid Run(std::function<void()> fn = [] {}) {
+    Tid t = tm_->InitiateFn(std::move(fn));
+    EXPECT_TRUE(tm_->Begin(t));
+    EXPECT_EQ(tm_->Wait(t), 1);
+    return t;
+  }
+};
+
+TEST_F(CommitTest, CommitDependencyOrdersCommits) {
+  Tid ti = Run();
+  Tid tj = Run();
+  // form_dependency(CD, ti, tj): tj cannot commit before ti terminates.
+  ASSERT_TRUE(tm_->FormDependency(DT::kCommit, ti, tj).ok());
+  std::atomic<bool> tj_committed{false};
+  std::thread committer([&] {
+    EXPECT_TRUE(tm_->Commit(tj));
+    tj_committed = true;
+  });
+  std::this_thread::sleep_for(80ms);
+  EXPECT_FALSE(tj_committed.load());  // blocked on ti
+  EXPECT_TRUE(tm_->Commit(ti));
+  committer.join();
+  EXPECT_TRUE(tj_committed.load());
+}
+
+TEST_F(CommitTest, CommitDependencySurvivesDependeeAbort) {
+  Tid ti = Run();
+  Tid tj = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kCommit, ti, tj).ok());
+  // "if ti aborts, tj may still commit."
+  EXPECT_TRUE(tm_->Abort(ti));
+  EXPECT_TRUE(tm_->Commit(tj));
+}
+
+TEST_F(CommitTest, AbortDependencyPropagatesAbort) {
+  Tid ti = Run();
+  Tid tj = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kAbort, ti, tj).ok());
+  EXPECT_TRUE(tm_->Abort(ti));
+  // "if ti aborts, tj must abort."
+  EXPECT_EQ(tm_->GetStatus(tj), TxnStatus::kAborted);
+  EXPECT_FALSE(tm_->Commit(tj));
+}
+
+TEST_F(CommitTest, AbortDependencyBlocksCommitUntilDependeeCommits) {
+  Tid ti = Run();
+  Tid tj = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kAbort, ti, tj).ok());
+  std::atomic<bool> tj_done{false};
+  std::thread committer([&] {
+    EXPECT_TRUE(tm_->Commit(tj));
+    tj_done = true;
+  });
+  std::this_thread::sleep_for(80ms);
+  // tj cannot commit while ti could still abort (commit step 2a).
+  EXPECT_FALSE(tj_done.load());
+  EXPECT_TRUE(tm_->Commit(ti));
+  committer.join();
+}
+
+TEST_F(CommitTest, AbortDependencyChainPropagates) {
+  Tid a = Run();
+  Tid b = Run();
+  Tid c = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kAbort, a, b).ok());
+  ASSERT_TRUE(tm_->FormDependency(DT::kAbort, b, c).ok());
+  EXPECT_TRUE(tm_->Abort(a));
+  EXPECT_EQ(tm_->GetStatus(b), TxnStatus::kAborted);
+  EXPECT_EQ(tm_->GetStatus(c), TxnStatus::kAborted);
+}
+
+TEST_F(CommitTest, AbortPropagationUndoesDependentsWrites) {
+  ObjectId oid = MakeObject("base");
+  Tid ti = Run();
+  Tid tj = Run([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("tj")).ok());
+  });
+  ASSERT_TRUE(tm_->FormDependency(DT::kAbort, ti, tj).ok());
+  EXPECT_TRUE(tm_->Abort(ti));
+  EXPECT_EQ(tm_->GetStatus(tj), TxnStatus::kAborted);
+  EXPECT_EQ(ReadCommitted(oid), "base");
+}
+
+TEST_F(CommitTest, GroupCommitCommitsAllViaOne) {
+  Tid a = Run();
+  Tid b = Run();
+  Tid c = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, a, b).ok());
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, b, c).ok());
+  // The paper: "commit(t1) actually accomplishes the group commit of all
+  // the transactions in the group."
+  EXPECT_TRUE(tm_->Commit(a));
+  EXPECT_EQ(tm_->GetStatus(b), TxnStatus::kCommitted);
+  EXPECT_EQ(tm_->GetStatus(c), TxnStatus::kCommitted);
+  // Later commits "simply return 1".
+  EXPECT_TRUE(tm_->Commit(b));
+  EXPECT_TRUE(tm_->Commit(c));
+  EXPECT_GE(tm_->stats().group_commits.load(), 1u);
+}
+
+TEST_F(CommitTest, GroupCommitWaitsForAllToComplete) {
+  std::atomic<bool> release_b{false};
+  Tid a = Run();
+  Tid b = tm_->Initiate([&] {
+    while (!release_b) std::this_thread::sleep_for(1ms);
+  });
+  tm_->Begin(b);
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, a, b).ok());
+  std::atomic<bool> committed{false};
+  std::thread committer([&] {
+    EXPECT_TRUE(tm_->Commit(a));
+    committed = true;
+  });
+  std::this_thread::sleep_for(80ms);
+  EXPECT_FALSE(committed.load());  // group waits for b's execution
+  release_b = true;
+  committer.join();
+  EXPECT_EQ(tm_->GetStatus(b), TxnStatus::kCommitted);
+}
+
+TEST_F(CommitTest, GroupAbortsTogetherOnMemberAbort) {
+  ObjectId oid = MakeObject("base");
+  Tid a = Run([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("a")).ok());
+  });
+  Tid b = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, a, b).ok());
+  EXPECT_TRUE(tm_->Abort(b));
+  // GC: "either both commit or neither commits."
+  EXPECT_EQ(tm_->GetStatus(a), TxnStatus::kAborted);
+  EXPECT_FALSE(tm_->Commit(a));
+  EXPECT_EQ(ReadCommitted(oid), "base");
+}
+
+TEST_F(CommitTest, GroupCommitFailureReturnsZeroFromAll) {
+  Tid a = Run();
+  Tid b = Run();
+  Tid c = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, a, b).ok());
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, b, c).ok());
+  EXPECT_TRUE(tm_->Abort(c));
+  // "if the group commit attempted by commit(t1) does not succeed, all
+  // the transactions abort. Later commit invocations simply return 0."
+  EXPECT_FALSE(tm_->Commit(a));
+  EXPECT_FALSE(tm_->Commit(b));
+  EXPECT_FALSE(tm_->Commit(c));
+}
+
+TEST_F(CommitTest, GroupMemberWithExternalAdWaits) {
+  Tid external = Run();
+  Tid a = Run();
+  Tid b = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, a, b).ok());
+  ASSERT_TRUE(tm_->FormDependency(DT::kAbort, external, b).ok());
+  std::atomic<bool> committed{false};
+  std::thread committer([&] {
+    EXPECT_TRUE(tm_->Commit(a));
+    committed = true;
+  });
+  std::this_thread::sleep_for(80ms);
+  EXPECT_FALSE(committed.load());  // b (hence the group) waits on external
+  EXPECT_TRUE(tm_->Commit(external));
+  committer.join();
+  EXPECT_EQ(tm_->GetStatus(b), TxnStatus::kCommitted);
+}
+
+TEST_F(CommitTest, ExternalAbortDoomsWholeGroup) {
+  Tid external = Run();
+  Tid a = Run();
+  Tid b = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, a, b).ok());
+  ASSERT_TRUE(tm_->FormDependency(DT::kAbort, external, b).ok());
+  EXPECT_TRUE(tm_->Abort(external));
+  EXPECT_EQ(tm_->GetStatus(b), TxnStatus::kAborted);
+  EXPECT_EQ(tm_->GetStatus(a), TxnStatus::kAborted);
+  EXPECT_FALSE(tm_->Commit(a));
+}
+
+TEST_F(CommitTest, CdCycleRejected) {
+  Tid a = Run();
+  Tid b = Run();
+  ASSERT_TRUE(tm_->FormDependency(DT::kCommit, a, b).ok());
+  Status s = tm_->FormDependency(DT::kCommit, b, a);
+  EXPECT_EQ(s.code(), StatusCode::kDependencyCycle);
+  EXPECT_GE(tm_->stats().dependency_cycles_rejected.load(), 1u);
+  EXPECT_TRUE(tm_->Commit(a));
+  EXPECT_TRUE(tm_->Commit(b));
+}
+
+TEST_F(CommitTest, DependencyOnCommittedDependeeIsVacuous) {
+  Tid a = Run();
+  EXPECT_TRUE(tm_->Commit(a));
+  Tid b = Run();
+  EXPECT_TRUE(tm_->FormDependency(DT::kAbort, a, b).ok());
+  EXPECT_TRUE(tm_->Commit(b));  // nothing blocks it
+}
+
+TEST_F(CommitTest, AdOnAbortedDependeeIsRejected) {
+  Tid a = Run();
+  EXPECT_TRUE(tm_->Abort(a));
+  Tid b = Run();
+  EXPECT_TRUE(tm_->FormDependency(DT::kAbort, a, b).IsIllegalState());
+  EXPECT_TRUE(tm_->FormDependency(DT::kCommit, a, b).ok());  // CD vacuous
+  EXPECT_TRUE(tm_->Commit(b));
+}
+
+TEST_F(CommitTest, CommitTimeoutAbortsUnresolvableCommit) {
+  // tj depends on a ti that never commits nor aborts within the bound.
+  TransactionManager::Options o;
+  o.commit_timeout = std::chrono::milliseconds(120);
+  LogManager log;
+  TransactionManager quick(&log, &store_, o);
+  Tid ti = quick.Initiate([] {});
+  quick.Begin(ti);
+  quick.Wait(ti);
+  Tid tj = quick.Initiate([] {});
+  quick.Begin(tj);
+  quick.Wait(tj);
+  ASSERT_TRUE(quick.FormDependency(DT::kCommit, ti, tj).ok());
+  EXPECT_FALSE(quick.Commit(tj));  // times out, aborts tj truthfully
+  EXPECT_EQ(quick.GetStatus(tj), TxnStatus::kAborted);
+  quick.Commit(ti);
+}
+
+TEST_F(CommitTest, DistributedScenarioFromPaper) {
+  // §3.1.2 translation executed literally.
+  ObjectId o1 = MakeObject("0");
+  ObjectId o2 = MakeObject("0");
+  ObjectId o3 = MakeObject("0");
+  auto write = [&](ObjectId oid, const char* v) {
+    return [this, oid, v] {
+      ASSERT_TRUE(
+          tm_->Write(TransactionManager::Self(), oid, TestBytes(v)).ok());
+    };
+  };
+  Tid t1 = tm_->InitiateFn(write(o1, "f1"));
+  Tid t2 = tm_->InitiateFn(write(o2, "f2"));
+  Tid t3 = tm_->InitiateFn(write(o3, "f3"));
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, t1, t2).ok());
+  ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, t2, t3).ok());
+  ASSERT_TRUE(tm_->Begin({t1, t2, t3}));
+  EXPECT_TRUE(tm_->Commit(t1));
+  EXPECT_TRUE(tm_->Commit(t2));
+  EXPECT_TRUE(tm_->Commit(t3));
+  EXPECT_EQ(ReadCommitted(o1), "f1");
+  EXPECT_EQ(ReadCommitted(o2), "f2");
+  EXPECT_EQ(ReadCommitted(o3), "f3");
+}
+
+TEST_F(CommitTest, ConcurrentGroupCommittersAgree) {
+  for (int round = 0; round < 10; ++round) {
+    Tid a = Run();
+    Tid b = Run();
+    ASSERT_TRUE(tm_->FormDependency(DT::kGroupCommit, a, b).ok());
+    std::atomic<bool> ra{false}, rb{false};
+    std::thread ca([&] { ra = tm_->Commit(a); });
+    std::thread cb([&] { rb = tm_->Commit(b); });
+    ca.join();
+    cb.join();
+    EXPECT_TRUE(ra.load());
+    EXPECT_TRUE(rb.load());
+  }
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,147 @@
+// Tests for the dependency graph: edge direction, AD-covers-CD
+// collapsing, cycle rejection, GC symmetry and components, removal.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dependency_graph.h"
+
+namespace asset {
+namespace {
+
+using DT = DependencyType;
+
+TEST(DependencyGraphTest, AddStoresDependentOnDependee) {
+  DependencyGraph g;
+  // form_dependency(CD, 1, 2): 2 depends on 1.
+  ASSERT_TRUE(g.Add(DT::kCommit, 1, 2).ok());
+  auto of2 = g.DependenciesOf(2);
+  ASSERT_EQ(of2.size(), 1u);
+  EXPECT_EQ(of2[0].dependee, 1u);
+  EXPECT_EQ(of2[0].type, DT::kCommit);
+  EXPECT_TRUE(g.DependenciesOf(1).empty());
+  auto on1 = g.DependenciesOn(1);
+  ASSERT_EQ(on1.size(), 1u);
+  EXPECT_EQ(on1[0].dependent, 2u);
+}
+
+TEST(DependencyGraphTest, RejectsNullAndSelf) {
+  DependencyGraph g;
+  EXPECT_FALSE(g.Add(DT::kCommit, 0, 1).ok());
+  EXPECT_FALSE(g.Add(DT::kCommit, 1, 0).ok());
+  EXPECT_FALSE(g.Add(DT::kAbort, 1, 1).ok());
+}
+
+TEST(DependencyGraphTest, DuplicateEdgesCollapse) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kCommit, 1, 2).ok());
+  ASSERT_TRUE(g.Add(DT::kCommit, 1, 2).ok());
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(DependencyGraphTest, AdAbsorbsCd) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kCommit, 1, 2).ok());
+  ASSERT_TRUE(g.Add(DT::kAbort, 1, 2).ok());  // upgrade in place
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.DependenciesOf(2)[0].type, DT::kAbort);
+  ASSERT_TRUE(g.Add(DT::kCommit, 1, 2).ok());  // CD already covered
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.DependenciesOf(2)[0].type, DT::kAbort);
+}
+
+TEST(DependencyGraphTest, DirectCdCycleRejected) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kCommit, 1, 2).ok());
+  EXPECT_EQ(g.Add(DT::kCommit, 2, 1).code(), StatusCode::kDependencyCycle);
+}
+
+TEST(DependencyGraphTest, TransitiveMixedCycleRejected) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kCommit, 1, 2).ok());  // 2 dep on 1
+  ASSERT_TRUE(g.Add(DT::kAbort, 2, 3).ok());   // 3 dep on 2
+  // 1 dep on 3 would close 1 -> 3 -> 2 -> 1.
+  EXPECT_EQ(g.Add(DT::kCommit, 3, 1).code(), StatusCode::kDependencyCycle);
+}
+
+TEST(DependencyGraphTest, GcCyclesAllowed) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kGroupCommit, 1, 2).ok());
+  ASSERT_TRUE(g.Add(DT::kGroupCommit, 2, 1).ok());  // duplicate, collapses
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(DependencyGraphTest, GcDoesNotCountTowardWaitCycles) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kGroupCommit, 1, 2).ok());
+  // CD back-edge is fine: GC edges are not wait edges.
+  ASSERT_TRUE(g.Add(DT::kCommit, 2, 1).ok());
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(DependencyGraphTest, GcVisibleFromBothEndpoints) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kGroupCommit, 1, 2).ok());
+  auto of1 = g.DependenciesOf(1);
+  auto of2 = g.DependenciesOf(2);
+  ASSERT_EQ(of1.size(), 1u);
+  ASSERT_EQ(of2.size(), 1u);
+  EXPECT_EQ(of1[0].dependee, 2u);
+  EXPECT_EQ(of2[0].dependee, 1u);
+  auto on1 = g.DependenciesOn(1);
+  ASSERT_EQ(on1.size(), 1u);
+  EXPECT_EQ(on1[0].dependent, 2u);
+}
+
+TEST(DependencyGraphTest, GroupOfComputesComponent) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kGroupCommit, 1, 2).ok());
+  ASSERT_TRUE(g.Add(DT::kGroupCommit, 2, 3).ok());
+  ASSERT_TRUE(g.Add(DT::kGroupCommit, 5, 6).ok());
+  ASSERT_TRUE(g.Add(DT::kCommit, 3, 4).ok());  // CD does not join groups
+  auto group = g.GroupOf(1);
+  std::sort(group.begin(), group.end());
+  EXPECT_EQ(group, (std::vector<Tid>{1, 2, 3}));
+  EXPECT_EQ(g.GroupOf(4), (std::vector<Tid>{4}));
+  auto other = g.GroupOf(6);
+  std::sort(other.begin(), other.end());
+  EXPECT_EQ(other, (std::vector<Tid>{5, 6}));
+}
+
+TEST(DependencyGraphTest, RemoveAllForStripsEverything) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kCommit, 1, 2).ok());
+  ASSERT_TRUE(g.Add(DT::kAbort, 3, 1).ok());
+  ASSERT_TRUE(g.Add(DT::kGroupCommit, 4, 5).ok());
+  g.RemoveAllFor(1);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_TRUE(g.DependenciesOf(2).empty());
+  EXPECT_TRUE(g.DependenciesOf(1).empty());
+}
+
+TEST(DependencyGraphTest, RemoveSpecificEdge) {
+  DependencyGraph g;
+  ASSERT_TRUE(g.Add(DT::kCommit, 1, 2).ok());
+  ASSERT_TRUE(g.Add(DT::kAbort, 3, 2).ok());
+  Dependency d{2, 1, DT::kCommit};
+  g.Remove(d);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.DependenciesOf(2)[0].type, DT::kAbort);
+  g.Remove(d);  // removing again is a no-op
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(DependencyGraphTest, LongWaitChainCycleDetected) {
+  DependencyGraph g;
+  for (Tid t = 1; t < 20; ++t) {
+    ASSERT_TRUE(g.Add(DT::kCommit, t, t + 1).ok());
+  }
+  EXPECT_EQ(g.Add(DT::kCommit, 20, 1).code(),
+            StatusCode::kDependencyCycle);
+  // But a forward edge is fine.
+  EXPECT_TRUE(g.Add(DT::kCommit, 1, 20).ok());
+}
+
+}  // namespace
+}  // namespace asset

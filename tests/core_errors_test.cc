@@ -1,0 +1,166 @@
+// API misuse and negative paths: every primitive called with unknown
+// tids, terminated transactions, wrong states, and degenerate argument
+// sets must fail cleanly — never crash, never corrupt.
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+
+namespace asset {
+namespace {
+
+class ErrorPathTest : public KernelFixture {
+ protected:
+  Tid Committed() {
+    Tid t = tm_->Initiate([] {});
+    tm_->Begin(t);
+    tm_->Commit(t);
+    return t;
+  }
+  Tid Aborted() {
+    Tid t = tm_->Initiate([] {});
+    tm_->Abort(t);
+    return t;
+  }
+};
+
+TEST_F(ErrorPathTest, PrimitivesOnUnknownTids) {
+  constexpr Tid kGhost = 123456789;
+  EXPECT_FALSE(tm_->Begin(kGhost));
+  EXPECT_FALSE(tm_->Commit(kGhost));
+  EXPECT_EQ(tm_->Wait(kGhost), 0);
+  EXPECT_TRUE(tm_->Abort(kGhost));  // not committed, so abort "succeeds"
+  EXPECT_EQ(tm_->ParentOf(kGhost), kNullTid);
+  EXPECT_TRUE(tm_->Permit(kGhost, kGhost + 1, ObjectSet{1}, OpSet::All())
+                  .IsNotFound());
+  EXPECT_TRUE(tm_->Delegate(kGhost, kGhost + 1).IsNotFound());
+  EXPECT_TRUE(tm_->FormDependency(DependencyType::kCommit, kGhost,
+                                  kGhost + 1)
+                  .IsNotFound());
+}
+
+TEST_F(ErrorPathTest, DataOpsOnUnknownTransaction) {
+  ObjectId oid = MakeObject("x");
+  EXPECT_TRUE(tm_->Read(999999, oid).status().IsNotFound());
+  EXPECT_TRUE(tm_->Write(999999, oid, TestBytes("y")).IsNotFound());
+  EXPECT_TRUE(tm_->CreateObject(999999, TestBytes("y")).status()
+                  .IsNotFound());
+  EXPECT_TRUE(tm_->DeleteObject(999999, oid).IsNotFound());
+  EXPECT_TRUE(tm_->Increment(999999, oid, 1).IsNotFound());
+}
+
+TEST_F(ErrorPathTest, DataOpsFromNonRunningTransaction) {
+  ObjectId oid = MakeObject("x");
+  Tid t = tm_->Initiate([] {});  // initiated, never begun
+  EXPECT_TRUE(tm_->Read(t, oid).status().IsIllegalState());
+  EXPECT_TRUE(tm_->Write(t, oid, TestBytes("y")).IsIllegalState());
+  tm_->Begin(t);
+  tm_->Wait(t);  // completed: the data-op window has closed
+  EXPECT_TRUE(tm_->Write(t, oid, TestBytes("y")).IsIllegalState());
+  tm_->Commit(t);
+  EXPECT_TRUE(tm_->Write(t, oid, TestBytes("y")).IsIllegalState());
+}
+
+TEST_F(ErrorPathTest, ReadOfMissingObjectHoldsNoSurprises) {
+  Tid t = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    EXPECT_TRUE(tm_->Read(self, 424242).status().IsNotFound());
+    EXPECT_TRUE(tm_->Write(self, 424242, TestBytes("x")).IsNotFound());
+    EXPECT_TRUE(tm_->DeleteObject(self, 424242).IsNotFound());
+  });
+  tm_->Begin(t);
+  EXPECT_TRUE(tm_->Commit(t));
+}
+
+TEST_F(ErrorPathTest, PermitFromOrToTerminated) {
+  Tid done = Committed();
+  Tid dead = Aborted();
+  Tid live = tm_->Initiate([] {});
+  EXPECT_TRUE(
+      tm_->Permit(done, live, ObjectSet{1}, OpSet::All()).IsIllegalState());
+  EXPECT_TRUE(
+      tm_->Permit(live, dead, ObjectSet{1}, OpSet::All()).IsIllegalState());
+  tm_->Abort(live);
+}
+
+TEST_F(ErrorPathTest, DelegateWithTerminatedEnds) {
+  Tid done = Committed();
+  Tid live = tm_->Initiate([] {});
+  EXPECT_TRUE(tm_->Delegate(done, live).IsIllegalState());
+  EXPECT_TRUE(tm_->Delegate(live, done).IsIllegalState());
+  tm_->Abort(live);
+}
+
+TEST_F(ErrorPathTest, SelfDependencyAndNullTids) {
+  Tid t = tm_->Initiate([] {});
+  EXPECT_EQ(tm_->FormDependency(DependencyType::kAbort, t, t).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(
+      tm_->FormDependency(DependencyType::kAbort, kNullTid, t).ok());
+  tm_->Abort(t);
+}
+
+TEST_F(ErrorPathTest, DependencyOnCommittedDependentIsIllegal) {
+  Tid done = Committed();
+  Tid live = tm_->Initiate([] {});
+  EXPECT_TRUE(tm_->FormDependency(DependencyType::kAbort, live, done)
+                  .IsIllegalState());
+  tm_->Abort(live);
+}
+
+TEST_F(ErrorPathTest, VacuousPermitsAreAccepted) {
+  Tid a = tm_->Initiate([] {});
+  Tid b = tm_->Initiate([] {});
+  // Empty object set / empty op set: legal no-ops.
+  EXPECT_TRUE(tm_->Permit(a, b, ObjectSet{}, OpSet::All()).ok());
+  EXPECT_TRUE(tm_->Permit(a, b, ObjectSet{1}, OpSet::None()).ok());
+  // permit(a, b) with `a` holding nothing expands to nothing.
+  EXPECT_TRUE(tm_->Permit(a, b).ok());
+  tm_->Abort(a);
+  tm_->Abort(b);
+}
+
+TEST_F(ErrorPathTest, StatusQueriesOnEveryState) {
+  Tid unknown = 5555555;
+  EXPECT_FALSE(tm_->IsCommitted(unknown));
+  EXPECT_TRUE(tm_->IsAborted(unknown));  // fail-safe default
+  Tid done = Committed();
+  EXPECT_TRUE(tm_->IsCommitted(done));
+  EXPECT_FALSE(tm_->IsAborted(done));
+  EXPECT_FALSE(tm_->IsActiveTxn(done));
+  Tid dead = Aborted();
+  EXPECT_TRUE(tm_->IsAborted(dead));
+  Tid t = tm_->Initiate([] {});
+  EXPECT_FALSE(tm_->IsActiveTxn(t));  // initiated is not active (§2.1)
+  tm_->Begin(t);
+  tm_->Wait(t);
+  EXPECT_TRUE(tm_->IsActiveTxn(t));
+  EXPECT_TRUE(tm_->IsCompleted(t));
+  tm_->Commit(t);
+  EXPECT_FALSE(tm_->IsCompleted(t));
+}
+
+TEST_F(ErrorPathTest, EmptyObjectValuesAreLegal) {
+  Tid t = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    auto oid = tm_->CreateObject(self, std::vector<uint8_t>{});
+    ASSERT_TRUE(oid.ok());
+    auto v = tm_->Read(self, *oid);
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->empty());
+    ASSERT_TRUE(tm_->Write(self, *oid, TestBytes("grew")).ok());
+    ASSERT_TRUE(tm_->Write(self, *oid, std::vector<uint8_t>{}).ok());
+  });
+  tm_->Begin(t);
+  EXPECT_TRUE(tm_->Commit(t));
+}
+
+TEST_F(ErrorPathTest, BeginOfCommittedOrAbortedFails) {
+  Tid done = Committed();
+  EXPECT_FALSE(tm_->Begin(done));
+  Tid dead = Aborted();
+  EXPECT_FALSE(tm_->Begin(dead));
+}
+
+}  // namespace
+}  // namespace asset

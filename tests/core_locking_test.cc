@@ -1,0 +1,481 @@
+// Lock-manager semantics through the kernel: conflicts block, permits
+// admit and suspend, ping-pong cooperation, wildcard permit forms,
+// delegation of locks, deadlock detection, and timeouts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "kernel_fixture.h"
+
+namespace asset {
+namespace {
+
+using namespace std::chrono_literals;
+
+class LockingTest : public KernelFixture {
+ protected:
+  /// Begins a transaction that runs `fn` and returns its tid.
+  Tid Spawn(std::function<void()> fn) {
+    Tid t = tm_->InitiateFn(std::move(fn));
+    EXPECT_TRUE(tm_->Begin(t));
+    return t;
+  }
+};
+
+TEST_F(LockingTest, ReadersShareAnObject) {
+  ObjectId oid = MakeObject("shared");
+  std::atomic<int> concurrent{0}, peak{0};
+  auto reader = [&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(tm_->Read(self, oid).ok());
+    int now = concurrent.fetch_add(1) + 1;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(50ms);
+    concurrent.fetch_sub(1);
+  };
+  Tid a = Spawn(reader), b = Spawn(reader), c = Spawn(reader);
+  EXPECT_TRUE(tm_->Commit(a));
+  EXPECT_TRUE(tm_->Commit(b));
+  EXPECT_TRUE(tm_->Commit(c));
+  EXPECT_GE(peak.load(), 2);  // readers really overlapped
+}
+
+TEST_F(LockingTest, WriteBlocksConflictingWriteUntilCommit) {
+  ObjectId oid = MakeObject("v0");
+  std::atomic<bool> first_wrote{false};
+  std::atomic<bool> release_first{false};
+  Tid t1 = Spawn([&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(tm_->Write(self, oid, TestBytes("t1")).ok());
+    first_wrote = true;
+    while (!release_first) std::this_thread::sleep_for(1ms);
+  });
+  while (!first_wrote) std::this_thread::sleep_for(1ms);
+  std::atomic<bool> second_wrote{false};
+  Tid t2 = Spawn([&] {
+    Tid self = TransactionManager::Self();
+    // Blocks until t1 commits and releases its lock.
+    ASSERT_TRUE(tm_->Write(self, oid, TestBytes("t2")).ok());
+    second_wrote = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(second_wrote.load());  // strict 2PL: held to commit
+  release_first = true;
+  EXPECT_TRUE(tm_->Commit(t1));
+  EXPECT_TRUE(tm_->Commit(t2));
+  EXPECT_TRUE(second_wrote.load());
+  EXPECT_EQ(ReadCommitted(oid), "t2");
+}
+
+TEST_F(LockingTest, WriterBlocksReader) {
+  ObjectId oid = MakeObject("v0");
+  std::atomic<bool> wrote{false}, release{false}, read_done{false};
+  Tid w = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("w")).ok());
+    wrote = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  while (!wrote) std::this_thread::sleep_for(1ms);
+  Tid r = Spawn([&] {
+    auto v = tm_->Read(TransactionManager::Self(), oid);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(TestStr(*v), "w");  // sees the committed value
+    read_done = true;
+  });
+  std::this_thread::sleep_for(40ms);
+  EXPECT_FALSE(read_done.load());
+  release = true;
+  EXPECT_TRUE(tm_->Commit(w));
+  EXPECT_TRUE(tm_->Commit(r));
+  EXPECT_TRUE(read_done.load());
+}
+
+TEST_F(LockingTest, LockUpgradeReadToWrite) {
+  ObjectId oid = MakeObject("v0");
+  Tid t = Spawn([&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(tm_->Read(self, oid).ok());
+    ASSERT_TRUE(tm_->Write(self, oid, TestBytes("upgraded")).ok());
+  });
+  EXPECT_TRUE(tm_->Commit(t));
+  EXPECT_EQ(ReadCommitted(oid), "upgraded");
+}
+
+TEST_F(LockingTest, PermitAdmitsConflictingWriteWithoutWaiting) {
+  ObjectId oid = MakeObject("v0");
+  std::atomic<bool> holder_wrote{false}, release{false};
+  Tid holder = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("h")).ok());
+    holder_wrote = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  while (!holder_wrote) std::this_thread::sleep_for(1ms);
+
+  // Initiate the cooperator first so the permit can name it (§2.2: the
+  // separation of initiate and begin exists for exactly this).
+  std::atomic<bool> coop_wrote{false};
+  Tid coop = tm_->Initiate([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("c")).ok());
+    coop_wrote = true;
+  });
+  ASSERT_TRUE(
+      tm_->Permit(holder, coop, ObjectSet{oid}, OpSet(Operation::kWrite))
+          .ok());
+  ASSERT_TRUE(tm_->Begin(coop));
+  // The cooperator must get through while the holder still runs.
+  for (int i = 0; i < 500 && !coop_wrote; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(coop_wrote.load());
+  // The holder's lock is now suspended (its permit was exercised).
+  release = true;
+  EXPECT_TRUE(tm_->Commit(coop));
+  EXPECT_TRUE(tm_->Commit(holder));
+  EXPECT_EQ(ReadCommitted(oid), "c");
+}
+
+TEST_F(LockingTest, PermitIsDirectional) {
+  ObjectId oid = MakeObject("v0");
+  std::atomic<bool> holder_wrote{false}, release{false};
+  Tid holder = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("h")).ok());
+    holder_wrote = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  while (!holder_wrote) std::this_thread::sleep_for(1ms);
+  // Permit in the WRONG direction: stranger permits holder.
+  std::atomic<bool> stranger_done{false};
+  Tid stranger = tm_->Initiate([&] {
+    Status s = tm_->Write(TransactionManager::Self(), oid, TestBytes("s"));
+    stranger_done = s.ok();
+  });
+  ASSERT_TRUE(
+      tm_->Permit(stranger, holder, ObjectSet{oid}, OpSet(Operation::kWrite))
+          .ok());
+  ASSERT_TRUE(tm_->Begin(stranger));
+  std::this_thread::sleep_for(60ms);
+  EXPECT_FALSE(stranger_done.load());  // still blocked
+  release = true;
+  EXPECT_TRUE(tm_->Commit(holder));
+  EXPECT_TRUE(tm_->Commit(stranger));
+}
+
+TEST_F(LockingTest, PermitScopedToOperations) {
+  ObjectId oid = MakeObject("v0");
+  std::atomic<bool> holder_ready{false}, release{false};
+  Tid holder = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("h")).ok());
+    holder_ready = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  while (!holder_ready) std::this_thread::sleep_for(1ms);
+  // Read-only permit lets a reader through, but a writer still blocks.
+  std::atomic<bool> read_ok{false};
+  Tid reader = tm_->Initiate([&] {
+    read_ok = tm_->Read(TransactionManager::Self(), oid).ok();
+  });
+  ASSERT_TRUE(
+      tm_->Permit(holder, reader, ObjectSet{oid}, OpSet(Operation::kRead))
+          .ok());
+  tm_->Begin(reader);
+  for (int i = 0; i < 500 && !read_ok; ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(read_ok.load());
+  EXPECT_TRUE(tm_->Commit(reader));
+
+  std::atomic<bool> write_done{false};
+  Tid writer = tm_->Initiate([&] {
+    write_done =
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("w")).ok();
+  });
+  ASSERT_TRUE(
+      tm_->Permit(holder, writer, ObjectSet{oid}, OpSet(Operation::kRead))
+          .ok());  // read permit only
+  tm_->Begin(writer);
+  std::this_thread::sleep_for(60ms);
+  EXPECT_FALSE(write_done.load());
+  release = true;
+  EXPECT_TRUE(tm_->Commit(holder));
+  EXPECT_TRUE(tm_->Commit(writer));
+}
+
+TEST_F(LockingTest, PingPongCooperation) {
+  // §3.2.1: two transactions alternately writing one object via mutual
+  // permits, both still running.
+  ObjectId oid = MakeObject("0");
+  std::atomic<int> turn{1};
+  std::atomic<bool> failed{false};
+  auto writer = [&](int me, int rounds) {
+    Tid self = TransactionManager::Self();
+    for (int r = 0; r < rounds; ++r) {
+      while (turn.load() != me) std::this_thread::sleep_for(100us);
+      if (!tm_->Write(self, oid, TestBytes(std::to_string(me))).ok()) {
+        failed = true;
+        return;
+      }
+      turn.store(me == 1 ? 2 : 1);
+    }
+  };
+  Tid t1 = tm_->Initiate([&] { writer(1, 5); });
+  Tid t2 = tm_->Initiate([&] { writer(2, 5); });
+  ASSERT_TRUE(
+      tm_->Permit(t1, t2, ObjectSet{oid}, OpSet(Operation::kWrite)).ok());
+  ASSERT_TRUE(
+      tm_->Permit(t2, t1, ObjectSet{oid}, OpSet(Operation::kWrite)).ok());
+  ASSERT_TRUE(tm_->Begin({t1, t2}));
+  EXPECT_TRUE(tm_->Commit(t1));
+  EXPECT_TRUE(tm_->Commit(t2));
+  EXPECT_FALSE(failed.load());
+  // t2 wrote last in the alternation 1,2,1,2,...
+  EXPECT_EQ(ReadCommitted(oid), "2");
+  EXPECT_GE(tm_->stats().lock_suspensions.load(), 2u);
+}
+
+TEST_F(LockingTest, TransitivePermitAdmitsThirdParty) {
+  ObjectId oid = MakeObject("v0");
+  std::atomic<bool> a_wrote{false}, release{false};
+  Tid a = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("a")).ok());
+    a_wrote = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  while (!a_wrote) std::this_thread::sleep_for(1ms);
+  Tid b = tm_->Initiate([] {});
+  std::atomic<bool> c_wrote{false};
+  Tid c = tm_->Initiate([&] {
+    c_wrote =
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("c")).ok();
+  });
+  // a permits b; b permits c ⇒ a permits c (§2.2 rule 3).
+  ASSERT_TRUE(
+      tm_->Permit(a, b, ObjectSet{oid}, OpSet(Operation::kWrite)).ok());
+  ASSERT_TRUE(
+      tm_->Permit(b, c, ObjectSet{oid}, OpSet(Operation::kWrite)).ok());
+  tm_->Begin(c);
+  for (int i = 0; i < 500 && !c_wrote; ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(c_wrote.load());
+  release = true;
+  EXPECT_TRUE(tm_->Commit(c));
+  EXPECT_TRUE(tm_->Commit(a));
+  tm_->Abort(b);
+}
+
+TEST_F(LockingTest, WildcardPermitCoversAccessedObjects) {
+  ObjectId o1 = MakeObject("x");
+  ObjectId o2 = MakeObject("y");
+  std::atomic<bool> holder_ready{false}, release{false};
+  Tid holder = Spawn([&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(tm_->Write(self, o1, TestBytes("h1")).ok());
+    ASSERT_TRUE(tm_->Write(self, o2, TestBytes("h2")).ok());
+    holder_ready = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  while (!holder_ready) std::this_thread::sleep_for(1ms);
+  std::atomic<bool> coop_done{false};
+  Tid coop = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    coop_done = tm_->Write(self, o1, TestBytes("c1")).ok() &&
+                tm_->Write(self, o2, TestBytes("c2")).ok();
+  });
+  // permit(holder, coop): all operations on everything holder accessed.
+  ASSERT_TRUE(tm_->Permit(holder, coop).ok());
+  tm_->Begin(coop);
+  for (int i = 0; i < 500 && !coop_done; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(coop_done.load());
+  release = true;
+  EXPECT_TRUE(tm_->Commit(coop));
+  EXPECT_TRUE(tm_->Commit(holder));
+}
+
+TEST_F(LockingTest, AnyTransactionPermitAdmitsStrangers) {
+  ObjectId oid = MakeObject("v0");
+  std::atomic<bool> holder_ready{false}, release{false};
+  Tid holder = Spawn([&] {
+    ASSERT_TRUE(tm_->Read(TransactionManager::Self(), oid).ok());
+    holder_ready = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  while (!holder_ready) std::this_thread::sleep_for(1ms);
+  // Cursor-stability style: permit(holder, {oid}, write) — anyone may
+  // write.
+  ASSERT_TRUE(
+      tm_->PermitAny(holder, ObjectSet{oid}, OpSet(Operation::kWrite)).ok());
+  std::atomic<bool> wrote{false};
+  Tid stranger = Spawn([&] {
+    wrote = tm_->Write(TransactionManager::Self(), oid, TestBytes("s")).ok();
+  });
+  for (int i = 0; i < 500 && !wrote; ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(wrote.load());
+  release = true;
+  EXPECT_TRUE(tm_->Commit(stranger));
+  EXPECT_TRUE(tm_->Commit(holder));
+}
+
+TEST_F(LockingTest, DelegationMovesLocksToDelegatee) {
+  ObjectId oid = MakeObject("v0");
+  std::atomic<bool> wrote{false}, release{false};
+  Tid ti = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("ti")).ok());
+    wrote = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  while (!wrote) std::this_thread::sleep_for(1ms);
+  Tid tj = tm_->Initiate([] {});
+  ASSERT_TRUE(tm_->Delegate(ti, tj, ObjectSet{oid}).ok());
+  release = true;
+  ASSERT_EQ(tm_->Wait(ti), 1);
+  // ti no longer holds the lock: committing ti must NOT release object
+  // oid (tj holds it now); a third writer still blocks until tj ends.
+  EXPECT_TRUE(tm_->Commit(ti));
+  std::atomic<bool> third_done{false};
+  Tid third = Spawn([&] {
+    third_done =
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("3")).ok();
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(third_done.load());
+  tm_->Begin(tj);
+  EXPECT_TRUE(tm_->Commit(tj));
+  EXPECT_TRUE(tm_->Commit(third));
+  EXPECT_TRUE(third_done.load());
+  EXPECT_EQ(ReadCommitted(oid), "3");
+}
+
+TEST_F(LockingTest, DelegatedWritesCommitWithDelegatee) {
+  ObjectId oid = MakeObject("v0");
+  Tid worker = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("work")).ok());
+  });
+  ASSERT_EQ(tm_->Wait(worker), 1);
+  Tid owner = tm_->Initiate([] {});
+  ASSERT_TRUE(tm_->Delegate(worker, owner).ok());
+  // worker aborts — but its write now belongs to owner, so nothing is
+  // undone.
+  EXPECT_TRUE(tm_->Abort(worker));
+  tm_->Begin(owner);
+  EXPECT_TRUE(tm_->Commit(owner));
+  EXPECT_EQ(ReadCommitted(oid), "work");
+}
+
+TEST_F(LockingTest, DelegatedWritesDieWithDelegatee) {
+  ObjectId oid = MakeObject("v0");
+  Tid worker = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("work")).ok());
+  });
+  ASSERT_EQ(tm_->Wait(worker), 1);
+  Tid owner = tm_->Initiate([] {});
+  ASSERT_TRUE(tm_->Delegate(worker, owner).ok());
+  EXPECT_TRUE(tm_->Commit(worker));  // commits nothing of substance
+  EXPECT_TRUE(tm_->Abort(owner));    // undoes the delegated write
+  EXPECT_EQ(ReadCommitted(oid), "v0");
+}
+
+TEST_F(LockingTest, DeadlockDetectedAndVictimized) {
+  ObjectId a = MakeObject("a");
+  ObjectId b = MakeObject("b");
+  std::atomic<int> deadlock_errors{0};
+  std::atomic<int> phase1{0};
+  auto worker = [&](ObjectId first, ObjectId second) {
+    Tid self = TransactionManager::Self();
+    if (!tm_->Write(self, first, TestBytes("w")).ok()) return;
+    phase1.fetch_add(1);
+    while (phase1.load() < 2) std::this_thread::sleep_for(1ms);
+    Status s = tm_->Write(self, second, TestBytes("w"));
+    if (s.IsDeadlock() || s.IsTimedOut()) {
+      deadlock_errors.fetch_add(1);
+      tm_->Abort(self);
+    }
+  };
+  Tid t1 = Spawn([&] { worker(a, b); });
+  Tid t2 = Spawn([&] { worker(b, a); });
+  tm_->Wait(t1);
+  tm_->Wait(t2);
+  tm_->Commit(t1);
+  tm_->Commit(t2);
+  EXPECT_GE(deadlock_errors.load(), 1);
+  EXPECT_GE(tm_->stats().deadlocks.load(), 1u);
+}
+
+TEST_F(LockingTest, LockTimeoutSurfacesAsTimedOut) {
+  // A kernel with a very short lock timeout and no deadlock detector.
+  TransactionManager::Options o;
+  o.lock.lock_timeout = std::chrono::milliseconds(50);
+  o.lock.detect_deadlocks = false;
+  LogManager log;
+  TransactionManager quick(&log, &store_, o);
+  ObjectId oid = store_.Create(TestBytes("x")).value();
+  std::atomic<bool> release{false}, holder_ready{false};
+  Tid holder = quick.Initiate([&] {
+    ASSERT_TRUE(
+        quick.Write(TransactionManager::Self(), oid, TestBytes("h")).ok());
+    holder_ready = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  quick.Begin(holder);
+  while (!holder_ready) std::this_thread::sleep_for(1ms);
+  std::atomic<bool> timed_out{false};
+  Tid waiter = quick.Initiate([&] {
+    Status s = quick.Write(TransactionManager::Self(), oid, TestBytes("w"));
+    timed_out = s.IsTimedOut();
+  });
+  quick.Begin(waiter);
+  // Wait() can report 0 the moment the timed-out transaction is marked
+  // aborting — possibly before its function finishes recording the
+  // status. Abort() blocks until the physical abort (thread exit), so
+  // the flag is settled afterwards.
+  EXPECT_EQ(quick.Wait(waiter), 0);  // doomed by the lock timeout
+  quick.Abort(waiter);
+  EXPECT_TRUE(timed_out.load());
+  release = true;
+  quick.Commit(holder);
+}
+
+TEST_F(LockingTest, CommitReleasesLocksForWaiters) {
+  // Six writers contend for one object under strict 2PL. Each gets a
+  // dedicated committer thread: a blocking commit lands as soon as that
+  // writer completes, releasing the lock for the next one. (Committing
+  // them in a fixed order from one thread would deadlock by design —
+  // locks are held until commit.)
+  ObjectId oid = MakeObject("v0");
+  constexpr int kWriters = 6;
+  std::vector<Tid> tids;
+  std::atomic<int> succeeded{0};
+  for (int i = 0; i < kWriters; ++i) {
+    tids.push_back(Spawn([&, i] {
+      if (tm_->Write(TransactionManager::Self(), oid,
+                     TestBytes("w" + std::to_string(i)))
+              .ok()) {
+        succeeded.fetch_add(1);
+      }
+    }));
+  }
+  std::vector<std::thread> committers;
+  std::atomic<int> committed{0};
+  for (Tid t : tids) {
+    committers.emplace_back([&, t] {
+      if (tm_->Commit(t)) committed.fetch_add(1);
+    });
+  }
+  for (auto& th : committers) th.join();
+  EXPECT_EQ(succeeded.load(), kWriters);
+  EXPECT_EQ(committed.load(), kWriters);
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,105 @@
+// Kernel statistics: counters must reflect the operations that ran, and
+// snapshots/reset must behave.
+
+#include <gtest/gtest.h>
+
+#include "kernel_fixture.h"
+
+namespace asset {
+namespace {
+
+class StatsTest : public KernelFixture {};
+
+TEST_F(StatsTest, LifecycleCounters) {
+  auto before = tm_->stats().snapshot();
+  Tid a = tm_->Initiate([] {});
+  Tid b = tm_->Initiate([] {});
+  tm_->Begin(a);
+  tm_->Begin(b);
+  tm_->Commit(a);
+  tm_->Abort(b);
+  auto after = tm_->stats().snapshot();
+  EXPECT_EQ(after.txns_initiated, before.txns_initiated + 2);
+  EXPECT_EQ(after.txns_begun, before.txns_begun + 2);
+  EXPECT_EQ(after.txns_committed, before.txns_committed + 1);
+  EXPECT_EQ(after.txns_aborted, before.txns_aborted + 1);
+}
+
+TEST_F(StatsTest, DataOpCounters) {
+  ObjectId oid = MakeObject("x");  // one create (a write) + commit
+  auto before = tm_->stats().snapshot();
+  Tid t = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    tm_->Read(self, oid).ok();
+    tm_->Write(self, oid, TestBytes("y")).ok();
+  });
+  tm_->Begin(t);
+  tm_->Commit(t);
+  auto after = tm_->stats().snapshot();
+  EXPECT_EQ(after.reads, before.reads + 1);
+  EXPECT_EQ(after.writes, before.writes + 1);
+  EXPECT_GE(after.locks_granted, before.locks_granted + 2);
+}
+
+TEST_F(StatsTest, UndoCounter) {
+  ObjectId oid = MakeObject("x");
+  auto before = tm_->stats().snapshot();
+  Tid t = tm_->Initiate([&] {
+    tm_->Write(TransactionManager::Self(), oid, TestBytes("y")).ok();
+  });
+  tm_->Begin(t);
+  tm_->Wait(t);
+  tm_->Abort(t);
+  auto after = tm_->stats().snapshot();
+  EXPECT_EQ(after.undo_installs, before.undo_installs + 1);
+}
+
+TEST_F(StatsTest, PermitAndDelegationCounters) {
+  ObjectId oid = MakeObject("x");
+  auto before = tm_->stats().snapshot();
+  Tid a = tm_->Initiate([] {});
+  Tid b = tm_->Initiate([] {});
+  ASSERT_TRUE(
+      tm_->Permit(a, b, ObjectSet{oid}, OpSet(Operation::kWrite)).ok());
+  ASSERT_TRUE(tm_->Delegate(a, b).ok());
+  auto after = tm_->stats().snapshot();
+  EXPECT_EQ(after.permits_inserted, before.permits_inserted + 1);
+  EXPECT_EQ(after.delegations, before.delegations + 1);
+  tm_->Abort(a);
+  tm_->Abort(b);
+}
+
+TEST_F(StatsTest, DependencyCounters) {
+  auto before = tm_->stats().snapshot();
+  Tid a = tm_->Initiate([] {});
+  Tid b = tm_->Initiate([] {});
+  ASSERT_TRUE(tm_->FormDependency(DependencyType::kCommit, a, b).ok());
+  EXPECT_EQ(tm_->FormDependency(DependencyType::kCommit, b, a).code(),
+            StatusCode::kDependencyCycle);
+  auto after = tm_->stats().snapshot();
+  EXPECT_EQ(after.dependencies_formed, before.dependencies_formed + 1);
+  EXPECT_EQ(after.dependency_cycles_rejected,
+            before.dependency_cycles_rejected + 1);
+  tm_->Abort(a);
+  tm_->Abort(b);
+}
+
+TEST_F(StatsTest, ToStringMentionsEveryGroup) {
+  std::string s = tm_->stats().snapshot().ToString();
+  for (const char* key :
+       {"txns{", "locks{", "permits{", "delegation{", "deps{", "data{"}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+TEST_F(StatsTest, ResetZeroesEverything) {
+  MakeObject("x");
+  tm_->stats().Reset();
+  auto s = tm_->stats().snapshot();
+  EXPECT_EQ(s.txns_initiated, 0u);
+  EXPECT_EQ(s.writes, 0u);
+  EXPECT_EQ(s.locks_granted, 0u);
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,77 @@
+#ifndef ASSET_TESTS_KERNEL_FIXTURE_H_
+#define ASSET_TESTS_KERNEL_FIXTURE_H_
+
+// Shared fixture for transaction-kernel tests: an in-memory storage
+// stack plus a TransactionManager with short timeouts (so negative tests
+// fail fast instead of hanging).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/transaction_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/object_store.h"
+#include "storage/wal.h"
+
+namespace asset {
+
+inline std::vector<uint8_t> TestBytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+inline std::string TestStr(const std::vector<uint8_t>& b) {
+  return std::string(b.begin(), b.end());
+}
+
+class KernelFixture : public ::testing::Test {
+ protected:
+  KernelFixture() : pool_(&disk_, 256), store_(&pool_) {
+    EXPECT_TRUE(store_.Open().ok());
+    TransactionManager::Options o;
+    o.lock.lock_timeout = std::chrono::milliseconds(2000);
+    o.commit_timeout = std::chrono::milliseconds(3000);
+    tm_ = std::make_unique<TransactionManager>(&log_, &store_, o);
+  }
+
+  /// Creates and commits an object, returning its id.
+  ObjectId MakeObject(const std::string& value) {
+    ObjectId oid = kNullObjectId;
+    Tid t = tm_->Initiate([&] {
+      oid = tm_->CreateObject(TransactionManager::Self(), TestBytes(value))
+                .value();
+    });
+    EXPECT_TRUE(tm_->Begin(t));
+    EXPECT_TRUE(tm_->Commit(t));
+    return oid;
+  }
+
+  /// Reads an object's committed value through a fresh transaction.
+  std::string ReadCommitted(ObjectId oid) {
+    std::string out = "<error>";
+    Tid t = tm_->Initiate([&] {
+      auto v = tm_->Read(TransactionManager::Self(), oid);
+      if (v.ok()) {
+        out = TestStr(*v);
+      } else if (v.status().IsNotFound()) {
+        out = "<missing>";
+      }
+    });
+    EXPECT_TRUE(tm_->Begin(t));
+    EXPECT_TRUE(tm_->Commit(t));
+    return out;
+  }
+
+  InMemoryDiskManager disk_;
+  BufferPool pool_;
+  ObjectStore store_;
+  LogManager log_;
+  std::unique_ptr<TransactionManager> tm_;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_TESTS_KERNEL_FIXTURE_H_

@@ -1,0 +1,159 @@
+// Tests for the EOS-style spin latch (§4.1): S-counter, X-bit, writer
+// preference, and mutual-exclusion invariants under contention.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/latch.h"
+
+namespace asset {
+namespace {
+
+TEST(SpinLatchTest, SharedCountTracksHolders) {
+  SpinLatch l;
+  EXPECT_EQ(l.SharedCount(), 0u);
+  l.LockShared();
+  l.LockShared();
+  EXPECT_EQ(l.SharedCount(), 2u);
+  l.UnlockShared();
+  EXPECT_EQ(l.SharedCount(), 1u);
+  l.UnlockShared();
+  EXPECT_EQ(l.SharedCount(), 0u);
+}
+
+TEST(SpinLatchTest, TryExclusiveFailsUnderShared) {
+  SpinLatch l;
+  l.LockShared();
+  EXPECT_FALSE(l.TryLockExclusive());
+  l.UnlockShared();
+  EXPECT_TRUE(l.TryLockExclusive());
+  EXPECT_TRUE(l.ExclusiveHeld());
+  l.UnlockExclusive();
+  EXPECT_FALSE(l.ExclusiveHeld());
+}
+
+TEST(SpinLatchTest, TrySharedFailsUnderExclusive) {
+  SpinLatch l;
+  l.LockExclusive();
+  EXPECT_FALSE(l.TryLockShared());
+  l.UnlockExclusive();
+  EXPECT_TRUE(l.TryLockShared());
+  l.UnlockShared();
+}
+
+TEST(SpinLatchTest, WaitingWriterBlocksNewReaders) {
+  SpinLatch l;
+  l.LockShared();  // an existing reader
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    l.LockExclusive();
+    writer_done = true;
+    l.UnlockExclusive();
+  });
+  // Wait for the writer to announce itself via the X-bit.
+  while (!l.WriterWaiting()) std::this_thread::yield();
+  // The X-bit must block a brand-new reader even though only S-holders
+  // are present (writer-starvation prevention).
+  EXPECT_FALSE(l.TryLockShared());
+  EXPECT_FALSE(writer_done.load());
+  l.UnlockShared();
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_TRUE(l.TryLockShared());
+  l.UnlockShared();
+}
+
+TEST(SpinLatchTest, ExclusiveIsMutuallyExclusive) {
+  SpinLatch l;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        l.LockExclusive();
+        counter++;  // data race iff the latch is broken
+        l.UnlockExclusive();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(SpinLatchTest, ReadersObserveConsistentPairUnderWriters) {
+  // A writer keeps (a, b) equal; readers must never observe a != b.
+  SpinLatch l;
+  int64_t a = 0, b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistencies{0};
+  std::thread writer([&] {
+    for (int i = 1; i <= 20000; ++i) {
+      l.LockExclusive();
+      a = i;
+      b = i;
+      l.UnlockExclusive();
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop) {
+        l.LockShared();
+        if (a != b) inconsistencies++;
+        l.UnlockShared();
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(inconsistencies.load(), 0);
+}
+
+TEST(SpinLatchTest, MixedTryAndBlockingAgree) {
+  SpinLatch l;
+  std::atomic<int> in_critical{0};
+  std::atomic<int> max_seen{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if (t % 2 == 0) {
+          l.LockExclusive();
+        } else {
+          while (!l.TryLockExclusive()) std::this_thread::yield();
+        }
+        int now = in_critical.fetch_add(1) + 1;
+        int prev = max_seen.load();
+        while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+        }
+        in_critical.fetch_sub(1);
+        l.UnlockExclusive();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(max_seen.load(), 1);
+}
+
+TEST(LatchGuardTest, RaiiReleases) {
+  SpinLatch l;
+  {
+    SharedLatchGuard g(l);
+    EXPECT_EQ(l.SharedCount(), 1u);
+  }
+  EXPECT_EQ(l.SharedCount(), 0u);
+  {
+    ExclusiveLatchGuard g(l);
+    EXPECT_TRUE(l.ExclusiveHeld());
+  }
+  EXPECT_FALSE(l.ExclusiveHeld());
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,130 @@
+// Atomic-transaction model (§3.1.1): commit-on-success,
+// nothing-on-abort, retry helper.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/database.h"
+#include "kernel_fixture.h"
+#include "models/atomic.h"
+
+namespace asset {
+namespace {
+
+class AtomicModelTest : public KernelFixture {};
+
+TEST_F(AtomicModelTest, CommitsAndPersists) {
+  ObjectId oid = MakeObject("0");
+  bool ok = models::RunAtomic(*tm_, [&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("1")).ok());
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ReadCommitted(oid), "1");
+}
+
+TEST_F(AtomicModelTest, SelfAbortLeavesNoTrace) {
+  ObjectId oid = MakeObject("0");
+  bool ok = models::RunAtomic(*tm_, [&] {
+    Tid self = TransactionManager::Self();
+    tm_->Write(self, oid, TestBytes("dirty")).ok();
+    tm_->Abort(self);
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(ReadCommitted(oid), "0");
+}
+
+TEST_F(AtomicModelTest, AllOrNothingAcrossObjects) {
+  ObjectId a = MakeObject("a0");
+  ObjectId b = MakeObject("b0");
+  bool ok = models::RunAtomic(*tm_, [&] {
+    Tid self = TransactionManager::Self();
+    tm_->Write(self, a, TestBytes("a1")).ok();
+    tm_->Write(self, b, TestBytes("b1")).ok();
+    tm_->Abort(self);
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(ReadCommitted(a), "a0");
+  EXPECT_EQ(ReadCommitted(b), "b0");
+}
+
+TEST_F(AtomicModelTest, RetrySucceedsAfterTransientAborts) {
+  ObjectId oid = MakeObject("0");
+  std::atomic<int> attempts{0};
+  bool ok = models::RunAtomicWithRetry(
+      *tm_,
+      [&] {
+        Tid self = TransactionManager::Self();
+        if (attempts.fetch_add(1) < 2) {
+          tm_->Abort(self);  // fail the first two attempts
+          return;
+        }
+        ASSERT_TRUE(tm_->Write(self, oid, TestBytes("done")).ok());
+      },
+      5);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(ReadCommitted(oid), "done");
+}
+
+TEST_F(AtomicModelTest, RetryGivesUpAfterMaxAttempts) {
+  std::atomic<int> attempts{0};
+  bool ok = models::RunAtomicWithRetry(
+      *tm_,
+      [&] {
+        attempts.fetch_add(1);
+        tm_->Abort(TransactionManager::Self());
+      },
+      3);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(attempts.load(), 3);
+}
+
+TEST_F(AtomicModelTest, ConcurrentAtomicIncrementsSerialize) {
+  // The classic counter: N concurrent read-modify-write transactions
+  // must not lose updates under strict 2PL.
+  ObjectId oid = kNullObjectId;
+  {
+    Tid t = tm_->Initiate([&] {
+      oid = tm_->CreateObject(TransactionManager::Self(),
+                              Database::Encode<int64_t>(0))
+                .value();
+    });
+    tm_->Begin(t);
+    ASSERT_TRUE(tm_->Commit(t));
+  }
+  constexpr int kThreads = 8, kIncrements = 10;
+  std::vector<std::thread> threads;
+  std::atomic<int> committed{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < kIncrements; ++k) {
+        bool ok = models::RunAtomicWithRetry(
+            *tm_,
+            [&] {
+              Tid self = TransactionManager::Self();
+              auto bytes = tm_->Read(self, oid);
+              if (!bytes.ok()) return;
+              int64_t v = Database::Decode<int64_t>(*bytes).value();
+              tm_->Write(self, oid, Database::Encode<int64_t>(v + 1)).ok();
+            },
+            50);
+        if (ok) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Tid t = tm_->Initiate([&] {
+    auto bytes = tm_->Read(TransactionManager::Self(), oid);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(Database::Decode<int64_t>(*bytes).value(), committed.load());
+  });
+  tm_->Begin(t);
+  ASSERT_TRUE(tm_->Commit(t));
+  EXPECT_GT(committed.load(), 0);
+}
+
+}  // namespace
+}  // namespace asset

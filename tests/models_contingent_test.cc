@@ -1,0 +1,94 @@
+// Contingent-transaction model (§3.1.3): alternatives in order, at most
+// one commits.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "kernel_fixture.h"
+#include "models/contingent.h"
+
+namespace asset {
+namespace {
+
+class ContingentModelTest : public KernelFixture {};
+
+TEST_F(ContingentModelTest, FirstAlternativeWinsWhenItCommits) {
+  ObjectId oid = MakeObject("none");
+  std::atomic<bool> second_ran{false};
+  models::ContingentTransaction ct;
+  ct.AddAlternative([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("first")).ok());
+  });
+  ct.AddAlternative([&] { second_ran = true; });
+  EXPECT_EQ(ct.Run(*tm_), 0);
+  EXPECT_EQ(ReadCommitted(oid), "first");
+  EXPECT_FALSE(second_ran.load());  // never even started
+}
+
+TEST_F(ContingentModelTest, FallsThroughToLaterAlternative) {
+  ObjectId oid = MakeObject("none");
+  models::ContingentTransaction ct;
+  ct.AddAlternative([&] { tm_->Abort(TransactionManager::Self()); });
+  ct.AddAlternative([&] { tm_->Abort(TransactionManager::Self()); });
+  ct.AddAlternative([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("third")).ok());
+  });
+  EXPECT_EQ(ct.Run(*tm_), 2);
+  EXPECT_EQ(ReadCommitted(oid), "third");
+}
+
+TEST_F(ContingentModelTest, AllAlternativesFailReturnsMinusOne) {
+  models::ContingentTransaction ct;
+  std::atomic<int> tried{0};
+  for (int i = 0; i < 3; ++i) {
+    ct.AddAlternative([&] {
+      tried.fetch_add(1);
+      tm_->Abort(TransactionManager::Self());
+    });
+  }
+  EXPECT_EQ(ct.Run(*tm_), -1);
+  EXPECT_EQ(tried.load(), 3);
+}
+
+TEST_F(ContingentModelTest, FailedAlternativeLeavesNoEffects) {
+  ObjectId oid = MakeObject("base");
+  models::ContingentTransaction ct;
+  ct.AddAlternative([&] {
+    Tid self = TransactionManager::Self();
+    tm_->Write(self, oid, TestBytes("half-done")).ok();
+    tm_->Abort(self);
+  });
+  ct.AddAlternative([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("clean")).ok());
+  });
+  EXPECT_EQ(ct.Run(*tm_), 1);
+  EXPECT_EQ(ReadCommitted(oid), "clean");
+}
+
+TEST_F(ContingentModelTest, AtMostOneCommits) {
+  // Every alternative appends its mark; exactly one mark must persist.
+  ObjectId oid = MakeObject("");
+  models::ContingentTransaction ct;
+  for (int i = 0; i < 4; ++i) {
+    ct.AddAlternative([&, i] {
+      Tid self = TransactionManager::Self();
+      ASSERT_TRUE(
+          tm_->Write(self, oid, TestBytes("alt" + std::to_string(i))).ok());
+      if (i < 2) tm_->Abort(self);  // first two bail after writing
+    });
+  }
+  EXPECT_EQ(ct.Run(*tm_), 2);
+  EXPECT_EQ(ReadCommitted(oid), "alt2");
+}
+
+TEST_F(ContingentModelTest, EmptyContingentFails) {
+  models::ContingentTransaction ct;
+  EXPECT_EQ(ct.Run(*tm_), -1);
+}
+
+}  // namespace
+}  // namespace asset

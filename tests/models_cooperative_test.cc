@@ -1,0 +1,185 @@
+// Cooperative-group model (§3.2.1): mutual permits over a shared object
+// set with ordered (CD), atomic (GC), or no commit coupling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "kernel_fixture.h"
+#include "models/cooperative.h"
+
+namespace asset {
+namespace {
+
+using namespace std::chrono_literals;
+
+class CooperativeModelTest : public KernelFixture {};
+
+TEST_F(CooperativeModelTest, MembersInterleaveOnSharedObject) {
+  ObjectId design = MakeObject("rev0");
+  std::atomic<int> step{0};
+  std::atomic<bool> failed{false};
+  auto designer = [&](int me, const char* mark) {
+    Tid self = TransactionManager::Self();
+    for (int r = 0; r < 3; ++r) {
+      while (step.load() % 2 != me) std::this_thread::sleep_for(100us);
+      if (!tm_->Write(self, design, TestBytes(mark)).ok()) {
+        failed = true;
+        return;
+      }
+      step.fetch_add(1);
+    }
+  };
+  Tid a = tm_->Initiate([&] { designer(0, "alice"); });
+  Tid b = tm_->Initiate([&] { designer(1, "bob"); });
+  models::CooperativeGroup group(*tm_, ObjectSet{design},
+                                 models::CommitCoupling::kOrdered);
+  ASSERT_TRUE(group.Enroll(a).ok());
+  ASSERT_TRUE(group.Enroll(b).ok());
+  ASSERT_TRUE(tm_->Begin({a, b}));
+  EXPECT_TRUE(group.CommitAll());
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(ReadCommitted(design), "bob");  // bob writes last
+}
+
+TEST_F(CooperativeModelTest, OrderedCouplingBlocksLateMemberCommit) {
+  ObjectId obj = MakeObject("0");
+  Tid a = tm_->Initiate([] { std::this_thread::sleep_for(120ms); });
+  Tid b = tm_->Initiate([] {});
+  models::CooperativeGroup group(*tm_, ObjectSet{obj},
+                                 models::CommitCoupling::kOrdered);
+  ASSERT_TRUE(group.Enroll(a).ok());
+  ASSERT_TRUE(group.Enroll(b).ok());  // b carries CD on a
+  ASSERT_TRUE(tm_->Begin({a, b}));
+  std::atomic<bool> b_committed{false};
+  std::thread committer([&] {
+    EXPECT_TRUE(tm_->Commit(b));
+    b_committed = true;
+  });
+  std::this_thread::sleep_for(40ms);
+  EXPECT_FALSE(b_committed.load());  // a still running: CD blocks b
+  EXPECT_TRUE(tm_->Commit(a));
+  committer.join();
+  EXPECT_TRUE(b_committed.load());
+}
+
+TEST_F(CooperativeModelTest, OrderedCouplingLetsLateMemberOutliveAbort) {
+  // CD only: if the earlier member aborts, the later may still commit.
+  ObjectId obj = MakeObject("0");
+  Tid a = tm_->Initiate([] {});
+  Tid b = tm_->Initiate([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), obj, TestBytes("b")).ok());
+  });
+  models::CooperativeGroup group(*tm_, ObjectSet{obj},
+                                 models::CommitCoupling::kOrdered);
+  ASSERT_TRUE(group.Enroll(a).ok());
+  ASSERT_TRUE(group.Enroll(b).ok());
+  ASSERT_TRUE(tm_->Begin({a, b}));
+  EXPECT_TRUE(tm_->Abort(a));
+  EXPECT_TRUE(tm_->Commit(b));
+  EXPECT_EQ(ReadCommitted(obj), "b");
+}
+
+TEST_F(CooperativeModelTest, AtomicCouplingCommitsTogether) {
+  ObjectId obj = MakeObject("0");
+  Tid a = tm_->Initiate([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), obj, TestBytes("a")).ok());
+  });
+  Tid b = tm_->Initiate([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), obj, TestBytes("b")).ok());
+  });
+  models::CooperativeGroup group(*tm_, ObjectSet{obj},
+                                 models::CommitCoupling::kAtomic);
+  ASSERT_TRUE(group.Enroll(a).ok());
+  ASSERT_TRUE(group.Enroll(b).ok());
+  ASSERT_TRUE(tm_->Begin({a, b}));
+  EXPECT_TRUE(group.CommitAll());
+  EXPECT_EQ(tm_->GetStatus(a), TxnStatus::kCommitted);
+  EXPECT_EQ(tm_->GetStatus(b), TxnStatus::kCommitted);
+}
+
+TEST_F(CooperativeModelTest, AtomicCouplingAbortsTogether) {
+  ObjectId obj = MakeObject("0");
+  Tid a = tm_->Initiate([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), obj, TestBytes("a")).ok());
+  });
+  Tid b = tm_->Initiate([&] {
+    tm_->Write(TransactionManager::Self(), obj, TestBytes("b")).ok();
+    tm_->Abort(TransactionManager::Self());  // design rejected
+  });
+  models::CooperativeGroup group(*tm_, ObjectSet{obj},
+                                 models::CommitCoupling::kAtomic);
+  ASSERT_TRUE(group.Enroll(a).ok());
+  ASSERT_TRUE(group.Enroll(b).ok());
+  ASSERT_TRUE(tm_->Begin({a, b}));
+  EXPECT_FALSE(group.CommitAll());
+  EXPECT_EQ(tm_->GetStatus(a), TxnStatus::kAborted);
+  EXPECT_EQ(tm_->GetStatus(b), TxnStatus::kAborted);
+  EXPECT_EQ(ReadCommitted(obj), "0");
+}
+
+TEST_F(CooperativeModelTest, PermitsLimitedToSharedObjects) {
+  ObjectId shared = MakeObject("0");
+  ObjectId priv = MakeObject("0");
+  std::atomic<bool> a_ready{false}, release{false};
+  Tid a = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(tm_->Write(self, shared, TestBytes("a")).ok());
+    ASSERT_TRUE(tm_->Write(self, priv, TestBytes("a-private")).ok());
+    a_ready = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  std::atomic<bool> b_shared_ok{false};
+  std::atomic<bool> b_priv_blocked{false};
+  Tid b = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    b_shared_ok = tm_->Write(self, shared, TestBytes("b")).ok();
+    Status s = tm_->Write(self, priv, TestBytes("b-intrusion"));
+    b_priv_blocked = s.IsTimedOut() || s.IsDeadlock();
+    release = true;
+  });
+  models::CooperativeGroup group(*tm_, ObjectSet{shared},
+                                 models::CommitCoupling::kNone);
+  ASSERT_TRUE(group.Enroll(a).ok());
+  ASSERT_TRUE(group.Enroll(b).ok());
+  ASSERT_TRUE(tm_->Begin(a));
+  while (!a_ready) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(tm_->Begin(b));
+  tm_->Wait(b);
+  tm_->Abort(b);  // settles b's thread before the flags are read
+  EXPECT_TRUE(b_shared_ok.load());    // permitted on the shared object
+  EXPECT_TRUE(b_priv_blocked.load()); // but not on a's private object
+  tm_->Commit(a);
+}
+
+TEST_F(CooperativeModelTest, ThreeWayCooperation) {
+  ObjectId obj = MakeObject("0");
+  std::vector<Tid> tids;
+  std::atomic<int> writes_ok{0};
+  std::atomic<int> turn{0};
+  for (int i = 0; i < 3; ++i) {
+    tids.push_back(tm_->Initiate([&, i] {
+      Tid self = TransactionManager::Self();
+      while (turn.load() != i) std::this_thread::sleep_for(100us);
+      if (tm_->Write(self, obj, TestBytes("m" + std::to_string(i))).ok()) {
+        writes_ok.fetch_add(1);
+      }
+      turn.fetch_add(1);
+    }));
+  }
+  models::CooperativeGroup group(*tm_, ObjectSet{obj},
+                                 models::CommitCoupling::kAtomic);
+  for (Tid t : tids) ASSERT_TRUE(group.Enroll(t).ok());
+  for (Tid t : tids) ASSERT_TRUE(tm_->Begin(t));
+  EXPECT_TRUE(group.CommitAll());
+  EXPECT_EQ(writes_ok.load(), 3);
+  EXPECT_EQ(ReadCommitted(obj), "m2");
+}
+
+}  // namespace
+}  // namespace asset

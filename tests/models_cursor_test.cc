@@ -1,0 +1,139 @@
+// Cursor-stability model (§3.2.2): writers may overwrite records the
+// cursor has finished with (non-repeatable reads), but the record under
+// the cursor stays protected.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "kernel_fixture.h"
+#include "models/cursor_stability.h"
+
+namespace asset {
+namespace {
+
+using namespace std::chrono_literals;
+
+class CursorModelTest : public KernelFixture {};
+
+TEST_F(CursorModelTest, ScansAllRecordsInOrder) {
+  std::vector<ObjectId> records;
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(MakeObject("r" + std::to_string(i)));
+  }
+  Tid reader = tm_->Initiate([&] {
+    models::StableCursor cursor(*tm_, TransactionManager::Self(), records);
+    int i = 0;
+    while (!cursor.Done()) {
+      auto v = cursor.Next();
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(TestStr(*v), "r" + std::to_string(i++));
+    }
+    EXPECT_EQ(i, 5);
+  });
+  tm_->Begin(reader);
+  EXPECT_TRUE(tm_->Commit(reader));
+}
+
+TEST_F(CursorModelTest, WriterGetsThroughBehindTheCursor) {
+  ObjectId r0 = MakeObject("r0");
+  ObjectId r1 = MakeObject("r1");
+  std::atomic<bool> cursor_past_r0{false}, writer_done{false},
+      reader_may_finish{false};
+  Tid reader = tm_->Initiate([&] {
+    models::StableCursor cursor(*tm_, TransactionManager::Self(), {r0, r1});
+    ASSERT_TRUE(cursor.Next().ok());  // consumed r0, write permit issued
+    cursor_past_r0 = true;
+    while (!reader_may_finish) std::this_thread::sleep_for(1ms);
+    ASSERT_TRUE(cursor.Next().ok());
+  });
+  tm_->Begin(reader);
+  while (!cursor_past_r0) std::this_thread::sleep_for(1ms);
+  // A writer updates r0 while the reading transaction is still active.
+  Tid writer = tm_->Initiate([&] {
+    writer_done =
+        tm_->Write(TransactionManager::Self(), r0, TestBytes("w0")).ok();
+  });
+  tm_->Begin(writer);
+  for (int i = 0; i < 500 && !writer_done; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(writer_done.load());  // no waiting for the reader
+  // No dependency was formed: either commit order works.
+  EXPECT_TRUE(tm_->Commit(writer));
+  reader_may_finish = true;
+  EXPECT_TRUE(tm_->Commit(reader));
+  EXPECT_EQ(ReadCommitted(r0), "w0");
+}
+
+TEST_F(CursorModelTest, RecordUnderCursorStaysProtected) {
+  ObjectId r0 = MakeObject("r0");
+  ObjectId r1 = MakeObject("r1");
+  std::atomic<bool> at_r1{false}, release{false};
+  Tid reader = tm_->Initiate([&] {
+    models::StableCursor cursor(*tm_, TransactionManager::Self(), {r0, r1});
+    ASSERT_TRUE(cursor.Next().ok());  // past r0
+    // Read r1 but do NOT advance past it: r1 is "under the cursor".
+    ASSERT_TRUE(tm_->Read(TransactionManager::Self(), r1).ok());
+    at_r1 = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  tm_->Begin(reader);
+  while (!at_r1) std::this_thread::sleep_for(1ms);
+  std::atomic<bool> writer_done{false};
+  Tid writer = tm_->Initiate([&] {
+    writer_done =
+        tm_->Write(TransactionManager::Self(), r1, TestBytes("w1")).ok();
+  });
+  tm_->Begin(writer);
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(writer_done.load());  // r1 still read-locked, no permit
+  release = true;
+  EXPECT_TRUE(tm_->Commit(reader));
+  EXPECT_TRUE(tm_->Commit(writer));
+  EXPECT_TRUE(writer_done.load());
+}
+
+TEST_F(CursorModelTest, NonRepeatableReadIsVisible) {
+  // The textbook anomaly cursor stability allows: re-reading a record
+  // the cursor already passed can observe a different value.
+  ObjectId r0 = MakeObject("v1");
+  std::atomic<bool> past{false}, updated{false};
+  std::string first, second;
+  Tid reader = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    models::StableCursor cursor(*tm_, self, {r0});
+    first = TestStr(*cursor.Next());
+    past = true;
+    while (!updated) std::this_thread::sleep_for(1ms);
+    second = TestStr(*tm_->Read(self, r0));
+  });
+  tm_->Begin(reader);
+  while (!past) std::this_thread::sleep_for(1ms);
+  Tid writer = tm_->Initiate([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), r0, TestBytes("v2")).ok());
+  });
+  tm_->Begin(writer);
+  ASSERT_TRUE(tm_->Commit(writer));
+  updated = true;
+  ASSERT_TRUE(tm_->Commit(reader));
+  EXPECT_EQ(first, "v1");
+  EXPECT_EQ(second, "v2");  // non-repeatable read, by design
+}
+
+TEST_F(CursorModelTest, ExhaustedCursorErrors) {
+  ObjectId r0 = MakeObject("r0");
+  Tid reader = tm_->Initiate([&] {
+    models::StableCursor cursor(*tm_, TransactionManager::Self(), {r0});
+    ASSERT_TRUE(cursor.Next().ok());
+    EXPECT_TRUE(cursor.Done());
+    EXPECT_TRUE(cursor.Next().status().IsIllegalState());
+  });
+  tm_->Begin(reader);
+  EXPECT_TRUE(tm_->Commit(reader));
+}
+
+}  // namespace
+}  // namespace asset

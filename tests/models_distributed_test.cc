@@ -1,0 +1,117 @@
+// Distributed-transaction model (§3.1.2): parallel components, group
+// commit, group abort.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "kernel_fixture.h"
+#include "models/distributed.h"
+
+namespace asset {
+namespace {
+
+using namespace std::chrono_literals;
+
+class DistributedModelTest : public KernelFixture {};
+
+TEST_F(DistributedModelTest, AllComponentsCommitTogether) {
+  ObjectId o1 = MakeObject("0");
+  ObjectId o2 = MakeObject("0");
+  ObjectId o3 = MakeObject("0");
+  models::DistributedTransaction dt;
+  dt.AddComponent([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), o1, TestBytes("A")).ok());
+  });
+  dt.AddComponent([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), o2, TestBytes("B")).ok());
+  });
+  dt.AddComponent([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), o3, TestBytes("C")).ok());
+  });
+  EXPECT_TRUE(dt.Run(*tm_));
+  EXPECT_EQ(ReadCommitted(o1), "A");
+  EXPECT_EQ(ReadCommitted(o2), "B");
+  EXPECT_EQ(ReadCommitted(o3), "C");
+  for (Tid t : dt.tids()) {
+    EXPECT_EQ(tm_->GetStatus(t), TxnStatus::kCommitted);
+  }
+}
+
+TEST_F(DistributedModelTest, ComponentsRunInParallel) {
+  std::atomic<int> concurrent{0}, peak{0};
+  auto component = [&] {
+    int now = concurrent.fetch_add(1) + 1;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(50ms);
+    concurrent.fetch_sub(1);
+  };
+  models::DistributedTransaction dt;
+  dt.AddComponent(component).AddComponent(component).AddComponent(component);
+  EXPECT_TRUE(dt.Run(*tm_));
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST_F(DistributedModelTest, OneAbortAbortsEverything) {
+  ObjectId o1 = MakeObject("0");
+  ObjectId o2 = MakeObject("0");
+  models::DistributedTransaction dt;
+  dt.AddComponent([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), o1, TestBytes("A")).ok());
+  });
+  dt.AddComponent([&] {
+    tm_->Write(TransactionManager::Self(), o2, TestBytes("B")).ok();
+    tm_->Abort(TransactionManager::Self());
+  });
+  EXPECT_FALSE(dt.Run(*tm_));
+  EXPECT_EQ(ReadCommitted(o1), "0");
+  EXPECT_EQ(ReadCommitted(o2), "0");
+  for (Tid t : dt.tids()) {
+    EXPECT_EQ(tm_->GetStatus(t), TxnStatus::kAborted);
+  }
+}
+
+TEST_F(DistributedModelTest, EmptyDistributedTransactionCommits) {
+  models::DistributedTransaction dt;
+  EXPECT_TRUE(dt.Run(*tm_));
+}
+
+TEST_F(DistributedModelTest, SingleComponentDegeneratesToAtomic) {
+  ObjectId oid = MakeObject("0");
+  models::DistributedTransaction dt;
+  dt.AddComponent([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), oid, TestBytes("1")).ok());
+  });
+  EXPECT_TRUE(dt.Run(*tm_));
+  EXPECT_EQ(ReadCommitted(oid), "1");
+}
+
+TEST_F(DistributedModelTest, ManyComponents) {
+  constexpr int kN = 12;
+  std::vector<ObjectId> oids;
+  for (int i = 0; i < kN; ++i) oids.push_back(MakeObject("0"));
+  models::DistributedTransaction dt;
+  for (int i = 0; i < kN; ++i) {
+    dt.AddComponent([&, i] {
+      ASSERT_TRUE(tm_->Write(TransactionManager::Self(), oids[i],
+                             TestBytes(std::to_string(i)))
+                      .ok());
+    });
+  }
+  EXPECT_TRUE(dt.Run(*tm_));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(ReadCommitted(oids[i]), std::to_string(i));
+  }
+  EXPECT_GE(tm_->stats().group_commits.load(), 1u);
+}
+
+}  // namespace
+}  // namespace asset

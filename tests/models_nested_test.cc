@@ -1,0 +1,164 @@
+// Nested-transaction model (§3.1.4): permit lets children see parent
+// state, delegate hands results up, child aborts are contained or
+// propagate per policy, durability only at top-level commit — including
+// the paper's trip example.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "kernel_fixture.h"
+#include "models/nested.h"
+
+namespace asset {
+namespace {
+
+class NestedModelTest : public KernelFixture {};
+
+TEST_F(NestedModelTest, RequiresEnclosingTransaction) {
+  EXPECT_TRUE(
+      models::RunSubtransaction(*tm_, [] {}).IsIllegalState());
+}
+
+TEST_F(NestedModelTest, ChildEffectsCommitWithParent) {
+  ObjectId oid = MakeObject("0");
+  bool ok = models::RunNestedRoot(*tm_, [&] {
+    Status s = models::RunSubtransaction(*tm_, [&] {
+      ASSERT_TRUE(
+          tm_->Write(TransactionManager::Self(), oid, TestBytes("child"))
+              .ok());
+    });
+    ASSERT_TRUE(s.ok());
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ReadCommitted(oid), "child");
+}
+
+TEST_F(NestedModelTest, ChildEffectsDieIfParentAborts) {
+  ObjectId oid = MakeObject("0");
+  bool ok = models::RunNestedRoot(*tm_, [&] {
+    ASSERT_TRUE(models::RunSubtransaction(*tm_, [&] {
+                  tm_->Write(TransactionManager::Self(), oid,
+                             TestBytes("child"))
+                      .ok();
+                }).ok());
+    // Parent changes its mind after the child "committed".
+    tm_->Abort(TransactionManager::Self());
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(ReadCommitted(oid), "0");  // child work undone with parent
+}
+
+TEST_F(NestedModelTest, ChildCanTouchParentLockedObjects) {
+  ObjectId oid = MakeObject("0");
+  bool ok = models::RunNestedRoot(*tm_, [&] {
+    Tid self = TransactionManager::Self();
+    // Parent holds a write lock...
+    ASSERT_TRUE(tm_->Write(self, oid, TestBytes("parent")).ok());
+    // ...and the child must get through it without deadlock (permit).
+    Status s = models::RunSubtransaction(*tm_, [&] {
+      ASSERT_TRUE(
+          tm_->Write(TransactionManager::Self(), oid, TestBytes("child"))
+              .ok());
+    });
+    ASSERT_TRUE(s.ok());
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ReadCommitted(oid), "child");
+}
+
+TEST_F(NestedModelTest, ReportOnlyChildAbortKeepsParentAlive) {
+  ObjectId parent_obj = MakeObject("0");
+  ObjectId child_obj = MakeObject("0");
+  bool ok = models::RunNestedRoot(*tm_, [&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(tm_->Write(self, parent_obj, TestBytes("kept")).ok());
+    Status s = models::RunSubtransaction(
+        *tm_,
+        [&] {
+          tm_->Write(TransactionManager::Self(), child_obj,
+                     TestBytes("doomed"))
+              .ok();
+          tm_->Abort(TransactionManager::Self());
+        },
+        models::OnChildAbort::kReportOnly);
+    EXPECT_TRUE(s.IsTxnAborted());
+  });
+  EXPECT_TRUE(ok);  // parent commits despite the child
+  EXPECT_EQ(ReadCommitted(parent_obj), "kept");
+  EXPECT_EQ(ReadCommitted(child_obj), "0");
+}
+
+TEST_F(NestedModelTest, AbortParentPolicyDoomsParent) {
+  ObjectId oid = MakeObject("0");
+  bool ok = models::RunNestedRoot(*tm_, [&] {
+    tm_->Write(TransactionManager::Self(), oid, TestBytes("parent")).ok();
+    models::RunSubtransaction(
+        *tm_, [&] { tm_->Abort(TransactionManager::Self()); },
+        models::OnChildAbort::kAbortParent)
+        .ok();
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(ReadCommitted(oid), "0");
+}
+
+TEST_F(NestedModelTest, TwoLevelNesting) {
+  ObjectId oid = MakeObject("0");
+  bool ok = models::RunNestedRoot(*tm_, [&] {
+    ASSERT_TRUE(models::RunSubtransaction(*tm_, [&] {
+                  ASSERT_TRUE(models::RunSubtransaction(*tm_, [&] {
+                                ASSERT_TRUE(
+                                    tm_->Write(TransactionManager::Self(),
+                                               oid, TestBytes("grandchild"))
+                                        .ok());
+                              }).ok());
+                }).ok());
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ReadCommitted(oid), "grandchild");
+}
+
+TEST_F(NestedModelTest, PaperTripExample) {
+  // §3.1.4: airline + hotel; if either fails the whole trip cancels and
+  // the airline reservation is undone.
+  ObjectId airline = MakeObject("no-flight");
+  ObjectId hotel = MakeObject("no-room");
+
+  auto run_trip = [&](bool hotel_available) {
+    return models::RunNestedRoot(*tm_, [&, hotel_available] {
+      Status s1 = models::RunSubtransaction(
+          *tm_,
+          [&] {
+            ASSERT_TRUE(tm_->Write(TransactionManager::Self(), airline,
+                                   TestBytes("booked"))
+                            .ok());
+          },
+          models::OnChildAbort::kAbortParent);
+      if (!s1.ok()) return;
+      Status s2 = models::RunSubtransaction(
+          *tm_,
+          [&, hotel_available] {
+            Tid self = TransactionManager::Self();
+            if (!hotel_available) {
+              tm_->Abort(self);
+              return;
+            }
+            ASSERT_TRUE(
+                tm_->Write(self, hotel, TestBytes("reserved")).ok());
+          },
+          models::OnChildAbort::kAbortParent);
+      (void)s2;
+    });
+  };
+
+  EXPECT_FALSE(run_trip(/*hotel_available=*/false));
+  EXPECT_EQ(ReadCommitted(airline), "no-flight");  // undone with the trip
+  EXPECT_EQ(ReadCommitted(hotel), "no-room");
+
+  EXPECT_TRUE(run_trip(/*hotel_available=*/true));
+  EXPECT_EQ(ReadCommitted(airline), "booked");
+  EXPECT_EQ(ReadCommitted(hotel), "reserved");
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,189 @@
+// Saga model (§3.1.6): sequential components that commit as they go,
+// compensation in reverse order on failure, compensation retry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "core/database.h"
+#include "kernel_fixture.h"
+#include "models/saga.h"
+
+namespace asset {
+namespace {
+
+class SagaModelTest : public KernelFixture {
+ protected:
+  // Records execution order for shape assertions.
+  std::vector<std::string> trace_;
+  std::mutex trace_mu_;
+  void Trace(const std::string& s) {
+    std::lock_guard<std::mutex> g(trace_mu_);
+    trace_.push_back(s);
+  }
+};
+
+TEST_F(SagaModelTest, AllStepsCommitInOrder) {
+  models::Saga saga;
+  for (int i = 1; i <= 4; ++i) {
+    saga.AddStep([this, i] { Trace("t" + std::to_string(i)); },
+                 [this, i] { Trace("ct" + std::to_string(i)); });
+  }
+  auto out = saga.Run(*tm_);
+  EXPECT_TRUE(out.committed);
+  EXPECT_EQ(out.steps_committed, 4u);
+  EXPECT_EQ(out.compensations_run, 0u);
+  EXPECT_EQ(trace_, (std::vector<std::string>{"t1", "t2", "t3", "t4"}));
+}
+
+TEST_F(SagaModelTest, FailureCompensatesInReverseOrder) {
+  // The paper's aborted-saga shape: t1 t2 ... tk ct_k ... ct_1.
+  models::Saga saga;
+  for (int i = 1; i <= 3; ++i) {
+    saga.AddStep([this, i] { Trace("t" + std::to_string(i)); },
+                 [this, i] { Trace("ct" + std::to_string(i)); });
+  }
+  saga.AddStep([this] {
+    Trace("t4");
+    tm_->Abort(TransactionManager::Self());
+  });
+  auto out = saga.Run(*tm_);
+  EXPECT_FALSE(out.committed);
+  EXPECT_EQ(out.steps_committed, 3u);
+  EXPECT_EQ(out.compensations_run, 3u);
+  EXPECT_EQ(trace_, (std::vector<std::string>{"t1", "t2", "t3", "t4",
+                                              "ct3", "ct2", "ct1"}));
+}
+
+TEST_F(SagaModelTest, StepEffectsCommitImmediately) {
+  // Component isolation only: committed components are visible even
+  // though the saga is still in flight — and stay visible after a later
+  // failure unless compensated.
+  ObjectId oid = MakeObject("0");
+  models::Saga saga;
+  saga.AddStep(
+      [&] {
+        ASSERT_TRUE(
+            tm_->Write(TransactionManager::Self(), oid, TestBytes("step1"))
+                .ok());
+      },
+      [&] {
+        ASSERT_TRUE(tm_->Write(TransactionManager::Self(), oid,
+                               TestBytes("compensated"))
+                        .ok());
+      });
+  saga.AddStep([&] {
+    // Mid-saga observation: step1's value is already committed.
+    EXPECT_EQ(ReadCommitted(oid), "step1");
+    tm_->Abort(TransactionManager::Self());
+  });
+  auto out = saga.Run(*tm_);
+  EXPECT_FALSE(out.committed);
+  EXPECT_EQ(ReadCommitted(oid), "compensated");
+}
+
+TEST_F(SagaModelTest, BankTransferSagaWithCompensation) {
+  // Move 30 from A to B in two steps; crediting B fails, so the debit
+  // of A is compensated.
+  ObjectId a = kNullObjectId, b = kNullObjectId;
+  {
+    Tid t = tm_->Initiate([&] {
+      Tid self = TransactionManager::Self();
+      a = tm_->CreateObject(self, Database::Encode<int64_t>(100)).value();
+      b = tm_->CreateObject(self, Database::Encode<int64_t>(50)).value();
+    });
+    tm_->Begin(t);
+    ASSERT_TRUE(tm_->Commit(t));
+  }
+  auto adjust = [&](ObjectId acct, int64_t delta) {
+    Tid self = TransactionManager::Self();
+    int64_t v =
+        Database::Decode<int64_t>(*tm_->Read(self, acct)).value();
+    ASSERT_TRUE(
+        tm_->Write(self, acct, Database::Encode<int64_t>(v + delta)).ok());
+  };
+  models::Saga saga;
+  saga.AddStep([&] { adjust(a, -30); }, [&] { adjust(a, +30); });
+  saga.AddStep([&] {
+    tm_->Abort(TransactionManager::Self());  // credit rejected
+  });
+  auto out = saga.Run(*tm_);
+  EXPECT_FALSE(out.committed);
+  Tid t = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    EXPECT_EQ(Database::Decode<int64_t>(*tm_->Read(self, a)).value(), 100);
+    EXPECT_EQ(Database::Decode<int64_t>(*tm_->Read(self, b)).value(), 50);
+  });
+  tm_->Begin(t);
+  ASSERT_TRUE(tm_->Commit(t));
+}
+
+TEST_F(SagaModelTest, CompensationRetriedUntilCommit) {
+  std::atomic<int> comp_attempts{0};
+  models::Saga saga;
+  saga.AddStep([this] { Trace("t1"); },
+               [&] {
+                 // Fail twice, then succeed — the paper's do/while.
+                 if (comp_attempts.fetch_add(1) < 2) {
+                   tm_->Abort(TransactionManager::Self());
+                 }
+               });
+  saga.AddStep([this] { tm_->Abort(TransactionManager::Self()); });
+  auto out = saga.Run(*tm_);
+  EXPECT_FALSE(out.committed);
+  EXPECT_EQ(out.compensations_run, 1u);
+  EXPECT_EQ(comp_attempts.load(), 3);
+}
+
+TEST_F(SagaModelTest, CompensationRetryBoundStopsRunaway) {
+  models::Saga saga;
+  std::atomic<int> attempts{0};
+  saga.AddStep([] {},
+               [&] {
+                 attempts.fetch_add(1);
+                 tm_->Abort(TransactionManager::Self());
+               });
+  saga.AddStep([this] { tm_->Abort(TransactionManager::Self()); });
+  auto out = saga.Run(*tm_, /*max_compensation_attempts=*/5);
+  EXPECT_FALSE(out.committed);
+  EXPECT_EQ(attempts.load(), 5);
+  EXPECT_EQ(out.compensations_run, 0u);  // never actually committed
+}
+
+TEST_F(SagaModelTest, FirstStepFailureNeedsNoCompensation) {
+  models::Saga saga;
+  saga.AddStep([this] {
+    Trace("t1");
+    tm_->Abort(TransactionManager::Self());
+  },
+               [this] { Trace("ct1"); });
+  saga.AddStep([this] { Trace("t2"); });
+  auto out = saga.Run(*tm_);
+  EXPECT_FALSE(out.committed);
+  EXPECT_EQ(out.steps_committed, 0u);
+  EXPECT_EQ(out.compensations_run, 0u);
+  EXPECT_EQ(trace_, (std::vector<std::string>{"t1"}));
+}
+
+TEST_F(SagaModelTest, StepsWithoutCompensationAreSkippedDuringUnwind) {
+  models::Saga saga;
+  saga.AddStep([this] { Trace("t1"); }, [this] { Trace("ct1"); });
+  saga.AddStep([this] { Trace("t2"); });  // no compensation
+  saga.AddStep([this] { tm_->Abort(TransactionManager::Self()); });
+  auto out = saga.Run(*tm_);
+  EXPECT_FALSE(out.committed);
+  EXPECT_EQ(out.steps_committed, 2u);
+  EXPECT_EQ(out.compensations_run, 1u);
+  EXPECT_EQ(trace_, (std::vector<std::string>{"t1", "t2", "ct1"}));
+}
+
+TEST_F(SagaModelTest, EmptySagaCommits) {
+  models::Saga saga;
+  auto out = saga.Run(*tm_);
+  EXPECT_TRUE(out.committed);
+}
+
+}  // namespace
+}  // namespace asset

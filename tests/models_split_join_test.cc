@@ -1,0 +1,151 @@
+// Split/join model (§3.1.5): a split carves off objects into an
+// independent transaction; a join folds a transaction's work into
+// another.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "kernel_fixture.h"
+#include "models/split_join.h"
+
+namespace asset {
+namespace {
+
+using namespace std::chrono_literals;
+
+class SplitJoinModelTest : public KernelFixture {};
+
+TEST_F(SplitJoinModelTest, SplitRequiresEnclosingTransaction) {
+  EXPECT_FALSE(models::Split(*tm_, ObjectSet{1}, [] {}).ok());
+}
+
+TEST_F(SplitJoinModelTest, SplitCommitsIndependently) {
+  ObjectId kept = MakeObject("0");
+  ObjectId given = MakeObject("0");
+  Tid split_tid = kNullTid;
+  // The original transaction writes both objects, splits off `given`,
+  // then aborts. The split transaction commits `given`'s update anyway.
+  Tid t = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(tm_->Write(self, kept, TestBytes("mine")).ok());
+    ASSERT_TRUE(tm_->Write(self, given, TestBytes("yours")).ok());
+    auto s = models::Split(*tm_, ObjectSet{given}, [] {});
+    ASSERT_TRUE(s.ok());
+    split_tid = *s;
+    tm_->Abort(self);
+  });
+  tm_->Begin(t);
+  EXPECT_FALSE(tm_->Commit(t));
+  ASSERT_NE(split_tid, kNullTid);
+  EXPECT_TRUE(tm_->Commit(split_tid));
+  EXPECT_EQ(ReadCommitted(kept), "0");       // undone with the original
+  EXPECT_EQ(ReadCommitted(given), "yours");  // survived via the split
+}
+
+TEST_F(SplitJoinModelTest, SplitAbortsIndependently) {
+  ObjectId kept = MakeObject("0");
+  ObjectId given = MakeObject("0");
+  Tid split_tid = kNullTid;
+  Tid t = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(tm_->Write(self, kept, TestBytes("mine")).ok());
+    ASSERT_TRUE(tm_->Write(self, given, TestBytes("yours")).ok());
+    auto s = models::Split(*tm_, ObjectSet{given}, [] {});
+    ASSERT_TRUE(s.ok());
+    split_tid = *s;
+  });
+  tm_->Begin(t);
+  tm_->Wait(t);
+  EXPECT_TRUE(tm_->Abort(split_tid));
+  EXPECT_TRUE(tm_->Commit(t));
+  EXPECT_EQ(ReadCommitted(kept), "mine");  // original's half committed
+  EXPECT_EQ(ReadCommitted(given), "0");    // split's half rolled back
+}
+
+TEST_F(SplitJoinModelTest, SplitBodyRunsInNewTransaction) {
+  ObjectId extra = MakeObject("0");
+  Tid split_tid = kNullTid;
+  std::atomic<Tid> split_self{kNullTid};
+  Tid t = tm_->Initiate([&] {
+    auto s = models::Split(*tm_, ObjectSet{}, [&] {
+      split_self = TransactionManager::Self();
+      tm_->Write(TransactionManager::Self(), extra, TestBytes("by-split"))
+          .ok();
+    });
+    ASSERT_TRUE(s.ok());
+    split_tid = *s;
+  });
+  tm_->Begin(t);
+  tm_->Wait(t);
+  EXPECT_TRUE(tm_->Commit(split_tid));
+  EXPECT_TRUE(tm_->Commit(t));
+  EXPECT_EQ(split_self.load(), split_tid);
+  EXPECT_EQ(ReadCommitted(extra), "by-split");
+}
+
+TEST_F(SplitJoinModelTest, JoinFoldsWorkIntoTarget) {
+  // The paper's scenario: s splits from t, later joins t again; t's
+  // commit carries everything.
+  ObjectId obj = MakeObject("0");
+  Tid s_tid = kNullTid;
+  Tid t = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    auto s = models::Split(*tm_, ObjectSet{}, [&] {
+      tm_->Write(TransactionManager::Self(), obj, TestBytes("split-work"))
+          .ok();
+    });
+    ASSERT_TRUE(s.ok());
+    s_tid = *s;
+    // join(s, t): wait(s); delegate(s, t);
+    ASSERT_TRUE(models::Join(*tm_, s_tid, self).ok());
+  });
+  tm_->Begin(t);
+  EXPECT_TRUE(tm_->Commit(t));
+  // The split transaction's work went with t.
+  EXPECT_EQ(ReadCommitted(obj), "split-work");
+  // s itself can now abort without effect.
+  tm_->Abort(s_tid);
+  EXPECT_EQ(ReadCommitted(obj), "split-work");
+}
+
+TEST_F(SplitJoinModelTest, JoinOfAbortedTransactionFails) {
+  Tid s_tid = kNullTid;
+  Tid t = tm_->Initiate([&] {
+    auto s = models::Split(*tm_, ObjectSet{},
+                           [&] { tm_->Abort(TransactionManager::Self()); });
+    ASSERT_TRUE(s.ok());
+    s_tid = *s;
+    Status j = models::Join(*tm_, s_tid, TransactionManager::Self());
+    EXPECT_TRUE(j.IsTxnAborted());
+  });
+  tm_->Begin(t);
+  EXPECT_TRUE(tm_->Commit(t));
+}
+
+TEST_F(SplitJoinModelTest, SerialSplitsChain) {
+  // Split from a split: open-ended activities hand off work repeatedly.
+  ObjectId obj = MakeObject("0");
+  std::atomic<Tid> second_split{kNullTid};
+  Tid t = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(tm_->Write(self, obj, TestBytes("gen0")).ok());
+    auto s1 = models::Split(*tm_, ObjectSet{obj}, [&] {
+      auto s2 = models::Split(*tm_, ObjectSet{obj}, [] {});
+      if (s2.ok()) second_split = *s2;
+    });
+    ASSERT_TRUE(s1.ok());
+    ASSERT_EQ(tm_->Wait(*s1), 1);
+    EXPECT_TRUE(tm_->Commit(*s1));
+  });
+  tm_->Begin(t);
+  EXPECT_TRUE(tm_->Commit(t));
+  ASSERT_NE(second_split.load(), kNullTid);
+  // The final holder commits the original write.
+  EXPECT_TRUE(tm_->Commit(second_split.load()));
+  EXPECT_EQ(ReadCommitted(obj), "gen0");
+}
+
+}  // namespace
+}  // namespace asset

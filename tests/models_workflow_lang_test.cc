@@ -1,0 +1,188 @@
+// The workflow-specification language (§3.2.3's "a language to specify
+// workflows"): parsing, error reporting, compilation against a task
+// registry, and end-to-end execution of the appendix program from its
+// textual spec.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "kernel_fixture.h"
+#include "models/workflow_lang.h"
+
+namespace asset {
+namespace {
+
+using models::BuildWorkflow;
+using models::CompileWorkflow;
+using models::ParseWorkflowSpec;
+using models::TaskRegistry;
+using models::Workflow;
+using models::WorkflowSpec;
+
+constexpr const char* kConferenceSpec = R"(
+# X attends the conference (June 11-14, 1994)
+workflow x_conference {
+  step flight required {
+    try delta
+    try united
+    try american
+  } compensate cancel_flight
+  step hotel required {
+    try equator
+  }
+  step car optional race {
+    try national
+    try avis
+  }
+}
+)";
+
+TEST(WorkflowLangParseTest, ParsesTheConferenceSpec) {
+  auto spec = ParseWorkflowSpec(kConferenceSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name, "x_conference");
+  ASSERT_EQ(spec->steps.size(), 3u);
+
+  EXPECT_EQ(spec->steps[0].name, "flight");
+  EXPECT_TRUE(spec->steps[0].required);
+  EXPECT_EQ(spec->steps[0].mode, Workflow::Mode::kOrdered);
+  EXPECT_EQ(spec->steps[0].tasks,
+            (std::vector<std::string>{"delta", "united", "american"}));
+  EXPECT_EQ(spec->steps[0].compensation, "cancel_flight");
+
+  EXPECT_EQ(spec->steps[1].name, "hotel");
+  EXPECT_TRUE(spec->steps[1].required);
+  EXPECT_TRUE(spec->steps[1].compensation.empty());
+
+  EXPECT_EQ(spec->steps[2].name, "car");
+  EXPECT_FALSE(spec->steps[2].required);
+  EXPECT_EQ(spec->steps[2].mode, Workflow::Mode::kRace);
+}
+
+TEST(WorkflowLangParseTest, DefaultsAreRequiredOrdered) {
+  auto spec = ParseWorkflowSpec("workflow w { step s { try t } }");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->steps[0].required);
+  EXPECT_EQ(spec->steps[0].mode, Workflow::Mode::kOrdered);
+}
+
+TEST(WorkflowLangParseTest, FlagsInEitherOrder) {
+  auto spec = ParseWorkflowSpec(
+      "workflow w { step s race optional { try t } }");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->steps[0].required);
+  EXPECT_EQ(spec->steps[0].mode, Workflow::Mode::kRace);
+}
+
+TEST(WorkflowLangParseTest, ErrorsCarryLineNumbers) {
+  auto spec = ParseWorkflowSpec("workflow w {\n  step s {\n  }\n}");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 3"), std::string::npos)
+      << spec.status();
+  EXPECT_NE(spec.status().message().find("no 'try'"), std::string::npos);
+}
+
+TEST(WorkflowLangParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseWorkflowSpec("").ok());
+  EXPECT_FALSE(ParseWorkflowSpec("workflow {").ok());           // no name
+  EXPECT_FALSE(ParseWorkflowSpec("workflow w { }").ok());       // no steps
+  EXPECT_FALSE(ParseWorkflowSpec("workflow w { step s { try t } } extra")
+                   .ok());                                      // trailing
+  EXPECT_FALSE(
+      ParseWorkflowSpec(
+          "workflow w { step s required required { try t } }")
+          .ok());  // duplicate flag
+  EXPECT_FALSE(
+      ParseWorkflowSpec("workflow w { step s { try step } }").ok());
+  // Missing closing brace.
+  EXPECT_FALSE(ParseWorkflowSpec("workflow w { step s { try t }").ok());
+}
+
+TEST(WorkflowLangCompileTest, UnboundTaskIsNotFound) {
+  auto spec = ParseWorkflowSpec("workflow w { step s { try missing } }");
+  ASSERT_TRUE(spec.ok());
+  TaskRegistry registry;
+  auto wf = CompileWorkflow(*spec, registry);
+  ASSERT_FALSE(wf.ok());
+  EXPECT_TRUE(wf.status().IsNotFound());
+  EXPECT_NE(wf.status().message().find("missing"), std::string::npos);
+}
+
+TEST(WorkflowLangCompileTest, UnboundCompensationIsNotFound) {
+  auto spec = ParseWorkflowSpec(
+      "workflow w { step s { try t } compensate undo_t }");
+  ASSERT_TRUE(spec.ok());
+  TaskRegistry registry{{"t", [] {}}};
+  EXPECT_TRUE(CompileWorkflow(*spec, registry).status().IsNotFound());
+}
+
+class WorkflowLangRunTest : public KernelFixture {};
+
+TEST_F(WorkflowLangRunTest, ConferenceSpecRunsEndToEnd) {
+  ObjectId flight = MakeObject("none");
+  ObjectId hotel = MakeObject("none");
+  ObjectId car = MakeObject("none");
+  auto reserve = [&](ObjectId slot, const char* who, bool available) {
+    return [this, slot, who, available] {
+      Tid self = TransactionManager::Self();
+      if (!available) {
+        tm_->Abort(self);
+        return;
+      }
+      tm_->Write(self, slot, TestBytes(who)).ok();
+    };
+  };
+  TaskRegistry registry{
+      {"delta", reserve(flight, "delta", false)},  // Delta is full today
+      {"united", reserve(flight, "united", true)},
+      {"american", reserve(flight, "american", true)},
+      {"cancel_flight", reserve(flight, "cancelled", true)},
+      {"equator", reserve(hotel, "equator", true)},
+      {"national", reserve(car, "national", true)},
+      {"avis", reserve(car, "avis", true)},
+  };
+  auto wf = BuildWorkflow(kConferenceSpec, registry);
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  auto out = wf->Run(*tm_);
+  EXPECT_TRUE(out.succeeded);
+  ASSERT_EQ(out.steps.size(), 3u);
+  EXPECT_EQ(out.steps[0].winner, 1);  // United, since Delta was full
+  EXPECT_EQ(ReadCommitted(flight), "united");
+  EXPECT_EQ(ReadCommitted(hotel), "equator");
+  std::string car_winner = ReadCommitted(car);
+  EXPECT_TRUE(car_winner == "national" || car_winner == "avis");
+}
+
+TEST_F(WorkflowLangRunTest, CompiledCompensationRuns) {
+  ObjectId flight = MakeObject("none");
+  std::atomic<int> compensations{0};
+  TaskRegistry registry{
+      {"book", [&] {
+         tm_->Write(TransactionManager::Self(), flight, TestBytes("booked"))
+             .ok();
+       }},
+      {"cancel", [&] {
+         compensations.fetch_add(1);
+         tm_->Write(TransactionManager::Self(), flight,
+                    TestBytes("cancelled"))
+             .ok();
+       }},
+      {"fail", [&] { tm_->Abort(TransactionManager::Self()); }},
+  };
+  auto wf = BuildWorkflow(
+      "workflow trip {\n"
+      "  step flight required { try book } compensate cancel\n"
+      "  step hotel required { try fail }\n"
+      "}",
+      registry);
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  auto out = wf->Run(*tm_);
+  EXPECT_FALSE(out.succeeded);
+  EXPECT_EQ(out.failed_step, "hotel");
+  EXPECT_EQ(compensations.load(), 1);
+  EXPECT_EQ(ReadCommitted(flight), "cancelled");
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,93 @@
+// Serialization helpers for the Ode layer: round trips, truncation
+// detection, and string framing.
+
+#include <gtest/gtest.h>
+
+#include "ode/bytes.h"
+
+namespace asset::ode {
+namespace {
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.U8(0xAB);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.U8().value(), 0xAB);
+  EXPECT_EQ(r.U16().value(), 0xBEEF);
+  EXPECT_EQ(r.U32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I64().value(), -42);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteWriter w;
+  w.Str("");
+  w.Str("hello");
+  w.Str(std::string(1000, 'x'));
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.Str().value(), "");
+  EXPECT_EQ(r.Str().value(), "hello");
+  EXPECT_EQ(r.Str().value(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncatedFixedWidthFails) {
+  ByteWriter w;
+  w.U64(7);
+  auto buf = w.Take();
+  buf.resize(5);
+  ByteReader r(buf);
+  auto v = r.U64();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter w;
+  w.Str("truncate me");
+  auto buf = w.Take();
+  buf.resize(buf.size() - 4);
+  ByteReader r(buf);
+  EXPECT_FALSE(r.Str().ok());
+}
+
+TEST(BytesTest, ReaderTracksOffset) {
+  ByteWriter w;
+  w.U32(1);
+  w.U32(2);
+  auto buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.offset(), 0u);
+  r.U32().value();
+  EXPECT_EQ(r.offset(), 4u);
+  EXPECT_FALSE(r.AtEnd());
+  r.U32().value();
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, InterleavedTypesRoundTrip) {
+  ByteWriter w;
+  for (int i = 0; i < 50; ++i) {
+    w.Str("k" + std::to_string(i));
+    w.I64(-i);
+    w.U8(static_cast<uint8_t>(i));
+  }
+  auto buf = w.Take();
+  ByteReader r(buf);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(r.Str().value(), "k" + std::to_string(i));
+    EXPECT_EQ(r.I64().value(), -i);
+    EXPECT_EQ(r.U8().value(), static_cast<uint8_t>(i));
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace asset::ode

@@ -1,0 +1,126 @@
+// Catalog tests: bootstrap, bind/lookup/unbind/list, transactional
+// rollback of bindings, persistence across recovery.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "kernel_fixture.h"
+#include "models/atomic.h"
+#include "ode/catalog.h"
+
+namespace asset {
+namespace {
+
+using ode::Catalog;
+
+class CatalogTest : public KernelFixture {
+ protected:
+  void Bootstrap() {
+    Catalog catalog(tm_.get());
+    Tid t = tm_->Initiate([&] {
+      ASSERT_TRUE(
+          catalog.Bootstrap(TransactionManager::Self(), &store_).ok());
+    });
+    ASSERT_TRUE(tm_->Begin(t));
+    ASSERT_TRUE(tm_->Commit(t));
+  }
+
+  void InTxn(std::function<void(Tid)> fn) {
+    Tid t = tm_->Initiate([&] { fn(TransactionManager::Self()); });
+    ASSERT_TRUE(tm_->Begin(t));
+    ASSERT_TRUE(tm_->Commit(t));
+  }
+};
+
+TEST_F(CatalogTest, BootstrapIsIdempotent) {
+  Bootstrap();
+  Bootstrap();
+  EXPECT_TRUE(store_.Exists(Catalog::kCatalogOid));
+}
+
+TEST_F(CatalogTest, BindAndLookup) {
+  Bootstrap();
+  Catalog catalog(tm_.get());
+  ObjectId target = MakeObject("the index");
+  InTxn([&](Tid t) {
+    ASSERT_TRUE(catalog.Bind(t, "orders_index", target).ok());
+  });
+  InTxn([&](Tid t) {
+    EXPECT_EQ(catalog.Lookup(t, "orders_index").value(), target);
+    EXPECT_TRUE(catalog.Lookup(t, "missing").status().IsNotFound());
+  });
+}
+
+TEST_F(CatalogTest, RebindReplaces) {
+  Bootstrap();
+  Catalog catalog(tm_.get());
+  ObjectId a = MakeObject("a");
+  ObjectId b = MakeObject("b");
+  InTxn([&](Tid t) { ASSERT_TRUE(catalog.Bind(t, "root", a).ok()); });
+  InTxn([&](Tid t) { ASSERT_TRUE(catalog.Bind(t, "root", b).ok()); });
+  InTxn([&](Tid t) { EXPECT_EQ(catalog.Lookup(t, "root").value(), b); });
+}
+
+TEST_F(CatalogTest, UnbindRemoves) {
+  Bootstrap();
+  Catalog catalog(tm_.get());
+  ObjectId a = MakeObject("a");
+  InTxn([&](Tid t) { ASSERT_TRUE(catalog.Bind(t, "tmp", a).ok()); });
+  InTxn([&](Tid t) { ASSERT_TRUE(catalog.Unbind(t, "tmp").ok()); });
+  InTxn([&](Tid t) {
+    EXPECT_TRUE(catalog.Lookup(t, "tmp").status().IsNotFound());
+    EXPECT_TRUE(catalog.Unbind(t, "tmp").IsNotFound());
+  });
+}
+
+TEST_F(CatalogTest, ListIsSorted) {
+  Bootstrap();
+  Catalog catalog(tm_.get());
+  ObjectId a = MakeObject("x");
+  InTxn([&](Tid t) {
+    ASSERT_TRUE(catalog.Bind(t, "zeta", a).ok());
+    ASSERT_TRUE(catalog.Bind(t, "alpha", a).ok());
+    ASSERT_TRUE(catalog.Bind(t, "mid", a).ok());
+  });
+  InTxn([&](Tid t) {
+    EXPECT_EQ(catalog.List(t).value(),
+              (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  });
+}
+
+TEST_F(CatalogTest, AbortedBindRollsBack) {
+  Bootstrap();
+  Catalog catalog(tm_.get());
+  ObjectId a = MakeObject("a");
+  Tid t = tm_->Initiate([&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(catalog.Bind(self, "doomed", a).ok());
+    tm_->Abort(self);
+  });
+  tm_->Begin(t);
+  EXPECT_FALSE(tm_->Commit(t));
+  InTxn([&](Tid check) {
+    EXPECT_TRUE(catalog.Lookup(check, "doomed").status().IsNotFound());
+  });
+}
+
+TEST_F(CatalogTest, BindingsSurviveCrashRecovery) {
+  auto db = Database::Open().value();
+  Catalog catalog(&db->txn());
+  ObjectId target = kNullObjectId;
+  models::RunAtomic(db->txn(), [&] {
+    Tid self = TransactionManager::Self();
+    ASSERT_TRUE(catalog.Bootstrap(self, &db->store()).ok());
+    target = db->Create<int64_t>(9).value();
+    ASSERT_TRUE(catalog.Bind(self, "survivor", target).ok());
+  });
+  ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
+  Catalog after(&db->txn());
+  models::RunAtomic(db->txn(), [&] {
+    EXPECT_EQ(after.Lookup(TransactionManager::Self(), "survivor").value(),
+              target);
+  });
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,251 @@
+// Tests for the write-ahead log: record encode/decode, durability
+// boundary, crash simulation, checkpoint tracking, and torn-tail
+// handling.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "storage/wal.h"
+
+namespace asset {
+namespace {
+
+LogRecord UpdateRec(Tid tid, ObjectId oid, std::string before,
+                    std::string after) {
+  LogRecord r;
+  r.type = LogRecordType::kUpdate;
+  r.tid = tid;
+  r.oid = oid;
+  r.before.assign(before.begin(), before.end());
+  r.after.assign(after.begin(), after.end());
+  return r;
+}
+
+TEST(LogRecordTest, EncodeDecodeRoundTrip) {
+  LogRecord r = UpdateRec(3, 14, "old", "new");
+  r.lsn = 9;
+  r.undo_of = 4;
+  r.other_tid = 5;
+  r.oid_set = {1, 2, 3};
+  std::vector<uint8_t> buf;
+  r.EncodeTo(&buf);
+  size_t off = 0;
+  auto back = LogRecord::DecodeFrom(buf, &off);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(off, buf.size());
+  EXPECT_EQ(back->lsn, 9u);
+  EXPECT_EQ(back->type, LogRecordType::kUpdate);
+  EXPECT_EQ(back->tid, 3u);
+  EXPECT_EQ(back->other_tid, 5u);
+  EXPECT_EQ(back->oid, 14u);
+  EXPECT_EQ(back->undo_of, 4u);
+  EXPECT_EQ(back->before, (std::vector<uint8_t>{'o', 'l', 'd'}));
+  EXPECT_EQ(back->after, (std::vector<uint8_t>{'n', 'e', 'w'}));
+  EXPECT_EQ(back->oid_set, (std::vector<ObjectId>{1, 2, 3}));
+}
+
+TEST(LogRecordTest, DecodeEmptyIsCleanEnd) {
+  std::vector<uint8_t> empty;
+  size_t off = 0;
+  EXPECT_TRUE(LogRecord::DecodeFrom(empty, &off).status().IsNotFound());
+}
+
+TEST(LogRecordTest, DecodeTornFrameIsCorruption) {
+  LogRecord r = UpdateRec(1, 2, "abc", "def");
+  std::vector<uint8_t> buf;
+  r.EncodeTo(&buf);
+  buf.resize(buf.size() - 2);  // torn tail
+  size_t off = 0;
+  EXPECT_EQ(LogRecord::DecodeFrom(buf, &off).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(LogRecordTest, DecodeBitflipIsCorruption) {
+  LogRecord r = UpdateRec(1, 2, "abc", "def");
+  std::vector<uint8_t> buf;
+  r.EncodeTo(&buf);
+  buf[buf.size() / 2] ^= 0x40;
+  size_t off = 0;
+  EXPECT_EQ(LogRecord::DecodeFrom(buf, &off).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(LogManagerTest, AppendAssignsDenseLsns) {
+  LogManager log;
+  EXPECT_EQ(log.Append(UpdateRec(1, 1, "", "a")), 1u);
+  EXPECT_EQ(log.Append(UpdateRec(1, 1, "a", "b")), 2u);
+  EXPECT_EQ(log.last_lsn(), 2u);
+  EXPECT_EQ(log.At(2).after, (std::vector<uint8_t>{'b'}));
+}
+
+TEST(LogManagerTest, FlushAdvancesDurableBoundary) {
+  LogManager log;
+  log.Append(UpdateRec(1, 1, "", "a"));
+  log.Append(UpdateRec(1, 1, "a", "b"));
+  EXPECT_EQ(log.durable_lsn(), 0u);
+  ASSERT_TRUE(log.Flush(1).ok());
+  EXPECT_EQ(log.durable_lsn(), 1u);
+  ASSERT_TRUE(log.Flush().ok());
+  EXPECT_EQ(log.durable_lsn(), 2u);
+  EXPECT_FALSE(log.Flush(99).ok());
+}
+
+TEST(LogManagerTest, SimulateCrashDropsNonDurableTail) {
+  LogManager log;
+  log.Append(UpdateRec(1, 1, "", "a"));
+  log.Flush();
+  log.Append(UpdateRec(1, 1, "a", "b"));
+  log.Append(UpdateRec(1, 1, "b", "c"));
+  log.SimulateCrash();
+  EXPECT_EQ(log.last_lsn(), 1u);
+  EXPECT_EQ(log.ReadAll().size(), 1u);
+}
+
+TEST(LogManagerTest, ReadDurableExcludesTail) {
+  LogManager log;
+  log.Append(UpdateRec(1, 1, "", "a"));
+  log.Flush();
+  log.Append(UpdateRec(1, 1, "a", "b"));
+  EXPECT_EQ(log.ReadDurable().size(), 1u);
+  EXPECT_EQ(log.ReadAll().size(), 2u);
+}
+
+TEST(LogManagerTest, CheckpointLsnTracksDurableCheckpoints) {
+  LogManager log;
+  log.Append(UpdateRec(1, 1, "", "a"));
+  LogRecord cp;
+  cp.type = LogRecordType::kCheckpoint;
+  log.Append(std::move(cp));
+  EXPECT_EQ(log.last_checkpoint_lsn(), 0u);  // not durable yet
+  log.Flush();
+  EXPECT_EQ(log.last_checkpoint_lsn(), 2u);
+}
+
+TEST(LogManagerTest, SerializeDeserializeDurable) {
+  LogManager log;
+  for (int i = 0; i < 10; ++i) {
+    log.Append(UpdateRec(i, i * 10, "b" + std::to_string(i),
+                         "a" + std::to_string(i)));
+  }
+  log.Flush(7);
+  auto bytes = log.SerializeDurable();
+  auto records = LogManager::Deserialize(bytes);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ((*records)[i].lsn, i + 1);
+    EXPECT_EQ((*records)[i].oid, i * 10);
+  }
+}
+
+TEST(LogManagerTest, DeserializeRejectsCorruptStream) {
+  LogManager log;
+  log.Append(UpdateRec(1, 1, "x", "y"));
+  log.Flush();
+  auto bytes = log.SerializeDurable();
+  bytes[bytes.size() / 2] ^= 1;
+  EXPECT_FALSE(LogManager::Deserialize(bytes).ok());
+}
+
+TEST(LogManagerTest, ConcurrentAppendsKeepDenseLsns) {
+  LogManager log;
+  constexpr int kThreads = 8, kPer = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPer; ++i) {
+        log.Append(UpdateRec(1, 1, "", "x"));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.last_lsn(), static_cast<Lsn>(kThreads * kPer));
+  auto all = log.ReadAll();
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].lsn, i + 1);
+}
+
+TEST(LogFileTest, AttachLoadsPersistedRecords) {
+  std::string path = ::testing::TempDir() + "/asset_wal_attach.wal";
+  std::remove(path.c_str());
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path).ok());
+    log.Append(UpdateRec(1, 5, "a", "b"));
+    log.Append(UpdateRec(1, 5, "b", "c"));
+    ASSERT_TRUE(log.Flush().ok());
+    log.Append(UpdateRec(1, 5, "c", "d"));  // never flushed
+  }
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path).ok());
+    EXPECT_EQ(log.last_lsn(), 2u);  // the unflushed tail died
+    EXPECT_EQ(log.durable_lsn(), 2u);
+    EXPECT_EQ(log.At(2).after, (std::vector<uint8_t>{'c'}));
+    // Appending continues where the previous process stopped.
+    EXPECT_EQ(log.Append(UpdateRec(2, 5, "c", "e")), 3u);
+    ASSERT_TRUE(log.Flush().ok());
+  }
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path).ok());
+    EXPECT_EQ(log.last_lsn(), 3u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LogFileTest, TornTailIsTruncatedOnAttach) {
+  std::string path = ::testing::TempDir() + "/asset_wal_torn.wal";
+  std::remove(path.c_str());
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path).ok());
+    log.Append(UpdateRec(1, 5, "a", "b"));
+    log.Append(UpdateRec(1, 5, "b", "c"));
+    ASSERT_TRUE(log.Flush().ok());
+  }
+  // Tear the file mid-record, as a crash during pwrite would.
+  {
+    FILE* f = fopen(path.c_str(), "r+");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    ASSERT_EQ(ftruncate(fileno(f), size - 3), 0);
+    fclose(f);
+  }
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path).ok());
+  EXPECT_EQ(log.last_lsn(), 1u);  // only the first record survived
+  EXPECT_EQ(log.At(1).after, (std::vector<uint8_t>{'b'}));
+  std::remove(path.c_str());
+}
+
+TEST(LogFileTest, AttachAfterAppendIsRejected) {
+  LogManager log;
+  log.Append(UpdateRec(1, 1, "", "x"));
+  EXPECT_TRUE(log.AttachFile("/tmp/whatever.wal").IsIllegalState());
+}
+
+TEST(LogFileTest, CheckpointLsnRestoredFromFile) {
+  std::string path = ::testing::TempDir() + "/asset_wal_cp.wal";
+  std::remove(path.c_str());
+  {
+    LogManager log;
+    ASSERT_TRUE(log.AttachFile(path).ok());
+    log.Append(UpdateRec(1, 1, "", "x"));
+    LogRecord cp;
+    cp.type = LogRecordType::kCheckpoint;
+    log.Append(std::move(cp));
+    ASSERT_TRUE(log.Flush().ok());
+  }
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path).ok());
+  EXPECT_EQ(log.last_checkpoint_lsn(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,91 @@
+// Tests for the cached-thread executor that runs transaction bodies.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/thread_cache.h"
+
+namespace asset {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ThreadCacheTest, RunsSubmittedTask) {
+  ThreadCache cache;
+  std::atomic<bool> ran{false};
+  cache.Submit([&] { ran = true; });
+  for (int i = 0; i < 1000 && !ran; ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadCacheTest, SerialTasksReuseOneWorker) {
+  ThreadCache cache;
+  for (int i = 0; i < 50; ++i) {
+    std::atomic<bool> done{false};
+    cache.Submit([&] { done = true; });
+    while (!done) std::this_thread::sleep_for(100us);
+  }
+  // Strictly serial completion-waited tasks may still race the worker's
+  // return to idle, but the pool must stay far below one-per-task.
+  EXPECT_LE(cache.WorkersCreated(), 10u);
+}
+
+TEST(ThreadCacheTest, ParallelTasksGetParallelWorkers) {
+  ThreadCache cache;
+  constexpr int kTasks = 6;
+  std::atomic<int> inside{0}, peak{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    cache.Submit([&] {
+      int now = inside.fetch_add(1) + 1;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      while (!release) std::this_thread::sleep_for(100us);
+      inside.fetch_sub(1);
+      done.fetch_add(1);
+    });
+  }
+  // All six must run concurrently — a bounded queue would hang here.
+  for (int i = 0; i < 2000 && peak.load() < kTasks; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(peak.load(), kTasks);
+  release = true;
+  while (done.load() < kTasks) std::this_thread::sleep_for(1ms);
+  EXPECT_GE(cache.WorkersCreated(), static_cast<size_t>(kTasks));
+}
+
+TEST(ThreadCacheTest, DestructorDrainsIdleWorkers) {
+  std::atomic<int> completed{0};
+  {
+    ThreadCache cache;
+    for (int i = 0; i < 20; ++i) {
+      cache.Submit([&] { completed.fetch_add(1); });
+    }
+    while (completed.load() < 20) std::this_thread::sleep_for(1ms);
+  }  // destructor joins everything without deadlock
+  EXPECT_EQ(completed.load(), 20);
+}
+
+TEST(ThreadCacheTest, ManyShortBurstsComplete) {
+  ThreadCache cache;
+  std::atomic<int> completed{0};
+  constexpr int kBursts = 10, kPerBurst = 50;
+  for (int b = 0; b < kBursts; ++b) {
+    for (int i = 0; i < kPerBurst; ++i) {
+      cache.Submit([&] { completed.fetch_add(1); });
+    }
+    while (completed.load() < (b + 1) * kPerBurst) {
+      std::this_thread::sleep_for(100us);
+    }
+  }
+  EXPECT_EQ(completed.load(), kBursts * kPerBurst);
+}
+
+}  // namespace
+}  // namespace asset
