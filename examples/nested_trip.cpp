@@ -12,6 +12,10 @@
 //        commit(t1);
 //        ... same for the hotel ...
 //
+// The scaffolding around the trip (slot setup, reporting, reset) uses
+// the RAII Txn handle; the trip bodies themselves stay on the raw
+// primitives to mirror the paper.
+//
 // Run:
 //   nested_trip            # both reservations succeed
 //   nested_trip no-hotel   # hotel fails -> the whole trip (including
@@ -28,6 +32,7 @@ using asset::Database;
 using asset::ObjectId;
 using asset::Tid;
 using asset::TransactionManager;
+using asset::Txn;
 
 namespace {
 
@@ -37,11 +42,11 @@ struct Slots {
 };
 
 void Report(Database& db, const Slots& s, const char* label) {
-  asset::models::RunAtomic(db.txn(), [&] {
-    std::printf("%s: airline=%lld hotel=%lld\n", label,
-                (long long)db.Get<int64_t>(s.airline).value(),
-                (long long)db.Get<int64_t>(s.hotel).value());
-  });
+  Txn t = db.Begin().value();
+  std::printf("%s: airline=%lld hotel=%lld\n", label,
+              (long long)t.Get<int64_t>(s.airline).value(),
+              (long long)t.Get<int64_t>(s.hotel).value());
+  t.Commit().ok();
 }
 
 }  // namespace
@@ -56,10 +61,12 @@ int main(int argc, char** argv) {
   TransactionManager& tm = db->txn();
 
   Slots s{};
-  asset::models::RunAtomic(tm, [&] {
-    s.airline = db->Create<int64_t>(0).value();
-    s.hotel = db->Create<int64_t>(0).value();
-  });
+  {
+    Txn t = db->Begin().value();
+    s.airline = t.Create<int64_t>(0).value();
+    s.hotel = t.Create<int64_t>(0).value();
+    t.Commit().ok();
+  }
 
   // --- Version 1: the model layer ------------------------------------
   bool ok = asset::models::RunNestedRoot(tm, [&] {
@@ -84,10 +91,12 @@ int main(int argc, char** argv) {
   Report(*db, s, "after model-layer trip");
 
   // Reset.
-  asset::models::RunAtomic(tm, [&] {
-    db->Put<int64_t>(s.airline, 0).ok();
-    db->Put<int64_t>(s.hotel, 0).ok();
-  });
+  {
+    Txn t = db->Begin().value();
+    t.Put<int64_t>(s.airline, 0).ok();
+    t.Put<int64_t>(s.hotel, 0).ok();
+    t.Commit().ok();
+  }
 
   // --- Version 2: the paper's raw-primitive synthesis -----------------
   auto make_airline_reservation = [&] {

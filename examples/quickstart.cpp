@@ -1,5 +1,6 @@
-// Quickstart: open a database, run atomic transactions, observe abort
-// rollback, and take a peek at the transaction primitives underneath.
+// Quickstart: open a database, run atomic transactions through the RAII
+// Txn handle, observe abort rollback, and take a peek at the transaction
+// primitives underneath.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -8,12 +9,12 @@
 #include <cstdio>
 
 #include "core/database.h"
-#include "models/atomic.h"
 
 using asset::Database;
 using asset::ObjectId;
 using asset::Tid;
 using asset::TransactionManager;
+using asset::Txn;
 
 int main() {
   // 1. Open an in-memory database (pass Options{.path = "file.db"} for a
@@ -21,45 +22,52 @@ int main() {
   auto db = Database::Open().value();
   TransactionManager& tm = db->txn();
 
-  // 2. The model layer: RunAtomic wraps the §3.1.1 translation —
-  //    initiate / begin / commit.
+  // 2. db->Begin() hands back an owning transaction handle. Operations
+  //    go through the handle; Commit() makes them durable atomically.
   ObjectId alice = 0, bob = 0;
-  asset::models::RunAtomic(tm, [&] {
-    alice = db->Create<int64_t>(100).value();
-    bob = db->Create<int64_t>(50).value();
-  });
+  {
+    Txn t = db->Begin().value();
+    alice = t.Create<int64_t>(100).value();
+    bob = t.Create<int64_t>(50).value();
+    t.Commit().ok();
+  }
   std::printf("created accounts: alice=%llu bob=%llu\n",
               (unsigned long long)alice, (unsigned long long)bob);
 
   // 3. A transfer: all-or-nothing.
-  bool committed = asset::models::RunAtomic(tm, [&] {
-    int64_t a = db->Get<int64_t>(alice).value();
-    int64_t b = db->Get<int64_t>(bob).value();
-    db->Put<int64_t>(alice, a - 30).ok();
-    db->Put<int64_t>(bob, b + 30).ok();
-  });
-  std::printf("transfer committed=%d\n", committed);
+  {
+    Txn t = db->Begin().value();
+    int64_t a = t.Get<int64_t>(alice).value();
+    int64_t b = t.Get<int64_t>(bob).value();
+    t.Put<int64_t>(alice, a - 30).ok();
+    t.Put<int64_t>(bob, b + 30).ok();
+    std::printf("transfer committed=%d\n", t.Commit().ok());
+  }
 
-  // 4. An aborted transaction leaves no trace.
-  asset::models::RunAtomic(tm, [&] {
-    db->Put<int64_t>(alice, -999999).ok();
-    tm.Abort(TransactionManager::Self());  // change of heart
-  });
+  // 4. An aborted transaction leaves no trace — and a handle that goes
+  //    out of scope without Commit() aborts automatically, so an early
+  //    return can never leak a half-done transfer.
+  {
+    Txn t = db->Begin().value();
+    t.Put<int64_t>(alice, -999999).ok();
+    t.Abort().ok();  // change of heart (the destructor would do the same)
+  }
 
-  asset::models::RunAtomic(tm, [&] {
+  {
+    Txn t = db->Begin().value();
     std::printf("final: alice=%lld bob=%lld (total conserved: %s)\n",
-                (long long)db->Get<int64_t>(alice).value(),
-                (long long)db->Get<int64_t>(bob).value(),
-                db->Get<int64_t>(alice).value() +
-                            db->Get<int64_t>(bob).value() ==
+                (long long)t.Get<int64_t>(alice).value(),
+                (long long)t.Get<int64_t>(bob).value(),
+                t.Get<int64_t>(alice).value() + t.Get<int64_t>(bob).value() ==
                         150
                     ? "yes"
                     : "NO");
-  });
+    t.Commit().ok();
+  }
 
-  // 5. The raw primitives the models are built from (§2.1): initiate
-  //    registers, begin starts, completion is recorded, commit is
-  //    explicit and blocking.
+  // 5. The raw primitives the handle (and the model layer) are built
+  //    from (§2.1): initiate registers, begin starts, completion is
+  //    recorded, commit is explicit and blocking.
   Tid t = tm.Initiate(
       [&](int bonus) {
         int64_t a = db->Get<int64_t>(alice).value();

@@ -9,8 +9,10 @@
 /// program against — the Ode-database role in the paper, minus the O++
 /// compiler (whose generated code src/models/ supplies as a library).
 
+#include <cstdint>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -26,6 +28,96 @@
 #include "storage/wal.h"
 
 namespace asset {
+
+class Database;
+
+/// A movable RAII handle over one caller-driven transaction.
+///
+/// `db.Begin()` opens the transaction; the holder issues data operations
+/// through the handle from one thread at a time and finishes with
+/// Commit() or Abort(). A handle destroyed while still active aborts its
+/// transaction — an early `return` or a thrown exception can never leak
+/// a lock-holding transaction. The handle must not outlive the Database
+/// that issued it.
+///
+/// This is sugar over the kernel's session transactions
+/// (TransactionManager::BeginSession); the tid is exposed for mixing
+/// with the raw §2 primitives (delegation, permits, dependencies).
+class Txn {
+ public:
+  Txn() = default;
+  Txn(Txn&& other) noexcept : db_(other.db_), tid_(other.tid_) {
+    other.db_ = nullptr;
+    other.tid_ = kNullTid;
+  }
+  Txn& operator=(Txn&& other) noexcept {
+    if (this != &other) {
+      AbortIfActive();
+      db_ = other.db_;
+      tid_ = other.tid_;
+      other.db_ = nullptr;
+      other.tid_ = kNullTid;
+    }
+    return *this;
+  }
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  /// Aborts the transaction if still active.
+  ~Txn() { AbortIfActive(); }
+
+  /// The underlying transaction id (kNullTid for a default-constructed
+  /// or moved-from handle).
+  Tid id() const { return tid_; }
+
+  /// True while the handle owns a transaction that has not been
+  /// committed or aborted through it.
+  bool active() const { return db_ != nullptr && tid_ != kNullTid; }
+
+  /// Blocking commit; the handle becomes inactive either way. Returns
+  /// the kernel's verdict (kTxnAborted carries the abort reason).
+  Status Commit();
+
+  /// Aborts; the handle becomes inactive. OK if already aborted.
+  Status Abort();
+
+  // --- Data operations under this transaction --------------------------
+  //
+  // Each returns IllegalState on an inactive (finished or moved-from)
+  // handle; otherwise it is the matching Database call under this tid.
+
+  Result<std::vector<uint8_t>> Read(ObjectId oid);
+  Status Write(ObjectId oid, std::span<const uint8_t> data);
+  Result<ObjectId> CreateObject(std::span<const uint8_t> data);
+  Status Delete(ObjectId oid);
+
+  template <typename T>
+  Result<ObjectId> Create(const T& value);
+  template <typename T>
+  Result<T> Get(ObjectId oid);
+  template <typename T>
+  Status Put(ObjectId oid, const T& value);
+
+  Result<ObjectId> CreateCounter(int64_t initial);
+  Status Add(ObjectId oid, int64_t delta);
+  Result<int64_t> GetCounter(ObjectId oid);
+
+ private:
+  friend class Database;
+  Txn(Database* db, Tid tid) : db_(db), tid_(tid) {}
+
+  void AbortIfActive() {
+    if (active()) Abort();
+  }
+
+  Status CheckActive() const {
+    return active() ? Status::OK()
+                    : Status::IllegalState("transaction handle is inactive");
+  }
+
+  Database* db_ = nullptr;
+  Tid tid_ = kNullTid;
+};
 
 /// One database instance. Construction wires the storage stack and the
 /// kernel; destruction aborts stragglers.
@@ -50,6 +142,17 @@ class Database {
   ObjectStore& store() { return *store_; }
   LogManager& log() { return log_; }
   BufferPool& pool() { return *pool_; }
+
+  // --- RAII transactions -------------------------------------------------
+
+  /// Opens a caller-driven transaction and returns its owning handle.
+  /// The transaction runs on the caller's thread; finish it with
+  /// Txn::Commit() or Txn::Abort(), or let the destructor abort it.
+  Result<Txn> Begin() {
+    auto tid = tm_->BeginSession();
+    if (!tid.ok()) return tid.status();
+    return Txn(this, *tid);
+  }
 
   // --- Typed object helpers (trivially-copyable values) ----------------
 
@@ -138,6 +241,79 @@ class Database {
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<TransactionManager> tm_;
 };
+
+// --- Txn inline definitions (need the complete Database type) ------------
+
+inline Status Txn::Commit() {
+  if (!active()) return Status::IllegalState("transaction handle is inactive");
+  Database* db = db_;
+  Tid tid = tid_;
+  db_ = nullptr;
+  tid_ = kNullTid;
+  return db->txn().CommitTxn(tid);
+}
+
+inline Status Txn::Abort() {
+  if (!active()) return Status::IllegalState("transaction handle is inactive");
+  Database* db = db_;
+  Tid tid = tid_;
+  db_ = nullptr;
+  tid_ = kNullTid;
+  return db->txn().AbortTxn(tid);
+}
+
+inline Result<std::vector<uint8_t>> Txn::Read(ObjectId oid) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->txn().Read(tid_, oid);
+}
+
+inline Status Txn::Write(ObjectId oid, std::span<const uint8_t> data) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->txn().Write(tid_, oid, data);
+}
+
+inline Result<ObjectId> Txn::CreateObject(std::span<const uint8_t> data) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->txn().CreateObject(tid_, data);
+}
+
+inline Status Txn::Delete(ObjectId oid) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->txn().DeleteObject(tid_, oid);
+}
+
+template <typename T>
+Result<ObjectId> Txn::Create(const T& value) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->Create(value, tid_);
+}
+
+template <typename T>
+Result<T> Txn::Get(ObjectId oid) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->Get<T>(oid, tid_);
+}
+
+template <typename T>
+Status Txn::Put(ObjectId oid, const T& value) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->Put(oid, value, tid_);
+}
+
+inline Result<ObjectId> Txn::CreateCounter(int64_t initial) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->CreateCounter(initial, tid_);
+}
+
+inline Status Txn::Add(ObjectId oid, int64_t delta) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->Add(oid, delta, tid_);
+}
+
+inline Result<int64_t> Txn::GetCounter(ObjectId oid) {
+  if (Status s = CheckActive(); !s.ok()) return s;
+  return db_->GetCounter(oid, tid_);
+}
 
 }  // namespace asset
 

@@ -9,13 +9,26 @@
 /// Ownership: the TransactionManager owns TDs; the LockManager owns ODs,
 /// and each OD owns the LRDs granted on its object. TDs and ODs
 /// cross-reference LRDs by raw pointer (the paper's linked lists).
-/// Everything here is protected by the kernel mutex except the OD's data
-/// latch, which guards the object's bytes during reads/writes (§4.2).
+///
+/// Synchronization (see kernel.h for the full ordering):
+///  - TD lifecycle fields (status transitions, begun, thread_exited,
+///    waiting_for, responsible_ops, abort_reason) are written under the
+///    global kernel mutex. `status` is additionally atomic so lock-path
+///    code holding only a shard latch can observe aborts.
+///  - OD fields (granted, waiter_tds) are guarded by the latch of the
+///    lock-table shard the OD lives in; the data latch guards the
+///    object's bytes during elementary reads/writes (§4.2).
+///  - TD::lrds is guarded by TD::lrds_mu (a leaf below the shard latch),
+///    because release/delegation walk one transaction's locks across
+///    many shards.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -78,33 +91,81 @@ const char* DependencyTypeToString(DependencyType t);
 struct ObjectDescriptor;
 struct TransactionDescriptor;
 
+/// A targeted wait channel: one mutex + condition variable + generation
+/// counter. A waiter snapshots `sequence()` while it can still observe
+/// the condition it is about to wait for (i.e. while holding the latch
+/// that guards it), releases that latch, and calls WaitChanged(seen);
+/// any notification between the snapshot and the sleep bumps the
+/// sequence, so the sleep returns immediately — no lost wakeups.
+class WaitChannel {
+ public:
+  uint64_t sequence() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return seq_;
+  }
+
+  /// Wakes every current and in-flight waiter.
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++seq_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Sleeps until the sequence moves past `seen` or, when `bounded`,
+  /// `deadline` passes. Returns false only on timeout.
+  bool WaitChanged(uint64_t seen, std::chrono::steady_clock::time_point deadline,
+                   bool bounded) {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto moved = [&] { return seq_ != seen; };
+    if (!bounded) {
+      cv_.wait(lk, moved);
+      return true;
+    }
+    return cv_.wait_until(lk, deadline, moved);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t seq_ = 0;
+};
+
 /// LRD — a granted lock request by one transaction on one object (§4.1).
 /// Pending requests are not materialized as LRDs: a blocked requester
-/// waits on the kernel condition variable and retries from step 1,
-/// exactly the paper's "blocks and retries later starting at step 1".
+/// registers itself on the OD's waiter list, sleeps on its own
+/// WaitChannel, and retries from step 1 — exactly the paper's "blocks and
+/// retries later starting at step 1", with the blocking localized to the
+/// waiter. `mode` and `suspended` are written under the owning shard's
+/// latch; they are atomic so introspection paths holding only
+/// TD::lrds_mu read coherent values.
 struct LockRequestDescriptor {
   TransactionDescriptor* td = nullptr;
   ObjectDescriptor* od = nullptr;
-  LockMode mode = LockMode::kNone;
+  std::atomic<LockMode> mode{LockMode::kNone};
   /// A suspended lock is one whose holder permitted a conflicting
   /// operation; it no longer "covers" and must be re-acquired (§4.2
   /// read-lock step 1).
-  bool suspended = false;
+  std::atomic<bool> suspended{false};
 };
 
-/// OD — per-object lock state (§4.1, Figure 1): the granted-lock list and
-/// the data latch that serializes elementary operations. (Permits are
-/// held centrally in the PermitTable, doubly indexed by the two tids, as
-/// the paper prescribes for efficient lookup.)
+/// OD — per-object lock state (§4.1, Figure 1): the granted-lock list,
+/// the registered waiters, and the data latch that serializes elementary
+/// operations. Guarded by the latch of the lock-table shard it lives in.
+/// (Permits are held centrally in the PermitTable, doubly indexed by the
+/// two tids, as the paper prescribes for efficient lookup.)
 struct ObjectDescriptor {
   explicit ObjectDescriptor(ObjectId id) : oid(id) {}
 
   ObjectId oid;
   /// Granted locks, including suspended ones. Owned here.
   std::vector<std::unique_ptr<LockRequestDescriptor>> granted;
-  /// Number of requesters currently blocked on this object (for stats
-  /// and for deciding when an OD may be reclaimed).
-  uint32_t waiters = 0;
+  /// Transactions currently blocked on this object. A release,
+  /// suspension, or delegation on this object notifies exactly these
+  /// waiters' lock_wait channels. An OD with registered waiters is never
+  /// reclaimed, which also keeps the waiters' TDs reachable.
+  std::vector<TransactionDescriptor*> waiter_tds;
   /// Guards the object's bytes during an elementary read/write (§4.2:
   /// S-latch for read, X-latch for write).
   SpinLatch data_latch;
@@ -117,31 +178,91 @@ struct TransactionDescriptor {
 
   const Tid tid;
   const Tid parent;
-  TxnStatus status = TxnStatus::kInitiated;
+
+  /// Lifecycle state. Transitions happen under the global kernel mutex;
+  /// the atomic lets shard-latch-only code (the lock path) and the
+  /// fast-path status checks observe aborts without the global mutex.
+  std::atomic<TxnStatus> status{TxnStatus::kInitiated};
 
   /// The registered function (the paper's f with args already bound).
   std::function<void()> fn;
 
   /// False while a (detached) thread is executing fn; set under the
   /// kernel mutex as the thread's last act. A TD may be reclaimed only
-  /// when terminated and thread_exited.
+  /// when terminated, thread_exited, and unpinned. Session transactions
+  /// (caller-driven, no worker thread) keep this true for their whole
+  /// life.
   bool thread_exited = true;
 
-  /// Locks this transaction currently holds (raw pointers; ODs own them).
+  /// True for caller-driven transactions created by BeginSession (the
+  /// RAII Txn handle): no worker thread, no live_threads_ accounting,
+  /// and aborts perform the physical undo immediately.
+  bool session = false;
+
+  /// Locks this transaction currently holds (raw pointers; ODs own
+  /// them). Guarded by lrds_mu, NOT the global mutex: release and
+  /// delegation traverse this list across shards.
   std::vector<LockRequestDescriptor*> lrds;
+  std::mutex lrds_mu;
+  /// Set (under lrds_mu) when the transaction's locks are being released
+  /// at termination; a racing grant that finds it set must give up
+  /// instead of inserting into the now-dead list.
+  bool locks_frozen = false;
 
   /// Lsns of the data operations this transaction is currently
   /// *responsible* for, in append order. Delegation moves entries
-  /// between TDs; abort walks them in reverse.
+  /// between TDs; abort walks them in reverse. Guarded by the global
+  /// kernel mutex.
   std::vector<Lsn> responsible_ops;
 
   /// Set when this transaction blocks waiting for a lock, naming the
-  /// holder it waits for (for the waits-for deadlock check).
+  /// holders it waits for (for the waits-for deadlock check). Guarded by
+  /// the global kernel mutex.
   std::vector<Tid> waiting_for;
 
   /// True once begin() ran (the active-transaction accounting needs to
   /// distinguish begun transactions from initiated-only ones).
   bool begun = false;
+
+  /// Channel a blocked lock request sleeps on. The shard that changes
+  /// this object's lock state notifies the registered waiters only.
+  WaitChannel lock_wait;
+
+  /// Condition variable (paired with the global kernel mutex) that
+  /// blocked lifecycle primitives — Begin's dependency gate, Commit,
+  /// Wait, Abort — sleep on. Status transitions notify the TDs that can
+  /// actually make progress: dependents, group members, and waiters on
+  /// this transaction.
+  std::condition_variable lifecycle_cv;
+
+  /// Number of threads currently sleeping on (or about to sleep on) this
+  /// TD's channels outside the global mutex. Incremented under the
+  /// global mutex; decremented with a plain atomic store-release.
+  /// CollectLocked skips pinned TDs, so a woken sleeper always finds its
+  /// TD alive.
+  std::atomic<uint32_t> pins{0};
+
+  /// Why the transaction was (or is being) aborted; set by the first
+  /// StartAbort cause, surfaced by the Status-returning API. Guarded by
+  /// the global kernel mutex.
+  std::string abort_reason;
+};
+
+/// Pins a TD against reclamation for the lifetime of the guard.
+/// Construct while holding the global kernel mutex.
+class TdPin {
+ public:
+  explicit TdPin(TransactionDescriptor* td) : td_(td) {
+    td_->pins.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~TdPin() {
+    if (td_ != nullptr) td_->pins.fetch_sub(1, std::memory_order_release);
+  }
+  TdPin(const TdPin&) = delete;
+  TdPin& operator=(const TdPin&) = delete;
+
+ private:
+  TransactionDescriptor* td_;
 };
 
 }  // namespace asset

@@ -2,18 +2,40 @@
 #define ASSET_CORE_KERNEL_H_
 
 /// \file kernel.h
-/// Shared kernel state: the big kernel mutex, its condition variable, and
-/// the transaction-descriptor table type.
+/// Shared kernel state: the (now small) global kernel mutex, the per-TD
+/// wait channel used for targeted wakeups, and the transaction-descriptor
+/// table type.
 ///
-/// The paper latches individual control structures; we use one kernel
-/// mutex for all of them (TD/OD tables, permit table, dependency graph)
-/// plus per-object data latches for the object bytes. The single mutex is
-/// the classic lock-manager-partition simplification: all *blocking*
-/// (lock waits, commit waits) happens on the shared condition variable,
-/// which gives us the paper's "block and retry from step 1" loops
-/// directly.
+/// The paper latches individual control structures (§4.1). The kernel is
+/// organized the same way:
+///
+///  - The lock table is *sharded*: object descriptors are partitioned by
+///    ObjectId hash into N independently-latched partitions
+///    (LockManager). Lock acquisition, release, and delegation touch only
+///    the shards of the objects involved.
+///  - Each TransactionDescriptor carries its own wait channels: a
+///    `lock_wait` WaitChannel for blocked lock requests and a
+///    `lifecycle_cv` (paired with the global mutex) for blocked
+///    Begin/Commit/Wait/Abort primitives. State changes wake only the
+///    transactions registered as waiting — the releasing shard notifies
+///    its recorded waiters, a terminating transaction notifies its
+///    dependents and group members — instead of broadcasting to the
+///    world.
+///  - The global mutex `KernelSync::mu` still serializes the structures
+///    that are inherently global: the TD table, the dependency graph,
+///    commit-group evaluation, and permit-table mutation. Its condition
+///    variable is used only for idle/shutdown accounting (WaitIdle and
+///    the destructor's thread drain).
+///
+/// Lock ordering (outermost first):
+///   KernelSync::mu  ->  LockManager shard latch  ->  TD::lrds_mu
+/// WaitChannel's internal mutex and the PermitTable's internal
+/// shared_mutex are leaves: no other lock is ever taken while holding
+/// them. Code holding a shard latch must never take the global mutex.
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -23,9 +45,11 @@
 
 namespace asset {
 
-/// The kernel mutex and the wait channel every blocked primitive sleeps
-/// on. Broadcast on any state change that could unblock someone: lock
-/// release, suspension, permit insertion, delegation, status transition.
+/// The global kernel mutex. Guards the TD table, tombstones, dependency
+/// graph, commit evaluation, and transaction lifecycle transitions. The
+/// condition variable signals only idle/shutdown transitions
+/// (active_count / live_threads reaching zero); per-transaction blocking
+/// uses the channels on the TD instead.
 struct KernelSync {
   std::mutex mu;
   std::condition_variable cv;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 namespace asset {
 
@@ -13,104 +14,236 @@ Operation OperationFor(LockMode mode) {
   return mode == LockMode::kRead ? Operation::kRead : Operation::kWrite;
 }
 
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
-ObjectDescriptor* LockManager::GetOrCreateLocked(ObjectId oid) {
-  auto it = table_.find(oid);
-  if (it != table_.end()) return it->second.get();
+LockManager::LockManager(KernelSync* sync, PermitTable* permits,
+                         const TdTable* txns, KernelStats* stats,
+                         Options options)
+    : sync_(sync),
+      permits_(permits),
+      txns_(txns),
+      stats_(stats),
+      options_(options) {
+  size_t n = RoundUpPow2(std::max<size_t>(1, options_.shards));
+  shards_.resize(n);
+  shard_mask_ = n - 1;
+}
+
+LockManager::Shard& LockManager::ShardFor(ObjectId oid) {
+  // Fibonacci mix: sequential oids (the common allocation pattern)
+  // spread evenly across partitions.
+  uint64_t h = oid * 0x9E3779B97F4A7C15ull;
+  return shards_[(h >> 32) & shard_mask_];
+}
+
+const LockManager::Shard& LockManager::ShardFor(ObjectId oid) const {
+  uint64_t h = oid * 0x9E3779B97F4A7C15ull;
+  return shards_[(h >> 32) & shard_mask_];
+}
+
+ObjectDescriptor* LockManager::GetOrCreate(Shard& shard, ObjectId oid) {
+  auto it = shard.table.find(oid);
+  if (it != shard.table.end()) return it->second.get();
   auto od = std::make_unique<ObjectDescriptor>(oid);
   ObjectDescriptor* raw = od.get();
-  table_.emplace(oid, std::move(od));
+  shard.table.emplace(oid, std::move(od));
   return raw;
 }
 
-ObjectDescriptor* LockManager::FindLocked(ObjectId oid) {
-  auto it = table_.find(oid);
-  return it == table_.end() ? nullptr : it->second.get();
+ObjectDescriptor* LockManager::Find(ObjectId oid) {
+  Shard& shard = ShardFor(oid);
+  std::lock_guard<std::mutex> sl(shard.mu);
+  auto it = shard.table.find(oid);
+  return it == shard.table.end() ? nullptr : it->second.get();
+}
+
+void LockManager::NotifyWaiters(ObjectDescriptor* od) {
+  if (od->waiter_tds.empty()) return;
+  for (TransactionDescriptor* waiter : od->waiter_tds) {
+    waiter->lock_wait.Notify();
+  }
+  stats_->lock_wakeups.fetch_add(od->waiter_tds.size(),
+                                 std::memory_order_relaxed);
+}
+
+void LockManager::Deregister(ObjectDescriptor* od, TransactionDescriptor* td) {
+  auto& w = od->waiter_tds;
+  w.erase(std::remove(w.begin(), w.end(), td), w.end());
 }
 
 Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
                             LockMode mode) {
   if (mode == LockMode::kNone) return Status::OK();
-  std::unique_lock<std::mutex> lock(sync_->mu);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        options_.lock_timeout;
+  const bool bounded = options_.lock_timeout.count() > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.lock_timeout;
+  Shard& shard = ShardFor(oid);
   bool waited = false;
+  bool registered = false;
+
+  // Removes our waiter registration (if any) and reclaims an OD we may
+  // have left empty. Called on every exit path.
+  auto deregister = [&] {
+    if (!registered) return;
+    std::lock_guard<std::mutex> sl(shard.mu);
+    auto it = shard.table.find(oid);
+    if (it != shard.table.end()) {
+      Deregister(it->second.get(), td);
+      MaybeReclaim(shard, oid);
+    }
+    registered = false;
+  };
+  // A blocked iteration published waits-for edges; clear them on exit.
+  auto clear_waiting = [&] {
+    if (!waited) return;
+    std::lock_guard<std::mutex> gl(sync_->mu);
+    td->waiting_for.clear();
+  };
 
   for (;;) {  // the paper's "retries later starting at step 1"
-    if (td->status == TxnStatus::kAborting ||
-        td->status == TxnStatus::kAborted) {
+    TxnStatus ts = td->status.load(std::memory_order_acquire);
+    if (ts == TxnStatus::kAborting || ts == TxnStatus::kAborted) {
+      deregister();
+      clear_waiting();
       return Status::TxnAborted("transaction " + std::to_string(td->tid) +
                                 " is aborting");
     }
-    ObjectDescriptor* od = GetOrCreateLocked(oid);
 
-    LockRequestDescriptor* own = nullptr;
-    for (auto& lrd : od->granted) {
-      if (lrd->td == td) {
-        own = lrd.get();
-        break;
-      }
-    }
-    // Step 1a: our own unsuspended lock covering the request.
-    if (own != nullptr && !own->suspended && LockModeCovers(own->mode, mode)) {
-      return Status::OK();
-    }
-
-    // The mode the grant will carry: re-asserting a suspended lock keeps
-    // its strength, an upgrade raises it.
-    const LockMode needed =
-        own != nullptr ? JoinLockModes(own->mode, mode) : mode;
-
-    // Step 1b: scan other holders; permitted conflicts get suspended,
-    // unpermitted ones block us. A lock that is already suspended still
-    // blocks requesters its holder has NOT permitted — suspension only
-    // cancels the "covers" property for the holder itself, it does not
-    // surrender the object to the world.
-    std::vector<LockRequestDescriptor*> to_suspend;
     std::vector<Tid> blockers;
-    for (auto& lrd : od->granted) {
-      if (lrd->td == td) continue;
-      if (!LockModesConflict(lrd->mode, needed)) continue;
-      stats_->permit_checks.fetch_add(1, std::memory_order_relaxed);
-      if (permits_->Permits(lrd->td->tid, td->tid, oid,
-                            OperationFor(needed))) {
-        stats_->permit_hits.fetch_add(1, std::memory_order_relaxed);
-        if (!lrd->suspended) to_suspend.push_back(lrd.get());
+    uint64_t seq = 0;
+    bool granted = false;
+    bool frozen = false;
+    {
+      std::lock_guard<std::mutex> sl(shard.mu);
+      ObjectDescriptor* od = GetOrCreate(shard, oid);
+
+      LockRequestDescriptor* own = nullptr;
+      for (auto& lrd : od->granted) {
+        if (lrd->td == td) {
+          own = lrd.get();
+          break;
+        }
+      }
+      // Step 1a: our own unsuspended lock covering the request.
+      if (own != nullptr && !own->suspended &&
+          LockModeCovers(own->mode, mode)) {
+        if (registered) {
+          Deregister(od, td);
+          registered = false;
+        }
+        granted = true;
       } else {
-        blockers.push_back(lrd->td->tid);
+        // The mode the grant will carry: re-asserting a suspended lock
+        // keeps its strength, an upgrade raises it.
+        const LockMode needed =
+            own != nullptr ? JoinLockModes(own->mode, mode) : mode;
+
+        // Step 1b: scan other holders; permitted conflicts get
+        // suspended, unpermitted ones block us. A lock that is already
+        // suspended still blocks requesters its holder has NOT
+        // permitted — suspension only cancels the "covers" property for
+        // the holder itself, it does not surrender the object to the
+        // world.
+        std::vector<LockRequestDescriptor*> to_suspend;
+        for (auto& lrd : od->granted) {
+          if (lrd->td == td) continue;
+          if (!LockModesConflict(lrd->mode, needed)) continue;
+          stats_->permit_checks.fetch_add(1, std::memory_order_relaxed);
+          if (permits_->Permits(lrd->td->tid, td->tid, oid,
+                                OperationFor(needed))) {
+            stats_->permit_hits.fetch_add(1, std::memory_order_relaxed);
+            if (!lrd->suspended) to_suspend.push_back(lrd.get());
+          } else {
+            blockers.push_back(lrd->td->tid);
+          }
+        }
+
+        if (blockers.empty()) {
+          // Step 2: grant.
+          for (LockRequestDescriptor* lrd : to_suspend) {
+            lrd->suspended = true;
+            stats_->lock_suspensions.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (own != nullptr) {
+            own->mode = needed;
+            own->suspended = false;
+          } else {
+            auto lrd = std::make_unique<LockRequestDescriptor>();
+            lrd->td = td;
+            lrd->od = od;
+            lrd->mode = needed;
+            lrd->suspended = false;
+            {
+              std::lock_guard<std::mutex> ll(td->lrds_mu);
+              if (td->locks_frozen) {
+                // Terminated out from under us: the lock list is dead.
+                frozen = true;
+              } else {
+                td->lrds.push_back(lrd.get());
+              }
+            }
+            if (!frozen) od->granted.push_back(std::move(lrd));
+          }
+          if (!frozen) {
+            if (registered) {
+              Deregister(od, td);
+              registered = false;
+            }
+            granted = true;
+          } else {
+            if (registered) {
+              Deregister(od, td);
+              registered = false;
+            }
+            MaybeReclaim(shard, oid);
+          }
+        } else {
+          // Register interest and snapshot our channel's generation
+          // while still holding the shard latch, so a release between
+          // here and the sleep cannot be missed.
+          if (!registered) {
+            od->waiter_tds.push_back(td);
+            registered = true;
+          }
+          seq = td->lock_wait.sequence();
+        }
       }
     }
 
-    if (blockers.empty()) {
-      // Step 2: grant.
-      for (LockRequestDescriptor* lrd : to_suspend) {
-        lrd->suspended = true;
-        stats_->lock_suspensions.fetch_add(1, std::memory_order_relaxed);
-      }
-      if (own != nullptr) {
-        own->mode = needed;
-        own->suspended = false;
-      } else {
-        auto lrd = std::make_unique<LockRequestDescriptor>();
-        lrd->td = td;
-        lrd->od = od;
-        lrd->mode = needed;
-        lrd->suspended = false;
-        td->lrds.push_back(lrd.get());
-        od->granted.push_back(std::move(lrd));
-      }
+    if (granted) {
+      clear_waiting();
       stats_->locks_granted.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
+    if (frozen) {
+      clear_waiting();
+      return Status::TxnAborted("transaction " + std::to_string(td->tid) +
+                                " terminated during lock acquisition");
+    }
 
-    // Block. Record the waits-for edges first so the deadlock check and
-    // other requesters can see them.
-    td->waiting_for = blockers;
-    if (options_.detect_deadlocks &&
-        DeadlockDetector::WouldDeadlock(td, *txns_)) {
-      td->waiting_for.clear();
-      stats_->deadlocks.fetch_add(1, std::memory_order_relaxed);
+    // Block. Publish the waits-for edges (under the global mutex, shard
+    // latch released) so the deadlock check and other requesters can see
+    // them.
+    {
+      std::lock_guard<std::mutex> gl(sync_->mu);
+      td->waiting_for = blockers;
+      if (options_.detect_deadlocks &&
+          DeadlockDetector::WouldDeadlock(td, *txns_)) {
+        td->waiting_for.clear();
+        waited = false;  // already cleared
+        stats_->deadlocks.fetch_add(1, std::memory_order_relaxed);
+        // fallthrough to deregister outside the global mutex
+        blockers.clear();
+      }
+    }
+    if (blockers.empty()) {  // deadlock detected above
+      deregister();
       return Status::Deadlock("lock on object " + std::to_string(oid) +
                               " would deadlock transaction " +
                               std::to_string(td->tid));
@@ -119,63 +252,94 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
       stats_->lock_waits.fetch_add(1, std::memory_order_relaxed);
       waited = true;
     }
-    od->waiters++;
-    bool timed_out = false;
-    if (options_.lock_timeout.count() == 0) {
-      sync_->cv.wait(lock);
-    } else {
-      timed_out = sync_->cv.wait_until(lock, deadline) ==
-                  std::cv_status::timeout;
-    }
-    od->waiters--;
-    td->waiting_for.clear();
-    if (timed_out) {
+    if (!td->lock_wait.WaitChanged(seq, deadline, bounded)) {
+      deregister();
+      clear_waiting();
       stats_->lock_timeouts.fetch_add(1, std::memory_order_relaxed);
       return Status::TimedOut("lock on object " + std::to_string(oid) +
                               " timed out for transaction " +
                               std::to_string(td->tid));
     }
+    stats_->lock_wait_retries.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void LockManager::ReleaseAllLocked(TransactionDescriptor* td) {
-  for (LockRequestDescriptor* lrd : td->lrds) {
-    ObjectDescriptor* od = lrd->od;
-    auto& granted = od->granted;
-    granted.erase(std::remove_if(granted.begin(), granted.end(),
-                                 [&](const auto& p) {
-                                   return p.get() == lrd;
-                                 }),
-                  granted.end());
-    MaybeReclaimLocked(od->oid);
+void LockManager::ReleaseAll(TransactionDescriptor* td) {
+  // Freeze and take the lock list in one step; a racing grant that
+  // misses the snapshot sees locks_frozen and gives up.
+  std::vector<LockRequestDescriptor*> mine;
+  {
+    std::lock_guard<std::mutex> ll(td->lrds_mu);
+    td->locks_frozen = true;
+    mine.swap(td->lrds);
   }
-  td->lrds.clear();
-  sync_->cv.notify_all();
-}
+  if (mine.empty()) return;
 
-size_t LockManager::DelegateLocked(TransactionDescriptor* ti,
-                                   TransactionDescriptor* tj,
-                                   const ObjectSet& objs) {
-  size_t moved = 0;
-  std::vector<LockRequestDescriptor*> remaining;
-  remaining.reserve(ti->lrds.size());
-  for (LockRequestDescriptor* lrd : ti->lrds) {
-    if (!objs.Contains(lrd->od->oid)) {
-      remaining.push_back(lrd);
-      continue;
+  // Group by shard so each partition is latched once.
+  std::unordered_map<Shard*, std::vector<LockRequestDescriptor*>> by_shard;
+  for (LockRequestDescriptor* lrd : mine) {
+    by_shard[&ShardFor(lrd->od->oid)].push_back(lrd);
+  }
+  for (auto& [shard, lrds] : by_shard) {
+    std::lock_guard<std::mutex> sl(shard->mu);
+    std::unordered_set<ObjectDescriptor*> touched;
+    for (LockRequestDescriptor* lrd : lrds) {
+      ObjectDescriptor* od = lrd->od;
+      touched.insert(od);
+      auto& granted = od->granted;
+      granted.erase(std::remove_if(granted.begin(), granted.end(),
+                                   [&](const auto& p) {
+                                     return p.get() == lrd;
+                                   }),
+                    granted.end());
     }
+    // Wake the registered waiters while still holding the shard latch:
+    // registration (and thus the waiter TDs) cannot change under us.
+    for (ObjectDescriptor* od : touched) {
+      NotifyWaiters(od);
+      MaybeReclaim(*shard, od->oid);
+    }
+  }
+}
+
+size_t LockManager::Delegate(TransactionDescriptor* ti,
+                             TransactionDescriptor* tj,
+                             const ObjectSet& objs) {
+  // Snapshot under the leaf mutex; the global kernel mutex (held by our
+  // caller) serializes delegation against release, so entries cannot be
+  // freed behind the snapshot.
+  std::vector<LockRequestDescriptor*> snapshot;
+  {
+    std::lock_guard<std::mutex> ll(ti->lrds_mu);
+    snapshot = ti->lrds;
+  }
+  size_t moved = 0;
+  for (LockRequestDescriptor* lrd : snapshot) {
+    ObjectId oid = lrd->od->oid;
+    if (!objs.Contains(oid)) continue;
+    Shard& shard = ShardFor(oid);
+    std::lock_guard<std::mutex> sl(shard.mu);
+    ObjectDescriptor* od = lrd->od;
+
     // Does tj already hold a lock on this object? Merge.
     LockRequestDescriptor* existing = nullptr;
-    for (LockRequestDescriptor* other : tj->lrds) {
-      if (other->od == lrd->od) {
-        existing = other;
+    for (auto& g : od->granted) {
+      if (g->td == tj) {
+        existing = g.get();
         break;
       }
+    }
+    // Detach from ti before the merge possibly frees the LRD, so no
+    // reader of ti->lrds can ever see a dangling entry.
+    {
+      std::lock_guard<std::mutex> ll(ti->lrds_mu);
+      auto& v = ti->lrds;
+      v.erase(std::remove(v.begin(), v.end(), lrd), v.end());
     }
     if (existing != nullptr) {
       existing->mode = JoinLockModes(existing->mode, lrd->mode);
       existing->suspended = existing->suspended && lrd->suspended;
-      auto& granted = lrd->od->granted;
+      auto& granted = od->granted;
       granted.erase(std::remove_if(granted.begin(), granted.end(),
                                    [&](const auto& p) {
                                      return p.get() == lrd;
@@ -183,20 +347,22 @@ size_t LockManager::DelegateLocked(TransactionDescriptor* ti,
                     granted.end());
     } else {
       lrd->td = tj;
+      std::lock_guard<std::mutex> ll(tj->lrds_mu);
       tj->lrds.push_back(lrd);
     }
+    // The delegatee may permit (or be) a blocked requester; let the
+    // object's waiters re-evaluate.
+    NotifyWaiters(od);
     ++moved;
   }
-  ti->lrds = std::move(remaining);
   if (moved > 0) {
     stats_->locks_delegated.fetch_add(moved, std::memory_order_relaxed);
-    sync_->cv.notify_all();
   }
   return moved;
 }
 
-ObjectSet LockManager::LockedObjectsLocked(
-    const TransactionDescriptor* td) const {
+ObjectSet LockManager::LockedObjects(TransactionDescriptor* td) const {
+  std::lock_guard<std::mutex> ll(td->lrds_mu);
   std::vector<ObjectId> ids;
   ids.reserve(td->lrds.size());
   for (const LockRequestDescriptor* lrd : td->lrds) {
@@ -205,27 +371,36 @@ ObjectSet LockManager::LockedObjectsLocked(
   return ObjectSet(std::move(ids));
 }
 
-LockMode LockManager::HeldModeLocked(const TransactionDescriptor* td,
-                                     ObjectId oid) const {
+LockMode LockManager::HeldMode(TransactionDescriptor* td, ObjectId oid) const {
+  std::lock_guard<std::mutex> ll(td->lrds_mu);
   for (const LockRequestDescriptor* lrd : td->lrds) {
     if (lrd->od->oid == oid) return lrd->mode;
   }
   return LockMode::kNone;
 }
 
-bool LockManager::IsSuspendedLocked(const TransactionDescriptor* td,
-                                    ObjectId oid) const {
+bool LockManager::IsSuspended(TransactionDescriptor* td, ObjectId oid) const {
+  std::lock_guard<std::mutex> ll(td->lrds_mu);
   for (const LockRequestDescriptor* lrd : td->lrds) {
     if (lrd->od->oid == oid) return lrd->suspended;
   }
   return false;
 }
 
-void LockManager::MaybeReclaimLocked(ObjectId oid) {
-  auto it = table_.find(oid);
-  if (it == table_.end()) return;
-  if (it->second->granted.empty() && it->second->waiters == 0) {
-    table_.erase(it);
+size_t LockManager::NumObjects() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> sl(shard.mu);
+    n += shard.table.size();
+  }
+  return n;
+}
+
+void LockManager::MaybeReclaim(Shard& shard, ObjectId oid) {
+  auto it = shard.table.find(oid);
+  if (it == shard.table.end()) return;
+  if (it->second->granted.empty() && it->second->waiter_tds.empty()) {
+    shard.table.erase(it);
   }
 }
 

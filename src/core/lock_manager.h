@@ -2,7 +2,7 @@
 #define ASSET_CORE_LOCK_MANAGER_H_
 
 /// \file lock_manager.h
-/// The permit-aware lock manager (§4.2 read-lock / write-lock).
+/// The permit-aware lock manager (§4.2 read-lock / write-lock), sharded.
 ///
 /// Acquisition algorithm, straight from the paper:
 ///
@@ -17,12 +17,25 @@
 /// re-acquires — possibly suspending us right back (§3.2.1's
 /// "ping-ponging of permits").
 ///
-/// Blocking uses the kernel condition variable; a deadlock check (our
+/// Structure: the lock table is partitioned by ObjectId hash into
+/// `Options::shards` independently-latched partitions (the paper's §4.1
+/// per-structure latches). Acquire, release, and delegation lock only
+/// the shards of the objects involved and never the global kernel
+/// mutex — except Acquire's *blocking* path, which briefly takes the
+/// global mutex (after dropping the shard latch) to publish waits-for
+/// edges for the deadlock check.
+///
+/// Blocking is targeted: a blocked requester registers itself on the
+/// OD's waiter list and sleeps on its own TD's WaitChannel; whoever
+/// changes that object's lock state (release, delegation, suspension)
+/// notifies exactly the registered waiters. A deadlock check (our
 /// documented extension) and a configurable timeout bound the wait.
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/ids.h"
@@ -38,7 +51,7 @@
 
 namespace asset {
 
-/// Lock table plus acquisition/release/delegation over it.
+/// Sharded lock table plus acquisition/release/delegation over it.
 class LockManager {
  public:
   struct Options {
@@ -46,60 +59,77 @@ class LockManager {
     std::chrono::milliseconds lock_timeout{5000};
     /// Run the waits-for cycle check before every sleep.
     bool detect_deadlocks = true;
+    /// Number of lock-table partitions; rounded up to a power of two.
+    size_t shards = 64;
   };
 
   LockManager(KernelSync* sync, PermitTable* permits, const TdTable* txns,
-              KernelStats* stats, Options options)
-      : sync_(sync),
-        permits_(permits),
-        txns_(txns),
-        stats_(stats),
-        options_(options) {}
+              KernelStats* stats, Options options);
 
   /// Blocking acquire of `mode` on `oid` for `td`. Returns OK,
   /// kTxnAborted if the transaction was marked aborting while blocked,
   /// kDeadlock if sleeping would close a waits-for cycle, or kTimedOut.
-  /// Takes the kernel mutex itself.
+  /// Must be called WITHOUT the kernel mutex: the fast path takes only
+  /// the object's shard latch; the blocking path additionally takes the
+  /// kernel mutex (shard latch released) for the deadlock check.
   Status Acquire(TransactionDescriptor* td, ObjectId oid, LockMode mode);
 
-  /// Releases every lock `td` holds and wakes waiters (§4.2 commit step
-  /// 6, abort step 3). Caller holds the kernel mutex.
-  void ReleaseAllLocked(TransactionDescriptor* td);
+  /// Releases every lock `td` holds and wakes the waiters registered on
+  /// those objects (§4.2 commit step 6, abort step 3). Freezes the TD's
+  /// lock list so a racing grant cannot resurrect it. Takes shard
+  /// latches itself; safe with or without the kernel mutex.
+  void ReleaseAll(TransactionDescriptor* td);
 
   /// Moves `ti`'s LRDs on objects in `objs` to `tj`, merging with any
-  /// lock `tj` already holds (§4.2 delegate step a). Returns the number
-  /// of locks moved. Caller holds the kernel mutex.
-  size_t DelegateLocked(TransactionDescriptor* ti, TransactionDescriptor* tj,
-                        const ObjectSet& objs);
+  /// lock `tj` already holds (§4.2 delegate step a), and wakes waiters
+  /// on the affected objects. Returns the number of locks moved. Takes
+  /// shard latches itself.
+  size_t Delegate(TransactionDescriptor* ti, TransactionDescriptor* tj,
+                  const ObjectSet& objs);
 
-  /// The concrete objects `td` currently holds locks on. Caller holds
-  /// the kernel mutex.
-  ObjectSet LockedObjectsLocked(const TransactionDescriptor* td) const;
+  /// The concrete objects `td` currently holds locks on.
+  ObjectSet LockedObjects(TransactionDescriptor* td) const;
 
-  /// Object descriptor for `oid`, creating it if needed. Caller holds
-  /// the kernel mutex.
-  ObjectDescriptor* GetOrCreateLocked(ObjectId oid);
+  /// Object descriptor for `oid`, or nullptr. The pointer stays valid
+  /// only while the caller holds a granted lock or registered wait on
+  /// the object (which blocks reclamation).
+  ObjectDescriptor* Find(ObjectId oid);
 
-  /// Object descriptor for `oid`, or nullptr. Caller holds the kernel
-  /// mutex.
-  ObjectDescriptor* FindLocked(ObjectId oid);
+  /// `td`'s granted lock mode on `oid` (kNone if absent; suspension is
+  /// reported separately by IsSuspended).
+  LockMode HeldMode(TransactionDescriptor* td, ObjectId oid) const;
 
-  /// `td`'s granted lock mode on `oid` (kNone if absent or suspended
-  /// counts as its recorded mode — suspension is reported separately by
-  /// IsSuspendedLocked). Caller holds the kernel mutex.
-  LockMode HeldModeLocked(const TransactionDescriptor* td,
-                          ObjectId oid) const;
+  /// True if `td`'s lock on `oid` exists and is suspended.
+  bool IsSuspended(TransactionDescriptor* td, ObjectId oid) const;
 
-  /// True if `td`'s lock on `oid` exists and is suspended. Caller holds
-  /// the kernel mutex.
-  bool IsSuspendedLocked(const TransactionDescriptor* td, ObjectId oid) const;
+  /// Number of object descriptors currently in the table (sums all
+  /// shards; each shard latched in turn).
+  size_t NumObjects() const;
 
-  /// Number of object descriptors currently in the table.
-  size_t NumObjectsLocked() const { return table_.size(); }
+  /// Number of lock-table partitions (after power-of-two rounding).
+  size_t shard_count() const { return shards_.size(); }
 
  private:
-  /// Drops ODs with no granted locks and no waiters.
-  void MaybeReclaimLocked(ObjectId oid);
+  /// One lock-table partition: a latch and the ODs hashed to it.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<ObjectId, std::unique_ptr<ObjectDescriptor>> table;
+  };
+
+  Shard& ShardFor(ObjectId oid);
+  const Shard& ShardFor(ObjectId oid) const;
+
+  /// Caller holds shard.mu.
+  ObjectDescriptor* GetOrCreate(Shard& shard, ObjectId oid);
+  /// Drops the OD if it has no granted locks and no registered waiters.
+  /// Caller holds shard.mu.
+  void MaybeReclaim(Shard& shard, ObjectId oid);
+  /// Notifies every waiter registered on `od`. Caller holds the OD's
+  /// shard latch, which keeps the waiter TDs registered (and therefore
+  /// alive) for the duration.
+  void NotifyWaiters(ObjectDescriptor* od);
+  /// Removes `td` from `od`'s waiter list. Caller holds shard.mu.
+  static void Deregister(ObjectDescriptor* od, TransactionDescriptor* td);
 
   KernelSync* sync_;
   PermitTable* permits_;
@@ -107,7 +137,9 @@ class LockManager {
   KernelStats* stats_;
   Options options_;
 
-  std::unordered_map<ObjectId, std::unique_ptr<ObjectDescriptor>> table_;
+  /// deque: Shard is not movable (mutex); the deque never relocates.
+  std::deque<Shard> shards_;
+  size_t shard_mask_ = 0;
 };
 
 }  // namespace asset

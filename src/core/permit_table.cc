@@ -1,11 +1,14 @@
 #include "core/permit_table.h"
 
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 
 namespace asset {
 
 Status PermitTable::Insert(Tid grantor, Tid grantee, ObjectSet objects,
                            OpSet ops) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   if (grantor == kNullTid) {
     return Status::InvalidArgument("permit requires a concrete grantor");
   }
@@ -85,6 +88,7 @@ Status PermitTable::Insert(Tid grantor, Tid grantee, ObjectSet objects,
 
 bool PermitTable::Permits(Tid grantor, Tid grantee, ObjectId ob,
                           Operation op) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = by_grantor_.find(grantor);
   if (it == by_grantor_.end()) return false;
   for (size_t idx : it->second) {
@@ -119,6 +123,7 @@ void PermitTable::AddRawLocked(Permit p) {
 }
 
 void PermitTable::RemoveAllFor(Tid t) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   std::vector<Permit> kept;
   kept.reserve(permits_.size());
   for (Permit& p : permits_) {
@@ -130,6 +135,7 @@ void PermitTable::RemoveAllFor(Tid t) {
 }
 
 void PermitTable::RedirectGrantor(Tid from, Tid to, const ObjectSet& objs) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
   std::vector<Permit> to_add;
   for (Permit& p : permits_) {
     if (p.grantor != from) continue;
@@ -172,6 +178,7 @@ void PermitTable::RedirectGrantor(Tid from, Tid to, const ObjectSet& objs) {
 }
 
 std::vector<Permit> PermitTable::GivenBy(Tid t) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<Permit> out;
   auto it = by_grantor_.find(t);
   if (it == by_grantor_.end()) return out;
@@ -180,6 +187,7 @@ std::vector<Permit> PermitTable::GivenBy(Tid t) const {
 }
 
 std::vector<Permit> PermitTable::GivenTo(Tid t) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   std::vector<Permit> out;
   auto it = by_grantee_.find(t);
   if (it == by_grantee_.end()) return out;
@@ -188,6 +196,7 @@ std::vector<Permit> PermitTable::GivenTo(Tid t) const {
 }
 
 ObjectSet PermitTable::ObjectsPermittedTo(Tid t) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   ObjectSet out;
   for (const Permit& p : permits_) {
     if (p.grantee == t || p.grantee == kNullTid) {
@@ -198,6 +207,7 @@ ObjectSet PermitTable::ObjectsPermittedTo(Tid t) const {
 }
 
 size_t PermitTable::direct_size() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   size_t n = 0;
   for (const Permit& p : permits_) {
     if (p.direct) ++n;

@@ -17,9 +17,15 @@
 /// only ever scans direct permits. (tests verify eager materialization
 /// against an on-demand closure oracle.)
 ///
-/// Not thread-safe by itself; the kernel mutex serializes access.
+/// Thread safety: the table carries an internal reader/writer lock.
+/// Mutators (Insert, RemoveAllFor, RedirectGrantor) take it exclusively
+/// and are additionally serialized by the global kernel mutex at their
+/// call sites; readers — most importantly Permits(), called from the
+/// lock-acquisition path under only a shard latch — take it shared. The
+/// lock is a leaf: nothing else is acquired while holding it.
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -82,7 +88,10 @@ class PermitTable {
   /// the permit(ti, tj, op) expansion in §4.2.
   ObjectSet ObjectsPermittedTo(Tid t) const;
 
-  size_t size() const { return permits_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return permits_.size();
+  }
   /// Number of directly-inserted permits (excludes derived ones).
   size_t direct_size() const;
 
@@ -96,6 +105,8 @@ class PermitTable {
 
   void RebuildIndexes();
 
+  /// Leaf reader/writer lock; see the file comment.
+  mutable std::shared_mutex mu_;
   std::vector<Permit> permits_;
   // Index: tid -> positions in permits_. Rebuilt lazily after removals.
   std::unordered_map<Tid, std::vector<size_t>> by_grantor_;

@@ -11,15 +11,19 @@ KernelStats::Snapshot KernelStats::snapshot() const {
   s.txns_committed = txns_committed.load(std::memory_order_relaxed);
   s.txns_aborted = txns_aborted.load(std::memory_order_relaxed);
   s.group_commits = group_commits.load(std::memory_order_relaxed);
+  s.txn_wakeups = txn_wakeups.load(std::memory_order_relaxed);
   s.locks_granted = locks_granted.load(std::memory_order_relaxed);
   s.lock_waits = lock_waits.load(std::memory_order_relaxed);
   s.lock_suspensions = lock_suspensions.load(std::memory_order_relaxed);
   s.deadlocks = deadlocks.load(std::memory_order_relaxed);
   s.lock_timeouts = lock_timeouts.load(std::memory_order_relaxed);
+  s.lock_wakeups = lock_wakeups.load(std::memory_order_relaxed);
+  s.lock_wait_retries = lock_wait_retries.load(std::memory_order_relaxed);
   s.permits_inserted = permits_inserted.load(std::memory_order_relaxed);
   s.permits_derived = permits_derived.load(std::memory_order_relaxed);
   s.permit_checks = permit_checks.load(std::memory_order_relaxed);
   s.permit_hits = permit_hits.load(std::memory_order_relaxed);
+  s.permit_broadcasts = permit_broadcasts.load(std::memory_order_relaxed);
   s.delegations = delegations.load(std::memory_order_relaxed);
   s.locks_delegated = locks_delegated.load(std::memory_order_relaxed);
   s.dependencies_formed = dependencies_formed.load(std::memory_order_relaxed);
@@ -38,15 +42,19 @@ void KernelStats::Reset() {
   txns_committed = 0;
   txns_aborted = 0;
   group_commits = 0;
+  txn_wakeups = 0;
   locks_granted = 0;
   lock_waits = 0;
   lock_suspensions = 0;
   deadlocks = 0;
   lock_timeouts = 0;
+  lock_wakeups = 0;
+  lock_wait_retries = 0;
   permits_inserted = 0;
   permits_derived = 0;
   permit_checks = 0;
   permit_hits = 0;
+  permit_broadcasts = 0;
   delegations = 0;
   locks_delegated = 0;
   dependencies_formed = 0;
@@ -61,13 +69,16 @@ std::string KernelStats::Snapshot::ToString() const {
   std::ostringstream os;
   os << "txns{initiated=" << txns_initiated << " begun=" << txns_begun
      << " committed=" << txns_committed << " aborted=" << txns_aborted
-     << " group_commits=" << group_commits << "} "
+     << " group_commits=" << group_commits << " wakeups=" << txn_wakeups
+     << "} "
      << "locks{granted=" << locks_granted << " waits=" << lock_waits
      << " suspensions=" << lock_suspensions << " deadlocks=" << deadlocks
-     << " timeouts=" << lock_timeouts << "} "
+     << " timeouts=" << lock_timeouts << " wakeups=" << lock_wakeups
+     << " wait_retries=" << lock_wait_retries << "} "
      << "permits{inserted=" << permits_inserted
      << " derived=" << permits_derived << " checks=" << permit_checks
-     << " hits=" << permit_hits << "} "
+     << " hits=" << permit_hits << " broadcasts=" << permit_broadcasts
+     << "} "
      << "delegation{calls=" << delegations << " locks=" << locks_delegated
      << "} "
      << "deps{formed=" << dependencies_formed

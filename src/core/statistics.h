@@ -19,17 +19,29 @@ struct KernelStats {
   std::atomic<uint64_t> txns_committed{0};
   std::atomic<uint64_t> txns_aborted{0};
   std::atomic<uint64_t> group_commits{0};
+  /// Targeted lifecycle notifications: how many times a status
+  /// transition woke one specific transaction's lifecycle channel.
+  std::atomic<uint64_t> txn_wakeups{0};
 
   std::atomic<uint64_t> locks_granted{0};
   std::atomic<uint64_t> lock_waits{0};
   std::atomic<uint64_t> lock_suspensions{0};
   std::atomic<uint64_t> deadlocks{0};
   std::atomic<uint64_t> lock_timeouts{0};
+  /// Targeted lock notifications: waiters woken by a release,
+  /// delegation, or suspension on the object they are blocked on.
+  std::atomic<uint64_t> lock_wakeups{0};
+  /// Rescans of the grant decision by a blocked acquirer after a wakeup
+  /// (each is one trip around the §4.2 "retry from step 1" loop).
+  std::atomic<uint64_t> lock_wait_retries{0};
 
   std::atomic<uint64_t> permits_inserted{0};
   std::atomic<uint64_t> permits_derived{0};
   std::atomic<uint64_t> permit_checks{0};
   std::atomic<uint64_t> permit_hits{0};
+  /// Permit insertions that swept the TD table to wake blocked lock
+  /// waiters (a new permit can admit any of them).
+  std::atomic<uint64_t> permit_broadcasts{0};
 
   std::atomic<uint64_t> delegations{0};
   std::atomic<uint64_t> locks_delegated{0};
@@ -44,10 +56,11 @@ struct KernelStats {
   /// Plain-value copy of every counter.
   struct Snapshot {
     uint64_t txns_initiated, txns_begun, txns_committed, txns_aborted,
-        group_commits;
+        group_commits, txn_wakeups;
     uint64_t locks_granted, lock_waits, lock_suspensions, deadlocks,
-        lock_timeouts;
-    uint64_t permits_inserted, permits_derived, permit_checks, permit_hits;
+        lock_timeouts, lock_wakeups, lock_wait_retries;
+    uint64_t permits_inserted, permits_derived, permit_checks, permit_hits,
+        permit_broadcasts;
     uint64_t delegations, locks_delegated, dependencies_formed,
         dependency_cycles_rejected;
     uint64_t reads, writes, increments, undo_installs;

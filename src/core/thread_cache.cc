@@ -14,7 +14,12 @@ ThreadCache::~ThreadCache() {
 void ThreadCache::Submit(std::function<void()> task) {
   std::lock_guard<std::mutex> lk(mu_);
   pending_.push_back(std::move(task));
-  if (idle_ > 0) {
+  // One notify per task. A sleeping worker only counts if there are
+  // enough of them to cover every queued task: an idle_ > 0 test alone
+  // loses a task when two submits race a single not-yet-woken sleeper,
+  // and the task then waits behind an unrelated (possibly blocked)
+  // transaction body.
+  if (idle_ >= pending_.size()) {
     cv_.notify_one();
   } else {
     workers_.emplace_back([this] { WorkerLoop(); });

@@ -16,6 +16,17 @@ thread_local TransactionDescriptor* tls_current = nullptr;
 /// Collect terminated TDs once the table grows past this.
 constexpr size_t kCollectThreshold = 1024;
 
+Status NotRunningError(const char* what, TxnStatus s,
+                       bool distinguish_aborted) {
+  if (distinguish_aborted &&
+      (s == TxnStatus::kAborting || s == TxnStatus::kAborted)) {
+    return Status::TxnAborted(std::string(what) +
+                              ": transaction is aborting");
+  }
+  return Status::IllegalState(std::string(what) +
+                              ": transaction is not running");
+}
+
 }  // namespace
 
 TransactionManager::TransactionManager(LogManager* log, ObjectStore* store,
@@ -34,7 +45,7 @@ TransactionManager::~TransactionManager() {
   shutting_down_ = true;
   for (auto& [tid, td] : txns_) {
     if (!IsTerminated(td->status)) {
-      StartAbortLocked(td.get());
+      StartAbortLocked(td.get(), "kernel shutting down");
     }
   }
   sync_.cv.wait(lk, [&] { return live_threads_ == 0; });
@@ -60,12 +71,55 @@ TxnStatus TransactionManager::StatusOfLocked(Tid t) const {
 void TransactionManager::CollectLocked() {
   for (auto it = txns_.begin(); it != txns_.end();) {
     TransactionDescriptor* td = it->second.get();
-    if (IsTerminated(td->status) && td->thread_exited) {
-      tombstones_.emplace(td->tid, td->status);
+    if (IsTerminated(td->status) && td->thread_exited &&
+        td->pins.load(std::memory_order_acquire) == 0) {
+      tombstones_.emplace(td->tid, td->status.load());
       it = txns_.erase(it);
     } else {
       ++it;
     }
+  }
+}
+
+std::string TransactionManager::AbortReasonLocked(
+    const TransactionDescriptor* td) {
+  if (td != nullptr && !td->abort_reason.empty()) {
+    return "transaction " + std::to_string(td->tid) + " aborted: " +
+           td->abort_reason;
+  }
+  Tid t = td != nullptr ? td->tid : kNullTid;
+  return "transaction " + std::to_string(t) + " aborted";
+}
+
+// ---------------------------------------------------------------------------
+// Targeted wakeups
+
+void TransactionManager::NotifyTxnLocked(TransactionDescriptor* td) {
+  stats_.txn_wakeups.fetch_add(1, std::memory_order_relaxed);
+  td->lifecycle_cv.notify_all();
+}
+
+void TransactionManager::WakeDependentsLocked(Tid t) {
+  for (const Dependency& d : deps_.DependenciesOn(t)) {
+    if (TransactionDescriptor* dep = FindLocked(d.dependent)) {
+      NotifyTxnLocked(dep);
+    }
+  }
+}
+
+void TransactionManager::WakeGroupLocked(Tid t) {
+  for (Tid m : deps_.GroupOf(t)) {
+    if (m == t) continue;
+    if (TransactionDescriptor* mtd = FindLocked(m)) {
+      NotifyTxnLocked(mtd);
+    }
+  }
+}
+
+void TransactionManager::WakeLockWaitersLocked() {
+  stats_.permit_broadcasts.fetch_add(1, std::memory_order_relaxed);
+  for (auto& [tid, td] : txns_) {
+    if (!td->waiting_for.empty()) td->lock_wait.Notify();
   }
 }
 
@@ -76,11 +130,7 @@ Tid TransactionManager::InitiateFn(std::function<void()> fn) {
   std::lock_guard<std::mutex> lk(sync_.mu);
   if (shutting_down_) return kNullTid;
   if (txns_.size() >= kCollectThreshold) CollectLocked();
-  size_t unterminated = 0;
-  for (const auto& [tid, td] : txns_) {
-    if (!IsTerminated(td->status)) ++unterminated;
-  }
-  if (unterminated >= options_.max_transactions) {
+  if (unterminated_count_ >= options_.max_transactions) {
     return kNullTid;  // the paper's "no resources available" error
   }
   Tid tid = next_tid_++;
@@ -88,24 +138,36 @@ Tid TransactionManager::InitiateFn(std::function<void()> fn) {
   auto td = std::make_unique<TransactionDescriptor>(tid, parent);
   td->fn = fn ? std::move(fn) : [] {};
   txns_.emplace(tid, std::move(td));
+  unterminated_count_++;
   stats_.txns_initiated.fetch_add(1, std::memory_order_relaxed);
   return tid;
 }
 
-bool TransactionManager::Begin(Tid t) {
+bool TransactionManager::Begin(Tid t) { return BeginTxn(t).ok(); }
+
+Status TransactionManager::BeginTxn(Tid t) {
   TransactionDescriptor* td;
   {
     std::unique_lock<std::mutex> lk(sync_.mu);
+    td = FindLocked(t);
+    if (td == nullptr) {
+      return Status::NotFound("begin: unknown transaction " +
+                              std::to_string(t));
+    }
+    TdPin pin(td);
     const bool bounded = options_.commit_timeout.count() > 0;
     const auto deadline =
         std::chrono::steady_clock::now() + options_.commit_timeout;
     // Begin-dependency gate (ACTA BD/BCD extension): block until every
     // begin-dependency is satisfied; fail if one became unsatisfiable.
     for (;;) {
-      td = FindLocked(t);
-      if (td == nullptr || td->status != TxnStatus::kInitiated ||
-          shutting_down_) {
-        return false;
+      if (shutting_down_) {
+        return Status::IllegalState("begin: kernel is shutting down");
+      }
+      if (td->status != TxnStatus::kInitiated) {
+        return Status::IllegalState(
+            "begin: transaction " + std::to_string(t) + " is " +
+            TxnStatusToString(td->status));
       }
       bool blocked = false;
       for (const Dependency& d : deps_.DependenciesOf(t)) {
@@ -115,22 +177,34 @@ bool TransactionManager::Begin(Tid t) {
           bool dep_begun =
               dep != nullptr ? dep->begun : ds == TxnStatus::kCommitted;
           if (dep_begun) continue;
-          if (ds == TxnStatus::kAborted) return false;  // never will begin
+          if (ds == TxnStatus::kAborted) {
+            return Status::TxnAborted(
+                "begin: begin-dependency on transaction " +
+                std::to_string(d.dependee) + ", which aborted before "
+                "beginning");
+          }
           blocked = true;
         } else if (d.type == DependencyType::kBeginOnCommit) {
           TxnStatus ds = StatusOfLocked(d.dependee);
           if (ds == TxnStatus::kCommitted) continue;
-          if (ds == TxnStatus::kAborted) return false;
+          if (ds == TxnStatus::kAborted) {
+            return Status::TxnAborted(
+                "begin: begin-on-commit dependency on transaction " +
+                std::to_string(d.dependee) + ", which aborted");
+          }
           blocked = true;
         }
       }
       if (!blocked) break;
       if (bounded) {
-        if (sync_.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
-          return false;
+        if (td->lifecycle_cv.wait_until(lk, deadline) ==
+            std::cv_status::timeout) {
+          return Status::TimedOut(
+              "begin: begin-dependencies of transaction " +
+              std::to_string(t) + " unresolved within timeout");
         }
       } else {
-        sync_.cv.wait(lk);
+        td->lifecycle_cv.wait(lk);
       }
     }
     td->status = TxnStatus::kRunning;
@@ -143,15 +217,58 @@ bool TransactionManager::Begin(Tid t) {
     rec.tid = t;
     log_->Append(std::move(rec));
     stats_.txns_begun.fetch_add(1, std::memory_order_relaxed);
+    // A begin-dependency of someone else may just have been satisfied.
+    WakeDependentsLocked(t);
   }
   executor_.Submit([this, td] { ThreadMain(td); });
-  return true;
+  return Status::OK();
 }
 
 bool TransactionManager::Begin(std::initializer_list<Tid> ts) {
+  // All-or-nothing with respect to validation: if any tid is unknown or
+  // not initiated, start nothing.
+  {
+    std::lock_guard<std::mutex> lk(sync_.mu);
+    if (shutting_down_) return false;
+    for (Tid t : ts) {
+      const TransactionDescriptor* td = FindLocked(t);
+      if (td == nullptr || td->status != TxnStatus::kInitiated) return false;
+    }
+  }
   bool all = true;
   for (Tid t : ts) all = Begin(t) && all;
   return all;
+}
+
+Result<Tid> TransactionManager::BeginSession() {
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  if (shutting_down_) {
+    return Status::IllegalState("begin: kernel is shutting down");
+  }
+  if (txns_.size() >= kCollectThreshold) CollectLocked();
+  if (unterminated_count_ >= options_.max_transactions) {
+    return Status::ResourceExhausted("begin: transaction table is full");
+  }
+  Tid tid = next_tid_++;
+  Tid parent = tls_current != nullptr ? tls_current->tid : kNullTid;
+  auto td = std::make_unique<TransactionDescriptor>(tid, parent);
+  td->fn = [] {};
+  td->session = true;
+  td->status = TxnStatus::kRunning;
+  td->begun = true;
+  // No worker thread ever runs for a session transaction; keeping
+  // thread_exited set lets an abort perform the physical undo at once.
+  td->thread_exited = true;
+  txns_.emplace(tid, std::move(td));
+  unterminated_count_++;
+  active_count_++;
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  rec.tid = tid;
+  log_->Append(std::move(rec));
+  stats_.txns_initiated.fetch_add(1, std::memory_order_relaxed);
+  stats_.txns_begun.fetch_add(1, std::memory_order_relaxed);
+  return tid;
 }
 
 void TransactionManager::ThreadMain(TransactionDescriptor* td) {
@@ -164,6 +281,9 @@ void TransactionManager::ThreadMain(TransactionDescriptor* td) {
     std::lock_guard<std::mutex> lk(sync_.mu);
     if (td->status == TxnStatus::kRunning) {
       td->status = TxnStatus::kAborting;
+      if (td->abort_reason.empty()) {
+        td->abort_reason = "exception escaped the transaction function";
+      }
     }
   }
   tls_current = nullptr;
@@ -175,27 +295,46 @@ void TransactionManager::ThreadMain(TransactionDescriptor* td) {
     // records the completion.
     td->status = TxnStatus::kCompleted;
   } else if (td->status == TxnStatus::kAborting) {
-    FinishAbortLocked(td);
+    // Complete the (possibly deferred) physical abort of our closure.
+    FinishAbortClosureLocked(td);
   }
-  sync_.cv.notify_all();
+  // Completion unblocks: Wait/Commit sleepers on this transaction and
+  // the commit evaluations of group peers. (The closure finalization
+  // performs its own notifications; repeating them is harmless.)
+  NotifyTxnLocked(td);
+  WakeGroupLocked(td->tid);
+  sync_.cv.notify_all();  // live_threads_ changed (shutdown drain)
 }
 
-bool TransactionManager::Commit(Tid t) {
+bool TransactionManager::Commit(Tid t) { return CommitTxn(t).ok(); }
+
+Status TransactionManager::CommitTxn(Tid t) {
   std::unique_lock<std::mutex> lk(sync_.mu);
   const bool bounded = options_.commit_timeout.count() > 0;
   const auto deadline =
       std::chrono::steady_clock::now() + options_.commit_timeout;
-  for (;;) {  // the paper's "blocks and retries later starting at step 1"
-    TransactionDescriptor* td = FindLocked(t);
-    if (td == nullptr) {
-      auto it = tombstones_.find(t);
-      return it != tombstones_.end() && it->second == TxnStatus::kCommitted;
+  TransactionDescriptor* td = FindLocked(t);
+  if (td == nullptr) {
+    auto it = tombstones_.find(t);
+    if (it == tombstones_.end()) {
+      return Status::NotFound("commit: unknown transaction " +
+                              std::to_string(t));
     }
-    switch (td->status) {
+    if (it->second == TxnStatus::kCommitted) return Status::OK();
+    return Status::TxnAborted("transaction " + std::to_string(t) +
+                              " aborted");
+  }
+  TdPin pin(td);
+  if (td->session && td->status == TxnStatus::kRunning) {
+    // A session transaction's code is "done" when the caller commits.
+    td->status = TxnStatus::kCompleted;
+  }
+  for (;;) {  // the paper's "blocks and retries later starting at step 1"
+    switch (td->status.load()) {
       case TxnStatus::kCommitted:
-        return true;
+        return Status::OK();
       case TxnStatus::kAborted:
-        return false;
+        return Status::TxnAborted(AbortReasonLocked(td));
       case TxnStatus::kAborting:
         break;  // wait for the physical abort, then report failure
       case TxnStatus::kCompleted:
@@ -206,17 +345,19 @@ bool TransactionManager::Commit(Tid t) {
         CommitEval eval = EvaluateCommitLocked(td, &group);
         if (eval == CommitEval::kCommit) {
           CommitGroupLocked(group);
-          return true;
+          return Status::OK();
         }
         if (eval == CommitEval::kAbort) {
           // An abort/group dependency makes commit impossible: the whole
           // GC component aborts (§4.2 commit step 2a via abort step 4a).
           for (Tid m : deps_.GroupOf(t)) {
             if (TransactionDescriptor* mtd = FindLocked(m)) {
-              StartAbortLocked(mtd);
+              StartAbortLocked(
+                  mtd, "commit impossible: an abort or group-commit "
+                       "dependency is unsatisfiable");
             }
           }
-          break;  // wait until the abort lands, then return false
+          break;  // wait until the abort lands, then report it
         }
         break;  // kWait
       }
@@ -225,22 +366,21 @@ bool TransactionManager::Commit(Tid t) {
         break;  // commit blocks until execution completes (§2.1)
     }
     if (bounded) {
-      if (sync_.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
-        // Unresolvable within the bound: abort so the 0 return is true.
-        TransactionDescriptor* again = FindLocked(t);
-        if (again == nullptr) {
-          auto it = tombstones_.find(t);
-          return it != tombstones_.end() &&
-                 it->second == TxnStatus::kCommitted;
+      if (td->lifecycle_cv.wait_until(lk, deadline) ==
+          std::cv_status::timeout) {
+        if (td->status == TxnStatus::kCommitted) return Status::OK();
+        if (td->status == TxnStatus::kAborted) {
+          return Status::TxnAborted(AbortReasonLocked(td));
         }
-        if (again->status == TxnStatus::kCommitted) return true;
-        if (again->status != TxnStatus::kAborted) {
-          StartAbortLocked(again);
-        }
-        return false;
+        // Unresolvable within the bound: abort so the failure is true.
+        StartAbortLocked(td, "commit timeout: dependencies unresolved "
+                             "within the commit bound");
+        return Status::TimedOut("commit: transaction " + std::to_string(t) +
+                                " could not commit within the timeout and "
+                                "was aborted");
       }
     } else {
-      sync_.cv.wait(lk);
+      td->lifecycle_cv.wait(lk);
     }
   }
 }
@@ -248,22 +388,20 @@ bool TransactionManager::Commit(Tid t) {
 int TransactionManager::Wait(Tid t) {
   if (tls_current != nullptr && tls_current->tid == t) {
     // wait(self()) — the appendix uses it as "am I still viable?".
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    return (tls_current->status == TxnStatus::kAborting ||
-            tls_current->status == TxnStatus::kAborted)
-               ? 0
-               : 1;
+    TxnStatus s = tls_current->status.load(std::memory_order_acquire);
+    return (s == TxnStatus::kAborting || s == TxnStatus::kAborted) ? 0 : 1;
   }
   std::unique_lock<std::mutex> lk(sync_.mu);
+  TransactionDescriptor* td = FindLocked(t);
+  if (td == nullptr) {
+    auto it = tombstones_.find(t);
+    return it != tombstones_.end() && it->second == TxnStatus::kCommitted
+               ? 1
+               : 0;
+  }
+  TdPin pin(td);
   for (;;) {
-    TransactionDescriptor* td = FindLocked(t);
-    if (td == nullptr) {
-      auto it = tombstones_.find(t);
-      return it != tombstones_.end() && it->second == TxnStatus::kCommitted
-                 ? 1
-                 : 0;
-    }
-    switch (td->status) {
+    switch (td->status.load()) {
       case TxnStatus::kCompleted:
       case TxnStatus::kCommitting:
       case TxnStatus::kCommitted:
@@ -273,38 +411,46 @@ int TransactionManager::Wait(Tid t) {
         return 0;
       case TxnStatus::kInitiated:
       case TxnStatus::kRunning:
-        sync_.cv.wait(lk);
+        td->lifecycle_cv.wait(lk);
         break;
     }
   }
 }
 
-bool TransactionManager::Abort(Tid t) {
+bool TransactionManager::Abort(Tid t) { return AbortTxn(t).ok(); }
+
+Status TransactionManager::AbortTxn(Tid t) {
   std::unique_lock<std::mutex> lk(sync_.mu);
-  for (;;) {
-    TransactionDescriptor* td = FindLocked(t);
-    if (td == nullptr) {
-      auto it = tombstones_.find(t);
-      return !(it != tombstones_.end() &&
-               it->second == TxnStatus::kCommitted);
+  TransactionDescriptor* td = FindLocked(t);
+  if (td == nullptr) {
+    auto it = tombstones_.find(t);
+    if (it != tombstones_.end() && it->second == TxnStatus::kCommitted) {
+      return Status::IllegalState("abort: transaction " + std::to_string(t) +
+                                  " already committed");
     }
-    switch (td->status) {
+    return Status::OK();
+  }
+  TdPin pin(td);
+  for (;;) {
+    switch (td->status.load()) {
       case TxnStatus::kCommitted:
-        return false;
+        return Status::IllegalState("abort: transaction " +
+                                    std::to_string(t) +
+                                    " already committed");
       case TxnStatus::kAborted:
-        return true;
+        return Status::OK();
       case TxnStatus::kAborting:
         // Someone (possibly us, one iteration ago) is already aborting
         // it; wait for the physical abort to finish.
-        if (tls_current == td) return true;  // own thread finishes later
-        sync_.cv.wait(lk);
+        if (tls_current == td) return Status::OK();  // finishes at exit
+        td->lifecycle_cv.wait(lk);
         break;
       default:
-        StartAbortLocked(td);
+        StartAbortLocked(td, "explicit abort");
         if (tls_current == td) {
           // abort(self()): the physical abort runs when our function
           // returns; report success now.
-          return true;
+          return Status::OK();
         }
         break;
     }
@@ -350,7 +496,7 @@ TransactionManager::CommitEval TransactionManager::EvaluateCommitLocked(
   // Every member must have completed execution and not be aborting
   // (commit blocks until execution completes; GC commits as one).
   for (TransactionDescriptor* m : *group) {
-    switch (m->status) {
+    switch (m->status.load()) {
       case TxnStatus::kAborting:
       case TxnStatus::kAborted:
         return CommitEval::kAbort;
@@ -396,90 +542,163 @@ void TransactionManager::CommitGroupLocked(
   if (options_.force_log_at_commit) {
     log_->Flush();
   }
+  // Snapshot the dependents before the members' edges are removed; they
+  // are exactly the transactions whose commit evaluation or begin gate
+  // this commit can unblock.
+  std::vector<Tid> watchers;
+  for (TransactionDescriptor* m : group) {
+    for (const Dependency& d : deps_.DependenciesOn(m->tid)) {
+      watchers.push_back(d.dependent);
+    }
+  }
   for (TransactionDescriptor* m : group) {
     m->status = TxnStatus::kCommitted;
     m->responsible_ops.clear();
-    locks_.ReleaseAllLocked(m);            // step 6
+    locks_.ReleaseAll(m);                  // step 6 (wakes lock waiters)
     permit_table_.RemoveAllFor(m->tid);    // step 6
     deps_.RemoveAllFor(m->tid);            // step 5
     if (m->begun) active_count_--;
+    unterminated_count_--;
     stats_.txns_committed.fetch_add(1, std::memory_order_relaxed);
+    NotifyTxnLocked(m);       // Commit/Wait sleepers on this member
+    m->lock_wait.Notify();    // a straggling lock request fails fast
   }
   if (group.size() > 1) {
     stats_.group_commits.fetch_add(1, std::memory_order_relaxed);
   }
-  sync_.cv.notify_all();
+  for (Tid w : watchers) {
+    if (TransactionDescriptor* wtd = FindLocked(w)) NotifyTxnLocked(wtd);
+    // The commit evaluation of w's group may be sleeping on any member's
+    // cv (whoever called commit first), not necessarily w's own.
+    WakeGroupLocked(w);
+  }
+  sync_.cv.notify_all();  // active_count_ changed (WaitIdle)
 }
 
 // ---------------------------------------------------------------------------
 // Abort machinery
 
-void TransactionManager::StartAbortLocked(TransactionDescriptor* td) {
-  switch (td->status) {
+void TransactionManager::MarkAbortingLocked(TransactionDescriptor* td,
+                                            std::string reason) {
+  switch (td->status.load()) {
     case TxnStatus::kCommitted:
     case TxnStatus::kAborted:
     case TxnStatus::kAborting:
       return;
-    case TxnStatus::kRunning:
-      // Mark it; its in-flight operations fail fast and the physical
-      // abort runs when its thread exits.
-      td->status = TxnStatus::kAborting;
-      sync_.cv.notify_all();
-      return;
-    case TxnStatus::kInitiated:
-    case TxnStatus::kCompleted:
-    case TxnStatus::kCommitting:
-      td->status = TxnStatus::kAborting;
-      if (td->thread_exited) {
-        FinishAbortLocked(td);
-      }
-      return;
+    default:
+      break;
   }
+  td->status = TxnStatus::kAborting;
+  if (td->abort_reason.empty()) td->abort_reason = std::move(reason);
+  // Doom is observable at once: Wait/Commit sleepers on this
+  // transaction, a blocked lock request of its own, and its group peers'
+  // commit evaluations.
+  NotifyTxnLocked(td);
+  td->lock_wait.Notify();
+  WakeGroupLocked(td->tid);
 }
 
-void TransactionManager::FinishAbortLocked(TransactionDescriptor* td) {
-  assert(td->status == TxnStatus::kAborting);
-  assert(td->thread_exited);
-  // Step 2: install before images (with CLRs) in reverse order.
-  Status undo = undo_.UndoAllLocked(td, &locks_);
+void TransactionManager::StartAbortLocked(TransactionDescriptor* td,
+                                          std::string reason) {
+  switch (td->status.load()) {
+    case TxnStatus::kCommitted:
+    case TxnStatus::kAborted:
+    case TxnStatus::kAborting:
+      return;
+    default:
+      break;
+  }
+  MarkAbortingLocked(td, std::move(reason));
+  FinishAbortClosureLocked(td);
+}
+
+void TransactionManager::FinishAbortClosureLocked(
+    TransactionDescriptor* seed) {
+  // §4.2 abort step 4 (propagation), computed up front: the set of
+  // transactions doomed with `seed`, following AD/GC/BCD edges and BDs
+  // whose dependee never began. CDs on an aborted transaction dissolve
+  // (step 4b) — at finalization, below.
+  std::vector<TransactionDescriptor*> doomed{seed};
+  std::unordered_set<Tid> seen{seed->tid};
+  for (size_t i = 0; i < doomed.size(); ++i) {
+    TransactionDescriptor* m = doomed[i];
+    for (const Dependency& d : deps_.DependenciesOn(m->tid)) {
+      bool dooms = false;
+      switch (d.type) {
+        case DependencyType::kCommit:
+          break;  // dissolves
+        case DependencyType::kBeginOnBegin:
+          dooms = !m->begun;  // satisfied forever once m began
+          break;
+        case DependencyType::kBeginOnCommit:
+        case DependencyType::kAbort:
+        case DependencyType::kGroupCommit:
+          dooms = true;  // 4a and the begin-dependency analogue
+          break;
+      }
+      if (!dooms || !seen.insert(d.dependent).second) continue;
+      TransactionDescriptor* dep = FindLocked(d.dependent);
+      if (dep == nullptr || IsTerminated(dep->status)) continue;
+      MarkAbortingLocked(dep, "abort propagated from transaction " +
+                                  std::to_string(m->tid) + " (" +
+                                  DependencyTypeToString(d.type) +
+                                  " dependency)");
+      doomed.push_back(dep);
+    }
+  }
+  // If any doomed member's thread is still running, defer the physical
+  // abort of the WHOLE closure: cooperating members may hold interleaved
+  // writes on shared objects, and undoing one member while a later
+  // writer has not yet undone would install stale before images. The
+  // running member's thread exit re-enters this function and completes
+  // the closure (its data operations fail fast now that it is marked).
+  for (TransactionDescriptor* m : doomed) {
+    if (m->status == TxnStatus::kAborting && !m->thread_exited) return;
+  }
+  std::vector<TransactionDescriptor*> finalizable;
+  for (TransactionDescriptor* m : doomed) {
+    if (m->status == TxnStatus::kAborting) finalizable.push_back(m);
+  }
+  if (finalizable.empty()) return;
+  // Step 2: install before images (with CLRs), merged across the
+  // closure, in global reverse chronological order.
+  Status undo = undo_.UndoSetLocked(finalizable, &locks_);
   assert(undo.ok());
   (void)undo;
+  for (TransactionDescriptor* m : finalizable) FinalizeAbortLocked(m);
+  sync_.cv.notify_all();  // active_count_ changed (WaitIdle)
+}
+
+void TransactionManager::FinalizeAbortLocked(TransactionDescriptor* td) {
   LogRecord rec;
   rec.type = LogRecordType::kAbort;
   rec.tid = td->tid;
   log_->Append(std::move(rec));
-  // Step 3: release locks.
-  locks_.ReleaseAllLocked(td);
-  // Step 4: propagate along incoming dependencies.
+  // Step 3: release locks (wakes the waiters on those objects).
+  locks_.ReleaseAll(td);
+  // Snapshot the dependents before edges are removed: every one of them
+  // may be blocked on this transaction's fate.
+  std::vector<Tid> watchers;
   for (const Dependency& d : deps_.DependenciesOn(td->tid)) {
-    switch (d.type) {
-      case DependencyType::kCommit:
-        deps_.Remove(d);  // 4b: a CD on an aborted transaction dissolves
-        break;
-      case DependencyType::kBeginOnBegin:
-        if (td->begun) {
-          deps_.Remove(d);  // was satisfied the moment td began
-          break;
-        }
-        [[fallthrough]];  // never began: the dependent can never begin
-      case DependencyType::kBeginOnCommit:
-      case DependencyType::kAbort:
-      case DependencyType::kGroupCommit:
-        // 4a (and the begin-dependency analogue): the dependent aborts.
-        if (TransactionDescriptor* dep = FindLocked(d.dependent)) {
-          StartAbortLocked(dep);
-        }
-        break;
-    }
+    watchers.push_back(d.dependent);
   }
-  // Step 5: drop remaining edges; also permits either way.
+  // Step 5: drop edges (dooming was already decided by the closure walk;
+  // surviving CDs on this transaction dissolve here) and permits.
   deps_.RemoveAllFor(td->tid);
   permit_table_.RemoveAllFor(td->tid);
   // Step 6.
   td->status = TxnStatus::kAborted;
   if (td->begun) active_count_--;
+  unterminated_count_--;
   stats_.txns_aborted.fetch_add(1, std::memory_order_relaxed);
-  sync_.cv.notify_all();
+  NotifyTxnLocked(td);     // Abort/Commit/Wait sleepers on this txn
+  td->lock_wait.Notify();  // a blocked lock request of its own fails fast
+  for (Tid w : watchers) {
+    if (TransactionDescriptor* wtd = FindLocked(w)) NotifyTxnLocked(wtd);
+    // See CommitGroupLocked: the watcher's group evaluation may sleep on
+    // a peer's cv.
+    WakeGroupLocked(w);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -497,11 +716,13 @@ Status TransactionManager::Delegate(Tid ti, Tid tj, const ObjectSet& objs) {
   }
   // Delegation *to* an initiated transaction is explicitly supported
   // (§2.2's noteworthy design decision).
-  locks_.DelegateLocked(tdi, tdj, objs);
+  locks_.Delegate(tdi, tdj, objs);  // wakes waiters on the moved objects
   permit_table_.RedirectGrantor(ti, tj, objs);
   undo_.DelegateLocked(tdi, tdj, objs);
   stats_.delegations.fetch_add(1, std::memory_order_relaxed);
-  sync_.cv.notify_all();
+  // Redirected permits can admit waiters on objects whose locks did NOT
+  // move (tj already held them); let every blocked requester re-check.
+  WakeLockWaitersLocked();
   return Status::OK();
 }
 
@@ -528,7 +749,7 @@ Status TransactionManager::Permit(Tid ti, Tid tj, const ObjectSet& objs,
   if (objs.IsAll()) {
     // §4.2: expand over the objects the grantor accessed or has
     // permission to access.
-    concrete = locks_.LockedObjectsLocked(tdi).Union(
+    concrete = locks_.LockedObjects(tdi).Union(
         permit_table_.ObjectsPermittedTo(ti));
   }
   size_t before = permit_table_.size();
@@ -538,7 +759,7 @@ Status TransactionManager::Permit(Tid ti, Tid tj, const ObjectSet& objs,
   if (grew > 1) {
     stats_.permits_derived.fetch_add(grew - 1, std::memory_order_relaxed);
   }
-  sync_.cv.notify_all();  // a new permit can unblock lock waiters
+  WakeLockWaitersLocked();  // a new permit can unblock lock waiters
   return Status::OK();
 }
 
@@ -602,6 +823,36 @@ Status TransactionManager::FormDependency(DependencyType type, Tid ti,
 // ---------------------------------------------------------------------------
 // Data operations (§4.2)
 
+Status TransactionManager::PrepareDataOp(Tid t, const char* what,
+                                         bool distinguish_aborted,
+                                         TxnRef* out) {
+  TransactionDescriptor* td = tls_current;
+  if (td != nullptr && td->tid == t) {
+    // Fast path: the calling thread IS the transaction. Its TD cannot
+    // be reclaimed while its thread runs (thread_exited is false), so
+    // no pin and no kernel mutex are needed — one atomic status load.
+    TxnStatus s = td->status.load(std::memory_order_acquire);
+    if (s != TxnStatus::kRunning) {
+      return NotRunningError(what, s, distinguish_aborted);
+    }
+    out->td = td;
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  td = FindLocked(t);
+  if (td == nullptr) {
+    return Status::NotFound(std::string(what) + ": unknown transaction");
+  }
+  TxnStatus s = td->status.load(std::memory_order_acquire);
+  if (s != TxnStatus::kRunning) {
+    return NotRunningError(what, s, distinguish_aborted);
+  }
+  td->pins.fetch_add(1, std::memory_order_relaxed);
+  out->td = td;
+  out->pinned = true;
+  return Status::OK();
+}
+
 Status TransactionManager::AcquireOrDoom(TransactionDescriptor* td,
                                          ObjectId oid, LockMode mode) {
   Status s = locks_.Acquire(td, oid, mode);
@@ -610,33 +861,19 @@ Status TransactionManager::AcquireOrDoom(TransactionDescriptor* td,
     // transaction: mark it aborting so a later commit cannot publish a
     // partial result the caller never noticed.
     std::lock_guard<std::mutex> lk(sync_.mu);
-    StartAbortLocked(td);
+    StartAbortLocked(td, s.message());
   }
   return s;
 }
 
 Result<std::vector<uint8_t>> TransactionManager::Read(Tid t, ObjectId oid) {
-  TransactionDescriptor* td;
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    td = FindLocked(t);
-    if (td == nullptr) return Status::NotFound("read: unknown transaction");
-    if (td->status != TxnStatus::kRunning) {
-      if (td->status == TxnStatus::kAborting ||
-          td->status == TxnStatus::kAborted) {
-        return Status::TxnAborted("read: transaction is aborting");
-      }
-      return Status::IllegalState("read: transaction is not running");
-    }
-  }
-  ASSET_RETURN_NOT_OK(AcquireOrDoom(td, oid, LockMode::kRead));
-  ObjectDescriptor* od;
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    od = locks_.FindLocked(oid);
-  }
+  TxnRef ref;
+  ASSET_RETURN_NOT_OK(PrepareDataOp(t, "read", /*distinguish_aborted=*/true,
+                                    &ref));
+  ASSET_RETURN_NOT_OK(AcquireOrDoom(ref.td, oid, LockMode::kRead));
   // §4.2 read: S-latch, read, unlatch. Holding our lock keeps the OD
   // alive.
+  ObjectDescriptor* od = locks_.Find(oid);
   od->data_latch.LockShared();
   auto value = store_->Read(oid);
   od->data_latch.UnlockShared();
@@ -646,25 +883,11 @@ Result<std::vector<uint8_t>> TransactionManager::Read(Tid t, ObjectId oid) {
 
 Status TransactionManager::Write(Tid t, ObjectId oid,
                                  std::span<const uint8_t> data) {
-  TransactionDescriptor* td;
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    td = FindLocked(t);
-    if (td == nullptr) return Status::NotFound("write: unknown transaction");
-    if (td->status != TxnStatus::kRunning) {
-      if (td->status == TxnStatus::kAborting ||
-          td->status == TxnStatus::kAborted) {
-        return Status::TxnAborted("write: transaction is aborting");
-      }
-      return Status::IllegalState("write: transaction is not running");
-    }
-  }
-  ASSET_RETURN_NOT_OK(AcquireOrDoom(td, oid, LockMode::kWrite));
-  ObjectDescriptor* od;
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    od = locks_.FindLocked(oid);
-  }
+  TxnRef ref;
+  ASSET_RETURN_NOT_OK(PrepareDataOp(t, "write", /*distinguish_aborted=*/true,
+                                    &ref));
+  ASSET_RETURN_NOT_OK(AcquireOrDoom(ref.td, oid, LockMode::kWrite));
+  ObjectDescriptor* od = locks_.Find(oid);
   // §4.2 write: X-latch; log before image; write; log after image.
   od->data_latch.LockExclusive();
   auto before = store_->Read(oid);
@@ -684,7 +907,7 @@ Status TransactionManager::Write(Tid t, ObjectId oid,
   if (!applied.ok()) return applied;
   {
     std::lock_guard<std::mutex> lk(sync_.mu);
-    undo_.RecordLocked(td, lsn);
+    undo_.RecordLocked(ref.td, lsn);
   }
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
@@ -692,20 +915,12 @@ Status TransactionManager::Write(Tid t, ObjectId oid,
 
 Result<ObjectId> TransactionManager::CreateObject(
     Tid t, std::span<const uint8_t> data) {
-  TransactionDescriptor* td;
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    td = FindLocked(t);
-    if (td == nullptr) {
-      return Status::NotFound("create: unknown transaction");
-    }
-    if (td->status != TxnStatus::kRunning) {
-      return Status::IllegalState("create: transaction is not running");
-    }
-  }
+  TxnRef ref;
+  ASSET_RETURN_NOT_OK(PrepareDataOp(t, "create", /*distinguish_aborted=*/false,
+                                    &ref));
   auto oid = store_->Create(data);
   if (!oid.ok()) return oid.status();
-  Status locked = locks_.Acquire(td, *oid, LockMode::kWrite);
+  Status locked = locks_.Acquire(ref.td, *oid, LockMode::kWrite);
   if (!locked.ok()) {
     // Unreachable contention (the id is fresh), but the transaction may
     // have been marked aborting while we allocated.
@@ -720,30 +935,18 @@ Result<ObjectId> TransactionManager::CreateObject(
   Lsn lsn = log_->Append(std::move(rec));
   {
     std::lock_guard<std::mutex> lk(sync_.mu);
-    undo_.RecordLocked(td, lsn);
+    undo_.RecordLocked(ref.td, lsn);
   }
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return oid;
 }
 
 Status TransactionManager::DeleteObject(Tid t, ObjectId oid) {
-  TransactionDescriptor* td;
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    td = FindLocked(t);
-    if (td == nullptr) {
-      return Status::NotFound("delete: unknown transaction");
-    }
-    if (td->status != TxnStatus::kRunning) {
-      return Status::IllegalState("delete: transaction is not running");
-    }
-  }
-  ASSET_RETURN_NOT_OK(AcquireOrDoom(td, oid, LockMode::kWrite));
-  ObjectDescriptor* od;
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    od = locks_.FindLocked(oid);
-  }
+  TxnRef ref;
+  ASSET_RETURN_NOT_OK(PrepareDataOp(t, "delete", /*distinguish_aborted=*/false,
+                                    &ref));
+  ASSET_RETURN_NOT_OK(AcquireOrDoom(ref.td, oid, LockMode::kWrite));
+  ObjectDescriptor* od = locks_.Find(oid);
   od->data_latch.LockExclusive();
   auto before = store_->Read(oid);
   if (!before.ok()) {
@@ -761,41 +964,25 @@ Status TransactionManager::DeleteObject(Tid t, ObjectId oid) {
   if (!applied.ok()) return applied;
   {
     std::lock_guard<std::mutex> lk(sync_.mu);
-    undo_.RecordLocked(td, lsn);
+    undo_.RecordLocked(ref.td, lsn);
   }
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
-// Semantic operations (paper Â§5)
+// Semantic operations (paper §5)
 
 Result<ObjectId> TransactionManager::CreateCounter(Tid t, int64_t initial) {
   return CreateObject(t, ObjectStore::EncodeCounter(kNullLsn, initial));
 }
 
 Status TransactionManager::Increment(Tid t, ObjectId oid, int64_t delta) {
-  TransactionDescriptor* td;
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    td = FindLocked(t);
-    if (td == nullptr) {
-      return Status::NotFound("increment: unknown transaction");
-    }
-    if (td->status != TxnStatus::kRunning) {
-      if (td->status == TxnStatus::kAborting ||
-          td->status == TxnStatus::kAborted) {
-        return Status::TxnAborted("increment: transaction is aborting");
-      }
-      return Status::IllegalState("increment: transaction is not running");
-    }
-  }
-  ASSET_RETURN_NOT_OK(AcquireOrDoom(td, oid, LockMode::kIncrement));
-  ObjectDescriptor* od;
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    od = locks_.FindLocked(oid);
-  }
+  TxnRef ref;
+  ASSET_RETURN_NOT_OK(PrepareDataOp(t, "increment",
+                                    /*distinguish_aborted=*/true, &ref));
+  ASSET_RETURN_NOT_OK(AcquireOrDoom(ref.td, oid, LockMode::kIncrement));
+  ObjectDescriptor* od = locks_.Find(oid);
   od->data_latch.LockExclusive();
   // Validate counter shape before logging, so the log never carries an
   // increment that cannot replay.
@@ -815,7 +1002,7 @@ Status TransactionManager::Increment(Tid t, ObjectId oid, int64_t delta) {
   if (!applied.ok()) return applied.status();
   {
     std::lock_guard<std::mutex> lk(sync_.mu);
-    undo_.RecordLocked(td, lsn);
+    undo_.RecordLocked(ref.td, lsn);
   }
   stats_.increments.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();

@@ -10,13 +10,31 @@
 /// DeleteObject) implement the §4.2 read/write algorithms: lock, latch,
 /// log before+after images, apply in the shared cache.
 ///
+/// Error surface: the paper-faithful primitives return the paper's bare
+/// `bool`/`int` codes; each has a `Status`-returning sibling
+/// (BeginTxn / CommitTxn / AbortTxn) that preserves the *reason* — most
+/// importantly the abort reason (deadlock victim, timeout, dependency
+/// propagation, explicit abort) that the bare `false` discards. The bool
+/// forms are thin wrappers over the Status forms.
+///
 /// Execution model: each begun transaction runs its registered function
 /// on a dedicated worker thread drawn from a cached, unbounded pool
 /// (ThreadCache); Self()/Parent() consult a thread-local pointer to the
 /// executing TD, matching the paper's per-transaction process. Commit is
 /// blocking; a transaction completes (holding its locks, changes not yet
 /// persistent) when its function returns, and terminates only through
-/// Commit or Abort.
+/// Commit or Abort. BeginSession() additionally supports *caller-driven*
+/// transactions — no registered function, no worker thread; the caller
+/// issues data operations with the returned tid from any one thread and
+/// finishes with CommitTxn/AbortTxn. This is the substrate of the RAII
+/// `Txn` handle on Database.
+///
+/// Blocking and wakeups: every blocked primitive sleeps on the specific
+/// transaction it is waiting for (TD::lifecycle_cv for lifecycle waits,
+/// TD::lock_wait for lock waits) and is woken by exactly the state
+/// transitions that can unblock it — a terminating transaction wakes its
+/// dependents, group members, and lock waiters; a new permit wakes the
+/// transactions blocked on locks. See kernel.h for the lock ordering.
 ///
 /// Volatile data must not persist across transaction boundaries (§2):
 /// bind arguments by value and do not share mutable captures between
@@ -27,6 +45,7 @@
 #include <functional>
 #include <initializer_list>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/ids.h"
@@ -91,18 +110,34 @@ class TransactionManager {
   Tid InitiateFn(std::function<void()> fn);
 
   /// begin(t): starts execution. Returns true on success (t existed and
-  /// was initiated).
+  /// was initiated). Paper-faithful wrapper over BeginTxn.
   bool Begin(Tid t);
 
-  /// begin(t1, ..., tn): starts several transactions; true iff all
-  /// started.
+  /// Status-returning begin: OK once t is running; kNotFound for an
+  /// unknown tid, kIllegalState if t is not in the initiated state (or
+  /// the kernel is shutting down), kTxnAborted if a begin-dependency can
+  /// never be satisfied, kTimedOut if the begin-dependency gate did not
+  /// open within the commit timeout.
+  Status BeginTxn(Tid t);
+
+  /// begin(t1, ..., tn): starts several transactions, all-or-nothing
+  /// with respect to validation: if any tid is unknown or not in the
+  /// initiated state, NO transaction is started and false is returned.
+  /// (A begin-dependency failure after validation can still stop later
+  /// tids; earlier ones stay started, as independent Begin calls would.)
   bool Begin(std::initializer_list<Tid> ts);
 
   /// commit(t): blocking commit. Waits for t (and any group-commit
   /// peers) to complete execution and for t's dependencies to resolve.
   /// Returns true if t commits or had already committed; false if t is
-  /// aborted.
+  /// aborted. Paper-faithful wrapper over CommitTxn.
   bool Commit(Tid t);
+
+  /// Status-returning commit: OK on commit; kTxnAborted (with the abort
+  /// reason) if t aborted instead; kTimedOut if dependencies stayed
+  /// unresolved within the commit timeout (t is aborted then, so the
+  /// failure is truthful); kNotFound for a tid that never existed.
+  Status CommitTxn(Tid t);
 
   /// wait(t): returns 1 once t's code has completed (or t committed),
   /// 0 if t has aborted. From t's own thread it reports whether t is
@@ -110,7 +145,19 @@ class TransactionManager {
   int Wait(Tid t);
 
   /// abort(t): returns true unless t has already committed.
+  /// Paper-faithful wrapper over AbortTxn.
   bool Abort(Tid t);
+
+  /// Status-returning abort: OK once t is (or was already) aborted;
+  /// kIllegalState if t had already committed.
+  Status AbortTxn(Tid t);
+
+  /// Starts a caller-driven *session* transaction: begun immediately, no
+  /// worker thread; the caller issues data operations with the returned
+  /// tid and finishes with CommitTxn or AbortTxn. The RAII `Txn` handle
+  /// on Database is built on this. A session transaction must be driven
+  /// from one thread at a time.
+  Result<Tid> BeginSession();
 
   /// Tid of the transaction executing on this thread, or kNullTid.
   static Tid Self();
@@ -227,8 +274,27 @@ class TransactionManager {
  private:
   enum class CommitEval { kCommit, kAbort, kWait };
 
+  /// Pinned reference to a TD for the duration of one data operation;
+  /// unpins on destruction. The fast path (own transaction) needs no
+  /// pin: a TD cannot be reclaimed while its thread runs.
+  struct TxnRef {
+    TransactionDescriptor* td = nullptr;
+    bool pinned = false;
+    ~TxnRef() {
+      if (pinned) td->pins.fetch_sub(1, std::memory_order_release);
+    }
+  };
+
   TransactionDescriptor* FindLocked(Tid t) const;
   TxnStatus StatusOfLocked(Tid t) const;
+
+  /// Resolves `t` to a running TD for a data operation. Fast path: when
+  /// the calling thread IS the transaction, only an atomic status check
+  /// (no kernel mutex). Slow path: look up and pin under the mutex.
+  /// `distinguish_aborted` selects kTxnAborted (vs kIllegalState) for
+  /// aborting transactions, matching the per-op error contracts.
+  Status PrepareDataOp(Tid t, const char* what, bool distinguish_aborted,
+                       TxnRef* out);
 
   /// Evaluates the §4.2 commit algorithm for `td` under the kernel
   /// mutex; on kCommit fills `group` with the GC component to commit
@@ -237,16 +303,34 @@ class TransactionManager {
                                   std::vector<TransactionDescriptor*>* group);
 
   /// Commits `group` simultaneously (log records, release locks/permits,
-  /// drop dependencies).
+  /// drop dependencies) and wakes everything that observed the members:
+  /// their lifecycle waiters, their dependents, their lock waiters.
   void CommitGroupLocked(const std::vector<TransactionDescriptor*>& group);
 
-  /// Marks `td` aborting; if its thread has already exited, performs the
-  /// physical abort too.
-  void StartAbortLocked(TransactionDescriptor* td);
+  /// Marks `td` aborting (recording `reason` as its abort reason if none
+  /// is set yet) and wakes its observers: its lifecycle waiters, a lock
+  /// wait of its own, and its commit group. Marking only — no undo.
+  void MarkAbortingLocked(TransactionDescriptor* td, std::string reason);
 
-  /// §4.2 abort steps 2-6. `td` must be kAborting with no running
-  /// thread.
-  void FinishAbortLocked(TransactionDescriptor* td);
+  /// Marks `td` aborting and drives the physical abort of its doomed
+  /// closure as far as currently possible (see FinishAbortClosureLocked).
+  void StartAbortLocked(TransactionDescriptor* td, std::string reason);
+
+  /// §4.2 abort steps 2-6, over the whole doomed closure at once.
+  /// Collects every transaction transitively doomed by `seed`'s abort
+  /// (following AD/GC/BCD and unsatisfied-BD edges; CDs dissolve),
+  /// marks them aborting, and — once no member's thread is still
+  /// running — undoes all members' operations in one merged
+  /// reverse-chronological pass and finalizes each. While any doomed
+  /// member still runs, finalization is deferred: that member's thread
+  /// exit re-enters here and completes the closure. The deferral is what
+  /// keeps cross-transaction undo ordered when cooperating transactions
+  /// with interleaved writes abort together.
+  void FinishAbortClosureLocked(TransactionDescriptor* seed);
+
+  /// Post-undo bookkeeping for one closure member: abort log record,
+  /// lock/permit/dependency release, final status, notifications.
+  void FinalizeAbortLocked(TransactionDescriptor* td);
 
   /// Lock acquisition for a data op. A deadlock or timeout is fatal to
   /// the transaction under strict 2PL: the transaction is marked
@@ -257,8 +341,27 @@ class TransactionManager {
   /// Body run on each transaction's thread.
   void ThreadMain(TransactionDescriptor* td);
 
-  /// Reclaims TDs that are terminated with exited threads.
+  /// Reclaims TDs that are terminated with exited threads and no pins.
   void CollectLocked();
+
+  // --- Targeted wakeups (all under the kernel mutex) -------------------
+
+  /// Wakes the lifecycle waiters of `td` (Begin gates, Commit, Wait,
+  /// Abort sleepers targeting this transaction).
+  void NotifyTxnLocked(TransactionDescriptor* td);
+  /// Wakes the transactions *dependent on* `t` — their begin gates and
+  /// commit evaluations may have just been unblocked.
+  void WakeDependentsLocked(Tid t);
+  /// Wakes the lifecycle waiters of `t`'s group-commit component
+  /// (excluding `t` itself): a member's status change re-triggers the
+  /// peers' commit evaluation.
+  void WakeGroupLocked(Tid t);
+  /// Wakes every transaction currently blocked on a lock: a new or
+  /// redirected permit can admit any of them.
+  void WakeLockWaitersLocked();
+
+  /// `td`'s abort reason, or a generic fallback.
+  static std::string AbortReasonLocked(const TransactionDescriptor* td);
 
   Options options_;
   LogManager* log_;
@@ -277,8 +380,9 @@ class TransactionManager {
   /// Terminal statuses of reclaimed TDs.
   std::unordered_map<Tid, TxnStatus> tombstones_;
   Tid next_tid_ = 1;
-  size_t active_count_ = 0;   // begun, not yet terminated
-  size_t live_threads_ = 0;   // threads between Begin and thread_exited
+  size_t active_count_ = 0;        // begun, not yet terminated
+  size_t live_threads_ = 0;        // threads between Begin and thread_exited
+  size_t unterminated_count_ = 0;  // initiated or active (admission control)
   bool shutting_down_ = false;
 };
 

@@ -48,59 +48,75 @@ size_t UndoManager::DelegateLocked(TransactionDescriptor* ti,
   return moved.size();
 }
 
-Status UndoManager::UndoAllLocked(TransactionDescriptor* td,
-                                  LockManager* locks) {
-  // Reverse chronological order (§4.2 abort step 2).
-  std::vector<Lsn> ops = td->responsible_ops;
-  std::sort(ops.begin(), ops.end());
-  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
-    LogRecord rec = log_->At(*it);
-    ObjectDescriptor* od = locks->FindLocked(rec.oid);
+Status UndoManager::UndoOneLocked(TransactionDescriptor* td,
+                                  const LogRecord& rec, LockManager* locks) {
+  ObjectDescriptor* od = locks->Find(rec.oid);
 
-    LogRecord clr;
-    clr.tid = td->tid;
-    clr.oid = rec.oid;
-    clr.undo_of = rec.lsn;
+  LogRecord clr;
+  clr.tid = td->tid;
+  clr.oid = rec.oid;
+  clr.undo_of = rec.lsn;
 
-    Status s;
-    if (od != nullptr) od->data_latch.LockExclusive();
-    switch (rec.type) {
-      case LogRecordType::kCreate:
-        s = store_->ApplyDelete(rec.oid);
-        clr.type = LogRecordType::kClrDelete;
-        log_->Append(std::move(clr));
-        break;
-      case LogRecordType::kUpdate:
-      case LogRecordType::kDelete:
-        s = store_->ApplyPut(rec.oid, rec.before);
-        clr.type = LogRecordType::kClrPut;
-        clr.after = rec.before;
-        log_->Append(std::move(clr));
-        break;
-      case LogRecordType::kIncrement: {
-        // Logical undo: apply the negated delta under the compensation
-        // record's own lsn so replay stays idempotent.
-        auto delta = DecodeI64(rec.after);
-        if (!delta.ok()) {
-          s = delta.status();
-          break;
-        }
-        clr.type = LogRecordType::kIncrement;
-        clr.after = EncodeI64(-*delta);
-        Lsn clr_lsn = log_->Append(std::move(clr));
-        auto applied = store_->ApplyDelta(rec.oid, clr_lsn, -*delta);
-        s = applied.ok() ? Status::OK() : applied.status();
+  Status s;
+  if (od != nullptr) od->data_latch.LockExclusive();
+  switch (rec.type) {
+    case LogRecordType::kCreate:
+      s = store_->ApplyDelete(rec.oid);
+      clr.type = LogRecordType::kClrDelete;
+      log_->Append(std::move(clr));
+      break;
+    case LogRecordType::kUpdate:
+    case LogRecordType::kDelete:
+      s = store_->ApplyPut(rec.oid, rec.before);
+      clr.type = LogRecordType::kClrPut;
+      clr.after = rec.before;
+      log_->Append(std::move(clr));
+      break;
+    case LogRecordType::kIncrement: {
+      // Logical undo: apply the negated delta under the compensation
+      // record's own lsn so replay stays idempotent.
+      auto delta = DecodeI64(rec.after);
+      if (!delta.ok()) {
+        s = delta.status();
         break;
       }
-      default:
-        s = Status::Internal("responsible_ops names a non-data record");
-        break;
+      clr.type = LogRecordType::kIncrement;
+      clr.after = EncodeI64(-*delta);
+      Lsn clr_lsn = log_->Append(std::move(clr));
+      auto applied = store_->ApplyDelta(rec.oid, clr_lsn, -*delta);
+      s = applied.ok() ? Status::OK() : applied.status();
+      break;
     }
-    if (od != nullptr) od->data_latch.UnlockExclusive();
-    if (!s.ok()) return s;
-    stats_->undo_installs.fetch_add(1, std::memory_order_relaxed);
+    default:
+      s = Status::Internal("responsible_ops names a non-data record");
+      break;
   }
-  td->responsible_ops.clear();
+  if (od != nullptr) od->data_latch.UnlockExclusive();
+  if (s.ok()) stats_->undo_installs.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Status UndoManager::UndoAllLocked(TransactionDescriptor* td,
+                                  LockManager* locks) {
+  return UndoSetLocked({td}, locks);
+}
+
+Status UndoManager::UndoSetLocked(
+    const std::vector<TransactionDescriptor*>& tds, LockManager* locks) {
+  // Merge every member's operations and install the before images in
+  // global reverse chronological order (§4.2 abort step 2, extended to
+  // the set aborting together).
+  std::vector<std::pair<Lsn, TransactionDescriptor*>> ops;
+  for (TransactionDescriptor* td : tds) {
+    for (Lsn lsn : td->responsible_ops) ops.emplace_back(lsn, td);
+  }
+  std::sort(ops.begin(), ops.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    Status s = UndoOneLocked(it->second, log_->At(it->first), locks);
+    if (!s.ok()) return s;
+  }
+  for (TransactionDescriptor* td : tds) td->responsible_ops.clear();
   return Status::OK();
 }
 

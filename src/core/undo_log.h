@@ -49,7 +49,20 @@ class UndoManager {
   /// the paper's documented §4.2 implication). Clears the list.
   Status UndoAllLocked(TransactionDescriptor* td, LockManager* locks);
 
+  /// Undoes several transactions in one pass: all their responsible
+  /// operations merged and installed in global reverse-chronological
+  /// (lsn) order. Cooperating transactions that abort together may have
+  /// interleaved writes on shared objects; undoing them one transaction
+  /// at a time would install stale before images (a peer's later image
+  /// could resurrect aborted data). Clears every member's list.
+  Status UndoSetLocked(const std::vector<TransactionDescriptor*>& tds,
+                       LockManager* locks);
+
  private:
+  /// Installs the before image of one record on behalf of `td`.
+  Status UndoOneLocked(TransactionDescriptor* td, const LogRecord& rec,
+                       LockManager* locks);
+
   LogManager* log_;
   ObjectStore* store_;
   KernelStats* stats_;

@@ -1,0 +1,175 @@
+// Sharded-kernel behavior: disjoint writers never contend, a lock
+// release wakes only transactions waiting on the released objects (not
+// every sleeper in the kernel), and a permit insertion re-drives a
+// blocked acquire promptly.
+//
+// All contention assertions go through KernelStats counters, never
+// wall-clock timing — the counters are exact regardless of scheduling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "kernel_fixture.h"
+
+namespace asset {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ShardingTest : public KernelFixture {
+ protected:
+  /// Begins a transaction that runs `fn` and returns its tid.
+  Tid Spawn(std::function<void()> fn) {
+    Tid t = tm_->InitiateFn(std::move(fn));
+    EXPECT_TRUE(tm_->Begin(t));
+    return t;
+  }
+
+  KernelStats::Snapshot Snap() { return tm_->stats().snapshot(); }
+
+  /// Polls `pred` until it holds or `deadline` elapses.
+  static bool Eventually(const std::function<bool()>& pred,
+                         std::chrono::milliseconds deadline = 5000ms) {
+    auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(1ms);
+    }
+    return pred();
+  }
+};
+
+TEST_F(ShardingTest, LockTableIsPartitioned) {
+  EXPECT_GT(tm_->lock_manager().shard_count(), 1u);
+  // Power of two, so ShardFor can mask instead of mod.
+  size_t n = tm_->lock_manager().shard_count();
+  EXPECT_EQ(n & (n - 1), 0u);
+}
+
+// Eight transactions, each writing its own object, all holding their
+// write locks simultaneously (the rendezvous proves they overlapped).
+// Disjoint objects must produce zero lock waits and zero wakeups: under
+// the old single-mutex kernel every release broadcast to everyone; the
+// sharded kernel must not even register a wait.
+TEST_F(ShardingTest, DisjointWritersNeverWaitOrWake) {
+  constexpr int kWriters = 8;
+  std::vector<ObjectId> oids;
+  for (int i = 0; i < kWriters; ++i) {
+    oids.push_back(MakeObject("init"));
+  }
+
+  auto before = Snap();
+  std::atomic<int> holding{0};
+  std::vector<Tid> ts;
+  for (int i = 0; i < kWriters; ++i) {
+    ts.push_back(Spawn([&, i] {
+      Tid self = TransactionManager::Self();
+      ASSERT_TRUE(tm_->Write(self, oids[i], TestBytes("w")).ok());
+      holding.fetch_add(1);
+      // Hold the lock until every writer holds its own: all eight are
+      // concurrently inside the kernel, locks granted, none waiting.
+      while (holding.load() < kWriters) std::this_thread::sleep_for(1ms);
+    }));
+  }
+  for (Tid t : ts) EXPECT_TRUE(tm_->Commit(t));
+
+  auto after = Snap();
+  EXPECT_EQ(after.lock_waits, before.lock_waits);
+  EXPECT_EQ(after.lock_wakeups, before.lock_wakeups);
+  EXPECT_EQ(after.lock_wait_retries, before.lock_wait_retries);
+  EXPECT_EQ(after.txns_committed, before.txns_committed + kWriters);
+}
+
+// A waiter blocked on object A must sleep through a commit that
+// releases only object B: no wakeup, no grant rescan. Committing the
+// holder of A then wakes it (and only then).
+TEST_F(ShardingTest, ReleaseOnOtherObjectDoesNotWakeWaiter) {
+  ObjectId a = MakeObject("a"), b = MakeObject("b");
+  std::atomic<bool> release1{false}, release2{false};
+  std::atomic<bool> h1_locked{false}, h2_locked{false};
+  Tid h1 = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), a, TestBytes("h1")).ok());
+    h1_locked = true;
+    while (!release1) std::this_thread::sleep_for(1ms);
+  });
+  Tid h2 = Spawn([&] {
+    ASSERT_TRUE(
+        tm_->Write(TransactionManager::Self(), b, TestBytes("h2")).ok());
+    h2_locked = true;
+    while (!release2) std::this_thread::sleep_for(1ms);
+  });
+  ASSERT_TRUE(Eventually([&] { return h1_locked && h2_locked; }));
+
+  auto before = Snap();
+  std::atomic<bool> waiter_done{false};
+  Tid w = Spawn([&] {
+    ASSERT_TRUE(tm_->Write(TransactionManager::Self(), a, TestBytes("w")).ok());
+    waiter_done = true;
+  });
+  ASSERT_TRUE(Eventually([&] { return Snap().lock_waits > before.lock_waits; }));
+
+  // Releasing B is invisible to a waiter on A.
+  release2 = true;
+  EXPECT_TRUE(tm_->Commit(h2));
+  std::this_thread::sleep_for(100ms);
+  auto mid = Snap();
+  EXPECT_FALSE(waiter_done.load());
+  EXPECT_EQ(mid.lock_wakeups, before.lock_wakeups);
+  EXPECT_EQ(mid.lock_wait_retries, before.lock_wait_retries);
+
+  // Releasing A wakes the waiter, which rescans and is granted.
+  release1 = true;
+  EXPECT_TRUE(tm_->Commit(h1));
+  ASSERT_TRUE(Eventually([&] { return waiter_done.load(); }));
+  EXPECT_TRUE(tm_->Commit(w));
+  auto after = Snap();
+  EXPECT_GE(after.lock_wakeups, mid.lock_wakeups + 1);
+  EXPECT_GE(after.lock_wait_retries, mid.lock_wait_retries + 1);
+  EXPECT_EQ(ReadCommitted(a), "w");
+}
+
+// permit(ti, tj) inserted while tj is already blocked on ti's lock must
+// re-drive the blocked acquire: tj is woken, the grant check now passes
+// via the permit, and ti's lock is suspended (§4.2 step 1a).
+TEST_F(ShardingTest, PermitInsertionWakesBlockedWaiter) {
+  ObjectId a = MakeObject("a");
+  std::atomic<bool> release{false}, h_locked{false};
+  Tid h = Spawn([&] {
+    ASSERT_TRUE(tm_->Write(TransactionManager::Self(), a, TestBytes("h")).ok());
+    h_locked = true;
+    while (!release) std::this_thread::sleep_for(1ms);
+  });
+  ASSERT_TRUE(Eventually([&] { return h_locked.load(); }));
+
+  auto before = Snap();
+  std::atomic<bool> waiter_wrote{false};
+  Tid w = Spawn([&] {
+    ASSERT_TRUE(tm_->Write(TransactionManager::Self(), a, TestBytes("w")).ok());
+    waiter_wrote = true;
+  });
+  ASSERT_TRUE(Eventually([&] { return Snap().lock_waits > before.lock_waits; }));
+  EXPECT_FALSE(waiter_wrote.load());
+
+  ASSERT_TRUE(tm_->Permit(h, w).ok());
+  ASSERT_TRUE(Eventually([&] { return waiter_wrote.load(); }));
+  auto after = Snap();
+  // Permit-driven wakeups are broadcast to lock waiters (counted under
+  // permit_broadcasts); the woken waiter rescans and is granted via the
+  // permit, suspending the holder's lock.
+  EXPECT_GE(after.permit_broadcasts, before.permit_broadcasts + 1);
+  EXPECT_GE(after.lock_wait_retries, before.lock_wait_retries + 1);
+  EXPECT_GE(after.lock_suspensions, before.lock_suspensions + 1);
+
+  EXPECT_TRUE(tm_->Commit(w));
+  release = true;
+  EXPECT_TRUE(tm_->Commit(h));
+}
+
+}  // namespace
+}  // namespace asset

@@ -1,0 +1,163 @@
+// The redesigned transaction API surface: the RAII Txn handle on
+// Database (commit / abort / destructor-abort / move semantics) and the
+// Status-returning BeginTxn / CommitTxn / AbortTxn overloads, including
+// the all-or-nothing group Begin.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "core/database.h"
+
+namespace asset {
+namespace {
+
+class TxnApiTest : public ::testing::Test {
+ protected:
+  TxnApiTest() : db_(Database::Open().value()) {}
+
+  /// Creates and commits an int64 object, returning its id.
+  ObjectId MakeInt(int64_t value) {
+    Txn t = db_->Begin().value();
+    ObjectId oid = t.Create<int64_t>(value).value();
+    EXPECT_TRUE(t.Commit().ok());
+    return oid;
+  }
+
+  int64_t Committed(ObjectId oid) {
+    Txn t = db_->Begin().value();
+    int64_t v = t.Get<int64_t>(oid).value();
+    EXPECT_TRUE(t.Commit().ok());
+    return v;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(TxnApiTest, CommitPublishesChanges) {
+  Txn t = db_->Begin().value();
+  EXPECT_TRUE(t.active());
+  EXPECT_NE(t.id(), kNullTid);
+  ObjectId oid = t.Create<int64_t>(7).value();
+  EXPECT_EQ(t.Get<int64_t>(oid).value(), 7);
+  EXPECT_TRUE(t.Commit().ok());
+  EXPECT_FALSE(t.active());
+  EXPECT_EQ(t.id(), kNullTid);
+  EXPECT_EQ(Committed(oid), 7);
+}
+
+TEST_F(TxnApiTest, AbortRollsBack) {
+  ObjectId oid = MakeInt(1);
+  Txn t = db_->Begin().value();
+  EXPECT_TRUE(t.Put<int64_t>(oid, 2).ok());
+  EXPECT_TRUE(t.Abort().ok());
+  EXPECT_FALSE(t.active());
+  EXPECT_EQ(Committed(oid), 1);
+}
+
+TEST_F(TxnApiTest, DestructorAbortsAnActiveHandle) {
+  ObjectId oid = MakeInt(1);
+  {
+    Txn t = db_->Begin().value();
+    EXPECT_TRUE(t.Put<int64_t>(oid, 3).ok());
+    // No Commit: leaving the scope must abort, not leak a lock-holding
+    // transaction or publish the write.
+  }
+  EXPECT_EQ(Committed(oid), 1);
+}
+
+TEST_F(TxnApiTest, CountersWorkThroughTheHandle) {
+  Txn t = db_->Begin().value();
+  ObjectId c = t.CreateCounter(10).value();
+  EXPECT_TRUE(t.Add(c, 5).ok());
+  EXPECT_EQ(t.GetCounter(c).value(), 15);
+  EXPECT_TRUE(t.Commit().ok());
+}
+
+TEST_F(TxnApiTest, MoveTransfersOwnership) {
+  ObjectId oid = MakeInt(1);
+  Txn a = db_->Begin().value();
+  EXPECT_TRUE(a.Put<int64_t>(oid, 5).ok());
+  Tid id = a.id();
+
+  Txn b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_EQ(a.id(), kNullTid);
+  EXPECT_TRUE(b.active());
+  EXPECT_EQ(b.id(), id);
+  // The moved-from handle is inert: no operation reaches the kernel.
+  EXPECT_TRUE(a.Put<int64_t>(oid, 9).IsIllegalState());
+  EXPECT_TRUE(a.Commit().IsIllegalState());
+
+  EXPECT_TRUE(b.Commit().ok());
+  EXPECT_EQ(Committed(oid), 5);
+}
+
+TEST_F(TxnApiTest, MoveAssignmentAbortsTheOverwrittenTransaction) {
+  ObjectId oid = MakeInt(1);
+  Txn doomed = db_->Begin().value();
+  EXPECT_TRUE(doomed.Put<int64_t>(oid, 8).ok());
+
+  Txn replacement = db_->Begin().value();
+  doomed = std::move(replacement);  // aborts the write of 8
+  EXPECT_TRUE(doomed.active());
+  EXPECT_FALSE(replacement.active());
+  EXPECT_TRUE(doomed.Commit().ok());
+  EXPECT_EQ(Committed(oid), 1);
+}
+
+TEST_F(TxnApiTest, InactiveHandleRejectsEverything) {
+  Txn t = db_->Begin().value();
+  EXPECT_TRUE(t.Commit().ok());
+  EXPECT_TRUE(t.Commit().IsIllegalState());
+  EXPECT_TRUE(t.Abort().IsIllegalState());
+  EXPECT_TRUE(t.Read(1).status().IsIllegalState());
+  EXPECT_TRUE(t.Get<int64_t>(1).status().IsIllegalState());
+  EXPECT_TRUE(t.Add(1, 1).IsIllegalState());
+
+  Txn never;  // default-constructed: same contract
+  EXPECT_FALSE(never.active());
+  EXPECT_TRUE(never.Commit().IsIllegalState());
+}
+
+// --- Status-returning kernel overloads ---------------------------------
+
+TEST_F(TxnApiTest, BeginTxnReportsUnknownTid) {
+  Status s = db_->txn().BeginTxn(987654);
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST_F(TxnApiTest, CommitTxnCarriesTheAbortReason) {
+  TransactionManager& tm = db_->txn();
+  Tid t = tm.Initiate([] {});
+  ASSERT_TRUE(tm.Begin(t));
+  ASSERT_TRUE(tm.Abort(t));
+  Status s = tm.CommitTxn(t);
+  EXPECT_TRUE(s.IsTxnAborted());
+  EXPECT_NE(s.message().find("abort"), std::string::npos) << s.message();
+
+  EXPECT_TRUE(tm.CommitTxn(987654).IsNotFound());
+}
+
+TEST_F(TxnApiTest, AbortTxnAfterCommitIsIllegal) {
+  TransactionManager& tm = db_->txn();
+  Tid t = tm.Initiate([] {});
+  ASSERT_TRUE(tm.Begin(t));
+  ASSERT_TRUE(tm.Commit(t));
+  EXPECT_TRUE(tm.AbortTxn(t).IsIllegalState());
+}
+
+TEST_F(TxnApiTest, GroupBeginIsAllOrNothing) {
+  TransactionManager& tm = db_->txn();
+  Tid valid = tm.Initiate([] {});
+  // One bogus tid poisons the whole call: nothing starts.
+  EXPECT_FALSE(tm.Begin({valid, Tid{987654}}));
+  EXPECT_EQ(tm.GetStatus(valid), TxnStatus::kInitiated);
+  // The survivor is untouched and begins normally afterwards.
+  EXPECT_TRUE(tm.Begin(valid));
+  EXPECT_TRUE(tm.Commit(valid));
+}
+
+}  // namespace
+}  // namespace asset
