@@ -242,6 +242,18 @@ struct TransactionDescriptor {
   /// TD alive.
   std::atomic<uint32_t> pins{0};
 
+  /// Number of data operations currently in flight on this transaction
+  /// from threads other than its own (PrepareDataOp's slow path; the
+  /// caller-driven session transactions always count here). Incremented
+  /// under the global kernel mutex; decremented (seq_cst, pairing with
+  /// the closure walk's status-store / op_pins-load) when the operation
+  /// finishes. While non-zero, FinishAbortClosureLocked defers the
+  /// physical abort of any closure containing this transaction — locks
+  /// must not be released and undo must not run under an operation that
+  /// is still latching objects and registering undo records. The last
+  /// unpin of an aborting transaction re-enters the closure finalization.
+  std::atomic<uint32_t> op_pins{0};
+
   /// Why the transaction was (or is being) aborted; set by the first
   /// StartAbort cause, surfaced by the Status-returning API. Guarded by
   /// the global kernel mutex.

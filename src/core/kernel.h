@@ -39,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/ids.h"
 #include "core/descriptors.h"
@@ -53,6 +54,14 @@ namespace asset {
 struct KernelSync {
   std::mutex mu;
   std::condition_variable cv;
+  /// Transactions currently blocked inside LockManager::Acquire, i.e.
+  /// the only transactions a new permit or delegation can admit. Guarded
+  /// by `mu`; inserted where the waits-for edges are published, erased on
+  /// every Acquire exit path. Permit/delegation wakeups notify exactly
+  /// these channels instead of scanning the TD table. A blocked requester
+  /// re-checks the lock once after registering here and before its first
+  /// sleep, so a permit inserted before the registration cannot be lost.
+  std::unordered_set<TransactionDescriptor*> lock_blocked;
 };
 
 /// The chained-hash transaction table of §4.1 (TDs keyed by tid).

@@ -85,7 +85,8 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
       std::chrono::steady_clock::now() + options_.lock_timeout;
   Shard& shard = ShardFor(oid);
   bool waited = false;
-  bool registered = false;
+  bool registered = false;  // on the OD's waiter list (shard-latched)
+  bool published = false;   // waits-for edges + sync_->lock_blocked entry
 
   // Removes our waiter registration (if any) and reclaims an OD we may
   // have left empty. Called on every exit path.
@@ -99,24 +100,39 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
     }
     registered = false;
   };
-  // A blocked iteration published waits-for edges; clear them on exit.
-  auto clear_waiting = [&] {
-    if (!waited) return;
+  // A blocked iteration published waits-for edges and registered in the
+  // blocked set; clear both on exit.
+  auto unpublish = [&] {
+    if (!published) return;
     std::lock_guard<std::mutex> gl(sync_->mu);
     td->waiting_for.clear();
+    sync_->lock_blocked.erase(td);
+    published = false;
   };
 
   for (;;) {  // the paper's "retries later starting at step 1"
     TxnStatus ts = td->status.load(std::memory_order_acquire);
     if (ts == TxnStatus::kAborting || ts == TxnStatus::kAborted) {
       deregister();
-      clear_waiting();
+      unpublish();
       return Status::TxnAborted("transaction " + std::to_string(td->tid) +
                                 " is aborting");
     }
 
+    // Snapshot our channel's generation BEFORE inspecting the lock
+    // state. Lock releases are guarded by the shard latch, but permits
+    // and delegations are not: they mutate state under the global mutex
+    // only. Snapshotting first makes the order snapshot -> check ->
+    // sleep, so any notification issued after the snapshot (and thus
+    // possibly for a change our check missed) bumps the sequence and the
+    // sleep returns immediately. Only an iteration that can sleep needs
+    // the snapshot: the first blocked iteration re-checks instead of
+    // sleeping (below), so `published` is always true by the time a
+    // sleep can happen — and uncontended acquires skip the channel
+    // entirely.
+    const uint64_t seq = published ? td->lock_wait.sequence() : 0;
+
     std::vector<Tid> blockers;
-    uint64_t seq = 0;
     bool granted = false;
     bool frozen = false;
     {
@@ -204,39 +220,41 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
             MaybeReclaim(shard, oid);
           }
         } else {
-          // Register interest and snapshot our channel's generation
-          // while still holding the shard latch, so a release between
-          // here and the sleep cannot be missed.
+          // Register interest while still holding the shard latch, so a
+          // release between here and the sleep notifies us.
           if (!registered) {
             od->waiter_tds.push_back(td);
             registered = true;
           }
-          seq = td->lock_wait.sequence();
         }
       }
     }
 
     if (granted) {
-      clear_waiting();
+      unpublish();
       stats_->locks_granted.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
     if (frozen) {
-      clear_waiting();
+      unpublish();
       return Status::TxnAborted("transaction " + std::to_string(td->tid) +
                                 " terminated during lock acquisition");
     }
 
-    // Block. Publish the waits-for edges (under the global mutex, shard
-    // latch released) so the deadlock check and other requesters can see
-    // them.
+    // Block. Publish the waits-for edges and register in the blocked set
+    // (under the global mutex, shard latch released) so the deadlock
+    // check, other requesters, and permit/delegation wakeups can see us.
+    const bool first_publish = !published;
     {
       std::lock_guard<std::mutex> gl(sync_->mu);
       td->waiting_for = blockers;
+      sync_->lock_blocked.insert(td);
+      published = true;
       if (options_.detect_deadlocks &&
           DeadlockDetector::WouldDeadlock(td, *txns_)) {
         td->waiting_for.clear();
-        waited = false;  // already cleared
+        sync_->lock_blocked.erase(td);
+        published = false;
         stats_->deadlocks.fetch_add(1, std::memory_order_relaxed);
         // fallthrough to deregister outside the global mutex
         blockers.clear();
@@ -252,9 +270,17 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
       stats_->lock_waits.fetch_add(1, std::memory_order_relaxed);
       waited = true;
     }
+    if (first_publish) {
+      // A permit inserted (and its wakeup issued) between our lock-state
+      // check and the registration above would not have notified us:
+      // the wakeup scans only the blocked set. Re-run the check once
+      // before the first sleep; from now on we are registered before
+      // every snapshot, so nothing can slip through.
+      continue;
+    }
     if (!td->lock_wait.WaitChanged(seq, deadline, bounded)) {
       deregister();
-      clear_waiting();
+      unpublish();
       stats_->lock_timeouts.fetch_add(1, std::memory_order_relaxed);
       return Status::TimedOut("lock on object " + std::to_string(oid) +
                               " timed out for transaction " +

@@ -28,8 +28,16 @@
 /// Blocking is targeted: a blocked requester registers itself on the
 /// OD's waiter list and sleeps on its own TD's WaitChannel; whoever
 /// changes that object's lock state (release, delegation, suspension)
-/// notifies exactly the registered waiters. A deadlock check (our
-/// documented extension) and a configurable timeout bound the wait.
+/// notifies exactly the registered waiters. Permit insertions and
+/// delegations — which can admit a blocked requester without touching
+/// the object's shard — notify the requesters registered in
+/// KernelSync::lock_blocked. Because those mutations are not guarded by
+/// the shard latch, Acquire snapshots its wait channel BEFORE inspecting
+/// the lock state and re-checks once after its first registration in the
+/// blocked set, so a permit inserted at any point either is seen by a
+/// check or bumps the channel past the snapshot the sleep uses. A
+/// deadlock check (our documented extension) and a configurable timeout
+/// bound the wait.
 
 #include <chrono>
 #include <cstdint>

@@ -1,5 +1,6 @@
 #include "core/transaction_manager.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <thread>
@@ -118,8 +119,11 @@ void TransactionManager::WakeGroupLocked(Tid t) {
 
 void TransactionManager::WakeLockWaitersLocked() {
   stats_.permit_broadcasts.fetch_add(1, std::memory_order_relaxed);
-  for (auto& [tid, td] : txns_) {
-    if (!td->waiting_for.empty()) td->lock_wait.Notify();
+  // Exactly the requesters currently blocked in LockManager::Acquire
+  // (they register in lock_blocked before their first sleep), so this
+  // stays O(blocked) instead of scanning the TD table.
+  for (TransactionDescriptor* td : sync_.lock_blocked) {
+    td->lock_wait.Notify();
   }
 }
 
@@ -144,6 +148,51 @@ Tid TransactionManager::InitiateFn(std::function<void()> fn) {
 }
 
 bool TransactionManager::Begin(Tid t) { return BeginTxn(t).ok(); }
+
+Status TransactionManager::EvalBeginGateLocked(Tid t, bool* blocked) const {
+  *blocked = false;
+  for (const Dependency& d : deps_.DependenciesOf(t)) {
+    if (d.type == DependencyType::kBeginOnBegin) {
+      const TransactionDescriptor* dep = FindLocked(d.dependee);
+      TxnStatus ds = StatusOfLocked(d.dependee);
+      bool dep_begun =
+          dep != nullptr ? dep->begun : ds == TxnStatus::kCommitted;
+      if (dep_begun) continue;
+      if (ds == TxnStatus::kAborted) {
+        return Status::TxnAborted(
+            "begin: begin-dependency on transaction " +
+            std::to_string(d.dependee) + ", which aborted before "
+            "beginning");
+      }
+      *blocked = true;
+    } else if (d.type == DependencyType::kBeginOnCommit) {
+      TxnStatus ds = StatusOfLocked(d.dependee);
+      if (ds == TxnStatus::kCommitted) continue;
+      if (ds == TxnStatus::kAborted) {
+        return Status::TxnAborted(
+            "begin: begin-on-commit dependency on transaction " +
+            std::to_string(d.dependee) + ", which aborted");
+      }
+      *blocked = true;
+    }
+  }
+  return Status::OK();
+}
+
+void TransactionManager::StartRunningLocked(TransactionDescriptor* td) {
+  td->status = TxnStatus::kRunning;
+  td->begun = true;
+  td->thread_exited = false;
+  active_count_++;
+  live_threads_++;
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  rec.tid = td->tid;
+  log_->Append(std::move(rec));
+  stats_.txns_begun.fetch_add(1, std::memory_order_relaxed);
+  // A begin-dependency of someone else may just have been satisfied.
+  WakeDependentsLocked(td->tid);
+}
 
 Status TransactionManager::BeginTxn(Tid t) {
   TransactionDescriptor* td;
@@ -170,31 +219,7 @@ Status TransactionManager::BeginTxn(Tid t) {
             TxnStatusToString(td->status));
       }
       bool blocked = false;
-      for (const Dependency& d : deps_.DependenciesOf(t)) {
-        if (d.type == DependencyType::kBeginOnBegin) {
-          const TransactionDescriptor* dep = FindLocked(d.dependee);
-          TxnStatus ds = StatusOfLocked(d.dependee);
-          bool dep_begun =
-              dep != nullptr ? dep->begun : ds == TxnStatus::kCommitted;
-          if (dep_begun) continue;
-          if (ds == TxnStatus::kAborted) {
-            return Status::TxnAborted(
-                "begin: begin-dependency on transaction " +
-                std::to_string(d.dependee) + ", which aborted before "
-                "beginning");
-          }
-          blocked = true;
-        } else if (d.type == DependencyType::kBeginOnCommit) {
-          TxnStatus ds = StatusOfLocked(d.dependee);
-          if (ds == TxnStatus::kCommitted) continue;
-          if (ds == TxnStatus::kAborted) {
-            return Status::TxnAborted(
-                "begin: begin-on-commit dependency on transaction " +
-                std::to_string(d.dependee) + ", which aborted");
-          }
-          blocked = true;
-        }
-      }
+      ASSET_RETURN_NOT_OK(EvalBeginGateLocked(t, &blocked));
       if (!blocked) break;
       if (bounded) {
         if (td->lifecycle_cv.wait_until(lk, deadline) ==
@@ -207,37 +232,86 @@ Status TransactionManager::BeginTxn(Tid t) {
         td->lifecycle_cv.wait(lk);
       }
     }
-    td->status = TxnStatus::kRunning;
-    td->begun = true;
-    td->thread_exited = false;
-    active_count_++;
-    live_threads_++;
-    LogRecord rec;
-    rec.type = LogRecordType::kBegin;
-    rec.tid = t;
-    log_->Append(std::move(rec));
-    stats_.txns_begun.fetch_add(1, std::memory_order_relaxed);
-    // A begin-dependency of someone else may just have been satisfied.
-    WakeDependentsLocked(t);
+    StartRunningLocked(td);
   }
   executor_.Submit([this, td] { ThreadMain(td); });
   return Status::OK();
 }
 
 bool TransactionManager::Begin(std::initializer_list<Tid> ts) {
-  // All-or-nothing with respect to validation: if any tid is unknown or
-  // not initiated, start nothing.
-  {
-    std::lock_guard<std::mutex> lk(sync_.mu);
-    if (shutting_down_) return false;
-    for (Tid t : ts) {
-      const TransactionDescriptor* td = FindLocked(t);
-      if (td == nullptr || td->status != TxnStatus::kInitiated) return false;
+  // All-or-nothing: nothing below transitions any member until every
+  // member has been validated and has an open begin gate, and the
+  // transitions then all happen under the same mutex hold as the last
+  // validation pass — a concurrent Begin/Abort of a member fails the
+  // whole call with nothing started.
+  std::vector<Tid> tids;
+  for (Tid t : ts) {
+    if (std::find(tids.begin(), tids.end(), t) == tids.end()) {
+      tids.push_back(t);
     }
   }
-  bool all = true;
-  for (Tid t : ts) all = Begin(t) && all;
-  return all;
+  if (tids.empty()) return true;
+
+  std::unique_lock<std::mutex> lk(sync_.mu);
+  std::vector<TransactionDescriptor*> tds;
+  tds.reserve(tids.size());
+  for (Tid t : tids) {
+    TransactionDescriptor* td = FindLocked(t);
+    if (td == nullptr || td->status != TxnStatus::kInitiated) return false;
+    tds.push_back(td);
+  }
+  // Pin every member across the gate waits so a concurrently aborted
+  // (and therefore collectable) TD cannot vanish under us.
+  for (TransactionDescriptor* td : tds) {
+    td->pins.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto unpin_all = [&] {
+    for (TransactionDescriptor* td : tds) {
+      td->pins.fetch_sub(1, std::memory_order_release);
+    }
+  };
+  const bool bounded = options_.commit_timeout.count() > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.commit_timeout;
+  for (;;) {
+    if (shutting_down_) {
+      unpin_all();
+      return false;
+    }
+    TransactionDescriptor* gated = nullptr;
+    for (TransactionDescriptor* td : tds) {
+      if (td->status != TxnStatus::kInitiated) {
+        unpin_all();
+        return false;
+      }
+      bool blocked = false;
+      if (!EvalBeginGateLocked(td->tid, &blocked).ok()) {
+        unpin_all();
+        return false;
+      }
+      if (blocked && gated == nullptr) gated = td;
+    }
+    if (gated == nullptr) break;
+    // Wait for the first gated member's dependencies (its dependees'
+    // transitions notify its lifecycle_cv), then re-validate everything.
+    if (bounded) {
+      if (gated->lifecycle_cv.wait_until(lk, deadline) ==
+          std::cv_status::timeout) {
+        unpin_all();
+        return false;
+      }
+    } else {
+      gated->lifecycle_cv.wait(lk);
+    }
+  }
+  // Point of no return: start every member under this one mutex hold.
+  for (TransactionDescriptor* td : tds) StartRunningLocked(td);
+  unpin_all();
+  lk.unlock();
+  for (TransactionDescriptor* td : tds) {
+    executor_.Submit([this, td] { ThreadMain(td); });
+  }
+  return true;
 }
 
 Result<Tid> TransactionManager::BeginSession() {
@@ -646,14 +720,20 @@ void TransactionManager::FinishAbortClosureLocked(
       doomed.push_back(dep);
     }
   }
-  // If any doomed member's thread is still running, defer the physical
-  // abort of the WHOLE closure: cooperating members may hold interleaved
-  // writes on shared objects, and undoing one member while a later
-  // writer has not yet undone would install stale before images. The
-  // running member's thread exit re-enters this function and completes
-  // the closure (its data operations fail fast now that it is marked).
+  // If any doomed member's thread is still running, or any member has a
+  // cross-thread data operation in flight (op_pins — session
+  // transactions always take that path), defer the physical abort of
+  // the WHOLE closure: cooperating members may hold interleaved writes
+  // on shared objects, undoing one member while a later writer has not
+  // yet undone would install stale before images, and releasing locks
+  // under an in-flight operation would let its object descriptors be
+  // reclaimed (and its applied-but-unregistered write escape undo). The
+  // running member's thread exit — or the last op unpin — re-enters
+  // this function and completes the closure (new data operations fail
+  // fast now that the members are marked).
   for (TransactionDescriptor* m : doomed) {
-    if (m->status == TxnStatus::kAborting && !m->thread_exited) return;
+    if (m->status != TxnStatus::kAborting) continue;
+    if (!m->thread_exited || m->op_pins.load() > 0) return;
   }
   std::vector<TransactionDescriptor*> finalizable;
   for (TransactionDescriptor* m : doomed) {
@@ -823,14 +903,31 @@ Status TransactionManager::FormDependency(DependencyType type, Tid ti,
 // ---------------------------------------------------------------------------
 // Data operations (§4.2)
 
+TransactionManager::TxnRef::~TxnRef() {
+  if (!pinned) return;
+  // Drop the op pin first (seq_cst: pairs with the closure walk's
+  // status-store-then-op_pins-load under the kernel mutex), then look at
+  // the status. Either the closure walk sees our pin and defers — in
+  // which case we observe kAborting here and finish the closure — or it
+  // sees the pin already gone and finalizes itself. Both may happen;
+  // FinishAbortClosureLocked is idempotent.
+  td->op_pins.fetch_sub(1);
+  if (td->status.load() == TxnStatus::kAborting) {
+    std::lock_guard<std::mutex> lk(mgr->sync_.mu);
+    mgr->FinishAbortClosureLocked(td);
+  }
+  td->pins.fetch_sub(1, std::memory_order_release);
+}
+
 Status TransactionManager::PrepareDataOp(Tid t, const char* what,
                                          bool distinguish_aborted,
                                          TxnRef* out) {
   TransactionDescriptor* td = tls_current;
   if (td != nullptr && td->tid == t) {
     // Fast path: the calling thread IS the transaction. Its TD cannot
-    // be reclaimed while its thread runs (thread_exited is false), so
-    // no pin and no kernel mutex are needed — one atomic status load.
+    // be reclaimed while its thread runs (thread_exited is false), and
+    // a closure abort defers finalization until the thread exits, so no
+    // pin and no kernel mutex are needed — one atomic status load.
     TxnStatus s = td->status.load(std::memory_order_acquire);
     if (s != TxnStatus::kRunning) {
       return NotRunningError(what, s, distinguish_aborted);
@@ -847,7 +944,13 @@ Status TransactionManager::PrepareDataOp(Tid t, const char* what,
   if (s != TxnStatus::kRunning) {
     return NotRunningError(what, s, distinguish_aborted);
   }
+  // The op pin makes a concurrent abort of this transaction (explicit
+  // AbortTxn from another thread, or propagation along a dependency)
+  // defer its lock release and undo until this operation is out of the
+  // kernel; the plain pin additionally blocks TD reclamation.
   td->pins.fetch_add(1, std::memory_order_relaxed);
+  td->op_pins.fetch_add(1);
+  out->mgr = this;
   out->td = td;
   out->pinned = true;
   return Status::OK();
@@ -872,8 +975,13 @@ Result<std::vector<uint8_t>> TransactionManager::Read(Tid t, ObjectId oid) {
                                     &ref));
   ASSET_RETURN_NOT_OK(AcquireOrDoom(ref.td, oid, LockMode::kRead));
   // §4.2 read: S-latch, read, unlatch. Holding our lock keeps the OD
-  // alive.
+  // alive (and the op pin keeps a concurrent abort from releasing it).
   ObjectDescriptor* od = locks_.Find(oid);
+  if (od == nullptr) {
+    return Status::TxnAborted("read: transaction " + std::to_string(t) +
+                              " lost its lock on object " +
+                              std::to_string(oid) + " mid-operation");
+  }
   od->data_latch.LockShared();
   auto value = store_->Read(oid);
   od->data_latch.UnlockShared();
@@ -888,6 +996,11 @@ Status TransactionManager::Write(Tid t, ObjectId oid,
                                     &ref));
   ASSET_RETURN_NOT_OK(AcquireOrDoom(ref.td, oid, LockMode::kWrite));
   ObjectDescriptor* od = locks_.Find(oid);
+  if (od == nullptr) {
+    return Status::TxnAborted("write: transaction " + std::to_string(t) +
+                              " lost its lock on object " +
+                              std::to_string(oid) + " mid-operation");
+  }
   // §4.2 write: X-latch; log before image; write; log after image.
   od->data_latch.LockExclusive();
   auto before = store_->Read(oid);
@@ -947,6 +1060,11 @@ Status TransactionManager::DeleteObject(Tid t, ObjectId oid) {
                                     &ref));
   ASSET_RETURN_NOT_OK(AcquireOrDoom(ref.td, oid, LockMode::kWrite));
   ObjectDescriptor* od = locks_.Find(oid);
+  if (od == nullptr) {
+    return Status::TxnAborted("delete: transaction " + std::to_string(t) +
+                              " lost its lock on object " +
+                              std::to_string(oid) + " mid-operation");
+  }
   od->data_latch.LockExclusive();
   auto before = store_->Read(oid);
   if (!before.ok()) {
@@ -983,6 +1101,11 @@ Status TransactionManager::Increment(Tid t, ObjectId oid, int64_t delta) {
                                     /*distinguish_aborted=*/true, &ref));
   ASSET_RETURN_NOT_OK(AcquireOrDoom(ref.td, oid, LockMode::kIncrement));
   ObjectDescriptor* od = locks_.Find(oid);
+  if (od == nullptr) {
+    return Status::TxnAborted("increment: transaction " + std::to_string(t) +
+                              " lost its lock on object " +
+                              std::to_string(oid) + " mid-operation");
+  }
   od->data_latch.LockExclusive();
   // Validate counter shape before logging, so the log never carries an
   // increment that cannot replay.

@@ -120,11 +120,15 @@ class TransactionManager {
   /// open within the commit timeout.
   Status BeginTxn(Tid t);
 
-  /// begin(t1, ..., tn): starts several transactions, all-or-nothing
-  /// with respect to validation: if any tid is unknown or not in the
-  /// initiated state, NO transaction is started and false is returned.
-  /// (A begin-dependency failure after validation can still stop later
-  /// tids; earlier ones stay started, as independent Begin calls would.)
+  /// begin(t1, ..., tn): starts several transactions atomically — either
+  /// every listed transaction starts or none does. The call validates
+  /// (every tid known and still initiated), waits until every member's
+  /// begin-dependency gate is open (bounded by the commit timeout,
+  /// re-validating after every wakeup), and only then performs all the
+  /// transitions to running under a single kernel-mutex hold. A
+  /// concurrent Begin or Abort of any member, an unsatisfiable
+  /// begin-dependency, or a gate timeout therefore fails the whole call
+  /// with NO transaction started.
   bool Begin(std::initializer_list<Tid> ts);
 
   /// commit(t): blocking commit. Waits for t (and any group-commit
@@ -276,17 +280,31 @@ class TransactionManager {
 
   /// Pinned reference to a TD for the duration of one data operation;
   /// unpins on destruction. The fast path (own transaction) needs no
-  /// pin: a TD cannot be reclaimed while its thread runs.
+  /// pin: a TD cannot be reclaimed while its thread runs. A pinned ref
+  /// additionally holds an op pin (TD::op_pins), which defers any
+  /// closure-abort finalization involving this transaction until the
+  /// operation is out of the kernel; the destructor of the last op pin
+  /// of an aborting transaction completes the deferred physical abort.
   struct TxnRef {
+    TransactionManager* mgr = nullptr;
     TransactionDescriptor* td = nullptr;
     bool pinned = false;
-    ~TxnRef() {
-      if (pinned) td->pins.fetch_sub(1, std::memory_order_release);
-    }
+    ~TxnRef();
   };
 
   TransactionDescriptor* FindLocked(Tid t) const;
   TxnStatus StatusOfLocked(Tid t) const;
+
+  /// Evaluates t's begin-dependency gate without blocking. Returns OK
+  /// with *blocked=false when every begin-dependency is satisfied, OK
+  /// with *blocked=true when one is merely not yet satisfied, and an
+  /// error when one can never be satisfied (the dependee aborted).
+  Status EvalBeginGateLocked(Tid t, bool* blocked) const;
+
+  /// Transitions an initiated `td` to running: status, accounting, begin
+  /// log record, and the dependent wakeups. The caller submits
+  /// ThreadMain afterwards (outside the mutex).
+  void StartRunningLocked(TransactionDescriptor* td);
 
   /// Resolves `t` to a running TD for a data operation. Fast path: when
   /// the calling thread IS the transaction, only an atomic status check
@@ -320,12 +338,15 @@ class TransactionManager {
   /// Collects every transaction transitively doomed by `seed`'s abort
   /// (following AD/GC/BCD and unsatisfied-BD edges; CDs dissolve),
   /// marks them aborting, and — once no member's thread is still
-  /// running — undoes all members' operations in one merged
-  /// reverse-chronological pass and finalizes each. While any doomed
-  /// member still runs, finalization is deferred: that member's thread
-  /// exit re-enters here and completes the closure. The deferral is what
-  /// keeps cross-transaction undo ordered when cooperating transactions
-  /// with interleaved writes abort together.
+  /// running and no member has a data operation in flight (op_pins) —
+  /// undoes all members' operations in one merged reverse-chronological
+  /// pass and finalizes each. While any doomed member still runs or has
+  /// an op in flight, finalization is deferred: that member's thread
+  /// exit (or last op unpin) re-enters here and completes the closure.
+  /// The deferral keeps cross-transaction undo ordered when cooperating
+  /// transactions with interleaved writes abort together, and keeps
+  /// lock release / undo from running under a concurrent data operation
+  /// on a session transaction.
   void FinishAbortClosureLocked(TransactionDescriptor* seed);
 
   /// Post-undo bookkeeping for one closure member: abort log record,

@@ -171,5 +171,42 @@ TEST_F(ShardingTest, PermitInsertionWakesBlockedWaiter) {
   EXPECT_TRUE(tm_->Commit(h));
 }
 
+// Regression: a permit inserted while the requester is between its
+// lock-state check and its first sleep must not be lost. The insertion
+// below is deliberately unsynchronized with the waiter's acquire (a
+// varying delay sweeps the window); a lost wakeup would stall the
+// waiter into the 2s lock timeout and fail both the Eventually bound
+// and the write.
+TEST_F(ShardingTest, PermitConcurrentWithBlockingAcquireIsNotLost) {
+  ObjectId a = MakeObject("a");
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<bool> release{false}, h_locked{false};
+    Tid h = Spawn([&] {
+      ASSERT_TRUE(
+          tm_->Write(TransactionManager::Self(), a, TestBytes("h")).ok());
+      h_locked = true;
+      while (!release) std::this_thread::sleep_for(1ms);
+    });
+    ASSERT_TRUE(Eventually([&] { return h_locked.load(); }));
+
+    std::atomic<bool> w_ok{false}, w_done{false};
+    Tid w = Spawn([&] {
+      w_ok =
+          tm_->Write(TransactionManager::Self(), a, TestBytes("w")).ok();
+      w_done = true;
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds((137 * round) %
+                                                          1500));
+    ASSERT_TRUE(tm_->Permit(h, w).ok());
+    // Well under the 2s lock timeout: the waiter must be admitted by
+    // the permit, not by the holder eventually going away.
+    ASSERT_TRUE(Eventually([&] { return w_done.load(); }, 1500ms));
+    EXPECT_TRUE(w_ok.load());
+    EXPECT_TRUE(tm_->Commit(w));
+    release = true;
+    EXPECT_TRUE(tm_->Commit(h));
+  }
+}
+
 }  // namespace
 }  // namespace asset

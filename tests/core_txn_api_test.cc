@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/database.h"
 
@@ -157,6 +161,71 @@ TEST_F(TxnApiTest, GroupBeginIsAllOrNothing) {
   // The survivor is untouched and begins normally afterwards.
   EXPECT_TRUE(tm.Begin(valid));
   EXPECT_TRUE(tm.Commit(valid));
+}
+
+// Regression: validation and the transitions to running happen under
+// one kernel-mutex hold, so an abort racing the group Begin either
+// lands before it (nothing starts) or after it (everything started) —
+// never in between, with some members started and some not.
+TEST_F(TxnApiTest, GroupBeginStartsNothingWhenAMemberAbortsConcurrently) {
+  TransactionManager& tm = db_->txn();
+  for (int round = 0; round < 50; ++round) {
+    Tid t1 = tm.Initiate([] {});
+    Tid t2 = tm.Initiate([] {});
+    Tid t3 = tm.Initiate([] {});
+    std::thread aborter([&] { tm.AbortTxn(t2); });
+    bool started = tm.Begin({t1, t2, t3});
+    aborter.join();
+    if (started) {
+      // The abort lost the race to the atomic start: every member
+      // began. t2 terminates either way depending on when the abort
+      // landed; its peers must be commit-able.
+      EXPECT_TRUE(tm.Commit(t1));
+      tm.Commit(t2);
+      EXPECT_TRUE(tm.Commit(t3));
+    } else {
+      // The abort won: no member was started.
+      EXPECT_EQ(tm.GetStatus(t1), TxnStatus::kInitiated);
+      EXPECT_EQ(tm.GetStatus(t3), TxnStatus::kInitiated);
+      EXPECT_TRUE(tm.AbortTxn(t1).ok());
+      EXPECT_TRUE(tm.AbortTxn(t3).ok());
+    }
+  }
+}
+
+// Regression: aborting a caller-driven session transaction from another
+// thread while the driving thread is mid-data-op must not tear down its
+// locks/undo under the operation. The kernel defers the physical abort
+// until the in-flight operation is out, so the driver sees clean
+// kTxnAborted failures and the committed image survives the undo.
+TEST_F(TxnApiTest, ConcurrentAbortOfSessionTransactionMidOperation) {
+  TransactionManager& tm = db_->txn();
+  ObjectId oid = MakeInt(42);
+  const std::vector<uint8_t> garbage(sizeof(int64_t), 0x5A);
+  for (int round = 0; round < 20; ++round) {
+    Tid t = tm.BeginSession().value();
+    std::thread driver([&] {
+      // Hammer data operations until the abort lands; each either
+      // completes fully (and is undone) or fails with kTxnAborted.
+      for (;;) {
+        Status s = tm.Write(t, oid, garbage);
+        if (!s.ok()) {
+          EXPECT_TRUE(s.IsTxnAborted());
+          return;
+        }
+        auto r = tm.Read(t, oid);
+        if (!r.ok()) {
+          EXPECT_TRUE(r.status().IsTxnAborted());
+          return;
+        }
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(50 + 97 * round));
+    ASSERT_TRUE(tm.AbortTxn(t).ok());
+    driver.join();
+    EXPECT_EQ(tm.GetStatus(t), TxnStatus::kAborted);
+    EXPECT_EQ(Committed(oid), 42);
+  }
 }
 
 }  // namespace
