@@ -221,6 +221,12 @@ class Database {
   /// flushes pages and logs a checkpoint record.
   Status Checkpoint();
 
+  /// Blocks until every appended WAL record is durable (one piggybacked
+  /// flusher batch). Under DurabilityPolicy::kRelaxed this is the
+  /// explicit sync point: an OK return means every commit acked before
+  /// this call is crash-safe. Surfaces the log's sticky I/O error.
+  Status SyncWal() { return log_.Flush(); }
+
   /// Simulates a crash and runs recovery: tears down the kernel, drops
   /// every non-durable log record and every cached page, rescans the
   /// store, replays the log, and brings up a fresh kernel. No user

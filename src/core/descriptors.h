@@ -258,6 +258,12 @@ struct TransactionDescriptor {
   /// StartAbort cause, surfaced by the Status-returning API. Guarded by
   /// the global kernel mutex.
   std::string abort_reason;
+
+  /// Lsn of this transaction's kCommit record, set (under the global
+  /// kernel mutex) when its group's commit records are appended. Any
+  /// thread that observes kCommitted and must honour strict durability
+  /// waits for this lsn *after* releasing the kernel mutex.
+  Lsn commit_lsn = kNullLsn;
 };
 
 /// Pins a TD against reclamation for the lifetime of the guard.

@@ -33,6 +33,10 @@ KernelStats::Snapshot KernelStats::snapshot() const {
   s.writes = writes.load(std::memory_order_relaxed);
   s.increments = increments.load(std::memory_order_relaxed);
   s.undo_installs = undo_installs.load(std::memory_order_relaxed);
+  s.wal_appends = wal_appends.load(std::memory_order_relaxed);
+  s.wal_fsyncs = wal_fsyncs.load(std::memory_order_relaxed);
+  s.wal_records_flushed = wal_records_flushed.load(std::memory_order_relaxed);
+  s.commit_stalls = commit_stalls.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -63,6 +67,10 @@ void KernelStats::Reset() {
   writes = 0;
   increments = 0;
   undo_installs = 0;
+  wal_appends = 0;
+  wal_fsyncs = 0;
+  wal_records_flushed = 0;
+  commit_stalls = 0;
 }
 
 std::string KernelStats::Snapshot::ToString() const {
@@ -85,7 +93,11 @@ std::string KernelStats::Snapshot::ToString() const {
      << " cycles_rejected=" << dependency_cycles_rejected << "} "
      << "data{reads=" << reads << " writes=" << writes
      << " increments=" << increments
-     << " undo_installs=" << undo_installs << "}";
+     << " undo_installs=" << undo_installs << "} "
+     << "wal{appends=" << wal_appends << " fsyncs=" << wal_fsyncs
+     << " records_flushed=" << wal_records_flushed
+     << " records_per_fsync=" << wal_records_per_fsync()
+     << " commit_stalls=" << commit_stalls << "}";
   return os.str();
 }
 

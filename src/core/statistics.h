@@ -53,6 +53,20 @@ struct KernelStats {
   std::atomic<uint64_t> increments{0};
   std::atomic<uint64_t> undo_installs{0};
 
+  /// WAL / durability-pipeline economy. The log itself bumps the first
+  /// three through the WalStatsSink the TransactionManager binds;
+  /// commit_stalls is bumped by the commit path.
+  std::atomic<uint64_t> wal_appends{0};
+  /// fsync batches completed. fewer fsyncs than commits == group commit
+  /// batching is working.
+  std::atomic<uint64_t> wal_fsyncs{0};
+  /// Records made durable across all flush batches.
+  std::atomic<uint64_t> wal_records_flushed{0};
+  /// Commit acks that actually had to sleep for the flusher (strict
+  /// durability only): the commit record was not yet durable when the
+  /// kernel mutex was released.
+  std::atomic<uint64_t> commit_stalls{0};
+
   /// Plain-value copy of every counter.
   struct Snapshot {
     uint64_t txns_initiated, txns_begun, txns_committed, txns_aborted,
@@ -64,6 +78,15 @@ struct KernelStats {
     uint64_t delegations, locks_delegated, dependencies_formed,
         dependency_cycles_rejected;
     uint64_t reads, writes, increments, undo_installs;
+    uint64_t wal_appends, wal_fsyncs, wal_records_flushed, commit_stalls;
+
+    /// Batching ratio: records flushed per fsync (0 when no fsync ran).
+    double wal_records_per_fsync() const {
+      return wal_fsyncs == 0
+                 ? 0.0
+                 : static_cast<double>(wal_records_flushed) /
+                       static_cast<double>(wal_fsyncs);
+    }
 
     std::string ToString() const;
   };

@@ -36,20 +36,29 @@ TransactionManager::TransactionManager(LogManager* log, ObjectStore* store,
       log_(log),
       store_(store),
       locks_(&sync_, &permit_table_, &txns_, &stats_, options.lock),
-      undo_(log, store, &stats_) {}
+      undo_(log, store, &stats_) {
+  log_->BindStats(WalStatsSink{&stats_.wal_appends, &stats_.wal_fsyncs,
+                               &stats_.wal_records_flushed});
+}
 
 TransactionManager::TransactionManager(LogManager* log, ObjectStore* store)
     : TransactionManager(log, store, Options()) {}
 
 TransactionManager::~TransactionManager() {
-  std::unique_lock<std::mutex> lk(sync_.mu);
-  shutting_down_ = true;
-  for (auto& [tid, td] : txns_) {
-    if (!IsTerminated(td->status)) {
-      StartAbortLocked(td.get(), "kernel shutting down");
+  {
+    std::unique_lock<std::mutex> lk(sync_.mu);
+    shutting_down_ = true;
+    for (auto& [tid, td] : txns_) {
+      if (!IsTerminated(td->status)) {
+        StartAbortLocked(td.get(), "kernel shutting down");
+      }
     }
+    sync_.cv.wait(lk, [&] { return live_threads_ == 0; });
   }
-  sync_.cv.wait(lk, [&] { return live_threads_ == 0; });
+  // Detach the log's counters before stats_ dies; the log (and its
+  // flusher) outlives this kernel.
+  log_->UnbindStats(WalStatsSink{&stats_.wal_appends, &stats_.wal_fsyncs,
+                                 &stats_.wal_records_flushed});
 }
 
 // ---------------------------------------------------------------------------
@@ -405,8 +414,13 @@ Status TransactionManager::CommitTxn(Tid t) {
   }
   for (;;) {  // the paper's "blocks and retries later starting at step 1"
     switch (td->status.load()) {
-      case TxnStatus::kCommitted:
-        return Status::OK();
+      case TxnStatus::kCommitted: {
+        // Another thread committed our group. Honour the durability
+        // policy for the ack just like the committing thread does.
+        Lsn commit_lsn = td->commit_lsn;
+        lk.unlock();
+        return AwaitCommitDurable(commit_lsn);
+      }
       case TxnStatus::kAborted:
         return Status::TxnAborted(AbortReasonLocked(td));
       case TxnStatus::kAborting:
@@ -418,8 +432,12 @@ Status TransactionManager::CommitTxn(Tid t) {
         std::vector<TransactionDescriptor*> group;
         CommitEval eval = EvaluateCommitLocked(td, &group);
         if (eval == CommitEval::kCommit) {
-          CommitGroupLocked(group);
-          return Status::OK();
+          Lsn commit_lsn = CommitGroupLocked(group);
+          // The durability wait (and its fsync) happens with the kernel
+          // mutex released: concurrent committers pile onto the same
+          // flusher batch instead of queueing the kernel on the disk.
+          lk.unlock();
+          return AwaitCommitDurable(commit_lsn);
         }
         if (eval == CommitEval::kAbort) {
           // An abort/group dependency makes commit impossible: the whole
@@ -442,7 +460,11 @@ Status TransactionManager::CommitTxn(Tid t) {
     if (bounded) {
       if (td->lifecycle_cv.wait_until(lk, deadline) ==
           std::cv_status::timeout) {
-        if (td->status == TxnStatus::kCommitted) return Status::OK();
+        if (td->status == TxnStatus::kCommitted) {
+          Lsn commit_lsn = td->commit_lsn;
+          lk.unlock();
+          return AwaitCommitDurable(commit_lsn);
+        }
         if (td->status == TxnStatus::kAborted) {
           return Status::TxnAborted(AbortReasonLocked(td));
         }
@@ -605,16 +627,21 @@ TransactionManager::CommitEval TransactionManager::EvaluateCommitLocked(
   return CommitEval::kCommit;
 }
 
-void TransactionManager::CommitGroupLocked(
+Lsn TransactionManager::CommitGroupLocked(
     const std::vector<TransactionDescriptor*>& group) {
+  // §4.2 commit step 4: append (only — never flush) each member's
+  // commit record. Append is a short in-memory critical section; the
+  // fsync that makes these records durable belongs to the flusher
+  // thread, reached by AwaitCommitDurable after the kernel mutex is
+  // released. Holding the kernel mutex across device I/O is the exact
+  // stall this pipeline removes.
+  Lsn group_lsn = kNullLsn;
   for (TransactionDescriptor* m : group) {
     LogRecord rec;
     rec.type = LogRecordType::kCommit;
     rec.tid = m->tid;
-    log_->Append(std::move(rec));  // §4.2 commit step 4
-  }
-  if (options_.force_log_at_commit) {
-    log_->Flush();
+    m->commit_lsn = log_->Append(std::move(rec));
+    group_lsn = std::max(group_lsn, m->commit_lsn);
   }
   // Snapshot the dependents before the members' edges are removed; they
   // are exactly the transactions whose commit evaluation or begin gate
@@ -647,6 +674,23 @@ void TransactionManager::CommitGroupLocked(
     WakeGroupLocked(w);
   }
   sync_.cv.notify_all();  // active_count_ changed (WaitIdle)
+  return group_lsn;
+}
+
+Status TransactionManager::AwaitCommitDurable(Lsn commit_lsn) {
+  if (!options_.force_log_at_commit || commit_lsn == kNullLsn) {
+    return Status::OK();
+  }
+  if (options_.durability == DurabilityPolicy::kRelaxed) {
+    log_->RequestFlush(commit_lsn);
+    return Status::OK();
+  }
+  if (log_->durable_lsn() < commit_lsn) {
+    // The ack actually has to sleep for the flusher (vs riding a batch
+    // that already landed).
+    stats_.commit_stalls.fetch_add(1, std::memory_order_relaxed);
+  }
+  return log_->WaitDurable(commit_lsn);
 }
 
 // ---------------------------------------------------------------------------

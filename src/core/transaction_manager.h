@@ -66,6 +66,21 @@
 
 namespace asset {
 
+/// When (relative to the ack) a commit's log records must be durable.
+/// Only meaningful while Options::force_log_at_commit is true.
+enum class DurabilityPolicy : uint8_t {
+  /// The commit call returns only once the commit record is durable
+  /// (durable_lsn >= commit_lsn). The wait happens *after* the kernel
+  /// mutex is released, so concurrent committers piggyback on one
+  /// flusher fsync instead of serializing the kernel behind the disk.
+  kStrict,
+  /// The commit call returns as soon as the commit is applied in
+  /// memory; it nudges the flusher (RequestFlush) but does not wait.
+  /// A crash may lose the tail of acked commits — never a prefix hole:
+  /// the flusher persists in lsn order.
+  kRelaxed,
+};
+
 /// The transaction kernel. One instance per database.
 class TransactionManager {
  public:
@@ -73,6 +88,9 @@ class TransactionManager {
     LockManager::Options lock;
     /// Force the log at commit (durability). Benchmarks may disable.
     bool force_log_at_commit = true;
+    /// How long a commit ack may run ahead of the disk (see
+    /// DurabilityPolicy). Ignored unless force_log_at_commit.
+    DurabilityPolicy durability = DurabilityPolicy::kStrict;
     /// Upper bound on active (begun, unterminated) transactions; the
     /// paper's initiate returns the null tid "if no resources are
     /// available".
@@ -323,7 +341,18 @@ class TransactionManager {
   /// Commits `group` simultaneously (log records, release locks/permits,
   /// drop dependencies) and wakes everything that observed the members:
   /// their lifecycle waiters, their dependents, their lock waiters.
-  void CommitGroupLocked(const std::vector<TransactionDescriptor*>& group);
+  /// Appends the members' commit records but performs NO flush — the
+  /// kernel mutex is never held across device I/O. Returns the group's
+  /// highest commit-record lsn; the caller waits for it durably via
+  /// AwaitCommitDurable *after* releasing the mutex.
+  Lsn CommitGroupLocked(const std::vector<TransactionDescriptor*>& group);
+
+  /// The durability side of the commit ack, run with the kernel mutex
+  /// RELEASED: no-op when the log is not forced at commit; a flusher
+  /// nudge under DurabilityPolicy::kRelaxed; a WaitDurable(commit_lsn)
+  /// sleep under kStrict. A flush failure surfaces here as the commit's
+  /// return Status (the commit is applied in memory regardless).
+  Status AwaitCommitDurable(Lsn commit_lsn);
 
   /// Marks `td` aborting (recording `reason` as its abort reason if none
   /// is set yet) and wakes its observers: its lifecycle waiters, a lock

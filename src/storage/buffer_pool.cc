@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -25,10 +26,17 @@ PageHandle::~PageHandle() { Release(); }
 
 void PageHandle::MarkDirty() {
   if (pool_ != nullptr) {
+    // Sample the log position before taking the pool lock (lock order:
+    // callers never hold the log mutex here). The store appends the
+    // operation's log record before mutating the frame, so last_lsn()
+    // at MarkDirty time upper-bounds every update this frame carries.
+    Lsn lsn = pool_->wal_ != nullptr ? pool_->wal_->last_lsn() : kNullLsn;
     std::lock_guard<std::mutex> g(pool_->mu_);
     auto it = pool_->page_table_.find(page_id_);
     if (it != pool_->page_table_.end()) {
-      pool_->frames_[it->second].dirty = true;
+      BufferPool::Frame& f = pool_->frames_[it->second];
+      f.dirty = true;
+      f.page_lsn = std::max(f.page_lsn, lsn);
     }
   }
 }
@@ -70,10 +78,13 @@ Result<size_t> BufferPool::GrabFrameLocked() {
   f.in_lru = false;
   assert(f.pin_count == 0);
   if (f.dirty) {
-    // Write-ahead rule: no dirty page reaches the device before the log.
-    if (wal_ != nullptr) {
-      Status ws = wal_->Flush();
-      if (!ws.ok()) return ws;
+    // Write-ahead rule: no dirty page reaches the device before the log
+    // records covering it — up to page_lsn, not the whole tail.
+    Status ws = ForceWalLocked(f.page_lsn);
+    if (!ws.ok()) {
+      f.lru_pos = lru_.insert(lru_.begin(), idx);
+      f.in_lru = true;
+      return ws;
     }
     Page(f.data.get()).UpdateChecksum();
     Status s = disk_->WritePage(f.page_id, f.data.get());
@@ -88,8 +99,15 @@ Result<size_t> BufferPool::GrabFrameLocked() {
   page_table_.erase(f.page_id);
   f.page_id = kInvalidPageId;
   f.dirty = false;
+  f.page_lsn = kNullLsn;
   stats_.evictions++;
   return idx;
+}
+
+Status BufferPool::ForceWalLocked(Lsn page_lsn) {
+  if (wal_ == nullptr) return Status::OK();
+  // kNullLsn means "watermark unknown": force everything (conservative).
+  return wal_->Flush(page_lsn);
 }
 
 Result<PageHandle> BufferPool::FetchPage(PageId page_id, bool validate) {
@@ -126,6 +144,7 @@ Result<PageHandle> BufferPool::FetchPage(PageId page_id, bool validate) {
   f.page_id = page_id;
   f.pin_count = 1;
   f.dirty = false;
+  f.page_lsn = kNullLsn;
   page_table_[page_id] = *frame_idx;
   return PageHandle(this, page_id, f.data.get());
 }
@@ -142,17 +161,22 @@ Result<PageHandle> BufferPool::NewPage() {
   f.page_id = *page_id;
   f.pin_count = 1;
   f.dirty = true;
+  f.page_lsn = wal_ != nullptr ? wal_->last_lsn() : kNullLsn;
   page_table_[*page_id] = *frame_idx;
   return PageHandle(this, *page_id, f.data.get());
 }
 
 void BufferPool::Unpin(PageId page_id, bool dirty) {
+  Lsn lsn = (dirty && wal_ != nullptr) ? wal_->last_lsn() : kNullLsn;
   std::lock_guard<std::mutex> g(mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return;
   Frame& f = frames_[it->second];
   assert(f.pin_count > 0);
-  if (dirty) f.dirty = true;
+  if (dirty) {
+    f.dirty = true;
+    f.page_lsn = std::max(f.page_lsn, lsn);
+  }
   f.pin_count--;
   if (f.pin_count == 0) {
     f.lru_pos = lru_.insert(lru_.end(), it->second);
@@ -166,21 +190,38 @@ Status BufferPool::FlushPage(PageId page_id) {
   if (it == page_table_.end()) return Status::OK();
   Frame& f = frames_[it->second];
   if (!f.dirty) return Status::OK();
-  if (wal_ != nullptr) ASSET_RETURN_NOT_OK(wal_->Flush());
+  ASSET_RETURN_NOT_OK(ForceWalLocked(f.page_lsn));
   Page(f.data.get()).UpdateChecksum();
   ASSET_RETURN_NOT_OK(disk_->WritePage(page_id, f.data.get()));
   f.dirty = false;
+  f.page_lsn = kNullLsn;
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> g(mu_);
-  if (wal_ != nullptr) ASSET_RETURN_NOT_OK(wal_->Flush());
+  // One WAL force covering every dirty frame (the max watermark), then
+  // the writebacks. Any frame with an unknown watermark forces the
+  // whole log.
+  bool any_dirty = false;
+  bool unknown = false;
+  Lsn max_lsn = kNullLsn;
+  for (const Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      any_dirty = true;
+      if (f.page_lsn == kNullLsn) unknown = true;
+      max_lsn = std::max(max_lsn, f.page_lsn);
+    }
+  }
+  if (any_dirty) {
+    ASSET_RETURN_NOT_OK(ForceWalLocked(unknown ? kNullLsn : max_lsn));
+  }
   for (Frame& f : frames_) {
     if (f.page_id != kInvalidPageId && f.dirty) {
       Page(f.data.get()).UpdateChecksum();
       ASSET_RETURN_NOT_OK(disk_->WritePage(f.page_id, f.data.get()));
       f.dirty = false;
+      f.page_lsn = kNullLsn;
     }
   }
   return disk_->Sync();
@@ -196,6 +237,7 @@ void BufferPool::DropAllUnflushed() {
     assert(f.pin_count == 0 && "DropAllUnflushed with outstanding pins");
     f.page_id = kInvalidPageId;
     f.dirty = false;
+    f.page_lsn = kNullLsn;
     f.in_lru = false;
     free_frames_.push_back(frames_.size() - 1 - i);
   }

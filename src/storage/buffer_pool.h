@@ -111,12 +111,24 @@ class BufferPool {
     PageId page_id = kInvalidPageId;
     uint32_t pin_count = 0;
     bool dirty = false;
+    /// Write-ahead watermark: the log was at this lsn when the frame was
+    /// last dirtied (an upper bound on the lsn of any update the frame
+    /// carries, since the log record is appended before the store
+    /// mutates the page). Forcing the WAL to here — not to its end —
+    /// satisfies the write-ahead rule for this page without fsyncing
+    /// the unrelated log tail. kNullLsn (no WAL, or unknown) degrades
+    /// to a full-log force.
+    Lsn page_lsn = kNullLsn;
     /// Position in lru_ when pin_count == 0.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
   void Unpin(PageId page_id, bool dirty);
+
+  /// Forces the WAL up to `page_lsn` (entire log when kNullLsn) before a
+  /// dirty page may reach the device. Caller holds mu_.
+  Status ForceWalLocked(Lsn page_lsn);
 
   /// Finds a free or evictable frame; caller holds mu_.
   Result<size_t> GrabFrameLocked();

@@ -208,8 +208,10 @@ Status RecoveryManager::Checkpoint(LogManager* log, BufferPool* pool) {
   ASSET_RETURN_NOT_OK(pool->FlushAll());
   LogRecord rec;
   rec.type = LogRecordType::kCheckpoint;
-  log->Append(std::move(rec));
-  return log->Flush();
+  Lsn lsn = log->Append(std::move(rec));
+  // Force exactly through the checkpoint record; any volatile tail
+  // appended by concurrent transactions stays volatile.
+  return log->Flush(lsn);
 }
 
 }  // namespace asset

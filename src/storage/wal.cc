@@ -3,9 +3,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 namespace asset {
 
@@ -62,6 +64,34 @@ bool GetBytes(const std::vector<uint8_t>& in, size_t* off,
   b->assign(in.begin() + *off, in.begin() + *off + len);
   *off += len;
   return true;
+}
+
+/// pwrite of the whole buffer at `offset`, retrying EINTR and short
+/// writes (both are legal kernel behaviour, not errors).
+Status WriteFully(int fd, const uint8_t* data, size_t len, off_t offset) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pwrite(fd, data + done, len - done,
+                         offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite log file: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError("pwrite log file: wrote 0 bytes");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncRetry(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IOError("fsync: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -142,7 +172,21 @@ Result<LogRecord> LogRecord::DecodeFrom(const std::vector<uint8_t>& data,
   return rec;
 }
 
+LogManager::LogManager(FlushMode mode)
+    : mode_(mode), io_status_(Status::OK()), injected_error_(Status::OK()) {
+  if (mode_ == FlushMode::kGrouped) {
+    flusher_ = std::thread([this] { FlusherMain(); });
+  }
+}
+
 LogManager::~LogManager() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  flush_cv_.notify_all();
+  durable_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -184,7 +228,12 @@ Status LogManager::AttachFile(const std::string& path) {
                              std::string(std::strerror(errno)));
     }
   }
+  // From here on every write lands at the tracked append offset; the
+  // file is never lseek'd again.
+  file_end_ = static_cast<off_t>(good_end);
   durable_lsn_ = static_cast<Lsn>(records_.size());
+  requested_lsn_ = durable_lsn_;
+  buf_first_ = durable_lsn_;
   for (Lsn l = 1; l <= durable_lsn_; ++l) {
     if (records_[l - 1].type == LogRecordType::kCheckpoint) {
       last_checkpoint_ = l;
@@ -197,43 +246,170 @@ Lsn LogManager::Append(LogRecord rec) {
   std::lock_guard<std::mutex> g(mu_);
   rec.lsn = static_cast<Lsn>(records_.size() + 1);
   Lsn lsn = rec.lsn;
+  if (fd_ >= 0) {
+    // Encode now, into the in-memory log buffer, so the flusher never
+    // touches `records_` (a deque being push_back'd concurrently) and a
+    // flush is a single contiguous byte range.
+    rec.EncodeTo(&buf_);
+    ends_.push_back(buf_.size());
+  }
   records_.push_back(std::move(rec));
+  if (sink_.appends != nullptr) {
+    sink_.appends->fetch_add(1, std::memory_order_relaxed);
+  }
   return lsn;
 }
 
 Status LogManager::Flush(Lsn upto) {
-  std::lock_guard<std::mutex> g(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
   Lsn target = (upto == kNullLsn) ? static_cast<Lsn>(records_.size()) : upto;
   if (target > records_.size()) {
     return Status::InvalidArgument("flush beyond end of log");
   }
-  if (target > durable_lsn_) {
-    if (fd_ >= 0) {
-      // Persist the newly durable records before acknowledging them.
-      std::vector<uint8_t> bytes;
-      for (Lsn l = durable_lsn_ + 1; l <= target; ++l) {
-        records_[l - 1].EncodeTo(&bytes);
-      }
-      ssize_t n = ::pwrite(fd_, bytes.data(), bytes.size(),
-                           ::lseek(fd_, 0, SEEK_END));
-      if (n != static_cast<ssize_t>(bytes.size())) {
-        return Status::IOError("short write to log file");
-      }
-      if (::fsync(fd_) != 0) {
-        return Status::IOError("fsync: " +
-                               std::string(std::strerror(errno)));
-      }
+  if (target <= durable_lsn_) {
+    return Status::OK();
+  }
+  if (!io_status_.ok()) {
+    return io_status_;
+  }
+  requested_lsn_ = std::max(requested_lsn_, target);
+  if (mode_ == FlushMode::kSynchronous) {
+    return FlushInlineLocked(target);
+  }
+  flush_cv_.notify_one();
+  durable_cv_.wait(lk, [&] {
+    return durable_lsn_ >= target || !io_status_.ok() || stop_;
+  });
+  if (durable_lsn_ >= target) return Status::OK();
+  if (!io_status_.ok()) return io_status_;
+  return Status::IllegalState("log shut down during flush wait");
+}
+
+void LogManager::RequestFlush(Lsn lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Lsn end = static_cast<Lsn>(records_.size());
+  Lsn target = (lsn == kNullLsn) ? end : std::min(lsn, end);
+  if (target <= durable_lsn_ || !io_status_.ok()) return;
+  requested_lsn_ = std::max(requested_lsn_, target);
+  if (mode_ == FlushMode::kSynchronous) {
+    FlushInlineLocked(target);  // sticky io_status_ records any failure
+    return;
+  }
+  flush_cv_.notify_one();
+}
+
+void LogManager::FlusherMain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    flush_cv_.wait(lk, [&] {
+      return stop_ || (requested_lsn_ > durable_lsn_ && io_status_.ok());
+    });
+    if (stop_ && (requested_lsn_ <= durable_lsn_ || !io_status_.ok())) {
+      return;  // drained (or wedged on a sticky error): shut down
     }
-    // Checkpoint tracking: remember the newest checkpoint that just
-    // became durable.
-    for (Lsn l = durable_lsn_ + 1; l <= target; ++l) {
+    const Lsn from = durable_lsn_;
+    const Lsn target =
+        std::min(requested_lsn_, static_cast<Lsn>(records_.size()));
+    if (target <= from) continue;
+
+    if (!injected_error_.ok()) {
+      Status err = std::exchange(injected_error_, Status::OK());
+      CompleteFlushLocked(from, target, 0, err, false);
+      continue;
+    }
+    if (fd_ < 0) {
+      // No device: the batch becomes durable by fiat.
+      CompleteFlushLocked(from, target, 0, Status::OK(), false);
+      continue;
+    }
+
+    auto [lo, hi] = BatchRangeLocked(from, target);
+    std::vector<uint8_t> batch(buf_.begin() + static_cast<ptrdiff_t>(lo),
+                               buf_.begin() + static_cast<ptrdiff_t>(hi));
+    const off_t write_at = file_end_;
+    const int fd = fd_;
+    std::function<void()> hook = fsync_hook_;
+    flush_in_progress_ = true;
+    lk.unlock();
+
+    // Device I/O happens here, with no lock held: appenders keep
+    // reserving lsns and committers keep queueing requests meanwhile.
+    Status io = WriteFully(fd, batch.data(), batch.size(), write_at);
+    if (io.ok()) {
+      if (hook) hook();
+      io = FsyncRetry(fd);
+    }
+
+    lk.lock();
+    CompleteFlushLocked(from, target, batch.size(), io, /*did_sync=*/io.ok());
+  }
+}
+
+std::pair<size_t, size_t> LogManager::BatchRangeLocked(Lsn from,
+                                                       Lsn target) const {
+  assert(from >= buf_first_ && target > from);
+  assert(target - buf_first_ <= ends_.size());
+  size_t lo = (from == buf_first_) ? 0 : ends_[from - buf_first_ - 1];
+  size_t hi = ends_[target - buf_first_ - 1];
+  return {lo, hi};
+}
+
+void LogManager::CompleteFlushLocked(Lsn from, Lsn target, size_t nbytes,
+                                     const Status& io, bool did_sync) {
+  if (io.ok()) {
+    for (Lsn l = from + 1; l <= target; ++l) {
       if (records_[l - 1].type == LogRecordType::kCheckpoint) {
         last_checkpoint_ = l;
       }
     }
     durable_lsn_ = target;
+    if (fd_ >= 0) {
+      file_end_ += static_cast<off_t>(nbytes);
+      // Drop the consumed prefix of the log buffer. Appends may have
+      // extended it while the I/O ran; only the flushed range goes.
+      size_t n_recs = static_cast<size_t>(target - buf_first_);
+      ends_.erase(ends_.begin(),
+                  ends_.begin() + static_cast<ptrdiff_t>(n_recs));
+      if (nbytes > 0) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(nbytes));
+        for (size_t& e : ends_) e -= nbytes;
+      }
+      buf_first_ = target;
+    }
+    if (sink_.records_flushed != nullptr) {
+      sink_.records_flushed->fetch_add(target - from,
+                                       std::memory_order_relaxed);
+    }
+    if (did_sync && sink_.fsyncs != nullptr) {
+      sink_.fsyncs->fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Sticky: the tail may be torn on disk; nothing past `from` may be
+    // acknowledged, now or later. Waiters see the error.
+    io_status_ = io;
   }
-  return Status::OK();
+  flush_in_progress_ = false;
+  durable_cv_.notify_all();
+}
+
+Status LogManager::FlushInlineLocked(Lsn target) {
+  if (!injected_error_.ok()) {
+    Status err = std::exchange(injected_error_, Status::OK());
+    CompleteFlushLocked(durable_lsn_, target, 0, err, false);
+    return io_status_;
+  }
+  if (fd_ < 0) {
+    CompleteFlushLocked(durable_lsn_, target, 0, Status::OK(), false);
+    return Status::OK();
+  }
+  auto [lo, hi] = BatchRangeLocked(durable_lsn_, target);
+  Status io = WriteFully(fd_, buf_.data() + lo, hi - lo, file_end_);
+  if (io.ok()) {
+    if (fsync_hook_) fsync_hook_();
+    io = FsyncRetry(fd_);
+  }
+  CompleteFlushLocked(durable_lsn_, target, hi - lo, io, /*did_sync=*/io.ok());
+  return io.ok() ? Status::OK() : io_status_;
 }
 
 Lsn LogManager::last_lsn() const {
@@ -252,8 +428,15 @@ Lsn LogManager::last_checkpoint_lsn() const {
 }
 
 void LogManager::SimulateCrash() {
-  std::lock_guard<std::mutex> g(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  // Let an in-flight flush land or fail first, so the durable boundary
+  // we truncate to is the one the disk actually has.
+  durable_cv_.wait(lk, [&] { return !flush_in_progress_; });
   records_.resize(durable_lsn_);
+  requested_lsn_ = durable_lsn_;
+  buf_.clear();
+  ends_.clear();
+  buf_first_ = durable_lsn_;
 }
 
 LogRecord LogManager::At(Lsn lsn) const {
@@ -299,6 +482,33 @@ Result<std::vector<LogRecord>> LogManager::Deserialize(
 size_t LogManager::size() const {
   std::lock_guard<std::mutex> g(mu_);
   return records_.size();
+}
+
+void LogManager::BindStats(const WalStatsSink& sink) {
+  std::lock_guard<std::mutex> g(mu_);
+  sink_ = sink;
+}
+
+void LogManager::UnbindStats(const WalStatsSink& sink) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (sink_.appends == sink.appends && sink_.fsyncs == sink.fsyncs &&
+      sink_.records_flushed == sink.records_flushed) {
+    sink_ = WalStatsSink{};
+  }
+}
+
+void LogManager::InjectFlushErrorForTest(Status error) {
+  std::lock_guard<std::mutex> g(mu_);
+  injected_error_ = std::move(error);
+}
+
+void LogManager::SetFsyncHookForTest(std::function<void()> hook) {
+  std::lock_guard<std::mutex> g(mu_);
+  fsync_hook_ = std::move(hook);
+}
+
+std::thread::id LogManager::flusher_thread_id_for_test() const {
+  return flusher_.get_id();
 }
 
 }  // namespace asset

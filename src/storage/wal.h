@@ -2,7 +2,8 @@
 #define ASSET_STORAGE_WAL_H_
 
 /// \file wal.h
-/// Write-ahead log with before/after images.
+/// Write-ahead log with before/after images and an asynchronous
+/// group-commit pipeline.
 ///
 /// The paper's write path (§4.2) logs the before image of an object, then
 /// performs the write, then logs the after image; abort installs before
@@ -14,12 +15,36 @@
 /// an update wins by looking at the transaction that was responsible for
 /// it *at the end*, delegation itself is logged (kDelegateAll /
 /// kDelegateSet) and replayed during analysis.
+///
+/// Durability pipeline. The log is split into two sides so the append
+/// fast path never waits on the disk:
+///
+///  - The *append* side assigns the lsn and, when the log is
+///    file-backed, encodes the record into an in-memory log buffer —
+///    all under one short critical section. Appending never performs
+///    I/O and never blocks on a flush in progress.
+///  - The *flush* side is a dedicated flusher thread. Committers (and
+///    anyone else who needs durability) publish the lsn they need via
+///    RequestFlush/WaitDurable; the flusher drains every requested
+///    record in one pwrite at a tracked file offset plus one fsync,
+///    advances `durable_lsn_`, and wakes all waiters. Concurrent
+///    committers therefore piggyback on a single fsync — the paper's
+///    group-commit (GC) economics applied to the storage layer.
+///
+/// I/O errors are sticky: once a flush fails, the failure Status is
+/// surfaced to every current and future durability waiter, and the
+/// durable boundary stops advancing (the tail may be torn on disk; a
+/// re-attach truncates it, exactly like a crash).
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/ids.h"
@@ -92,29 +117,73 @@ struct LogRecord {
                                       size_t* offset);
 };
 
+/// Pointers into a stats aggregate (KernelStats in practice) that the
+/// log bumps as it works. Raw atomics rather than the struct itself so
+/// the storage layer does not depend on the kernel's headers. All
+/// pointers may be null.
+struct WalStatsSink {
+  std::atomic<uint64_t>* appends = nullptr;
+  std::atomic<uint64_t>* fsyncs = nullptr;
+  std::atomic<uint64_t>* records_flushed = nullptr;
+};
+
 /// Append-only log. Thread-safe. Records become *durable* only when
 /// flushed; SimulateCrash() discards the non-durable tail, which is how
 /// recovery tests model power loss.
 ///
 /// Optionally file-backed: AttachFile() loads the records persisted by
-/// a previous process and makes every subsequent Flush() append the
-/// newly durable records to the file and fsync it.
+/// a previous process and makes every subsequent flush append the newly
+/// durable records to the file and fsync it.
 class LogManager {
  public:
-  LogManager() = default;
+  enum class FlushMode : uint8_t {
+    /// Default: the dedicated flusher thread performs all file I/O;
+    /// durability waiters from concurrent committers piggyback on one
+    /// pwrite+fsync per batch.
+    kGrouped,
+    /// Reference mode: Flush/WaitDurable perform the pwrite+fsync on
+    /// the calling thread, under the log mutex, one batch per caller —
+    /// the pre-pipeline behaviour. Used by benchmarks as the
+    /// synchronous-fsync baseline and by single-threaded embedders that
+    /// prefer no background thread.
+    kSynchronous,
+  };
+
+  LogManager() : LogManager(FlushMode::kGrouped) {}
+  explicit LogManager(FlushMode mode);
   ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
 
   /// Binds the log to `path`: existing records are loaded (all durable),
   /// future flushes append. Must be called before any Append. A torn
   /// tail from a mid-write crash is truncated, not an error.
   Status AttachFile(const std::string& path);
 
-  /// Appends `rec`, assigning and returning its lsn.
+  /// Appends `rec`, assigning and returning its lsn. Never performs I/O
+  /// and never waits for a flush in progress.
   Lsn Append(LogRecord rec);
 
   /// Makes all records with lsn <= `upto` durable (everything, if
-  /// kNullLsn).
+  /// kNullLsn) and blocks until they are. Exactly `upto` is made
+  /// durable, never more: the volatile tail beyond it stays volatile,
+  /// which crash tests (and the buffer pool's page_lsn flushes) rely
+  /// on. InvalidArgument if `upto` is beyond the end of the log; the
+  /// sticky I/O error if a flush failed.
   Status Flush(Lsn upto = kNullLsn);
+
+  /// Blocks until `durable_lsn() >= lsn` or the log hits an I/O error,
+  /// requesting a flush if one is needed. Equivalent to Flush(lsn); the
+  /// name the commit path uses.
+  Status WaitDurable(Lsn lsn) { return Flush(lsn); }
+
+  /// Asks the flusher to make records up to `lsn` (everything, if
+  /// kNullLsn) durable without waiting. The relaxed-durability commit
+  /// path uses this: the ack does not wait, but the flusher persists
+  /// the commit record soon after. In kSynchronous mode this flushes
+  /// inline (there is no flusher to hand off to).
+  void RequestFlush(Lsn lsn = kNullLsn);
 
   Lsn last_lsn() const;
   Lsn durable_lsn() const;
@@ -122,7 +191,8 @@ class LogManager {
   /// Lsn of the most recent durable checkpoint record, or kNullLsn.
   Lsn last_checkpoint_lsn() const;
 
-  /// Drops every record that was never flushed.
+  /// Drops every record that was never flushed. Waits out a flush in
+  /// progress first so the durable boundary is stable.
   void SimulateCrash();
 
   /// Copy of record `lsn` (1-based). Must exist.
@@ -142,13 +212,80 @@ class LogManager {
   /// Total appended records.
   size_t size() const;
 
+  /// Points the log's counters at a stats aggregate (the kernel's
+  /// KernelStats). UnbindStats detaches only if `sink` is the one
+  /// currently bound, so a stale owner cannot clear a newer binding.
+  void BindStats(const WalStatsSink& sink);
+  void UnbindStats(const WalStatsSink& sink);
+
+  // --- Test hooks -------------------------------------------------------
+
+  /// Makes the next flush attempt fail with `error` instead of touching
+  /// the device, as a failing disk would. The error then sticks.
+  void InjectFlushErrorForTest(Status error);
+
+  /// Invoked immediately before each fsync, on the thread that issues
+  /// it. Tests use this to assert *where* fsyncs happen (the flusher
+  /// thread, never a thread inside the kernel).
+  void SetFsyncHookForTest(std::function<void()> hook);
+
+  /// Identity of the flusher thread (kGrouped mode only).
+  std::thread::id flusher_thread_id_for_test() const;
+
  private:
+  /// Body of the dedicated flusher thread (kGrouped mode).
+  void FlusherMain();
+
+  /// Byte range of records (from, target] in buf_. Caller holds mu_.
+  std::pair<size_t, size_t> BatchRangeLocked(Lsn from, Lsn target) const;
+
+  /// Bookkeeping after a flush attempt of (from, target] that wrote
+  /// `nbytes` (0 when not file-backed): advances the durable boundary
+  /// and checkpoint watermark, trims the consumed buffer prefix, bumps
+  /// counters — or records the sticky error. Caller holds mu_.
+  void CompleteFlushLocked(Lsn from, Lsn target, size_t nbytes,
+                           const Status& io, bool did_sync);
+
+  /// kSynchronous-mode flush of records up to `target`, inline under
+  /// mu_ (the caller pays the pwrite+fsync — the reference behaviour).
+  Status FlushInlineLocked(Lsn target);
+
   mutable std::mutex mu_;
+  /// Wakes the flusher (new request, shutdown).
+  std::condition_variable flush_cv_;
+  /// Wakes durability waiters (boundary advanced, error, flush done).
+  std::condition_variable durable_cv_;
+
+  const FlushMode mode_;
   std::deque<LogRecord> records_;
   Lsn durable_lsn_ = kNullLsn;
   Lsn last_checkpoint_ = kNullLsn;
+  /// Highest lsn any waiter or nudge asked to make durable.
+  Lsn requested_lsn_ = kNullLsn;
+  /// Sticky: first flush failure; OK while the log is healthy.
+  Status io_status_;
+  /// Consumed by the next flush attempt (test fault injection).
+  Status injected_error_;
+  bool flush_in_progress_ = false;
+  bool stop_ = false;
+
   /// File descriptor of the attached log file, or -1.
   int fd_ = -1;
+  /// Tracked append offset: end of the durable bytes in the file. The
+  /// flusher writes at this offset instead of trusting lseek(SEEK_END).
+  off_t file_end_ = 0;
+
+  /// In-memory log buffer (file-backed logs only): the wire encoding of
+  /// records (buf_first_, buf_first_ + ends_.size()], appended by
+  /// Append, consumed from the front by flushes. ends_[i] is the end
+  /// offset in buf_ of record buf_first_ + 1 + i.
+  std::vector<uint8_t> buf_;
+  std::deque<size_t> ends_;
+  Lsn buf_first_ = kNullLsn;
+
+  WalStatsSink sink_;
+  std::function<void()> fsync_hook_;
+  std::thread flusher_;
 };
 
 }  // namespace asset

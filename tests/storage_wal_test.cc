@@ -1,14 +1,20 @@
 // Tests for the write-ahead log: record encode/decode, durability
-// boundary, crash simulation, checkpoint tracking, and torn-tail
-// handling.
+// boundary, crash simulation, checkpoint tracking, torn-tail handling,
+// and the group-commit pipeline (flusher batching, flush-error
+// surfacing, crash mid-group-commit).
 
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "core/database.h"
 #include "storage/wal.h"
 
 namespace asset {
@@ -229,6 +235,100 @@ TEST(LogFileTest, AttachAfterAppendIsRejected) {
   EXPECT_TRUE(log.AttachFile("/tmp/whatever.wal").IsIllegalState());
 }
 
+TEST(LogManagerTest, RequestFlushAdvancesDurableAsynchronously) {
+  LogManager log;
+  log.Append(UpdateRec(1, 1, "", "a"));
+  Lsn lsn = log.Append(UpdateRec(1, 1, "a", "b"));
+  log.RequestFlush(lsn);  // nudge only — no wait
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (log.durable_lsn() < lsn &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(log.durable_lsn(), lsn);
+}
+
+TEST(LogManagerTest, WaitDurableHonorsTheExactBoundary) {
+  LogManager log;
+  Lsn l1 = log.Append(UpdateRec(1, 1, "", "a"));
+  log.Append(UpdateRec(1, 1, "a", "b"));
+  ASSERT_TRUE(log.WaitDurable(l1).ok());
+  // Exactly l1: the tail beyond the requested boundary stays volatile.
+  EXPECT_EQ(log.durable_lsn(), l1);
+  EXPECT_FALSE(log.WaitDurable(99).ok());  // beyond the end of the log
+}
+
+TEST(LogFileTest, FlushErrorSurfacesToWaitersAndSticks) {
+  std::string path = ::testing::TempDir() + "/asset_wal_ioerr.wal";
+  std::remove(path.c_str());
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path).ok());
+  Lsn lsn = log.Append(UpdateRec(1, 1, "a", "b"));
+  log.InjectFlushErrorForTest(Status::IOError("injected device failure"));
+  Status s = log.Flush(lsn);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(log.durable_lsn(), 0u);  // the boundary must not advance
+  // The failure is sticky: every later durability wait reports it too.
+  EXPECT_EQ(log.Flush().code(), StatusCode::kIOError);
+  // A crash keeps only the durable prefix — nothing here.
+  log.SimulateCrash();
+  EXPECT_EQ(log.last_lsn(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(LogFileTest, SynchronousModeFlushesOnTheCallingThread) {
+  std::string path = ::testing::TempDir() + "/asset_wal_syncmode.wal";
+  std::remove(path.c_str());
+  {
+    LogManager log(LogManager::FlushMode::kSynchronous);
+    ASSERT_TRUE(log.AttachFile(path).ok());
+    std::set<std::thread::id> fsync_threads;
+    log.SetFsyncHookForTest(
+        [&] { fsync_threads.insert(std::this_thread::get_id()); });
+    log.Append(UpdateRec(1, 5, "a", "b"));
+    Lsn lsn = log.Append(UpdateRec(1, 5, "b", "c"));
+    ASSERT_TRUE(log.Flush(lsn).ok());
+    EXPECT_EQ(fsync_threads,
+              std::set<std::thread::id>{std::this_thread::get_id()});
+  }
+  // The synchronous mode writes the same on-disk format.
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path).ok());
+  EXPECT_EQ(log.durable_lsn(), 2u);
+  EXPECT_EQ(log.At(2).after, (std::vector<uint8_t>{'c'}));
+  std::remove(path.c_str());
+}
+
+TEST(LogFileTest, GroupedFsyncsRunOnlyOnTheFlusherThread) {
+  std::string path = ::testing::TempDir() + "/asset_wal_flusher.wal";
+  std::remove(path.c_str());
+  LogManager log;
+  ASSERT_TRUE(log.AttachFile(path).ok());
+  std::mutex mu;
+  std::set<std::thread::id> fsync_threads;
+  log.SetFsyncHookForTest([&] {
+    std::lock_guard<std::mutex> g(mu);
+    fsync_threads.insert(std::this_thread::get_id());
+  });
+  constexpr int kThreads = 8, kPer = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPer; ++i) {
+        Lsn lsn = log.Append(UpdateRec(t + 1, 1, "", "x"));
+        ASSERT_TRUE(log.WaitDurable(lsn).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.durable_lsn(), static_cast<Lsn>(kThreads * kPer));
+  // Every fsync was issued by the dedicated flusher — never a waiter.
+  std::lock_guard<std::mutex> g(mu);
+  ASSERT_EQ(fsync_threads.size(), 1u);
+  EXPECT_EQ(*fsync_threads.begin(), log.flusher_thread_id_for_test());
+  std::remove(path.c_str());
+}
+
 TEST(LogFileTest, CheckpointLsnRestoredFromFile) {
   std::string path = ::testing::TempDir() + "/asset_wal_cp.wal";
   std::remove(path.c_str());
@@ -245,6 +345,122 @@ TEST(LogFileTest, CheckpointLsnRestoredFromFile) {
   ASSERT_TRUE(log.AttachFile(path).ok());
   EXPECT_EQ(log.last_checkpoint_lsn(), 2u);
   std::remove(path.c_str());
+}
+
+// --- Durability-pipeline tests through the full database stack ----------
+
+// A crash can land between two group commits: the first group's commit
+// records made it to the durable prefix, the second group's did not.
+// Recovery must commit exactly the durable groups. force_log_at_commit
+// is off so this test controls the durable boundary by hand.
+TEST(WalPipelineTest, CrashMidGroupCommitRecoversExactlyTheDurableGroups) {
+  Database::Options opts;
+  opts.txn.force_log_at_commit = false;
+  auto open = Database::Open(opts);
+  ASSERT_TRUE(open.ok());
+  auto db = std::move(*open);
+
+  ObjectId obj[4];
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(txn.ok());
+    for (ObjectId& o : obj) {
+      auto created = txn->Create<int>(0);
+      ASSERT_TRUE(created.ok());
+      o = *created;
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  ASSERT_TRUE(db->SyncWal().ok());  // the baseline must survive the crash
+
+  TransactionManager& tm = db->txn();
+  Database* dbp = db.get();
+  auto commit_pair_group = [&](ObjectId a, ObjectId b) {
+    Tid t1 = tm.Initiate([dbp, a] { (void)dbp->Put<int>(a, 1); });
+    Tid t2 = tm.Initiate([dbp, b] { (void)dbp->Put<int>(b, 1); });
+    EXPECT_TRUE(tm.FormDependency(DependencyType::kGroupCommit, t1, t2).ok());
+    EXPECT_TRUE(tm.Begin(t1));
+    EXPECT_TRUE(tm.Begin(t2));
+    EXPECT_TRUE(tm.Commit(t1));  // commits the whole group
+  };
+
+  commit_pair_group(obj[0], obj[1]);
+  Lsn first_group_end = db->log().last_lsn();
+  commit_pair_group(obj[2], obj[3]);
+
+  // Only the first group's records reach the durable prefix; the
+  // second group's commit records die with the crash.
+  ASSERT_TRUE(db->log().Flush(first_group_end).ok());
+  ASSERT_TRUE(db->CrashAndRecover().ok());
+
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(*txn->Get<int>(obj[0]), 1);  // durable group: committed
+  EXPECT_EQ(*txn->Get<int>(obj[1]), 1);
+  EXPECT_EQ(*txn->Get<int>(obj[2]), 0);  // lost group: rolled back
+  EXPECT_EQ(*txn->Get<int>(obj[3]), 0);
+  ASSERT_TRUE(txn->Commit().ok());
+}
+
+// N concurrent strict-durability committers must produce fewer than N
+// fsyncs (the flusher batches their commit records), and every fsync
+// must run on the flusher thread — a thread that never touches the
+// kernel mutex, which is the "no fsync under the kernel mutex"
+// guarantee in executable form.
+TEST(WalPipelineTest, ConcurrentCommittersBatchOntoFewerFsyncs) {
+  std::string path = ::testing::TempDir() + "/asset_wal_batch_db.data";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  Database::Options opts;
+  opts.path = path;  // file-backed: fsyncs are real
+  auto open = Database::Open(opts);
+  ASSERT_TRUE(open.ok());
+  auto db = std::move(*open);
+
+  std::mutex mu;
+  std::set<std::thread::id> fsync_threads;
+  db->log().SetFsyncHookForTest([&] {
+    std::lock_guard<std::mutex> g(mu);
+    fsync_threads.insert(std::this_thread::get_id());
+  });
+
+  auto before = db->txn().stats().snapshot();
+  constexpr int kThreads = 8, kPer = 25;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &committed] {
+      for (int i = 0; i < kPer; ++i) {
+        auto txn = db->Begin();
+        ASSERT_TRUE(txn.ok());
+        ASSERT_TRUE(txn->Create<int>(i).ok());
+        if (txn->Commit().ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto after = db->txn().stats().snapshot();
+
+  const uint64_t commits = after.txns_committed - before.txns_committed;
+  const uint64_t fsyncs = after.wal_fsyncs - before.wal_fsyncs;
+  EXPECT_EQ(committed.load(), kThreads * kPer);
+  EXPECT_EQ(commits, static_cast<uint64_t>(kThreads * kPer));
+  ASSERT_GT(fsyncs, 0u);
+  // The batching win: strictly fewer fsyncs than commits.
+  EXPECT_LT(fsyncs, commits);
+  // Every commit was acked durable (strict policy, default).
+  EXPECT_GE(db->log().durable_lsn(), static_cast<Lsn>(kThreads * kPer));
+
+  {
+    std::lock_guard<std::mutex> g(mu);
+    ASSERT_EQ(fsync_threads.size(), 1u);
+    EXPECT_EQ(*fsync_threads.begin(), db->log().flusher_thread_id_for_test());
+  }
+  db->log().SetFsyncHookForTest(nullptr);
+  db.reset();
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
 }
 
 }  // namespace
