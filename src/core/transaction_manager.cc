@@ -682,8 +682,10 @@ Status TransactionManager::AwaitCommitDurable(Lsn commit_lsn) {
     return Status::OK();
   }
   if (options_.durability == DurabilityPolicy::kRelaxed) {
-    log_->RequestFlush(commit_lsn);
-    return Status::OK();
+    // No wait — but a sticky flush failure still surfaces. Acking OK
+    // forever after the disk died would lose arbitrarily many commits,
+    // not the bounded tail relaxed mode promises.
+    return log_->RequestFlush(commit_lsn);
   }
   if (log_->durable_lsn() < commit_lsn) {
     // The ack actually has to sleep for the flusher (vs riding a batch
@@ -1075,21 +1077,46 @@ Result<ObjectId> TransactionManager::CreateObject(
   TxnRef ref;
   ASSET_RETURN_NOT_OK(PrepareDataOp(t, "create", /*distinguish_aborted=*/false,
                                     &ref));
-  auto oid = store_->Create(data);
-  if (!oid.ok()) return oid.status();
-  Status locked = locks_.Acquire(ref.td, *oid, LockMode::kWrite);
+  // Validate size before logging, so the log never carries a create
+  // that cannot apply (or replay).
+  if (data.size() > ObjectStore::MaxObjectSize()) {
+    return Status::InvalidArgument("object larger than page capacity");
+  }
+  ObjectId oid = store_->AllocateId();
+  Status locked = locks_.Acquire(ref.td, oid, LockMode::kWrite);
   if (!locked.ok()) {
     // Unreachable contention (the id is fresh), but the transaction may
-    // have been marked aborting while we allocated.
-    (void)store_->ApplyDelete(*oid);
+    // have been marked aborting while we allocated. Nothing to undo:
+    // neither the log nor the store has seen the object yet.
     return locked;
   }
+  // §4.2 write-ahead, create-shaped: log first, then materialize. The
+  // buffer pool samples the log position when the store dirties a page,
+  // so the kCreate record must exist before the page mutation — else an
+  // eviction could steal the page without forcing the record, and a
+  // crash would resurrect the uncommitted object with no log record to
+  // undo it.
   LogRecord rec;
   rec.type = LogRecordType::kCreate;
   rec.tid = t;
-  rec.oid = *oid;
+  rec.oid = oid;
   rec.after.assign(data.begin(), data.end());
   Lsn lsn = log_->Append(std::move(rec));
+  Status applied = store_->CreateWithId(oid, data);
+  if (!applied.ok()) {
+    // The create is logged but never materialized (store full, pool
+    // eviction error). A later commit would still redo it, resurrecting
+    // an object the caller was told failed — neutralize the record now
+    // with a CLR instead of recording an undo, so the outcome is the
+    // same whether the transaction commits or aborts.
+    LogRecord clr;
+    clr.type = LogRecordType::kClrDelete;
+    clr.tid = t;
+    clr.oid = oid;
+    clr.undo_of = lsn;
+    log_->Append(std::move(clr));
+    return applied;
+  }
   {
     std::lock_guard<std::mutex> lk(sync_.mu);
     undo_.RecordLocked(ref.td, lsn);

@@ -77,7 +77,8 @@ enum class DurabilityPolicy : uint8_t {
   /// The commit call returns as soon as the commit is applied in
   /// memory; it nudges the flusher (RequestFlush) but does not wait.
   /// A crash may lose the tail of acked commits — never a prefix hole:
-  /// the flusher persists in lsn order.
+  /// the flusher persists in lsn order. A sticky WAL I/O failure still
+  /// fails the ack (otherwise the lost tail would be unbounded).
   kRelaxed,
 };
 

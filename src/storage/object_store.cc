@@ -116,6 +116,15 @@ Result<ObjectId> ObjectStore::Create(std::span<const uint8_t> data) {
   return oid;
 }
 
+ObjectId ObjectStore::AllocateId() {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  return next_oid_++;
+}
+
+size_t ObjectStore::MaxObjectSize() {
+  return Page::MaxRecordSize() - kRecordHeader;
+}
+
 Status ObjectStore::CreateWithId(ObjectId oid,
                                  std::span<const uint8_t> data) {
   if (oid == kNullObjectId) {

@@ -40,6 +40,14 @@ class ObjectStore {
   /// Creates an object with a store-assigned id.
   Result<ObjectId> Create(std::span<const uint8_t> data);
 
+  /// Reserves a fresh object id without creating anything. The
+  /// transactional create path uses this to log the create
+  /// (write-ahead) before materializing it with CreateWithId.
+  ObjectId AllocateId();
+
+  /// Largest object payload that fits in one page record.
+  static size_t MaxObjectSize();
+
   /// Creates an object with a caller-chosen id (used by recovery redo and
   /// by applications with natural keys). Fails if the id exists.
   Status CreateWithId(ObjectId oid, std::span<const uint8_t> data);

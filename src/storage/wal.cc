@@ -277,25 +277,34 @@ Status LogManager::Flush(Lsn upto) {
     return FlushInlineLocked(target);
   }
   flush_cv_.notify_one();
+  const uint64_t epoch = crash_epoch_;
   durable_cv_.wait(lk, [&] {
-    return durable_lsn_ >= target || !io_status_.ok() || stop_;
+    return durable_lsn_ >= target || !io_status_.ok() || stop_ ||
+           crash_epoch_ != epoch;
   });
   if (durable_lsn_ >= target) return Status::OK();
   if (!io_status_.ok()) return io_status_;
+  if (crash_epoch_ != epoch) {
+    return Status::IllegalState(
+        "log crashed during flush wait: the awaited tail was discarded");
+  }
   return Status::IllegalState("log shut down during flush wait");
 }
 
-void LogManager::RequestFlush(Lsn lsn) {
+Status LogManager::RequestFlush(Lsn lsn) {
   std::unique_lock<std::mutex> lk(mu_);
   Lsn end = static_cast<Lsn>(records_.size());
   Lsn target = (lsn == kNullLsn) ? end : std::min(lsn, end);
-  if (target <= durable_lsn_ || !io_status_.ok()) return;
+  if (target <= durable_lsn_) return Status::OK();
+  // Sticky failure: nothing past durable_lsn_ will ever land, so the
+  // nudge must not be a silent OK — relaxed commits surface this.
+  if (!io_status_.ok()) return io_status_;
   requested_lsn_ = std::max(requested_lsn_, target);
   if (mode_ == FlushMode::kSynchronous) {
-    FlushInlineLocked(target);  // sticky io_status_ records any failure
-    return;
+    return FlushInlineLocked(target);
   }
   flush_cv_.notify_one();
+  return Status::OK();
 }
 
 void LogManager::FlusherMain() {
@@ -437,6 +446,11 @@ void LogManager::SimulateCrash() {
   buf_.clear();
   ends_.clear();
   buf_first_ = durable_lsn_;
+  // Flush waiters whose target died with the tail would otherwise sleep
+  // forever (their lsn can never become durable now); the epoch bump
+  // wakes them into an IllegalState return.
+  ++crash_epoch_;
+  durable_cv_.notify_all();
 }
 
 LogRecord LogManager::At(Lsn lsn) const {

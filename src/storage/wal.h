@@ -170,7 +170,8 @@ class LogManager {
   /// durable, never more: the volatile tail beyond it stays volatile,
   /// which crash tests (and the buffer pool's page_lsn flushes) rely
   /// on. InvalidArgument if `upto` is beyond the end of the log; the
-  /// sticky I/O error if a flush failed.
+  /// sticky I/O error if a flush failed; IllegalState if SimulateCrash
+  /// discarded the awaited tail while we slept.
   Status Flush(Lsn upto = kNullLsn);
 
   /// Blocks until `durable_lsn() >= lsn` or the log hits an I/O error,
@@ -181,9 +182,13 @@ class LogManager {
   /// Asks the flusher to make records up to `lsn` (everything, if
   /// kNullLsn) durable without waiting. The relaxed-durability commit
   /// path uses this: the ack does not wait, but the flusher persists
-  /// the commit record soon after. In kSynchronous mode this flushes
-  /// inline (there is no flusher to hand off to).
-  void RequestFlush(Lsn lsn = kNullLsn);
+  /// the commit record soon after. Returns OK without waiting for the
+  /// I/O — unless the log already carries a sticky flush failure, which
+  /// is returned so even no-wait committers learn the disk is gone
+  /// (records past durable_lsn() will never land). In kSynchronous mode
+  /// this flushes inline (there is no flusher to hand off to) and
+  /// returns that flush's status.
+  Status RequestFlush(Lsn lsn = kNullLsn);
 
   Lsn last_lsn() const;
   Lsn durable_lsn() const;
@@ -192,7 +197,9 @@ class LogManager {
   Lsn last_checkpoint_lsn() const;
 
   /// Drops every record that was never flushed. Waits out a flush in
-  /// progress first so the durable boundary is stable.
+  /// progress first so the durable boundary is stable. Concurrent
+  /// Flush/WaitDurable waiters whose target was discarded wake with
+  /// IllegalState instead of sleeping forever.
   void SimulateCrash();
 
   /// Copy of record `lsn` (1-based). Must exist.
@@ -268,6 +275,9 @@ class LogManager {
   Status injected_error_;
   bool flush_in_progress_ = false;
   bool stop_ = false;
+  /// Bumped by SimulateCrash; lets sleeping durability waiters detect
+  /// that the tail holding their target was discarded.
+  uint64_t crash_epoch_ = 0;
 
   /// File descriptor of the attached log file, or -1.
   int fd_ = -1;
