@@ -29,23 +29,98 @@ Result<std::unique_ptr<Database>> Database::Open(Options options) {
   }
   db->tm_ = std::make_unique<TransactionManager>(&db->log_, db->store_.get(),
                                                  options.txn);
+  db->StartCheckpointer();
   return db;
 }
 
 Database::~Database() {
-  // Kernel first (aborts in-flight transactions, which still reference
-  // the store and log), then storage.
+  // Checkpointer first (it snapshots the kernel), then the kernel
+  // (aborts in-flight transactions, which still reference the store and
+  // log), then storage.
+  StopCheckpointer();
   tm_.reset();
 }
 
-Status Database::Checkpoint() {
-  if (!tm_->WaitIdle(std::chrono::milliseconds(30000))) {
-    return Status::TimedOut("checkpoint: transactions still active");
+Status Database::Checkpoint() { return DoCheckpoint(); }
+
+Status Database::DoCheckpoint() {
+  std::lock_guard<std::mutex> serialize(ckpt_mu_);
+  // Re-arm the byte trigger before attempting, so a failing checkpoint
+  // (e.g. drain timeout) does not make the background thread retry in a
+  // tight loop.
+  ckpt_baseline_bytes_.store(log_.appended_bytes(), std::memory_order_relaxed);
+  auto lsn = RecoveryManager::FuzzyCheckpoint(
+      &log_, pool_.get(), [this] { return tm_->SnapshotActiveTransactions(); },
+      options_.checkpoint.drain_timeout);
+  if (!lsn.ok()) return lsn.status();
+  tm_->stats().checkpoints.fetch_add(1, std::memory_order_relaxed);
+  if (options_.checkpoint.truncate_wal &&
+      log_.checkpoint_min_recovery_lsn() > 1) {
+    auto dropped = log_.TruncatePrefix();
+    if (!dropped.ok()) return dropped.status();
   }
-  return RecoveryManager::Checkpoint(&log_, pool_.get());
+  return Status::OK();
+}
+
+void Database::StartCheckpointer() {
+  if (options_.checkpoint.interval.count() <= 0 &&
+      options_.checkpoint.log_bytes_trigger == 0) {
+    return;
+  }
+  ckpt_baseline_bytes_.store(log_.appended_bytes(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(ckpt_thread_mu_);
+    ckpt_stop_ = false;
+  }
+  checkpointer_ = std::thread([this] { CheckpointerMain(); });
+}
+
+void Database::StopCheckpointer() {
+  {
+    std::lock_guard<std::mutex> g(ckpt_thread_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
+}
+
+void Database::CheckpointerMain() {
+  const auto interval = options_.checkpoint.interval;
+  const size_t bytes_trigger = options_.checkpoint.log_bytes_trigger;
+  // The byte trigger needs polling; the timer wakes on its own period.
+  const auto poll = bytes_trigger > 0
+                        ? std::chrono::milliseconds(20)
+                        : interval;
+  auto last = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lk(ckpt_thread_mu_);
+  for (;;) {
+    ckpt_cv_.wait_for(lk, poll, [&] { return ckpt_stop_; });
+    if (ckpt_stop_) return;
+    bool fire = false;
+    if (interval.count() > 0 &&
+        std::chrono::steady_clock::now() - last >= interval) {
+      fire = true;
+    }
+    if (bytes_trigger > 0 &&
+        log_.appended_bytes() -
+                ckpt_baseline_bytes_.load(std::memory_order_relaxed) >=
+            bytes_trigger) {
+      fire = true;
+    }
+    if (!fire) continue;
+    lk.unlock();
+    // A failed background checkpoint (drain timeout, sticky log error)
+    // is not fatal: the next trigger simply tries again.
+    (void)DoCheckpoint();
+    lk.lock();
+    last = std::chrono::steady_clock::now();
+  }
 }
 
 Status Database::CrashAndRecover(RecoveryManager::Report* report) {
+  // The checkpointer references the kernel and must not observe the
+  // teardown below; it is restarted once the new kernel exists.
+  StopCheckpointer();
   // Tear down the kernel; any straggler transactions are aborted, but
   // the records that abort appends are not flushed, so the simulated
   // crash below erases them — the log reads exactly as if the power had
@@ -59,6 +134,7 @@ Status Database::CrashAndRecover(RecoveryManager::Report* report) {
   if (report != nullptr) *report = *rec;
   tm_ = std::make_unique<TransactionManager>(&log_, store_.get(),
                                              options_.txn);
+  StartCheckpointer();
   return Status::OK();
 }
 

@@ -9,11 +9,16 @@
 /// program against — the Ode-database role in the paper, minus the O++
 /// compiler (whose generated code src/models/ supplies as a library).
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -123,12 +128,33 @@ class Txn {
 /// kernel; destruction aborts stragglers.
 class Database {
  public:
+  /// Controls the online (fuzzy) checkpointer. Checkpoints never block
+  /// user traffic; they bound recovery time and let the WAL prefix be
+  /// reclaimed.
+  struct CheckpointOptions {
+    /// Fire a background checkpoint every `interval` (0 = no timer).
+    std::chrono::milliseconds interval{0};
+    /// Fire a background checkpoint after this many new WAL bytes since
+    /// the last one (0 = no byte trigger). With neither trigger set, no
+    /// background thread runs; Checkpoint() still works manually.
+    size_t log_bytes_trigger = 0;
+    /// Physically drop the WAL prefix made redundant by each completed
+    /// checkpoint.
+    bool truncate_wal = true;
+    /// How long a checkpoint may wait for in-flight data operations at
+    /// or below its cut point to finish applying (replaces the old
+    /// hard-coded 30000 ms quiescence wait — the fuzzy protocol drains
+    /// individual operations, never whole transactions).
+    std::chrono::milliseconds drain_timeout{30000};
+  };
+
   struct Options {
     /// Page frames in the cache.
     size_t buffer_pool_pages = 1024;
     /// Backing file; empty means an in-memory device.
     std::string path;
     TransactionManager::Options txn;
+    CheckpointOptions checkpoint;
   };
 
   /// Opens (or creates) a database.
@@ -217,8 +243,12 @@ class Database {
 
   // --- Maintenance -------------------------------------------------------
 
-  /// Quiescent checkpoint: waits for all transactions to terminate, then
-  /// flushes pages and logs a checkpoint record.
+  /// Online (fuzzy) checkpoint: writes back unpinned dirty pages, logs
+  /// a kFuzzyCheckpoint record carrying the active-transaction and
+  /// dirty-page tables, and (per CheckpointOptions::truncate_wal) drops
+  /// the WAL prefix the checkpoint made redundant. Never waits for
+  /// transactions to terminate and never blocks user traffic; safe to
+  /// call with transactions running.
   Status Checkpoint();
 
   /// Blocks until every appended WAL record is durable (one piggybacked
@@ -240,12 +270,33 @@ class Database {
     return t == kNullTid ? TransactionManager::Self() : t;
   }
 
+  /// One fuzzy checkpoint + optional truncation, serialized by
+  /// ckpt_mu_ (manual calls and the background thread never overlap).
+  Status DoCheckpoint();
+  /// Spawns the background checkpointer if either trigger is set.
+  void StartCheckpointer();
+  /// Stops and joins the background checkpointer (idempotent). Must be
+  /// called before tm_ is torn down — the thread snapshots the kernel.
+  void StopCheckpointer();
+  void CheckpointerMain();
+
   Options options_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   LogManager log_;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<TransactionManager> tm_;
+
+  /// Serializes checkpoint execution.
+  std::mutex ckpt_mu_;
+  /// Guards the checkpointer thread's sleep/stop state.
+  std::mutex ckpt_thread_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  /// appended_bytes() at the last checkpoint attempt (byte trigger
+  /// baseline).
+  std::atomic<uint64_t> ckpt_baseline_bytes_{0};
+  std::thread checkpointer_;
 };
 
 // --- Txn inline definitions (need the complete Database type) ------------

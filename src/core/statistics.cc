@@ -37,6 +37,10 @@ KernelStats::Snapshot KernelStats::snapshot() const {
   s.wal_fsyncs = wal_fsyncs.load(std::memory_order_relaxed);
   s.wal_records_flushed = wal_records_flushed.load(std::memory_order_relaxed);
   s.commit_stalls = commit_stalls.load(std::memory_order_relaxed);
+  s.checkpoints = checkpoints.load(std::memory_order_relaxed);
+  s.wal_truncations = wal_truncations.load(std::memory_order_relaxed);
+  s.wal_records_truncated =
+      wal_records_truncated.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -71,6 +75,9 @@ void KernelStats::Reset() {
   wal_fsyncs = 0;
   wal_records_flushed = 0;
   commit_stalls = 0;
+  checkpoints = 0;
+  wal_truncations = 0;
+  wal_records_truncated = 0;
 }
 
 std::string KernelStats::Snapshot::ToString() const {
@@ -97,7 +104,10 @@ std::string KernelStats::Snapshot::ToString() const {
      << "wal{appends=" << wal_appends << " fsyncs=" << wal_fsyncs
      << " records_flushed=" << wal_records_flushed
      << " records_per_fsync=" << wal_records_per_fsync()
-     << " commit_stalls=" << commit_stalls << "}";
+     << " commit_stalls=" << commit_stalls << "} "
+     << "checkpoint{checkpoints=" << checkpoints
+     << " truncations=" << wal_truncations
+     << " records_truncated=" << wal_records_truncated << "}";
   return os.str();
 }
 

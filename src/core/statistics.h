@@ -67,6 +67,13 @@ struct KernelStats {
   /// kernel mutex was released.
   std::atomic<uint64_t> commit_stalls{0};
 
+  /// Checkpoints completed (quiescent or fuzzy).
+  std::atomic<uint64_t> checkpoints{0};
+  /// TruncatePrefix calls that dropped at least one record.
+  std::atomic<uint64_t> wal_truncations{0};
+  /// Records physically dropped across all truncations.
+  std::atomic<uint64_t> wal_records_truncated{0};
+
   /// Plain-value copy of every counter.
   struct Snapshot {
     uint64_t txns_initiated, txns_begun, txns_committed, txns_aborted,
@@ -79,6 +86,7 @@ struct KernelStats {
         dependency_cycles_rejected;
     uint64_t reads, writes, increments, undo_installs;
     uint64_t wal_appends, wal_fsyncs, wal_records_flushed, commit_stalls;
+    uint64_t checkpoints, wal_truncations, wal_records_truncated;
 
     /// Batching ratio: records flushed per fsync (0 when no fsync ran).
     double wal_records_per_fsync() const {

@@ -38,7 +38,9 @@ TransactionManager::TransactionManager(LogManager* log, ObjectStore* store,
       locks_(&sync_, &permit_table_, &txns_, &stats_, options.lock),
       undo_(log, store, &stats_) {
   log_->BindStats(WalStatsSink{&stats_.wal_appends, &stats_.wal_fsyncs,
-                               &stats_.wal_records_flushed});
+                               &stats_.wal_records_flushed,
+                               &stats_.wal_truncations,
+                               &stats_.wal_records_truncated});
 }
 
 TransactionManager::TransactionManager(LogManager* log, ObjectStore* store)
@@ -58,7 +60,9 @@ TransactionManager::~TransactionManager() {
   // Detach the log's counters before stats_ dies; the log (and its
   // flusher) outlives this kernel.
   log_->UnbindStats(WalStatsSink{&stats_.wal_appends, &stats_.wal_fsyncs,
-                                 &stats_.wal_records_flushed});
+                                 &stats_.wal_records_flushed,
+                                 &stats_.wal_truncations,
+                                 &stats_.wal_records_truncated});
 }
 
 // ---------------------------------------------------------------------------
@@ -1054,6 +1058,9 @@ Status TransactionManager::Write(Tid t, ObjectId oid,
     od->data_latch.UnlockExclusive();
     return before.status();
   }
+  // Track the append -> apply -> register span so a fuzzy checkpoint
+  // drains it before snapshotting the active-transaction table.
+  LogManager::ApplyGuard apply_guard(log_);
   LogRecord rec;
   rec.type = LogRecordType::kUpdate;
   rec.tid = t;
@@ -1096,6 +1103,7 @@ Result<ObjectId> TransactionManager::CreateObject(
   // eviction could steal the page without forcing the record, and a
   // crash would resurrect the uncommitted object with no log record to
   // undo it.
+  LogManager::ApplyGuard apply_guard(log_);
   LogRecord rec;
   rec.type = LogRecordType::kCreate;
   rec.tid = t;
@@ -1142,6 +1150,7 @@ Status TransactionManager::DeleteObject(Tid t, ObjectId oid) {
     od->data_latch.UnlockExclusive();
     return before.status();
   }
+  LogManager::ApplyGuard apply_guard(log_);
   LogRecord rec;
   rec.type = LogRecordType::kDelete;
   rec.tid = t;
@@ -1185,6 +1194,7 @@ Status TransactionManager::Increment(Tid t, ObjectId oid, int64_t delta) {
     od->data_latch.UnlockExclusive();
     return current.status();
   }
+  LogManager::ApplyGuard apply_guard(log_);
   LogRecord rec;
   rec.type = LogRecordType::kIncrement;
   rec.tid = t;
@@ -1229,6 +1239,20 @@ bool TransactionManager::WaitIdle(std::chrono::milliseconds timeout) const {
     return true;
   }
   return sync_.cv.wait_for(lk, timeout, idle);
+}
+
+std::vector<FuzzyCheckpointImage::TxnEntry>
+TransactionManager::SnapshotActiveTransactions() const {
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  std::vector<FuzzyCheckpointImage::TxnEntry> out;
+  for (const auto& [tid, td] : txns_) {
+    if (!td->begun || IsTerminated(td->status)) continue;
+    FuzzyCheckpointImage::TxnEntry e;
+    e.tid = tid;
+    e.ops = td->responsible_ops;
+    out.push_back(std::move(e));
+  }
+  return out;
 }
 
 }  // namespace asset

@@ -289,6 +289,14 @@ class TransactionManager {
   bool WaitIdle(std::chrono::milliseconds timeout =
                     std::chrono::milliseconds(0)) const;
 
+  /// The active-transaction table for a fuzzy checkpoint: every begun,
+  /// unterminated transaction with a copy of the lsns of the data
+  /// operations it is responsible for (delegation folded in). One
+  /// kernel-mutex hold, so the snapshot is atomic with respect to
+  /// begin, commit, abort, and delegation.
+  std::vector<FuzzyCheckpointImage::TxnEntry> SnapshotActiveTransactions()
+      const;
+
   /// Direct access for white-box tests.
   PermitTable& permit_table_for_test() { return permit_table_; }
   DependencyGraph& dependency_graph_for_test() { return deps_; }

@@ -58,6 +58,10 @@ Status UndoManager::UndoOneLocked(TransactionDescriptor* td,
   clr.undo_of = rec.lsn;
 
   Status s;
+  // The CLR append + store apply is an in-flight apply like any data
+  // operation: register it so a fuzzy checkpoint's drain covers it and
+  // the buffer pool gets a recovery-lsn hint for the dirtied page.
+  LogManager::ApplyGuard apply_guard(log_);
   if (od != nullptr) od->data_latch.LockExclusive();
   switch (rec.type) {
     case LogRecordType::kCreate:

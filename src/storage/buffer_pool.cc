@@ -31,10 +31,17 @@ void PageHandle::MarkDirty() {
     // operation's log record before mutating the frame, so last_lsn()
     // at MarkDirty time upper-bounds every update this frame carries.
     Lsn lsn = pool_->wal_ != nullptr ? pool_->wal_->last_lsn() : kNullLsn;
+    // Lower bound for the recovery watermark: the dirtying operation
+    // holds an ApplyGuard registered before its record was appended, so
+    // the oldest in-flight apply bound is <= this operation's lsn.
+    // kNullLsn (no guard in flight — e.g. recovery redo) means unknown.
+    Lsn hint = pool_->wal_ != nullptr ? pool_->wal_->OldestApplying()
+                                      : kNullLsn;
     std::lock_guard<std::mutex> g(pool_->mu_);
     auto it = pool_->page_table_.find(page_id_);
     if (it != pool_->page_table_.end()) {
       BufferPool::Frame& f = pool_->frames_[it->second];
+      if (!f.dirty) f.rec_lsn = hint;
       f.dirty = true;
       f.page_lsn = std::max(f.page_lsn, lsn);
     }
@@ -100,6 +107,7 @@ Result<size_t> BufferPool::GrabFrameLocked() {
   f.page_id = kInvalidPageId;
   f.dirty = false;
   f.page_lsn = kNullLsn;
+  f.rec_lsn = kNullLsn;
   stats_.evictions++;
   return idx;
 }
@@ -145,6 +153,7 @@ Result<PageHandle> BufferPool::FetchPage(PageId page_id, bool validate) {
   f.pin_count = 1;
   f.dirty = false;
   f.page_lsn = kNullLsn;
+  f.rec_lsn = kNullLsn;
   page_table_[page_id] = *frame_idx;
   return PageHandle(this, page_id, f.data.get());
 }
@@ -162,18 +171,21 @@ Result<PageHandle> BufferPool::NewPage() {
   f.pin_count = 1;
   f.dirty = true;
   f.page_lsn = wal_ != nullptr ? wal_->last_lsn() : kNullLsn;
+  f.rec_lsn = wal_ != nullptr ? wal_->OldestApplying() : kNullLsn;
   page_table_[*page_id] = *frame_idx;
   return PageHandle(this, *page_id, f.data.get());
 }
 
 void BufferPool::Unpin(PageId page_id, bool dirty) {
   Lsn lsn = (dirty && wal_ != nullptr) ? wal_->last_lsn() : kNullLsn;
+  Lsn hint = (dirty && wal_ != nullptr) ? wal_->OldestApplying() : kNullLsn;
   std::lock_guard<std::mutex> g(mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return;
   Frame& f = frames_[it->second];
   assert(f.pin_count > 0);
   if (dirty) {
+    if (!f.dirty) f.rec_lsn = hint;
     f.dirty = true;
     f.page_lsn = std::max(f.page_lsn, lsn);
   }
@@ -195,6 +207,7 @@ Status BufferPool::FlushPage(PageId page_id) {
   ASSET_RETURN_NOT_OK(disk_->WritePage(page_id, f.data.get()));
   f.dirty = false;
   f.page_lsn = kNullLsn;
+  f.rec_lsn = kNullLsn;
   return Status::OK();
 }
 
@@ -222,9 +235,78 @@ Status BufferPool::FlushAll() {
       ASSET_RETURN_NOT_OK(disk_->WritePage(f.page_id, f.data.get()));
       f.dirty = false;
       f.page_lsn = kNullLsn;
+      f.rec_lsn = kNullLsn;
     }
   }
   return disk_->Sync();
+}
+
+Status BufferPool::FlushUnpinned() {
+  // Phase 1: collect the dirty set and its covering watermark.
+  std::vector<PageId> targets;
+  bool unknown = false;
+  Lsn max_lsn = kNullLsn;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const Frame& f : frames_) {
+      if (f.page_id != kInvalidPageId && f.dirty) {
+        targets.push_back(f.page_id);
+        if (f.page_lsn == kNullLsn) unknown = true;
+        max_lsn = std::max(max_lsn, f.page_lsn);
+      }
+    }
+  }
+  if (targets.empty()) return Status::OK();
+  // Phase 2: one WAL force, outside the pool lock — appenders, pinners
+  // and committers keep running while the log syncs.
+  Lsn forced = kNullLsn;
+  if (wal_ != nullptr) {
+    ASSET_RETURN_NOT_OK(wal_->Flush(unknown ? kNullLsn : max_lsn));
+    forced = wal_->durable_lsn();
+  }
+  // Phase 3: write back each target under a short lock hold. A page
+  // that is pinned, or was re-dirtied past the forced watermark, is
+  // skipped — it stays dirty and lands in the dirty-page table instead.
+  // Holding mu_ across the write is what makes the copy safe: mutators
+  // need a pin, pins need mu_, and pin_count is 0.
+  for (PageId pid : targets) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = page_table_.find(pid);
+    if (it == page_table_.end()) continue;  // evicted meanwhile
+    Frame& f = frames_[it->second];
+    if (!f.dirty || f.pin_count > 0) continue;
+    if (wal_ != nullptr && f.page_lsn > forced) continue;
+    Page(f.data.get()).UpdateChecksum();
+    ASSET_RETURN_NOT_OK(disk_->WritePage(f.page_id, f.data.get()));
+    f.dirty = false;
+    f.page_lsn = kNullLsn;
+    f.rec_lsn = kNullLsn;
+    stats_.dirty_writebacks++;
+  }
+  return disk_->Sync();
+}
+
+std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::pair<PageId, Lsn>> out;
+  for (const Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      out.emplace_back(f.page_id, f.rec_lsn);
+    }
+  }
+  return out;
+}
+
+Lsn BufferPool::MinRecoveryLsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Lsn min_lsn = kNullLsn;
+  for (const Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.dirty) {
+      Lsn r = (f.rec_lsn == kNullLsn) ? 1 : f.rec_lsn;
+      min_lsn = (min_lsn == kNullLsn) ? r : std::min(min_lsn, r);
+    }
+  }
+  return min_lsn;
 }
 
 void BufferPool::DropAllUnflushed() {
@@ -238,6 +320,7 @@ void BufferPool::DropAllUnflushed() {
     f.page_id = kInvalidPageId;
     f.dirty = false;
     f.page_lsn = kNullLsn;
+    f.rec_lsn = kNullLsn;
     f.in_lru = false;
     free_frames_.push_back(frames_.size() - 1 - i);
   }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -96,6 +97,24 @@ class BufferPool {
   /// Writes back every dirty cached page and syncs the device.
   Status FlushAll();
 
+  /// Online variant of FlushAll for the fuzzy checkpointer: writes back
+  /// every dirty *unpinned* page without blocking concurrent traffic.
+  /// One WAL force (outside the pool lock) covers the batch; each page
+  /// is then written under a short lock hold, skipping pages that are
+  /// pinned or were re-dirtied past the forced watermark — those simply
+  /// stay dirty and appear in the checkpoint's dirty-page table.
+  Status FlushUnpinned();
+
+  /// The dirty-page table: every dirty cached page with its recovery
+  /// lsn (lower bound on the lsn of any update the frame carries that
+  /// is not yet on disk; kNullLsn = unknown, recovery treats it as 1).
+  std::vector<std::pair<PageId, Lsn>> DirtyPageTable() const;
+
+  /// min over the dirty-page table's recovery lsns (kNullLsn entries
+  /// count as 1). kNullLsn if no page is dirty. Redo never needs to
+  /// start earlier than this.
+  Lsn MinRecoveryLsn() const;
+
   /// Simulates a crash: discards every cached frame, including dirty
   /// ones, without writing them back. Requires no outstanding pins.
   void DropAllUnflushed();
@@ -119,6 +138,15 @@ class BufferPool {
     /// the unrelated log tail. kNullLsn (no WAL, or unknown) degrades
     /// to a full-log force.
     Lsn page_lsn = kNullLsn;
+    /// Recovery watermark: a lower bound on the lsn of any update the
+    /// frame carries that may not be on disk, set when the frame goes
+    /// clean -> dirty (from the log's oldest in-flight apply bound) and
+    /// kept until the frame is written back. The fuzzy checkpoint's
+    /// dirty-page table carries this; redo for the page starts here.
+    /// kNullLsn = unknown (dirtied outside an ApplyGuard span, e.g.
+    /// during recovery itself): recovery treats it as lsn 1, which
+    /// disables truncation rather than risking a lost update.
+    Lsn rec_lsn = kNullLsn;
     /// Position in lru_ when pin_count == 0.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;

@@ -55,6 +55,28 @@ void InMemoryDiskManager::SetWriteFault(WriteFault fault) {
   fault_ = std::move(fault);
 }
 
+std::vector<std::vector<uint8_t>> InMemoryDiskManager::SnapshotForTest()
+    const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(pages_.size());
+  for (const auto& p : pages_) {
+    out.emplace_back(p.get(), p.get() + kPageSize);
+  }
+  return out;
+}
+
+void InMemoryDiskManager::RestoreForTest(
+    const std::vector<std::vector<uint8_t>>& snapshot) {
+  std::lock_guard<std::mutex> g(mu_);
+  pages_.clear();
+  for (const auto& src : snapshot) {
+    auto buf = std::make_unique<uint8_t[]>(kPageSize);
+    std::memcpy(buf.get(), src.data(), kPageSize);
+    pages_.push_back(std::move(buf));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // FileDiskManager
 
@@ -82,12 +104,11 @@ Status FileDiskManager::ReadPage(PageId page_id, uint8_t* frame) {
   if (page_id >= num_pages_) {
     return Status::NotFound("page beyond device end");
   }
-  ssize_t n = ::pread(fd_, frame, kPageSize,
-                      static_cast<off_t>(page_id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("short read of page " + std::to_string(page_id));
-  }
-  return Status::OK();
+  // PreadFully retries EINTR and short reads — a single raw pread may
+  // legally transfer fewer bytes than a page.
+  return PreadFully(fd_, frame, kPageSize,
+                    static_cast<off_t>(page_id) * kPageSize,
+                    "page " + std::to_string(page_id), pread_fn_);
 }
 
 Status FileDiskManager::WritePage(PageId page_id, const uint8_t* frame) {
@@ -95,24 +116,26 @@ Status FileDiskManager::WritePage(PageId page_id, const uint8_t* frame) {
   if (page_id >= num_pages_) {
     return Status::NotFound("page beyond device end");
   }
-  ssize_t n = ::pwrite(fd_, frame, kPageSize,
-                       static_cast<off_t>(page_id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("short write of page " + std::to_string(page_id));
-  }
-  return Status::OK();
+  return PwriteFully(fd_, frame, kPageSize,
+                     static_cast<off_t>(page_id) * kPageSize,
+                     "page " + std::to_string(page_id), pwrite_fn_);
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
   std::lock_guard<std::mutex> g(mu_);
   uint8_t zeros[kPageSize];
   std::memset(zeros, 0, kPageSize);
-  ssize_t n = ::pwrite(fd_, zeros, kPageSize,
-                       static_cast<off_t>(num_pages_) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("failed to extend device");
-  }
+  Status s = PwriteFully(fd_, zeros, kPageSize,
+                         static_cast<off_t>(num_pages_) * kPageSize,
+                         "device extension", pwrite_fn_);
+  if (!s.ok()) return s;
   return num_pages_++;
+}
+
+void FileDiskManager::SetIoFnsForTest(PreadFn pread_fn, PwriteFn pwrite_fn) {
+  std::lock_guard<std::mutex> g(mu_);
+  pread_fn_ = std::move(pread_fn);
+  pwrite_fn_ = std::move(pwrite_fn);
 }
 
 PageId FileDiskManager::NumPages() const {

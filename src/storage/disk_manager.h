@@ -18,6 +18,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/io_util.h"
 
 namespace asset {
 
@@ -60,6 +61,13 @@ class InMemoryDiskManager : public DiskManager {
   using WriteFault = std::function<Status(PageId)>;
   void SetWriteFault(WriteFault fault);
 
+  /// Deep copy of the device contents. The crash-point fuzzer pairs
+  /// these with WAL prefixes to rebuild the exact disk a crash would
+  /// have left behind.
+  std::vector<std::vector<uint8_t>> SnapshotForTest() const;
+  /// Replaces the device contents with `snapshot`.
+  void RestoreForTest(const std::vector<std::vector<uint8_t>>& snapshot);
+
  private:
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
@@ -83,11 +91,18 @@ class FileDiskManager : public DiskManager {
   PageId NumPages() const override;
   Status Sync() override;
 
+  /// Substitutes the raw pread/pwrite syscalls (nullptr restores the
+  /// real ones). Fault tests inject EINTR and short transfers here to
+  /// prove the full-transfer retry loops around every page I/O.
+  void SetIoFnsForTest(PreadFn pread_fn, PwriteFn pwrite_fn);
+
  private:
   mutable std::mutex mu_;
   Status open_status_;
   int fd_ = -1;
   PageId num_pages_ = 0;
+  PreadFn pread_fn_;
+  PwriteFn pwrite_fn_;
 };
 
 }  // namespace asset

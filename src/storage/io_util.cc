@@ -1,0 +1,62 @@
+#include "storage/io_util.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace asset {
+
+Status PreadFully(int fd, void* buf, size_t len, off_t offset,
+                  const std::string& what, const PreadFn& fn) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n =
+        fn ? fn(fd, p + done, len - done, offset + static_cast<off_t>(done))
+           : ::pread(fd, p + done, len - done,
+                     offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread " + what + ": " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError("pread " + what + ": unexpected end of file");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PwriteFully(int fd, const void* buf, size_t len, off_t offset,
+                   const std::string& what, const PwriteFn& fn) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n =
+        fn ? fn(fd, p + done, len - done, offset + static_cast<off_t>(done))
+           : ::pwrite(fd, p + done, len - done,
+                      offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite " + what + ": " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError("pwrite " + what + ": wrote 0 bytes");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncRetry(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IOError("fsync: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace asset

@@ -1,0 +1,48 @@
+#ifndef ASSET_STORAGE_IO_UTIL_H_
+#define ASSET_STORAGE_IO_UTIL_H_
+
+/// \file io_util.h
+/// Full-transfer pread/pwrite/fsync wrappers.
+///
+/// POSIX allows any read/write to be interrupted by a signal (EINTR) or
+/// to transfer fewer bytes than asked — neither is an error, but naive
+/// single-shot callers turn both into spurious I/O failures. Every
+/// storage-layer file touch (WAL and page file alike) goes through
+/// these wrappers so the retry discipline lives in one place.
+///
+/// The syscall itself is injectable so fault tests can serve EINTR and
+/// short transfers deterministically without a real signal storm.
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace asset {
+
+/// Signature-compatible stand-ins for ::pread / ::pwrite.
+using PreadFn = std::function<ssize_t(int, void*, size_t, off_t)>;
+using PwriteFn = std::function<ssize_t(int, const void*, size_t, off_t)>;
+
+/// Reads exactly `len` bytes at `offset`, retrying EINTR and short
+/// reads. IOError (naming `what`) on a real failure or if end-of-file
+/// arrives before `len` bytes. `fn` defaults to ::pread.
+Status PreadFully(int fd, void* buf, size_t len, off_t offset,
+                  const std::string& what, const PreadFn& fn = nullptr);
+
+/// Writes exactly `len` bytes at `offset`, retrying EINTR and short
+/// writes. IOError (naming `what`) on a real failure or a persistent
+/// zero-byte write. `fn` defaults to ::pwrite.
+Status PwriteFully(int fd, const void* buf, size_t len, off_t offset,
+                   const std::string& what, const PwriteFn& fn = nullptr);
+
+/// fsync retrying EINTR.
+Status FsyncRetry(int fd);
+
+}  // namespace asset
+
+#endif  // ASSET_STORAGE_IO_UTIL_H_

@@ -23,7 +23,41 @@ Result<RecoveryManager::Report> RecoveryManager::Recover(LogManager* log,
                                                          ObjectStore* store) {
   Report report;
   std::vector<LogRecord> records = log->ReadDurable();
-  const Lsn start = log->last_checkpoint_lsn();  // records after this matter
+
+  // Find the last durable checkpoint. A quiescent checkpoint promises
+  // "everything before me is on disk": analysis and redo both start
+  // after it. A fuzzy checkpoint only cuts the *analysis* at its
+  // begin_lsn — its image seeds what the skipped scan would have found —
+  // while redo must start at its min_recovery_lsn, the oldest update
+  // that might live only in a cached page.
+  Lsn analysis_start = 0;  // analysis scans records with lsn > this
+  Lsn redo_start = 1;      // redo applies records with lsn >= this
+  FuzzyCheckpointImage image;
+  bool have_image = false;
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kCheckpoint) {
+      analysis_start = rec.lsn;
+      redo_start = rec.lsn + 1;
+      have_image = false;
+    } else if (rec.type == LogRecordType::kFuzzyCheckpoint) {
+      auto img = FuzzyCheckpointImage::Decode(rec.after);
+      if (!img.ok()) return img.status();
+      image = std::move(img).value();
+      have_image = true;
+      analysis_start = image.begin_lsn;
+      redo_start =
+          (image.min_recovery_lsn == kNullLsn) ? 1 : image.min_recovery_lsn;
+    }
+  }
+  report.analysis_start_lsn = analysis_start;
+  report.redo_start_lsn = redo_start;
+
+  // Records by lsn, for undo and delegate-set replay. After truncation
+  // the log no longer starts at lsn 1; every lsn recovery can need
+  // (>= redo_start, by the truncation safety rule) is still present.
+  std::unordered_map<Lsn, const LogRecord*> by_lsn;
+  by_lsn.reserve(records.size());
+  for (const LogRecord& rec : records) by_lsn[rec.lsn] = &rec;
 
   // --- Analysis ---------------------------------------------------------
   // Final responsibility for each data operation, after replaying
@@ -32,8 +66,18 @@ Result<RecoveryManager::Report> RecoveryManager::Recover(LogManager* log,
   std::unordered_set<Lsn> compensated;             // data-op lsns undone by CLRs
   std::unordered_set<Tid> committed, aborted, seen;
 
+  // Seed from the fuzzy checkpoint's active-transaction table: these
+  // transactions and operations predate the cut, so the scan below
+  // never sees them.
+  if (have_image) {
+    for (const FuzzyCheckpointImage::TxnEntry& e : image.active) {
+      seen.insert(e.tid);
+      for (Lsn l : e.ops) responsible[l] = e.tid;
+    }
+  }
+
   for (const LogRecord& rec : records) {
-    if (rec.lsn <= start) continue;
+    if (rec.lsn <= analysis_start) continue;
     report.records_scanned++;
     switch (rec.type) {
       case LogRecordType::kBegin:
@@ -70,7 +114,14 @@ Result<RecoveryManager::Report> RecoveryManager::Recover(LogManager* log,
         std::unordered_set<ObjectId> set(rec.oid_set.begin(),
                                          rec.oid_set.end());
         for (auto& [lsn, tid] : responsible) {
-          if (tid == rec.tid && set.count(log->At(lsn).oid) != 0) {
+          if (tid != rec.tid) continue;
+          auto op = by_lsn.find(lsn);
+          if (op == by_lsn.end()) {
+            return Status::Corruption(
+                "delegated operation at lsn " + std::to_string(lsn) +
+                " is missing from the log (unsafe truncation?)");
+          }
+          if (set.count(op->second->oid) != 0) {
             tid = rec.other_tid;
           }
         }
@@ -82,13 +133,19 @@ Result<RecoveryManager::Report> RecoveryManager::Recover(LogManager* log,
         if (rec.undo_of != kNullLsn) compensated.insert(rec.undo_of);
         break;
       case LogRecordType::kCheckpoint:
+      case LogRecordType::kFuzzyCheckpoint:
         break;
     }
   }
 
   // --- Redo: repeat history ---------------------------------------------
+  // From redo_start, not the analysis cut: under a fuzzy checkpoint,
+  // updates in [min_recovery_lsn, begin_lsn] may live only in cached
+  // pages that were never written back. Appliers are idempotent (full
+  // after-images; delta applies conditional on the counter's
+  // applied-lsn), so re-applying already-flushed effects is harmless.
   for (const LogRecord& rec : records) {
-    if (rec.lsn <= start) continue;
+    if (rec.lsn < redo_start) continue;
     switch (rec.type) {
       case LogRecordType::kCreate:
       case LogRecordType::kUpdate:
@@ -140,14 +197,21 @@ Result<RecoveryManager::Report> RecoveryManager::Recover(LogManager* log,
     if (committed.count(t) == 0 && aborted.count(t) == 0) losers.insert(t);
   }
 
+  // Walk the responsibility map (not the post-cut records): a loser in
+  // the fuzzy checkpoint's ATT owns operations from before the analysis
+  // cut, whose records are still retained (>= min_recovery_lsn).
   std::vector<const LogRecord*> to_undo;
-  for (const LogRecord& rec : records) {
-    if (rec.lsn <= start || !IsDataOp(rec.type)) continue;
-    auto it = responsible.find(rec.lsn);
-    if (it == responsible.end()) continue;
-    if (losers.count(it->second) == 0) continue;
-    if (compensated.count(rec.lsn) != 0) continue;  // already undone
-    to_undo.push_back(&rec);
+  for (const auto& [lsn, tid] : responsible) {
+    if (losers.count(tid) == 0) continue;
+    if (compensated.count(lsn) != 0) continue;  // already undone
+    auto it = by_lsn.find(lsn);
+    if (it == by_lsn.end()) {
+      return Status::Corruption(
+          "loser operation at lsn " + std::to_string(lsn) +
+          " is missing from the log (unsafe truncation?)");
+    }
+    if (!IsDataOp(it->second->type)) continue;
+    to_undo.push_back(it->second);
   }
   std::sort(to_undo.begin(), to_undo.end(),
             [](const LogRecord* a, const LogRecord* b) {
@@ -212,6 +276,53 @@ Status RecoveryManager::Checkpoint(LogManager* log, BufferPool* pool) {
   // Force exactly through the checkpoint record; any volatile tail
   // appended by concurrent transactions stays volatile.
   return log->Flush(lsn);
+}
+
+Result<Lsn> RecoveryManager::FuzzyCheckpoint(
+    LogManager* log, BufferPool* pool, const AttSnapshot& att,
+    std::chrono::milliseconds drain_timeout) {
+  // 1. Push unpinned dirty pages out. Pages skipped (pinned, or
+  //    re-dirtied past the batch's forced watermark) stay dirty and are
+  //    covered by the DPT instead — nothing blocks on them.
+  ASSET_RETURN_NOT_OK(pool->FlushUnpinned());
+
+  // 2. Cut the log. Everything at or below `begin` must be covered by
+  //    either the ATT (uncommitted) or the DPT/disk (applied effects);
+  //    everything above is scanned by analysis.
+  const Lsn begin = log->last_lsn();
+
+  // 3. Drain in-flight applies at or below the cut: an operation whose
+  //    record is appended but whose store mutation / kernel
+  //    registration has not finished would otherwise be invisible to
+  //    both the ATT snapshot and the DPT.
+  ASSET_RETURN_NOT_OK(log->WaitAppliedThrough(begin, drain_timeout));
+
+  // 4. Snapshot. ATT first (under the kernel's mutex, atomic wrt
+  //    commit/abort/delegate), then the DPT.
+  FuzzyCheckpointImage image;
+  image.begin_lsn = begin;
+  if (att) image.active = att();
+  image.dirty_pages = pool->DirtyPageTable();
+
+  // 5. The redo/truncation watermark: nothing recovery can need is
+  //    older than the oldest uncommitted operation or the oldest
+  //    unflushed page update.
+  Lsn min_recovery = begin + 1;
+  for (const FuzzyCheckpointImage::TxnEntry& e : image.active) {
+    for (Lsn l : e.ops) min_recovery = std::min(min_recovery, l);
+  }
+  for (const auto& [page, rec_lsn] : image.dirty_pages) {
+    min_recovery =
+        std::min(min_recovery, rec_lsn == kNullLsn ? Lsn{1} : rec_lsn);
+  }
+  image.min_recovery_lsn = min_recovery;
+
+  LogRecord rec;
+  rec.type = LogRecordType::kFuzzyCheckpoint;
+  rec.after = image.Encode();
+  Lsn lsn = log->Append(std::move(rec));
+  ASSET_RETURN_NOT_OK(log->Flush(lsn));
+  return lsn;
 }
 
 }  // namespace asset

@@ -20,11 +20,19 @@
 ///      a final abort record so that recovery is idempotent and can
 ///      itself crash safely.
 ///
-/// Checkpoints are *quiescent*: Checkpoint() must be called with no
-/// transaction active. Recovery then never needs state from before the
-/// checkpoint record.
+/// Checkpoints come in two flavors. Checkpoint() is the legacy
+/// *quiescent* form: called with no transaction active, after which
+/// recovery never needs state from before the checkpoint record.
+/// FuzzyCheckpoint() is the online form: it flushes unpinned dirty
+/// pages, then captures the active-transaction table and the dirty-page
+/// table into a kFuzzyCheckpoint record while transactions keep
+/// running. Recovery seeds its analysis from the image and starts its
+/// redo at the image's min_recovery_lsn; the log prefix below
+/// min_recovery_lsn is provably redundant and may be truncated.
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/ids.h"
@@ -44,6 +52,12 @@ class RecoveryManager {
     size_t records_scanned = 0;
     size_t redo_applied = 0;
     size_t undo_applied = 0;
+    /// Analysis scanned records with lsn > this (the last durable
+    /// checkpoint's cut point; 0 = log origin).
+    Lsn analysis_start_lsn = 0;
+    /// Redo applied records with lsn >= this (the last durable
+    /// checkpoint's min_recovery_lsn; 1 = log origin).
+    Lsn redo_start_lsn = 1;
     std::vector<Tid> winners;
     std::vector<Tid> losers;  // in-flight at crash, rolled back here
   };
@@ -57,6 +71,24 @@ class RecoveryManager {
   /// record, and flushes the log. The caller must guarantee no
   /// transaction is active.
   static Status Checkpoint(LogManager* log, BufferPool* pool);
+
+  /// Produces the active-transaction table for a fuzzy checkpoint: every
+  /// begun, unterminated transaction with the lsns of the data
+  /// operations it is currently responsible for. A std::function (not a
+  /// TransactionManager*) so the storage layer stays independent of the
+  /// kernel's headers; null means "no transactions" (storage-only use).
+  using AttSnapshot = std::function<std::vector<FuzzyCheckpointImage::TxnEntry>()>;
+
+  /// Online (fuzzy) checkpoint; never blocks user traffic. Protocol:
+  /// write back unpinned dirty pages (one WAL force, short per-page
+  /// lock holds), cut the log at B = last_lsn(), wait up to
+  /// `drain_timeout` for in-flight applies at or below B to land, then
+  /// snapshot the ATT and DPT, derive min_recovery_lsn = min(B + 1,
+  /// every ATT op lsn, every DPT recovery lsn), and append + flush the
+  /// kFuzzyCheckpoint record. Returns the record's lsn.
+  static Result<Lsn> FuzzyCheckpoint(
+      LogManager* log, BufferPool* pool, const AttSnapshot& att,
+      std::chrono::milliseconds drain_timeout = std::chrono::milliseconds(30000));
 };
 
 }  // namespace asset

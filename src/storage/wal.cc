@@ -9,6 +9,8 @@
 #include <cstring>
 #include <utility>
 
+#include "storage/io_util.h"
+
 namespace asset {
 
 namespace {
@@ -66,35 +68,70 @@ bool GetBytes(const std::vector<uint8_t>& in, size_t* off,
   return true;
 }
 
-/// pwrite of the whole buffer at `offset`, retrying EINTR and short
-/// writes (both are legal kernel behaviour, not errors).
-Status WriteFully(int fd, const uint8_t* data, size_t len, off_t offset) {
-  size_t done = 0;
-  while (done < len) {
-    ssize_t n = ::pwrite(fd, data + done, len - done,
-                         offset + static_cast<off_t>(done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("pwrite log file: " +
-                             std::string(std::strerror(errno)));
-    }
-    if (n == 0) {
-      return Status::IOError("pwrite log file: wrote 0 bytes");
-    }
-    done += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-Status FsyncRetry(int fd) {
-  while (::fsync(fd) != 0) {
-    if (errno == EINTR) continue;
-    return Status::IOError("fsync: " + std::string(std::strerror(errno)));
-  }
-  return Status::OK();
+/// Rough wire size of a record (header + fixed body + payloads); used
+/// for the appended-bytes counter when the log is not file-backed.
+size_t EstimateEncodedSize(const LogRecord& rec) {
+  return 61 + rec.before.size() + rec.after.size() + 8 * rec.oid_set.size();
 }
 
 }  // namespace
+
+std::vector<uint8_t> FuzzyCheckpointImage::Encode() const {
+  std::vector<uint8_t> out;
+  PutU64(&out, begin_lsn);
+  PutU64(&out, min_recovery_lsn);
+  PutU32(&out, static_cast<uint32_t>(active.size()));
+  for (const TxnEntry& e : active) {
+    PutU64(&out, e.tid);
+    PutU32(&out, static_cast<uint32_t>(e.ops.size()));
+    for (Lsn l : e.ops) PutU64(&out, l);
+  }
+  PutU32(&out, static_cast<uint32_t>(dirty_pages.size()));
+  for (const auto& [page, rec_lsn] : dirty_pages) {
+    PutU32(&out, page);
+    PutU64(&out, rec_lsn);
+  }
+  return out;
+}
+
+Result<FuzzyCheckpointImage> FuzzyCheckpointImage::Decode(
+    const std::vector<uint8_t>& bytes) {
+  FuzzyCheckpointImage img;
+  size_t off = 0;
+  uint32_t n_active = 0;
+  if (!GetU64(bytes, &off, &img.begin_lsn) ||
+      !GetU64(bytes, &off, &img.min_recovery_lsn) ||
+      !GetU32(bytes, &off, &n_active)) {
+    return Status::Corruption("truncated fuzzy checkpoint header");
+  }
+  img.active.resize(n_active);
+  for (TxnEntry& e : img.active) {
+    uint32_t n_ops = 0;
+    if (!GetU64(bytes, &off, &e.tid) || !GetU32(bytes, &off, &n_ops)) {
+      return Status::Corruption("truncated fuzzy checkpoint ATT entry");
+    }
+    e.ops.resize(n_ops);
+    for (Lsn& l : e.ops) {
+      if (!GetU64(bytes, &off, &l)) {
+        return Status::Corruption("truncated fuzzy checkpoint ATT ops");
+      }
+    }
+  }
+  uint32_t n_dirty = 0;
+  if (!GetU32(bytes, &off, &n_dirty)) {
+    return Status::Corruption("truncated fuzzy checkpoint DPT count");
+  }
+  img.dirty_pages.resize(n_dirty);
+  for (auto& [page, rec_lsn] : img.dirty_pages) {
+    if (!GetU32(bytes, &off, &page) || !GetU64(bytes, &off, &rec_lsn)) {
+      return Status::Corruption("truncated fuzzy checkpoint DPT entry");
+    }
+  }
+  if (off != bytes.size()) {
+    return Status::Corruption("fuzzy checkpoint payload length mismatch");
+  }
+  return img;
+}
 
 std::vector<uint8_t> EncodeI64(int64_t v) {
   std::vector<uint8_t> out(sizeof(int64_t));
@@ -147,7 +184,7 @@ Result<LogRecord> LogRecord::DecodeFrom(const std::vector<uint8_t>& data,
   LogRecord rec;
   uint8_t type_byte = data[off++];
   if (type_byte < static_cast<uint8_t>(LogRecordType::kBegin) ||
-      type_byte > static_cast<uint8_t>(LogRecordType::kIncrement)) {
+      type_byte > static_cast<uint8_t>(LogRecordType::kFuzzyCheckpoint)) {
     return Status::Corruption("unknown log record type");
   }
   rec.type = static_cast<LogRecordType>(type_byte);
@@ -230,13 +267,27 @@ Status LogManager::AttachFile(const std::string& path) {
   }
   // From here on every write lands at the tracked append offset; the
   // file is never lseek'd again.
+  path_ = path;
   file_end_ = static_cast<off_t>(good_end);
-  durable_lsn_ = static_cast<Lsn>(records_.size());
+  appended_bytes_ = good_end;
+  // A previous process may have truncated the prefix: the file then
+  // starts at some lsn > 1. Each frame carries its lsn, so the dropped
+  // prefix length is recoverable from the first record.
+  truncated_ = records_.empty() ? 0 : records_.front().lsn - 1;
+  durable_lsn_ = truncated_ + static_cast<Lsn>(records_.size());
   requested_lsn_ = durable_lsn_;
   buf_first_ = durable_lsn_;
-  for (Lsn l = 1; l <= durable_lsn_; ++l) {
-    if (records_[l - 1].type == LogRecordType::kCheckpoint) {
-      last_checkpoint_ = l;
+  for (const LogRecord& r : records_) {
+    if (r.type == LogRecordType::kCheckpoint) {
+      last_checkpoint_ = r.lsn;
+      checkpoint_min_recovery_ = r.lsn;
+    } else if (r.type == LogRecordType::kFuzzyCheckpoint) {
+      auto img = FuzzyCheckpointImage::Decode(r.after);
+      last_checkpoint_ = r.lsn;
+      // An undecodable image cannot happen short of corruption the
+      // checksum missed; degrade to "never truncate" rather than lose
+      // records recovery may need.
+      checkpoint_min_recovery_ = img.ok() ? img.value().min_recovery_lsn : 1;
     }
   }
   return Status::OK();
@@ -244,14 +295,18 @@ Status LogManager::AttachFile(const std::string& path) {
 
 Lsn LogManager::Append(LogRecord rec) {
   std::lock_guard<std::mutex> g(mu_);
-  rec.lsn = static_cast<Lsn>(records_.size() + 1);
+  rec.lsn = truncated_ + static_cast<Lsn>(records_.size()) + 1;
   Lsn lsn = rec.lsn;
   if (fd_ >= 0) {
     // Encode now, into the in-memory log buffer, so the flusher never
     // touches `records_` (a deque being push_back'd concurrently) and a
     // flush is a single contiguous byte range.
+    size_t before_sz = buf_.size();
     rec.EncodeTo(&buf_);
     ends_.push_back(buf_.size());
+    appended_bytes_ += buf_.size() - before_sz;
+  } else {
+    appended_bytes_ += EstimateEncodedSize(rec);
   }
   records_.push_back(std::move(rec));
   if (sink_.appends != nullptr) {
@@ -262,8 +317,9 @@ Lsn LogManager::Append(LogRecord rec) {
 
 Status LogManager::Flush(Lsn upto) {
   std::unique_lock<std::mutex> lk(mu_);
-  Lsn target = (upto == kNullLsn) ? static_cast<Lsn>(records_.size()) : upto;
-  if (target > records_.size()) {
+  const Lsn end = truncated_ + static_cast<Lsn>(records_.size());
+  Lsn target = (upto == kNullLsn) ? end : upto;
+  if (target > end) {
     return Status::InvalidArgument("flush beyond end of log");
   }
   if (target <= durable_lsn_) {
@@ -293,7 +349,7 @@ Status LogManager::Flush(Lsn upto) {
 
 Status LogManager::RequestFlush(Lsn lsn) {
   std::unique_lock<std::mutex> lk(mu_);
-  Lsn end = static_cast<Lsn>(records_.size());
+  Lsn end = truncated_ + static_cast<Lsn>(records_.size());
   Lsn target = (lsn == kNullLsn) ? end : std::min(lsn, end);
   if (target <= durable_lsn_) return Status::OK();
   // Sticky failure: nothing past durable_lsn_ will ever land, so the
@@ -317,8 +373,8 @@ void LogManager::FlusherMain() {
       return;  // drained (or wedged on a sticky error): shut down
     }
     const Lsn from = durable_lsn_;
-    const Lsn target =
-        std::min(requested_lsn_, static_cast<Lsn>(records_.size()));
+    const Lsn target = std::min(
+        requested_lsn_, truncated_ + static_cast<Lsn>(records_.size()));
     if (target <= from) continue;
 
     if (!injected_error_.ok()) {
@@ -343,7 +399,8 @@ void LogManager::FlusherMain() {
 
     // Device I/O happens here, with no lock held: appenders keep
     // reserving lsns and committers keep queueing requests meanwhile.
-    Status io = WriteFully(fd, batch.data(), batch.size(), write_at);
+    Status io = PwriteFully(fd, batch.data(), batch.size(), write_at,
+                            "log file");
     if (io.ok()) {
       if (hook) hook();
       io = FsyncRetry(fd);
@@ -367,8 +424,16 @@ void LogManager::CompleteFlushLocked(Lsn from, Lsn target, size_t nbytes,
                                      const Status& io, bool did_sync) {
   if (io.ok()) {
     for (Lsn l = from + 1; l <= target; ++l) {
-      if (records_[l - 1].type == LogRecordType::kCheckpoint) {
+      const LogRecord& r = records_[l - 1 - truncated_];
+      if (r.type == LogRecordType::kCheckpoint) {
         last_checkpoint_ = l;
+        checkpoint_min_recovery_ = l;
+      } else if (r.type == LogRecordType::kFuzzyCheckpoint) {
+        auto img = FuzzyCheckpointImage::Decode(r.after);
+        last_checkpoint_ = l;
+        // We encoded this payload ourselves; a decode failure degrades
+        // to "never truncate" instead of risking needed records.
+        checkpoint_min_recovery_ = img.ok() ? img.value().min_recovery_lsn : 1;
       }
     }
     durable_lsn_ = target;
@@ -412,7 +477,8 @@ Status LogManager::FlushInlineLocked(Lsn target) {
     return Status::OK();
   }
   auto [lo, hi] = BatchRangeLocked(durable_lsn_, target);
-  Status io = WriteFully(fd_, buf_.data() + lo, hi - lo, file_end_);
+  Status io = PwriteFully(fd_, buf_.data() + lo, hi - lo, file_end_,
+                          "log file");
   if (io.ok()) {
     if (fsync_hook_) fsync_hook_();
     io = FsyncRetry(fd_);
@@ -423,7 +489,7 @@ Status LogManager::FlushInlineLocked(Lsn target) {
 
 Lsn LogManager::last_lsn() const {
   std::lock_guard<std::mutex> g(mu_);
-  return static_cast<Lsn>(records_.size());
+  return truncated_ + static_cast<Lsn>(records_.size());
 }
 
 Lsn LogManager::durable_lsn() const {
@@ -436,12 +502,22 @@ Lsn LogManager::last_checkpoint_lsn() const {
   return last_checkpoint_;
 }
 
+Lsn LogManager::checkpoint_min_recovery_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return checkpoint_min_recovery_;
+}
+
+uint64_t LogManager::appended_bytes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return appended_bytes_;
+}
+
 void LogManager::SimulateCrash() {
   std::unique_lock<std::mutex> lk(mu_);
   // Let an in-flight flush land or fail first, so the durable boundary
   // we truncate to is the one the disk actually has.
   durable_cv_.wait(lk, [&] { return !flush_in_progress_; });
-  records_.resize(durable_lsn_);
+  records_.resize(durable_lsn_ - truncated_);
   requested_lsn_ = durable_lsn_;
   buf_.clear();
   ends_.clear();
@@ -455,8 +531,8 @@ void LogManager::SimulateCrash() {
 
 LogRecord LogManager::At(Lsn lsn) const {
   std::lock_guard<std::mutex> g(mu_);
-  assert(lsn >= 1 && lsn <= records_.size());
-  return records_[lsn - 1];
+  assert(lsn > truncated_ && lsn <= truncated_ + records_.size());
+  return records_[lsn - 1 - truncated_];
 }
 
 std::vector<LogRecord> LogManager::ReadAll() const {
@@ -466,14 +542,15 @@ std::vector<LogRecord> LogManager::ReadAll() const {
 
 std::vector<LogRecord> LogManager::ReadDurable() const {
   std::lock_guard<std::mutex> g(mu_);
-  return {records_.begin(), records_.begin() + durable_lsn_};
+  return {records_.begin(),
+          records_.begin() + static_cast<ptrdiff_t>(durable_lsn_ - truncated_)};
 }
 
 std::vector<uint8_t> LogManager::SerializeDurable() const {
   std::lock_guard<std::mutex> g(mu_);
   std::vector<uint8_t> out;
-  for (Lsn l = 1; l <= durable_lsn_; ++l) {
-    records_[l - 1].EncodeTo(&out);
+  for (Lsn l = truncated_ + 1; l <= durable_lsn_; ++l) {
+    records_[l - 1 - truncated_].EncodeTo(&out);
   }
   return out;
 }
@@ -498,6 +575,111 @@ size_t LogManager::size() const {
   return records_.size();
 }
 
+Result<size_t> LogManager::TruncatePrefix(Lsn upto) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Wait out an in-flight flush: while we hold mu_ after this, no new
+  // flush can start, so the durable boundary and the file are stable.
+  durable_cv_.wait(lk, [&] { return !flush_in_progress_; });
+  if (!io_status_.ok()) {
+    return Status::IllegalState(
+        "refusing to truncate a log with a sticky I/O error: " +
+        io_status_.message());
+  }
+  // Safety rule: never drop a record the last durable checkpoint still
+  // points at. No durable checkpoint -> nothing is provably redundant.
+  const Lsn bound =
+      (checkpoint_min_recovery_ == kNullLsn) ? 0 : checkpoint_min_recovery_ - 1;
+  Lsn target = std::min(bound, durable_lsn_);
+  if (upto != kNullLsn) target = std::min(target, upto);
+  if (target <= truncated_) return static_cast<size_t>(0);
+  const size_t dropped = static_cast<size_t>(target - truncated_);
+
+  if (fd_ >= 0) {
+    // Rewrite the retained durable suffix to a temp file and rename it
+    // over the log: a crash at any point leaves either the old file or
+    // the new one, both decodable (each frame carries its lsn, so
+    // AttachFile re-derives the dropped-prefix length). The volatile
+    // tail stays in buf_; future flushes append at the new file end.
+    std::vector<uint8_t> out;
+    for (Lsn l = target + 1; l <= durable_lsn_; ++l) {
+      records_[l - 1 - truncated_].EncodeTo(&out);
+    }
+    const std::string tmp = path_ + ".truncate.tmp";
+    int tfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (tfd < 0) {
+      return Status::IOError("open " + tmp + ": " + std::strerror(errno));
+    }
+    Status io = PwriteFully(tfd, out.data(), out.size(), 0, "truncated log");
+    if (io.ok()) io = FsyncRetry(tfd);
+    if (io.ok() && ::rename(tmp.c_str(), path_.c_str()) != 0) {
+      io = Status::IOError("rename " + tmp + ": " + std::strerror(errno));
+    }
+    if (!io.ok()) {
+      ::close(tfd);
+      ::unlink(tmp.c_str());
+      return io;
+    }
+    // Persist the rename itself.
+    const size_t slash = path_.find_last_of('/');
+    const std::string dir =
+        (slash == std::string::npos)
+            ? "."
+            : (slash == 0 ? "/" : path_.substr(0, slash));
+    int dfd = ::open(dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+      (void)FsyncRetry(dfd);
+      ::close(dfd);
+    }
+    ::close(fd_);
+    fd_ = tfd;
+    file_end_ = static_cast<off_t>(out.size());
+  }
+
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<ptrdiff_t>(dropped));
+  truncated_ = target;
+  if (sink_.truncations != nullptr) {
+    sink_.truncations->fetch_add(1, std::memory_order_relaxed);
+  }
+  if (sink_.records_truncated != nullptr) {
+    sink_.records_truncated->fetch_add(dropped, std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+LogManager::ApplyGuard::ApplyGuard(LogManager* log) : log_(log) {
+  std::lock_guard<std::mutex> g(log_->mu_);
+  // Lower bound: the guard is constructed before Append assigns the
+  // lsn, so the operation's lsn is >= current end + 1.
+  it_ = log_->applying_.insert(log_->truncated_ +
+                               static_cast<Lsn>(log_->records_.size()) + 1);
+}
+
+LogManager::ApplyGuard::~ApplyGuard() {
+  {
+    std::lock_guard<std::mutex> g(log_->mu_);
+    log_->applying_.erase(it_);
+  }
+  log_->apply_cv_.notify_all();
+}
+
+Lsn LogManager::OldestApplying() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return applying_.empty() ? kNullLsn : *applying_.begin();
+}
+
+Status LogManager::WaitAppliedThrough(Lsn lsn,
+                                      std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  bool drained = apply_cv_.wait_for(lk, timeout, [&] {
+    return applying_.empty() || *applying_.begin() > lsn;
+  });
+  if (!drained) {
+    return Status::TimedOut("in-flight data operations did not drain");
+  }
+  return Status::OK();
+}
+
 void LogManager::BindStats(const WalStatsSink& sink) {
   std::lock_guard<std::mutex> g(mu_);
   sink_ = sink;
@@ -506,7 +688,9 @@ void LogManager::BindStats(const WalStatsSink& sink) {
 void LogManager::UnbindStats(const WalStatsSink& sink) {
   std::lock_guard<std::mutex> g(mu_);
   if (sink_.appends == sink.appends && sink_.fsyncs == sink.fsyncs &&
-      sink_.records_flushed == sink.records_flushed) {
+      sink_.records_flushed == sink.records_flushed &&
+      sink_.truncations == sink.truncations &&
+      sink_.records_truncated == sink.records_truncated) {
     sink_ = WalStatsSink{};
   }
 }

@@ -37,12 +37,14 @@
 /// re-attach truncates it, exactly like a crash).
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,6 +89,47 @@ enum class LogRecordType : uint8_t {
   /// being delta-based. A kIncrement with `undo_of` set is the
   /// compensation of an earlier increment (redo-only).
   kIncrement = 12,
+  /// Online (fuzzy) checkpoint, taken while transactions keep running.
+  /// `after` holds an encoded FuzzyCheckpointImage: the active
+  /// transaction table (each active transaction's responsible-operation
+  /// lsns), the dirty-page table (page -> recovery lsn), the cut point
+  /// `begin_lsn`, and the derived `min_recovery_lsn`. Recovery starts
+  /// its analysis after `begin_lsn` (seeding state from the image) and
+  /// its redo at `min_recovery_lsn`.
+  kFuzzyCheckpoint = 13,
+};
+
+/// The payload of a kFuzzyCheckpoint record: everything recovery needs
+/// to avoid scanning the log from its origin, captured *without*
+/// quiescing the kernel.
+struct FuzzyCheckpointImage {
+  /// One active (begun, unterminated) transaction at snapshot time and
+  /// the lsns of the data operations it is currently responsible for
+  /// (delegation already folded in — the kernel's responsible_ops).
+  struct TxnEntry {
+    Tid tid = kNullTid;
+    std::vector<Lsn> ops;
+  };
+
+  /// The cut point: log end when the checkpoint began. Analysis resumes
+  /// from begin_lsn + 1; every operation with lsn <= begin_lsn is
+  /// covered by `active` (the checkpointer waits out in-flight applies
+  /// before snapshotting).
+  Lsn begin_lsn = kNullLsn;
+  /// min(begin_lsn + 1, every active op lsn, every dirty-page recovery
+  /// lsn): redo must start here, and the truncation safety rule is that
+  /// no record with lsn >= min_recovery_lsn may ever be dropped while
+  /// this is the last durable checkpoint.
+  Lsn min_recovery_lsn = kNullLsn;
+  /// Active transaction table (ATT).
+  std::vector<TxnEntry> active;
+  /// Dirty page table (DPT): page -> recovery lsn (lower bound on the
+  /// lsn of any update the cached frame carries that may not be on
+  /// disk). kNullLsn means "unknown"; recovery treats it as lsn 1.
+  std::vector<std::pair<PageId, Lsn>> dirty_pages;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<FuzzyCheckpointImage> Decode(const std::vector<uint8_t>& bytes);
 };
 
 /// Little-endian i64 payload helpers (kIncrement deltas).
@@ -125,6 +168,8 @@ struct WalStatsSink {
   std::atomic<uint64_t>* appends = nullptr;
   std::atomic<uint64_t>* fsyncs = nullptr;
   std::atomic<uint64_t>* records_flushed = nullptr;
+  std::atomic<uint64_t>* truncations = nullptr;
+  std::atomic<uint64_t>* records_truncated = nullptr;
 };
 
 /// Append-only log. Thread-safe. Records become *durable* only when
@@ -196,27 +241,82 @@ class LogManager {
   /// Lsn of the most recent durable checkpoint record, or kNullLsn.
   Lsn last_checkpoint_lsn() const;
 
+  /// The last durable checkpoint's min_recovery_lsn (for a legacy
+  /// quiescent kCheckpoint this is the checkpoint record's own lsn), or
+  /// kNullLsn if no checkpoint is durable. Records strictly below this
+  /// lsn are redundant and eligible for TruncatePrefix.
+  Lsn checkpoint_min_recovery_lsn() const;
+
+  /// Physically drops the log prefix made redundant by the last durable
+  /// checkpoint. The target is min(`upto`, durable_lsn(),
+  /// checkpoint_min_recovery_lsn() - 1); pass kNullLsn to truncate as
+  /// far as is safe. Returns the number of records dropped (0 is a
+  /// legal no-op, e.g. when no checkpoint is durable yet). For a
+  /// file-backed log the retained records are rewritten to a temp file
+  /// which atomically replaces the log, so a crash during truncation
+  /// leaves either the old or the new file. IllegalState if the log
+  /// already carries a sticky I/O error (the durable boundary is not
+  /// trustworthy then).
+  Result<size_t> TruncatePrefix(Lsn upto = kNullLsn);
+
+  /// Total bytes ever appended (estimate; monotonic, survives
+  /// truncation). The background checkpointer's log-bytes trigger
+  /// watches the delta of this counter.
+  uint64_t appended_bytes() const;
+
+  /// RAII tracker for an in-flight data-operation apply: the span
+  /// between appending a data record and the store mutation + kernel
+  /// bookkeeping becoming visible. Construct *before* Append so the
+  /// registered lower bound (current end + 1) is <= the lsn the append
+  /// will assign. The fuzzy checkpointer uses WaitAppliedThrough to
+  /// drain applies at or below its cut point before snapshotting the
+  /// active-transaction table, so no operation can fall between "not in
+  /// the ATT yet" and "lsn <= begin_lsn".
+  class ApplyGuard {
+   public:
+    explicit ApplyGuard(LogManager* log);
+    ~ApplyGuard();
+    ApplyGuard(const ApplyGuard&) = delete;
+    ApplyGuard& operator=(const ApplyGuard&) = delete;
+
+   private:
+    LogManager* log_;
+    std::multiset<Lsn>::iterator it_;
+  };
+
+  /// Smallest lower bound among in-flight applies, or kNullLsn if none.
+  /// Any data record with lsn < OldestApplying() has fully applied.
+  Lsn OldestApplying() const;
+
+  /// Blocks until every in-flight apply has a lower bound > `lsn` (so
+  /// all data operations with lsn <= `lsn` are fully applied and
+  /// registered with the kernel). TimedOut if `timeout` elapses first.
+  Status WaitAppliedThrough(Lsn lsn, std::chrono::milliseconds timeout);
+
   /// Drops every record that was never flushed. Waits out a flush in
   /// progress first so the durable boundary is stable. Concurrent
   /// Flush/WaitDurable waiters whose target was discarded wake with
   /// IllegalState instead of sleeping forever.
   void SimulateCrash();
 
-  /// Copy of record `lsn` (1-based). Must exist.
+  /// Copy of record `lsn` (1-based). Must exist and must not have been
+  /// truncated away.
   LogRecord At(Lsn lsn) const;
 
-  /// Copies of all records, durable and not — the runtime view.
+  /// Copies of all retained records, durable and not — the runtime
+  /// view. After TruncatePrefix the first record's lsn is > 1.
   std::vector<LogRecord> ReadAll() const;
 
-  /// Copies of durable records only — the recovery view.
+  /// Copies of retained durable records only — the recovery view.
   std::vector<LogRecord> ReadDurable() const;
 
-  /// Serializes durable records to bytes (for file shipping) and back.
+  /// Serializes retained durable records to bytes (for file shipping)
+  /// and back.
   std::vector<uint8_t> SerializeDurable() const;
   static Result<std::vector<LogRecord>> Deserialize(
       const std::vector<uint8_t>& bytes);
 
-  /// Total appended records.
+  /// Physically retained records (appended minus truncated).
   size_t size() const;
 
   /// Points the log's counters at a stats aggregate (the kernel's
@@ -264,9 +364,17 @@ class LogManager {
   std::condition_variable durable_cv_;
 
   const FlushMode mode_;
+  /// Retained records; records_[i] holds lsn truncated_ + 1 + i. The
+  /// log's end lsn is truncated_ + records_.size().
   std::deque<LogRecord> records_;
+  /// Count of records physically dropped by TruncatePrefix (== highest
+  /// truncated lsn; the retained log starts at truncated_ + 1).
+  Lsn truncated_ = 0;
   Lsn durable_lsn_ = kNullLsn;
   Lsn last_checkpoint_ = kNullLsn;
+  /// min_recovery_lsn of the last durable checkpoint (== the record's
+  /// own lsn for legacy quiescent checkpoints), kNullLsn if none.
+  Lsn checkpoint_min_recovery_ = kNullLsn;
   /// Highest lsn any waiter or nudge asked to make durable.
   Lsn requested_lsn_ = kNullLsn;
   /// Sticky: first flush failure; OK while the log is healthy.
@@ -279,8 +387,17 @@ class LogManager {
   /// that the tail holding their target was discarded.
   uint64_t crash_epoch_ = 0;
 
+  /// Lower bounds of in-flight data-operation applies (see ApplyGuard).
+  std::multiset<Lsn> applying_;
+  /// Wakes WaitAppliedThrough when an apply completes.
+  std::condition_variable apply_cv_;
+  /// Estimated bytes ever appended (monotonic).
+  uint64_t appended_bytes_ = 0;
+
   /// File descriptor of the attached log file, or -1.
   int fd_ = -1;
+  /// Path of the attached log file (TruncatePrefix rewrites it).
+  std::string path_;
   /// Tracked append offset: end of the durable bytes in the file. The
   /// flusher writes at this offset instead of trusting lseek(SEEK_END).
   off_t file_end_ = 0;

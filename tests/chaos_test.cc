@@ -30,6 +30,10 @@ struct ChaosCase {
   /// commits. The post-recovery invariants weaken accordingly (prefix
   /// semantics), but conservation must still hold.
   bool relaxed = false;
+  /// Fire background fuzzy checkpoints (with WAL truncation) while the
+  /// mixed-model workload runs, then re-check every invariant after the
+  /// crash recovers from the shortened log.
+  bool checkpoints = false;
 };
 
 class ChaosProperty : public ::testing::TestWithParam<ChaosCase> {};
@@ -41,6 +45,11 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
   opts.txn.commit_timeout = std::chrono::milliseconds(5000);
   opts.txn.durability =
       c.relaxed ? DurabilityPolicy::kRelaxed : DurabilityPolicy::kStrict;
+  if (c.checkpoints) {
+    // Aggressive triggers so several checkpoints land mid-workload.
+    opts.checkpoint.interval = std::chrono::milliseconds(10);
+    opts.checkpoint.log_bytes_trigger = 4096;
+  }
   auto db = Database::Open(opts).value();
 
   // World: a pool of bank accounts (total conserved), a counter of
@@ -228,6 +237,11 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
   }
   for (auto& th : threads) th.join();
 
+  if (c.checkpoints) {
+    // The background checkpointer really ran against the live workload.
+    EXPECT_GE(db->txn().stats().checkpoints.load(), 1u);
+  }
+
   auto check_world = [&](const char* when) {
     models::RunAtomic(db->txn(), [&] {
       Tid self = TransactionManager::Self();
@@ -296,7 +310,9 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ChaosProperty,
                                            ChaosCase{6, 12, 3},
                                            ChaosCase{8, 10, 4},
                                            ChaosCase{4, 15, 5, true},
-                                           ChaosCase{8, 10, 6, true}));
+                                           ChaosCase{8, 10, 6, true},
+                                           ChaosCase{4, 15, 7, false, true},
+                                           ChaosCase{6, 12, 8, true, true}));
 
 }  // namespace
 }  // namespace asset

@@ -319,5 +319,126 @@ TEST_F(RecoveryTest, InterleavedWinnersAndLosersOnDistinctObjects) {
   EXPECT_EQ(Value(11), "<missing>");
 }
 
+// --- Fuzzy (online) checkpoints --------------------------------------
+
+TEST_F(RecoveryTest, FuzzyCheckpointWithActiveTransactionBoundsScan) {
+  Begin(1);
+  Create(1, 10, "v0");
+  Commit(1);
+  Begin(2);
+  Lsn up = Update(2, 10, "v0", "v1");  // still uncommitted at checkpoint
+  // Checkpoint while t2 is active: the ATT carries t2's op so recovery
+  // can undo it without scanning the pre-checkpoint log for analysis.
+  auto ckpt = RecoveryManager::FuzzyCheckpoint(
+      &log_, &pool_,
+      [&] {
+        return std::vector<FuzzyCheckpointImage::TxnEntry>{{2, {up}}};
+      },
+      std::chrono::milliseconds(1000));
+  ASSERT_TRUE(ckpt.ok());
+  Begin(3);
+  Create(3, 11, "post");
+  Commit(3);
+  auto report = Crash();
+  EXPECT_EQ(Value(10), "v0");  // t2 undone from the image's op list
+  EXPECT_EQ(Value(11), "post");
+  EXPECT_EQ(report.losers, (std::vector<Tid>{2}));
+  // Analysis resumed at the checkpoint's cut point: the checkpoint
+  // record plus t3's three records, not the history before it.
+  EXPECT_LE(report.records_scanned, 4u);
+  EXPECT_EQ(report.analysis_start_lsn, *ckpt - 1);
+}
+
+TEST_F(RecoveryTest, CrashBetweenPageFlushAndCheckpointRecord) {
+  // Satellite: the checkpointer crashes after writing pages back but
+  // before its checkpoint record lands. Recovery must fall back to the
+  // log origin and still be correct (the flush is harmless, the
+  // checkpoint simply never happened).
+  Begin(1);
+  Create(1, 10, "v0");
+  Commit(1);
+  Begin(2);
+  Update(2, 10, "v0", "v1");
+  log_.Flush();
+  ASSERT_TRUE(pool_.FlushUnpinned().ok());  // page flush, no record
+  auto report = Crash();
+  EXPECT_EQ(Value(10), "v0");
+  EXPECT_EQ(report.analysis_start_lsn, 0u);  // scanned from the origin
+  EXPECT_EQ(report.losers, (std::vector<Tid>{2}));
+}
+
+TEST_F(RecoveryTest, NonDurableFuzzyCheckpointIsIgnored) {
+  Begin(1);
+  Create(1, 10, "v0");
+  Commit(1);
+  // A checkpoint record that never became durable (crash mid-append):
+  // recovery must not see it and must scan from the origin.
+  FuzzyCheckpointImage image;
+  image.begin_lsn = log_.last_lsn();
+  image.min_recovery_lsn = log_.last_lsn() + 1;
+  LogRecord ck;
+  ck.type = LogRecordType::kFuzzyCheckpoint;
+  ck.after = image.Encode();
+  log_.Append(std::move(ck));  // NOT flushed
+  Begin(2);
+  Update(2, 10, "v0", "v1");
+  // Not flushed either: both the checkpoint and the update vanish.
+  auto report = Crash();
+  EXPECT_EQ(Value(10), "v0");
+  EXPECT_EQ(report.analysis_start_lsn, 0u);
+}
+
+TEST_F(RecoveryTest, TruncationAfterFuzzyCheckpointShrinksAndRecovers) {
+  Begin(1);
+  Create(1, 10, "a");
+  Commit(1);
+  Begin(2);
+  Update(2, 10, "a", "b");
+  Commit(2);
+  auto ckpt = RecoveryManager::FuzzyCheckpoint(
+      &log_, &pool_, nullptr, std::chrono::milliseconds(1000));
+  ASSERT_TRUE(ckpt.ok());
+  size_t before = log_.size();
+  auto dropped = log_.TruncatePrefix();
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_GT(*dropped, 0u);
+  EXPECT_LT(log_.size(), before);  // physically shorter
+  Begin(3);
+  Update(3, 10, "b", "c");
+  Commit(3);
+  auto report = Crash();
+  EXPECT_EQ(Value(10), "c");
+  EXPECT_LE(report.records_scanned, 4u);
+  // Recover once more on the truncated log: still stable.
+  Crash();
+  EXPECT_EQ(Value(10), "c");
+}
+
+TEST_F(RecoveryTest, TruncationRetainsActiveTransactionOps) {
+  Begin(1);
+  Create(1, 10, "v0");
+  Commit(1);
+  Begin(2);
+  Lsn up = Update(2, 10, "v0", "v1");
+  log_.Flush();
+  // t2 is active: min_recovery_lsn <= up, so truncation must keep t2's
+  // update even though the checkpoint is later in the log.
+  auto ckpt = RecoveryManager::FuzzyCheckpoint(
+      &log_, &pool_,
+      [&] {
+        return std::vector<FuzzyCheckpointImage::TxnEntry>{{2, {up}}};
+      },
+      std::chrono::milliseconds(1000));
+  ASSERT_TRUE(ckpt.ok());
+  auto dropped = log_.TruncatePrefix();
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_GT(*dropped, 0u);  // the pre-update history did go away
+  // The watermark proves the op record survived the truncation.
+  EXPECT_LE(log_.checkpoint_min_recovery_lsn(), up);
+  EXPECT_EQ(log_.ReadAll().front().lsn, up);
+  Crash();
+  EXPECT_EQ(Value(10), "v0");  // undone from the retained record
+}
+
 }  // namespace
 }  // namespace asset
