@@ -1,0 +1,135 @@
+// B17 — Observability overhead (DESIGN.md §4B).
+//
+// Question: what does the flight recorder cost? Disabled, Emit() must
+// be one relaxed load + branch — the hot-counter workload (B13's
+// increment pattern) should run at parity with a build that never heard
+// of tracing. Enabled, the per-event seqlock write should stay cheap
+// enough to leave on during an incident. The raw Emit microbenchmarks
+// bound both costs directly; the kernel pair measures them end to end,
+// with commit-latency percentiles reported from the new histograms.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/trace.h"
+#include "core/database.h"
+
+namespace asset::bench {
+namespace {
+
+constexpr int kAddsPerTxn = 4;
+
+// The B13 hot-counter increment workload, parameterized on tracing.
+void RunIncrementWorkload(benchmark::State& state, bool trace_enabled) {
+  static BenchKernel* kernel = nullptr;
+  static ObjectId counter = kNullObjectId;
+  if (state.thread_index() == 0) {
+    auto o = BenchOptions();
+    o.trace.enabled = trace_enabled;
+    kernel = new BenchKernel(o);
+    counter = kernel->store()
+                  .Create(ObjectStore::EncodeCounter(kNullLsn, 0))
+                  .value();
+  }
+  for (auto _ : state) {
+    kernel->RunTxn([&] {
+      Tid self = TransactionManager::Self();
+      for (int i = 0; i < kAddsPerTxn; ++i) {
+        kernel->tm().Increment(self, counter, 1).ok();
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kAddsPerTxn);
+  if (state.thread_index() == 0) {
+    auto s = kernel->tm().stats().snapshot();
+    ReportLatencyPercentiles(state, s.commit_latency, "commit");
+    if (trace_enabled) {
+      state.counters["trace_events"] =
+          static_cast<double>(kernel->tm().recorder().Drain().size());
+      state.counters["trace_dropped"] =
+          static_cast<double>(s.trace_events_dropped);
+    }
+    delete kernel;
+  }
+}
+
+void BM_IncrementTraceOff(benchmark::State& state) {
+  RunIncrementWorkload(state, /*trace_enabled=*/false);
+}
+BENCHMARK(BM_IncrementTraceOff)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_IncrementTraceOn(benchmark::State& state) {
+  RunIncrementWorkload(state, /*trace_enabled=*/true);
+}
+BENCHMARK(BM_IncrementTraceOn)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Raw cost of one Emit() call with tracing off: the production price of
+// leaving instrumentation compiled into every hot path.
+void BM_EmitDisabled(benchmark::State& state) {
+  TraceOptions o;
+  o.enabled = false;
+  FlightRecorder rec(o);
+  for (auto _ : state) {
+    rec.Emit(TraceEventType::kLockWait, 1, 2, 3, 4, 5);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmitDisabled);
+
+// Raw cost of one Emit() call with tracing on: timestamp + seqlock
+// write into the thread's private ring.
+void BM_EmitEnabled(benchmark::State& state) {
+  TraceOptions o;
+  o.enabled = true;
+  FlightRecorder rec(o);
+  for (auto _ : state) {
+    rec.Emit(TraceEventType::kLockWait, 1, 2, 3, 4, 5);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmitEnabled);
+
+// Cost of one consistent kernel-state snapshot (DumpState) while the
+// kernel is quiet but populated: what a monitoring scrape pays.
+void BM_DumpState(benchmark::State& state) {
+  auto db = Database::Open().value();
+  std::vector<Txn> open;
+  for (int i = 0; i < 32; ++i) {
+    auto t = db->Begin();
+    if (!t.ok()) break;
+    t->Create<int64_t>(i).ok();
+    open.push_back(std::move(*t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->DumpState());
+  }
+  state.SetItemsProcessed(state.iterations());
+  for (auto& t : open) t.Abort().ok();
+}
+BENCHMARK(BM_DumpState);
+
+// Prometheus scrape cost: counters + histogram percentiles rendered.
+void BM_MetricsText(benchmark::State& state) {
+  auto db = Database::Open().value();
+  {
+    auto t = db->Begin();
+    t->Create<int64_t>(1).ok();
+    t->Commit().ok();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->MetricsText());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsText);
+
+}  // namespace
+}  // namespace asset::bench

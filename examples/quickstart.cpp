@@ -7,6 +7,7 @@
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/database.h"
 
@@ -18,8 +19,13 @@ using asset::Txn;
 
 int main() {
   // 1. Open an in-memory database (pass Options{.path = "file.db"} for a
-  //    file-backed one).
-  auto db = Database::Open().value();
+  //    file-backed one). ASSET_TRACE=<path> turns the flight recorder on
+  //    and writes the run's Chrome trace there at the end — load it in
+  //    chrome://tracing or ui.perfetto.dev (see docs/OBSERVABILITY.md).
+  const char* trace_path = std::getenv("ASSET_TRACE");
+  Database::Options options;
+  options.txn.trace.enabled = trace_path != nullptr;
+  auto db = Database::Open(options).value();
   TransactionManager& tm = db->txn();
 
   // 2. db->Begin() hands back an owning transaction handle. Operations
@@ -84,5 +90,16 @@ int main() {
 
   // 6. Kernel statistics.
   std::printf("stats: %s\n", tm.stats().snapshot().ToString().c_str());
+
+  // 7. Observability: everything above was recorded if tracing is on.
+  if (trace_path != nullptr) {
+    std::string trace = db->DumpTrace();
+    if (FILE* f = std::fopen(trace_path, "w")) {
+      std::fwrite(trace.data(), 1, trace.size(), f);
+      std::fclose(f);
+      std::printf("trace: %zu bytes of Chrome trace JSON -> %s\n",
+                  trace.size(), trace_path);
+    }
+  }
   return 0;
 }

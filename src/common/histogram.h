@@ -1,0 +1,110 @@
+#ifndef ASSET_COMMON_HISTOGRAM_H_
+#define ASSET_COMMON_HISTOGRAM_H_
+
+/// \file histogram.h
+/// Fixed-bucket log2 latency histogram.
+///
+/// Recording is one relaxed fetch_add into one of 64 power-of-two
+/// buckets plus count/sum bookkeeping — no allocation, no locks, safe
+/// from any thread on the hottest paths (commit ack, lock wait, fsync).
+/// Percentiles are read from a plain-value Snapshot; because a
+/// percentile is always the upper bound of the bucket the cumulative
+/// rank lands in, p50 <= p95 <= p99 holds by construction.
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace asset {
+
+/// Concurrent log2 histogram of nanosecond durations.
+class LatencyHistogram {
+ public:
+  /// Bucket b holds values whose bit width is b (i.e. [2^(b-1), 2^b));
+  /// bucket 0 holds the value 0. 64 buckets cover the full uint64 range.
+  static constexpr size_t kBuckets = 64;
+
+  /// Plain-value copy for percentile math and ToString.
+  struct Snapshot {
+    uint64_t buckets[kBuckets] = {};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+
+    /// Upper bound (ns) of the bucket containing the `p`-th percentile
+    /// observation (0 < p <= 100). Zero when empty.
+    uint64_t ValueAtPercentile(double p) const {
+      if (count == 0) return 0;
+      if (p < 0) p = 0;
+      if (p > 100) p = 100;
+      // Rank of the target observation, 1-based, rounded up.
+      uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                            static_cast<double>(count));
+      if (rank == 0) rank = 1;
+      if (rank > count) rank = count;
+      uint64_t seen = 0;
+      for (size_t b = 0; b < kBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank) return UpperBound(b);
+      }
+      return UpperBound(kBuckets - 1);
+    }
+
+    uint64_t p50() const { return ValueAtPercentile(50); }
+    uint64_t p95() const { return ValueAtPercentile(95); }
+    uint64_t p99() const { return ValueAtPercentile(99); }
+
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Largest value bucket `b` can hold.
+    static uint64_t UpperBound(size_t b) {
+      if (b == 0) return 0;
+      if (b >= 64) return UINT64_MAX;
+      return (uint64_t{1} << b) - 1;
+    }
+  };
+
+  /// Records one duration in nanoseconds. Wait-free: three relaxed
+  /// fetch_adds.
+  void Record(uint64_t nanos) {
+    buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      buckets_[b].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  static size_t BucketFor(uint64_t nanos) {
+    size_t b = static_cast<size_t>(std::bit_width(nanos));  // 0 for value 0
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace asset
+
+#endif  // ASSET_COMMON_HISTOGRAM_H_

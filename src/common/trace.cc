@@ -1,0 +1,203 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace asset {
+namespace {
+
+/// Process-wide origin so every recorder's timestamps share one epoch.
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t RoundUpPow2(size_t n) {
+  if (n < 2) return 2;
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* TraceEventTypeName(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kTxnInitiate: return "txn_initiate";
+    case TraceEventType::kTxnBegin: return "txn_begin";
+    case TraceEventType::kTxnCommit: return "txn_commit";
+    case TraceEventType::kTxnAbort: return "txn_abort";
+    case TraceEventType::kDelegate: return "delegate";
+    case TraceEventType::kPermit: return "permit";
+    case TraceEventType::kDependency: return "form_dependency";
+    case TraceEventType::kLockWait: return "lock_wait";
+    case TraceEventType::kWalAppend: return "wal_append";
+    case TraceEventType::kWalFsync: return "wal_fsync";
+    case TraceEventType::kCommitStall: return "commit_stall";
+    case TraceEventType::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(TraceOptions options)
+    : id_(NextRecorderId()),
+      slots_(RoundUpPow2(options.ring_slots)),
+      enabled_(options.enabled) {
+  ProcessEpoch();  // pin the epoch before any Emit can race to create it
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+int64_t FlightRecorder::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+FlightRecorder::Ring* FlightRecorder::GetRing() {
+  // Cache keyed by process-unique recorder id: ids are never reused, so
+  // a stale entry from a destroyed recorder can never false-hit a new
+  // recorder that happens to live at the same address.
+  struct CacheEntry {
+    uint64_t id;
+    Ring* ring;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.id == id_) return e.ring;
+  }
+  Ring* ring;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rings_.push_back(std::make_unique<Ring>(
+        static_cast<uint32_t>(rings_.size()), slots_));
+    ring = rings_.back().get();
+  }
+  cache.push_back(CacheEntry{id_, ring});
+  return ring;
+}
+
+void FlightRecorder::EmitAlways(TraceEventType type, Tid tid, Tid other,
+                                ObjectId oid, uint64_t arg, int64_t dur_ns) {
+  Ring* ring = GetRing();
+  const uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[head & (slots_ - 1)];
+  if (head >= slots_ && dropped_ != nullptr) {
+    dropped_->fetch_add(1, std::memory_order_relaxed);  // overwriting
+  }
+  // Seqlock write: odd seq marks the slot in flux. The release store on
+  // the closing seq publishes the relaxed field stores to validating
+  // readers; the fields themselves are atomics, so a racing reader sees
+  // torn *versions* (and discards them via seq), never torn *bytes*.
+  const uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);
+  slot.ts_ns.store(NowNs(), std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.type.store(static_cast<uint64_t>(type), std::memory_order_relaxed);
+  slot.tid.store(tid, std::memory_order_relaxed);
+  slot.other.store(other, std::memory_order_relaxed);
+  slot.oid.store(oid, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> FlightRecorder::Drain() const {
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  std::vector<TraceEvent> out;
+  for (Ring* ring : rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t lo = head > slots_ ? head - slots_ : 0;
+    for (uint64_t i = lo; i < head; ++i) {
+      Slot& slot = ring->slots[i & (slots_ - 1)];
+      const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before & 1) continue;  // mid-write
+      TraceEvent ev;
+      ev.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+      ev.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+      ev.thread = ring->thread_index;
+      ev.type = static_cast<TraceEventType>(
+          slot.type.load(std::memory_order_relaxed));
+      ev.tid = slot.tid.load(std::memory_order_relaxed);
+      ev.other = slot.other.load(std::memory_order_relaxed);
+      ev.oid = slot.oid.load(std::memory_order_relaxed);
+      ev.arg = slot.arg.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq_before) {
+        continue;  // overwritten while reading
+      }
+      out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+namespace {
+
+/// Appends one trace_event JSON object. Durations become "X" complete
+/// events (ts = start), instants become "i" events; both use µs with
+/// three decimal places so nanosecond resolution survives.
+void AppendEventJson(const TraceEvent& ev, std::string* out) {
+  char buf[512];
+  const double dur_us = static_cast<double>(ev.dur_ns) / 1000.0;
+  const double ts_us =
+      static_cast<double>(ev.ts_ns - ev.dur_ns) / 1000.0;  // start time
+  if (ev.dur_ns > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"asset\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%" PRIu32
+        ",\"args\":{\"txn\":%" PRIu64 ",\"other\":%" PRIu64
+        ",\"oid\":%" PRIu64 ",\"arg\":%" PRIu64 "}}",
+        TraceEventTypeName(ev.type), ts_us, dur_us, ev.thread, ev.tid,
+        ev.other, ev.oid, ev.arg);
+  } else {
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"asset\",\"ph\":\"i\",\"s\":\"t\","
+        "\"ts\":%.3f,\"pid\":1,\"tid\":%" PRIu32
+        ",\"args\":{\"txn\":%" PRIu64 ",\"other\":%" PRIu64
+        ",\"oid\":%" PRIu64 ",\"arg\":%" PRIu64 "}}",
+        TraceEventTypeName(ev.type), ts_us, ev.thread, ev.tid, ev.other,
+        ev.oid, ev.arg);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string FlightRecorder::DumpChromeJson() const {
+  const std::vector<TraceEvent> events = Drain();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendEventJson(ev, &out);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+size_t FlightRecorder::ring_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rings_.size();
+}
+
+}  // namespace asset

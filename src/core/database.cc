@@ -49,11 +49,17 @@ Status Database::DoCheckpoint() {
   // (e.g. drain timeout) does not make the background thread retry in a
   // tight loop.
   ckpt_baseline_bytes_.store(log_.appended_bytes(), std::memory_order_relaxed);
+  const int64_t ckpt_start_ns = FlightRecorder::NowNs();
   auto lsn = RecoveryManager::FuzzyCheckpoint(
       &log_, pool_.get(), [this] { return tm_->SnapshotActiveTransactions(); },
       options_.checkpoint.drain_timeout);
   if (!lsn.ok()) return lsn.status();
+  int64_t ckpt_ns = FlightRecorder::NowNs() - ckpt_start_ns;
+  if (ckpt_ns < 0) ckpt_ns = 0;
   tm_->stats().checkpoints.fetch_add(1, std::memory_order_relaxed);
+  tm_->stats().checkpoint_latency.Record(static_cast<uint64_t>(ckpt_ns));
+  tm_->recorder().Emit(TraceEventType::kCheckpoint, kNullTid, kNullTid,
+                       kNullObjectId, *lsn, ckpt_ns);
   if (options_.checkpoint.truncate_wal &&
       log_.checkpoint_min_recovery_lsn() > 1) {
     auto dropped = log_.TruncatePrefix();

@@ -25,6 +25,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "core/introspection.h"
 #include "core/transaction_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -263,11 +264,47 @@ class Database {
   /// threads may be inside the database during the call.
   Status CrashAndRecover(RecoveryManager::Report* report = nullptr);
 
+  // --- Observability -----------------------------------------------------
+
+  /// The kernel's flight recorder, drained as Chrome trace_event JSON
+  /// (load in chrome://tracing or ui.perfetto.dev). Empty trace unless
+  /// tracing was enabled (Options::txn.trace.enabled or
+  /// txn().recorder().set_enabled(true)).
+  std::string DumpTrace() { return tm_->recorder().DumpChromeJson(); }
+
+  /// Consistent JSON snapshot of the kernel's control structures —
+  /// transactions, lock wait-for edges, dependencies, permits, the last
+  /// deadlock cycle — plus the WAL watermarks. One kernel-mutex hold.
+  std::string DumpState() {
+    return RenderKernelStateJson(tm_->SnapshotState(), WalMarks());
+  }
+
+  /// The lock wait-for graph (and last deadlock cycle) as Graphviz DOT.
+  std::string DumpWaitForDot() {
+    return RenderWaitForDot(tm_->SnapshotState());
+  }
+
+  /// Counters, latency percentiles, and WAL watermarks in Prometheus
+  /// text exposition format.
+  std::string MetricsText() {
+    return RenderMetricsText(tm_->stats().snapshot(), WalMarks());
+  }
+
  private:
   Database() = default;
 
   static Tid ResolveTid(Tid t) {
     return t == kNullTid ? TransactionManager::Self() : t;
+  }
+
+  /// The WAL watermark gauges the dumps fold in.
+  WalWatermarks WalMarks() {
+    WalWatermarks w;
+    w.last_lsn = log_.last_lsn();
+    w.durable_lsn = log_.durable_lsn();
+    w.checkpoint_lsn = log_.last_checkpoint_lsn();
+    w.min_recovery_lsn = log_.checkpoint_min_recovery_lsn();
+    return w;
   }
 
   /// One fuzzy checkpoint + optional truncation, serialized by

@@ -72,6 +72,10 @@ class DependencyGraph {
   /// aborted transaction one at a time).
   void Remove(const Dependency& d);
 
+  /// Every edge, as stored (introspection; caller holds the kernel
+  /// mutex like every other accessor here).
+  const std::vector<Dependency>& Edges() const { return edges_; }
+
   size_t size() const { return edges_.size(); }
 
  private:

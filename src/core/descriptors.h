@@ -220,6 +220,12 @@ struct TransactionDescriptor {
   /// the global kernel mutex.
   std::vector<Tid> waiting_for;
 
+  /// The object the blocked lock request above is for (kNullObjectId
+  /// when not blocked) — lets introspection label wait-for edges with
+  /// the contended object. Guarded by the global kernel mutex, set and
+  /// cleared together with `waiting_for`.
+  ObjectId waiting_for_oid = kNullObjectId;
+
   /// True once begin() ran (the active-transaction accounting needs to
   /// distinguish begun transactions from initiated-only ones).
   bool begun = false;

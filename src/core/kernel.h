@@ -62,6 +62,12 @@ struct KernelSync {
   /// re-checks the lock once after registering here and before its first
   /// sleep, so a permit inserted before the registration cannot be lost.
   std::unordered_set<TransactionDescriptor*> lock_blocked;
+  /// The wait-for cycle most recently resolved by the deadlock detector
+  /// (victim included), captured at detection time for introspection:
+  /// the detector resolves cycles immediately, so a later DumpState
+  /// could never name the cycle from the live wait-for edges. Guarded
+  /// by `mu`.
+  std::vector<Tid> last_deadlock_cycle;
 };
 
 /// The chained-hash transaction table of §4.1 (TDs keyed by tid).

@@ -24,11 +24,12 @@ size_t RoundUpPow2(size_t n) {
 
 LockManager::LockManager(KernelSync* sync, PermitTable* permits,
                          const TdTable* txns, KernelStats* stats,
-                         Options options)
+                         FlightRecorder* recorder, Options options)
     : sync_(sync),
       permits_(permits),
       txns_(txns),
       stats_(stats),
+      recorder_(recorder),
       options_(options) {
   size_t n = RoundUpPow2(std::max<size_t>(1, options_.shards));
   shards_.resize(n);
@@ -87,6 +88,22 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
   bool waited = false;
   bool registered = false;  // on the OD's waiter list (shard-latched)
   bool published = false;   // waits-for edges + sync_->lock_blocked entry
+  int64_t wait_start_ns = 0;      // taken when the acquire first blocks
+  Tid first_blocker = kNullTid;   // a holder we first blocked on
+
+  // Every exit of a blocking acquire lands here: lock-wait histogram +
+  // one kLockWait trace event. The uncontended path never takes a
+  // timestamp and never gets here with `waited` set.
+  auto record_wait = [&](LockWaitOutcome outcome) {
+    if (!waited) return;
+    int64_t dur = FlightRecorder::NowNs() - wait_start_ns;
+    if (dur < 0) dur = 0;
+    stats_->lock_wait_latency.Record(static_cast<uint64_t>(dur));
+    if (recorder_ != nullptr) {
+      recorder_->Emit(TraceEventType::kLockWait, td->tid, first_blocker, oid,
+                      static_cast<uint64_t>(outcome), dur);
+    }
+  };
 
   // Removes our waiter registration (if any) and reclaims an OD we may
   // have left empty. Called on every exit path.
@@ -106,6 +123,7 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
     if (!published) return;
     std::lock_guard<std::mutex> gl(sync_->mu);
     td->waiting_for.clear();
+    td->waiting_for_oid = kNullObjectId;
     sync_->lock_blocked.erase(td);
     published = false;
   };
@@ -115,6 +133,7 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
     if (ts == TxnStatus::kAborting || ts == TxnStatus::kAborted) {
       deregister();
       unpublish();
+      record_wait(LockWaitOutcome::kAborted);
       return Status::TxnAborted("transaction " + std::to_string(td->tid) +
                                 " is aborting");
     }
@@ -233,10 +252,12 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
     if (granted) {
       unpublish();
       stats_->locks_granted.fetch_add(1, std::memory_order_relaxed);
+      record_wait(LockWaitOutcome::kGranted);
       return Status::OK();
     }
     if (frozen) {
       unpublish();
+      record_wait(LockWaitOutcome::kAborted);
       return Status::TxnAborted("transaction " + std::to_string(td->tid) +
                                 " terminated during lock acquisition");
     }
@@ -248,11 +269,16 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
     {
       std::lock_guard<std::mutex> gl(sync_->mu);
       td->waiting_for = blockers;
+      td->waiting_for_oid = oid;
       sync_->lock_blocked.insert(td);
       published = true;
       if (options_.detect_deadlocks &&
           DeadlockDetector::WouldDeadlock(td, *txns_)) {
+        // Name the cycle for introspection before resolving it — the
+        // victim's edges below are what close it.
+        sync_->last_deadlock_cycle = DeadlockDetector::FindCycle(*txns_);
         td->waiting_for.clear();
+        td->waiting_for_oid = kNullObjectId;
         sync_->lock_blocked.erase(td);
         published = false;
         stats_->deadlocks.fetch_add(1, std::memory_order_relaxed);
@@ -262,6 +288,7 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
     }
     if (blockers.empty()) {  // deadlock detected above
       deregister();
+      record_wait(LockWaitOutcome::kDeadlock);
       return Status::Deadlock("lock on object " + std::to_string(oid) +
                               " would deadlock transaction " +
                               std::to_string(td->tid));
@@ -269,6 +296,8 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
     if (!waited) {
       stats_->lock_waits.fetch_add(1, std::memory_order_relaxed);
       waited = true;
+      wait_start_ns = FlightRecorder::NowNs();
+      first_blocker = blockers.front();
     }
     if (first_publish) {
       // A permit inserted (and its wakeup issued) between our lock-state
@@ -282,6 +311,7 @@ Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
       deregister();
       unpublish();
       stats_->lock_timeouts.fetch_add(1, std::memory_order_relaxed);
+      record_wait(LockWaitOutcome::kTimeout);
       return Status::TimedOut("lock on object " + std::to_string(oid) +
                               " timed out for transaction " +
                               std::to_string(td->tid));

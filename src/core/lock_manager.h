@@ -51,6 +51,7 @@
 #include "common/op_set.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/deadlock_detector.h"
 #include "core/descriptors.h"
 #include "core/kernel.h"
@@ -71,8 +72,9 @@ class LockManager {
     size_t shards = 64;
   };
 
+  /// `recorder` may be null (no tracing).
   LockManager(KernelSync* sync, PermitTable* permits, const TdTable* txns,
-              KernelStats* stats, Options options);
+              KernelStats* stats, FlightRecorder* recorder, Options options);
 
   /// Blocking acquire of `mode` on `oid` for `td`. Returns OK,
   /// kTxnAborted if the transaction was marked aborting while blocked,
@@ -143,6 +145,7 @@ class LockManager {
   PermitTable* permits_;
   const TdTable* txns_;
   KernelStats* stats_;
+  FlightRecorder* recorder_;
   Options options_;
 
   /// deque: Shard is not movable (mutex); the deque never relocates.

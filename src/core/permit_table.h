@@ -88,6 +88,13 @@ class PermitTable {
   /// the permit(ti, tj, op) expansion in §4.2.
   ObjectSet ObjectsPermittedTo(Tid t) const;
 
+  /// Copy of every permit in the table, direct and derived
+  /// (introspection; DumpState's permit listing).
+  std::vector<Permit> AllPermits() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return permits_;
+  }
+
   size_t size() const {
     std::shared_lock<std::shared_mutex> lk(mu_);
     return permits_.size();

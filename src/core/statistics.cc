@@ -1,113 +1,59 @@
 #include "core/statistics.h"
 
+#include <cstring>
 #include <sstream>
 
 namespace asset {
 
 KernelStats::Snapshot KernelStats::snapshot() const {
   Snapshot s;
-  s.txns_initiated = txns_initiated.load(std::memory_order_relaxed);
-  s.txns_begun = txns_begun.load(std::memory_order_relaxed);
-  s.txns_committed = txns_committed.load(std::memory_order_relaxed);
-  s.txns_aborted = txns_aborted.load(std::memory_order_relaxed);
-  s.group_commits = group_commits.load(std::memory_order_relaxed);
-  s.txn_wakeups = txn_wakeups.load(std::memory_order_relaxed);
-  s.locks_granted = locks_granted.load(std::memory_order_relaxed);
-  s.lock_waits = lock_waits.load(std::memory_order_relaxed);
-  s.lock_suspensions = lock_suspensions.load(std::memory_order_relaxed);
-  s.deadlocks = deadlocks.load(std::memory_order_relaxed);
-  s.lock_timeouts = lock_timeouts.load(std::memory_order_relaxed);
-  s.lock_wakeups = lock_wakeups.load(std::memory_order_relaxed);
-  s.lock_wait_retries = lock_wait_retries.load(std::memory_order_relaxed);
-  s.permits_inserted = permits_inserted.load(std::memory_order_relaxed);
-  s.permits_derived = permits_derived.load(std::memory_order_relaxed);
-  s.permit_checks = permit_checks.load(std::memory_order_relaxed);
-  s.permit_hits = permit_hits.load(std::memory_order_relaxed);
-  s.permit_broadcasts = permit_broadcasts.load(std::memory_order_relaxed);
-  s.delegations = delegations.load(std::memory_order_relaxed);
-  s.locks_delegated = locks_delegated.load(std::memory_order_relaxed);
-  s.dependencies_formed = dependencies_formed.load(std::memory_order_relaxed);
-  s.dependency_cycles_rejected =
-      dependency_cycles_rejected.load(std::memory_order_relaxed);
-  s.reads = reads.load(std::memory_order_relaxed);
-  s.writes = writes.load(std::memory_order_relaxed);
-  s.increments = increments.load(std::memory_order_relaxed);
-  s.undo_installs = undo_installs.load(std::memory_order_relaxed);
-  s.wal_appends = wal_appends.load(std::memory_order_relaxed);
-  s.wal_fsyncs = wal_fsyncs.load(std::memory_order_relaxed);
-  s.wal_records_flushed = wal_records_flushed.load(std::memory_order_relaxed);
-  s.commit_stalls = commit_stalls.load(std::memory_order_relaxed);
-  s.checkpoints = checkpoints.load(std::memory_order_relaxed);
-  s.wal_truncations = wal_truncations.load(std::memory_order_relaxed);
-  s.wal_records_truncated =
-      wal_records_truncated.load(std::memory_order_relaxed);
+#define ASSET_LOAD_COUNTER(group, field, label) \
+  s.field = field.load(std::memory_order_relaxed);
+  ASSET_KERNEL_COUNTERS(ASSET_LOAD_COUNTER)
+#undef ASSET_LOAD_COUNTER
+#define ASSET_LOAD_HISTOGRAM(field) s.field = field.snapshot();
+  ASSET_KERNEL_HISTOGRAMS(ASSET_LOAD_HISTOGRAM)
+#undef ASSET_LOAD_HISTOGRAM
   return s;
 }
 
 void KernelStats::Reset() {
-  txns_initiated = 0;
-  txns_begun = 0;
-  txns_committed = 0;
-  txns_aborted = 0;
-  group_commits = 0;
-  txn_wakeups = 0;
-  locks_granted = 0;
-  lock_waits = 0;
-  lock_suspensions = 0;
-  deadlocks = 0;
-  lock_timeouts = 0;
-  lock_wakeups = 0;
-  lock_wait_retries = 0;
-  permits_inserted = 0;
-  permits_derived = 0;
-  permit_checks = 0;
-  permit_hits = 0;
-  permit_broadcasts = 0;
-  delegations = 0;
-  locks_delegated = 0;
-  dependencies_formed = 0;
-  dependency_cycles_rejected = 0;
-  reads = 0;
-  writes = 0;
-  increments = 0;
-  undo_installs = 0;
-  wal_appends = 0;
-  wal_fsyncs = 0;
-  wal_records_flushed = 0;
-  commit_stalls = 0;
-  checkpoints = 0;
-  wal_truncations = 0;
-  wal_records_truncated = 0;
+#define ASSET_RESET_COUNTER(group, field, label) \
+  field.store(0, std::memory_order_relaxed);
+  ASSET_KERNEL_COUNTERS(ASSET_RESET_COUNTER)
+#undef ASSET_RESET_COUNTER
+#define ASSET_RESET_HISTOGRAM(field) field.Reset();
+  ASSET_KERNEL_HISTOGRAMS(ASSET_RESET_HISTOGRAM)
+#undef ASSET_RESET_HISTOGRAM
 }
 
 std::string KernelStats::Snapshot::ToString() const {
   std::ostringstream os;
-  os << "txns{initiated=" << txns_initiated << " begun=" << txns_begun
-     << " committed=" << txns_committed << " aborted=" << txns_aborted
-     << " group_commits=" << group_commits << " wakeups=" << txn_wakeups
-     << "} "
-     << "locks{granted=" << locks_granted << " waits=" << lock_waits
-     << " suspensions=" << lock_suspensions << " deadlocks=" << deadlocks
-     << " timeouts=" << lock_timeouts << " wakeups=" << lock_wakeups
-     << " wait_retries=" << lock_wait_retries << "} "
-     << "permits{inserted=" << permits_inserted
-     << " derived=" << permits_derived << " checks=" << permit_checks
-     << " hits=" << permit_hits << " broadcasts=" << permit_broadcasts
-     << "} "
-     << "delegation{calls=" << delegations << " locks=" << locks_delegated
-     << "} "
-     << "deps{formed=" << dependencies_formed
-     << " cycles_rejected=" << dependency_cycles_rejected << "} "
-     << "data{reads=" << reads << " writes=" << writes
-     << " increments=" << increments
-     << " undo_installs=" << undo_installs << "} "
-     << "wal{appends=" << wal_appends << " fsyncs=" << wal_fsyncs
-     << " records_flushed=" << wal_records_flushed
-     << " records_per_fsync=" << wal_records_per_fsync()
-     << " commit_stalls=" << commit_stalls << "} "
-     << "checkpoint{checkpoints=" << checkpoints
-     << " truncations=" << wal_truncations
-     << " records_truncated=" << wal_records_truncated << "}";
+  // One "group{label=value ...}" clause per counter group, in macro
+  // order; derived ratios ride along with their group.
+  const char* open_group = nullptr;
+#define ASSET_PRINT_COUNTER(group, field, label)                  \
+  if (open_group == nullptr || std::strcmp(open_group, #group)) { \
+    if (open_group != nullptr) {                                  \
+      if (!std::strcmp(open_group, "wal")) {                      \
+        os << " records_per_fsync=" << wal_records_per_fsync();   \
+      }                                                           \
+      os << "} ";                                                 \
+    }                                                             \
+    open_group = #group;                                          \
+    os << #group << "{" << #label << "=" << field;                \
+  } else {                                                        \
+    os << " " << #label << "=" << field;                          \
+  }
+  ASSET_KERNEL_COUNTERS(ASSET_PRINT_COUNTER)
+#undef ASSET_PRINT_COUNTER
+  if (open_group != nullptr) os << "}";
+#define ASSET_PRINT_HISTOGRAM(field)                                     \
+  os << " " << #field << "{count=" << field.count                        \
+     << " p50_ns=" << field.p50() << " p95_ns=" << field.p95()           \
+     << " p99_ns=" << field.p99() << " mean_ns=" << field.mean() << "}";
+  ASSET_KERNEL_HISTOGRAMS(ASSET_PRINT_HISTOGRAM)
+#undef ASSET_PRINT_HISTOGRAM
   return os.str();
 }
 

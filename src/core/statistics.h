@@ -2,91 +2,112 @@
 #define ASSET_CORE_STATISTICS_H_
 
 /// \file statistics.h
-/// Kernel counters. All counters are atomics so the hot paths can bump
-/// them without the kernel mutex; readers take racy-but-consistent-enough
-/// snapshots.
+/// Kernel counters and latency histograms. All counters are atomics so
+/// the hot paths can bump them without the kernel mutex; readers take
+/// racy-but-consistent-enough snapshots.
+///
+/// The counter list is a single X-macro: the struct fields, the
+/// Snapshot fields, snapshot(), Reset(), and ToString() are all
+/// generated from ASSET_KERNEL_COUNTERS, so a new counter is added in
+/// exactly one place and cannot drift out of any of them. Histograms
+/// follow the same pattern via ASSET_KERNEL_HISTOGRAMS.
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "common/histogram.h"
+
 namespace asset {
 
-/// Monotonic event counters for the transaction kernel.
+/// Every kernel counter: X(group, field, label). `group` and `label`
+/// name the counter in ToString()/MetricsText() output ("group{label=N}"
+/// and "asset_group_label N"); `field` is the C++ member. Entries with
+/// the same group must stay contiguous.
+#define ASSET_KERNEL_COUNTERS(X)                                           \
+  X(txns, txns_initiated, initiated)                                       \
+  X(txns, txns_begun, begun)                                               \
+  X(txns, txns_committed, committed)                                       \
+  X(txns, txns_aborted, aborted)                                           \
+  X(txns, group_commits, group_commits)                                    \
+  /* Targeted lifecycle notifications: how many times a status            \
+     transition woke one specific transaction's lifecycle channel. */      \
+  X(txns, txn_wakeups, wakeups)                                            \
+  X(locks, locks_granted, granted)                                         \
+  X(locks, lock_waits, waits)                                              \
+  X(locks, lock_suspensions, suspensions)                                  \
+  X(locks, deadlocks, deadlocks)                                           \
+  X(locks, lock_timeouts, timeouts)                                        \
+  /* Targeted lock notifications: waiters woken by a release,             \
+     delegation, or suspension on the object they are blocked on. */       \
+  X(locks, lock_wakeups, wakeups)                                          \
+  /* Rescans of the grant decision by a blocked acquirer after a wakeup   \
+     (each is one trip around the §4.2 "retry from step 1" loop). */       \
+  X(locks, lock_wait_retries, wait_retries)                                \
+  X(permits, permits_inserted, inserted)                                   \
+  X(permits, permits_derived, derived)                                     \
+  X(permits, permit_checks, checks)                                        \
+  X(permits, permit_hits, hits)                                            \
+  /* Permit insertions that swept the TD table to wake blocked lock       \
+     waiters (a new permit can admit any of them). */                      \
+  X(permits, permit_broadcasts, broadcasts)                                \
+  X(delegation, delegations, calls)                                        \
+  X(delegation, locks_delegated, locks)                                    \
+  X(deps, dependencies_formed, formed)                                     \
+  X(deps, dependency_cycles_rejected, cycles_rejected)                     \
+  X(data, reads, reads)                                                    \
+  X(data, writes, writes)                                                  \
+  X(data, increments, increments)                                          \
+  X(data, undo_installs, undo_installs)                                    \
+  /* WAL / durability-pipeline economy. The log bumps appends, fsyncs,    \
+     and records_flushed through the WalStatsSink the                     \
+     TransactionManager binds; commit_stalls is bumped by the commit      \
+     path when a strict-durability ack actually had to sleep for the      \
+     flusher. Fewer fsyncs than commits == group commit is working. */     \
+  X(wal, wal_appends, appends)                                             \
+  X(wal, wal_fsyncs, fsyncs)                                               \
+  X(wal, wal_records_flushed, records_flushed)                             \
+  X(wal, commit_stalls, commit_stalls)                                     \
+  /* Checkpoints completed (quiescent or fuzzy), and TruncatePrefix       \
+     activity: calls that dropped at least one record, and the records    \
+     physically dropped across all of them. */                             \
+  X(checkpoint, checkpoints, checkpoints)                                  \
+  X(checkpoint, wal_truncations, truncations)                              \
+  X(checkpoint, wal_records_truncated, records_truncated)                  \
+  /* Flight-recorder events lost to ring overwrite (see trace.h). */       \
+  X(trace, trace_events_dropped, events_dropped)
+
+/// Every kernel latency histogram: X(field). Recorded in nanoseconds.
+#define ASSET_KERNEL_HISTOGRAMS(X)                                         \
+  /* CommitTxn entry to durable ack (successful commits only). */          \
+  X(commit_latency)                                                        \
+  /* Lock-manager block to wake, blocking acquires only. */                \
+  X(lock_wait_latency)                                                     \
+  /* pwrite+fsync of one WAL flush batch. */                               \
+  X(fsync_latency)                                                         \
+  /* One quiescent or fuzzy checkpoint, end to end. */                     \
+  X(checkpoint_latency)
+
+/// Monotonic event counters + latency histograms for the kernel.
 struct KernelStats {
-  std::atomic<uint64_t> txns_initiated{0};
-  std::atomic<uint64_t> txns_begun{0};
-  std::atomic<uint64_t> txns_committed{0};
-  std::atomic<uint64_t> txns_aborted{0};
-  std::atomic<uint64_t> group_commits{0};
-  /// Targeted lifecycle notifications: how many times a status
-  /// transition woke one specific transaction's lifecycle channel.
-  std::atomic<uint64_t> txn_wakeups{0};
+#define ASSET_DECLARE_COUNTER(group, field, label) \
+  std::atomic<uint64_t> field{0};
+  ASSET_KERNEL_COUNTERS(ASSET_DECLARE_COUNTER)
+#undef ASSET_DECLARE_COUNTER
 
-  std::atomic<uint64_t> locks_granted{0};
-  std::atomic<uint64_t> lock_waits{0};
-  std::atomic<uint64_t> lock_suspensions{0};
-  std::atomic<uint64_t> deadlocks{0};
-  std::atomic<uint64_t> lock_timeouts{0};
-  /// Targeted lock notifications: waiters woken by a release,
-  /// delegation, or suspension on the object they are blocked on.
-  std::atomic<uint64_t> lock_wakeups{0};
-  /// Rescans of the grant decision by a blocked acquirer after a wakeup
-  /// (each is one trip around the §4.2 "retry from step 1" loop).
-  std::atomic<uint64_t> lock_wait_retries{0};
+#define ASSET_DECLARE_HISTOGRAM(field) LatencyHistogram field;
+  ASSET_KERNEL_HISTOGRAMS(ASSET_DECLARE_HISTOGRAM)
+#undef ASSET_DECLARE_HISTOGRAM
 
-  std::atomic<uint64_t> permits_inserted{0};
-  std::atomic<uint64_t> permits_derived{0};
-  std::atomic<uint64_t> permit_checks{0};
-  std::atomic<uint64_t> permit_hits{0};
-  /// Permit insertions that swept the TD table to wake blocked lock
-  /// waiters (a new permit can admit any of them).
-  std::atomic<uint64_t> permit_broadcasts{0};
-
-  std::atomic<uint64_t> delegations{0};
-  std::atomic<uint64_t> locks_delegated{0};
-  std::atomic<uint64_t> dependencies_formed{0};
-  std::atomic<uint64_t> dependency_cycles_rejected{0};
-
-  std::atomic<uint64_t> reads{0};
-  std::atomic<uint64_t> writes{0};
-  std::atomic<uint64_t> increments{0};
-  std::atomic<uint64_t> undo_installs{0};
-
-  /// WAL / durability-pipeline economy. The log itself bumps the first
-  /// three through the WalStatsSink the TransactionManager binds;
-  /// commit_stalls is bumped by the commit path.
-  std::atomic<uint64_t> wal_appends{0};
-  /// fsync batches completed. fewer fsyncs than commits == group commit
-  /// batching is working.
-  std::atomic<uint64_t> wal_fsyncs{0};
-  /// Records made durable across all flush batches.
-  std::atomic<uint64_t> wal_records_flushed{0};
-  /// Commit acks that actually had to sleep for the flusher (strict
-  /// durability only): the commit record was not yet durable when the
-  /// kernel mutex was released.
-  std::atomic<uint64_t> commit_stalls{0};
-
-  /// Checkpoints completed (quiescent or fuzzy).
-  std::atomic<uint64_t> checkpoints{0};
-  /// TruncatePrefix calls that dropped at least one record.
-  std::atomic<uint64_t> wal_truncations{0};
-  /// Records physically dropped across all truncations.
-  std::atomic<uint64_t> wal_records_truncated{0};
-
-  /// Plain-value copy of every counter.
+  /// Plain-value copy of every counter and histogram.
   struct Snapshot {
-    uint64_t txns_initiated, txns_begun, txns_committed, txns_aborted,
-        group_commits, txn_wakeups;
-    uint64_t locks_granted, lock_waits, lock_suspensions, deadlocks,
-        lock_timeouts, lock_wakeups, lock_wait_retries;
-    uint64_t permits_inserted, permits_derived, permit_checks, permit_hits,
-        permit_broadcasts;
-    uint64_t delegations, locks_delegated, dependencies_formed,
-        dependency_cycles_rejected;
-    uint64_t reads, writes, increments, undo_installs;
-    uint64_t wal_appends, wal_fsyncs, wal_records_flushed, commit_stalls;
-    uint64_t checkpoints, wal_truncations, wal_records_truncated;
+#define ASSET_SNAPSHOT_COUNTER(group, field, label) uint64_t field = 0;
+    ASSET_KERNEL_COUNTERS(ASSET_SNAPSHOT_COUNTER)
+#undef ASSET_SNAPSHOT_COUNTER
+
+#define ASSET_SNAPSHOT_HISTOGRAM(field) LatencyHistogram::Snapshot field;
+    ASSET_KERNEL_HISTOGRAMS(ASSET_SNAPSHOT_HISTOGRAM)
+#undef ASSET_SNAPSHOT_HISTOGRAM
 
     /// Batching ratio: records flushed per fsync (0 when no fsync ran).
     double wal_records_per_fsync() const {

@@ -35,12 +35,16 @@ TransactionManager::TransactionManager(LogManager* log, ObjectStore* store,
     : options_(options),
       log_(log),
       store_(store),
-      locks_(&sync_, &permit_table_, &txns_, &stats_, options.lock),
+      recorder_(options.trace),
+      locks_(&sync_, &permit_table_, &txns_, &stats_, &recorder_,
+             options.lock),
       undo_(log, store, &stats_) {
+  recorder_.BindDroppedCounter(&stats_.trace_events_dropped);
   log_->BindStats(WalStatsSink{&stats_.wal_appends, &stats_.wal_fsyncs,
                                &stats_.wal_records_flushed,
                                &stats_.wal_truncations,
-                               &stats_.wal_records_truncated});
+                               &stats_.wal_records_truncated,
+                               &stats_.fsync_latency, &recorder_});
 }
 
 TransactionManager::TransactionManager(LogManager* log, ObjectStore* store)
@@ -62,7 +66,8 @@ TransactionManager::~TransactionManager() {
   log_->UnbindStats(WalStatsSink{&stats_.wal_appends, &stats_.wal_fsyncs,
                                  &stats_.wal_records_flushed,
                                  &stats_.wal_truncations,
-                                 &stats_.wal_records_truncated});
+                                 &stats_.wal_records_truncated,
+                                 &stats_.fsync_latency, &recorder_});
 }
 
 // ---------------------------------------------------------------------------
@@ -157,6 +162,7 @@ Tid TransactionManager::InitiateFn(std::function<void()> fn) {
   txns_.emplace(tid, std::move(td));
   unterminated_count_++;
   stats_.txns_initiated.fetch_add(1, std::memory_order_relaxed);
+  recorder_.Emit(TraceEventType::kTxnInitiate, tid, parent);
   return tid;
 }
 
@@ -203,6 +209,7 @@ void TransactionManager::StartRunningLocked(TransactionDescriptor* td) {
   rec.tid = td->tid;
   log_->Append(std::move(rec));
   stats_.txns_begun.fetch_add(1, std::memory_order_relaxed);
+  recorder_.Emit(TraceEventType::kTxnBegin, td->tid, td->parent);
   // A begin-dependency of someone else may just have been satisfied.
   WakeDependentsLocked(td->tid);
 }
@@ -355,6 +362,8 @@ Result<Tid> TransactionManager::BeginSession() {
   log_->Append(std::move(rec));
   stats_.txns_initiated.fetch_add(1, std::memory_order_relaxed);
   stats_.txns_begun.fetch_add(1, std::memory_order_relaxed);
+  recorder_.Emit(TraceEventType::kTxnInitiate, tid, parent);
+  recorder_.Emit(TraceEventType::kTxnBegin, tid, parent);
   return tid;
 }
 
@@ -396,6 +405,17 @@ void TransactionManager::ThreadMain(TransactionDescriptor* td) {
 bool TransactionManager::Commit(Tid t) { return CommitTxn(t).ok(); }
 
 Status TransactionManager::CommitTxn(Tid t) {
+  const int64_t commit_start_ns = FlightRecorder::NowNs();
+  // Successful-commit ack: durability wait (mutex released by the
+  // caller first) plus the commit-latency sample, measured from the
+  // CommitTxn entry to the durable ack.
+  auto ack = [&](Lsn commit_lsn) {
+    Status s = AwaitCommitDurable(t, commit_lsn);
+    int64_t dur = FlightRecorder::NowNs() - commit_start_ns;
+    if (dur < 0) dur = 0;
+    stats_.commit_latency.Record(static_cast<uint64_t>(dur));
+    return s;
+  };
   std::unique_lock<std::mutex> lk(sync_.mu);
   const bool bounded = options_.commit_timeout.count() > 0;
   const auto deadline =
@@ -423,7 +443,7 @@ Status TransactionManager::CommitTxn(Tid t) {
         // policy for the ack just like the committing thread does.
         Lsn commit_lsn = td->commit_lsn;
         lk.unlock();
-        return AwaitCommitDurable(commit_lsn);
+        return ack(commit_lsn);
       }
       case TxnStatus::kAborted:
         return Status::TxnAborted(AbortReasonLocked(td));
@@ -441,7 +461,7 @@ Status TransactionManager::CommitTxn(Tid t) {
           // mutex released: concurrent committers pile onto the same
           // flusher batch instead of queueing the kernel on the disk.
           lk.unlock();
-          return AwaitCommitDurable(commit_lsn);
+          return ack(commit_lsn);
         }
         if (eval == CommitEval::kAbort) {
           // An abort/group dependency makes commit impossible: the whole
@@ -467,7 +487,7 @@ Status TransactionManager::CommitTxn(Tid t) {
         if (td->status == TxnStatus::kCommitted) {
           Lsn commit_lsn = td->commit_lsn;
           lk.unlock();
-          return AwaitCommitDurable(commit_lsn);
+          return ack(commit_lsn);
         }
         if (td->status == TxnStatus::kAborted) {
           return Status::TxnAborted(AbortReasonLocked(td));
@@ -665,6 +685,10 @@ Lsn TransactionManager::CommitGroupLocked(
     if (m->begun) active_count_--;
     unterminated_count_--;
     stats_.txns_committed.fetch_add(1, std::memory_order_relaxed);
+    // One event per member: a group commit shows every peer committing
+    // at (essentially) the same timestamp with its own commit lsn.
+    recorder_.Emit(TraceEventType::kTxnCommit, m->tid, kNullTid,
+                   kNullObjectId, m->commit_lsn);
     NotifyTxnLocked(m);       // Commit/Wait sleepers on this member
     m->lock_wait.Notify();    // a straggling lock request fails fast
   }
@@ -681,7 +705,7 @@ Lsn TransactionManager::CommitGroupLocked(
   return group_lsn;
 }
 
-Status TransactionManager::AwaitCommitDurable(Lsn commit_lsn) {
+Status TransactionManager::AwaitCommitDurable(Tid t, Lsn commit_lsn) {
   if (!options_.force_log_at_commit || commit_lsn == kNullLsn) {
     return Status::OK();
   }
@@ -695,6 +719,12 @@ Status TransactionManager::AwaitCommitDurable(Lsn commit_lsn) {
     // The ack actually has to sleep for the flusher (vs riding a batch
     // that already landed).
     stats_.commit_stalls.fetch_add(1, std::memory_order_relaxed);
+    int64_t stall_start_ns = FlightRecorder::NowNs();
+    Status s = log_->WaitDurable(commit_lsn);
+    int64_t dur = FlightRecorder::NowNs() - stall_start_ns;
+    recorder_.Emit(TraceEventType::kCommitStall, t, kNullTid, kNullObjectId,
+                   commit_lsn, dur < 0 ? 0 : dur);
+    return s;
   }
   return log_->WaitDurable(commit_lsn);
 }
@@ -821,6 +851,7 @@ void TransactionManager::FinalizeAbortLocked(TransactionDescriptor* td) {
   if (td->begun) active_count_--;
   unterminated_count_--;
   stats_.txns_aborted.fetch_add(1, std::memory_order_relaxed);
+  recorder_.Emit(TraceEventType::kTxnAbort, td->tid, td->parent);
   NotifyTxnLocked(td);     // Abort/Commit/Wait sleepers on this txn
   td->lock_wait.Notify();  // a blocked lock request of its own fails fast
   for (Tid w : watchers) {
@@ -846,10 +877,12 @@ Status TransactionManager::Delegate(Tid ti, Tid tj, const ObjectSet& objs) {
   }
   // Delegation *to* an initiated transaction is explicitly supported
   // (§2.2's noteworthy design decision).
-  locks_.Delegate(tdi, tdj, objs);  // wakes waiters on the moved objects
+  size_t moved =
+      locks_.Delegate(tdi, tdj, objs);  // wakes waiters on moved objects
   permit_table_.RedirectGrantor(ti, tj, objs);
   undo_.DelegateLocked(tdi, tdj, objs);
   stats_.delegations.fetch_add(1, std::memory_order_relaxed);
+  recorder_.Emit(TraceEventType::kDelegate, ti, tj, kNullObjectId, moved);
   // Redirected permits can admit waiters on objects whose locks did NOT
   // move (tj already held them); let every blocked requester re-check.
   WakeLockWaitersLocked();
@@ -889,6 +922,7 @@ Status TransactionManager::Permit(Tid ti, Tid tj, const ObjectSet& objs,
   if (grew > 1) {
     stats_.permits_derived.fetch_add(grew - 1, std::memory_order_relaxed);
   }
+  recorder_.Emit(TraceEventType::kPermit, ti, tj, kNullObjectId, grew);
   WakeLockWaitersLocked();  // a new permit can unblock lock waiters
   return Status::OK();
 }
@@ -943,6 +977,8 @@ Status TransactionManager::FormDependency(DependencyType type, Tid ti,
   Status s = deps_.Add(type, ti, tj);
   if (s.ok()) {
     stats_.dependencies_formed.fetch_add(1, std::memory_order_relaxed);
+    recorder_.Emit(TraceEventType::kDependency, ti, tj, kNullObjectId,
+                   static_cast<uint64_t>(type));
   } else if (s.code() == StatusCode::kDependencyCycle) {
     stats_.dependency_cycles_rejected.fetch_add(1,
                                                 std::memory_order_relaxed);
@@ -1253,6 +1289,47 @@ TransactionManager::SnapshotActiveTransactions() const {
     out.push_back(std::move(e));
   }
   return out;
+}
+
+KernelStateSnapshot TransactionManager::SnapshotState() const {
+  KernelStateSnapshot snap;
+  std::lock_guard<std::mutex> lk(sync_.mu);
+  snap.transactions.reserve(txns_.size());
+  for (const auto& [tid, td] : txns_) {
+    KernelStateSnapshot::TxnInfo info;
+    info.tid = tid;
+    info.parent = td->parent;
+    info.status = td->status.load(std::memory_order_acquire);
+    info.session = td->session;
+    {
+      // lrds_mu is below the kernel mutex in the lock order (kernel.h),
+      // so taking it here is legal; release/delegation mutate the list
+      // under it from outside the kernel mutex.
+      std::lock_guard<std::mutex> ll(td->lrds_mu);
+      info.locks_held = td->lrds.size();
+    }
+    info.ops_responsible = td->responsible_ops.size();
+    info.commit_lsn = td->commit_lsn;
+    info.abort_reason = td->abort_reason;
+    snap.transactions.push_back(std::move(info));
+    if (!td->waiting_for.empty()) {
+      KernelStateSnapshot::WaitEdge edge;
+      edge.waiter = tid;
+      edge.oid = td->waiting_for_oid;
+      edge.blockers = td->waiting_for;
+      snap.wait_for.push_back(std::move(edge));
+    }
+  }
+  // Deterministic order for tests and diffing (the TD table iterates in
+  // hash order).
+  std::sort(snap.transactions.begin(), snap.transactions.end(),
+            [](const auto& a, const auto& b) { return a.tid < b.tid; });
+  std::sort(snap.wait_for.begin(), snap.wait_for.end(),
+            [](const auto& a, const auto& b) { return a.waiter < b.waiter; });
+  snap.dependencies = deps_.Edges();
+  snap.permits = permit_table_.AllPermits();
+  snap.last_deadlock_cycle = sync_.last_deadlock_cycle;
+  return snap;
 }
 
 }  // namespace asset

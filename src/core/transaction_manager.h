@@ -53,8 +53,10 @@
 #include "common/op_set.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/dependency_graph.h"
 #include "core/descriptors.h"
+#include "core/introspection.h"
 #include "core/kernel.h"
 #include "core/lock_manager.h"
 #include "core/permit_table.h"
@@ -100,6 +102,10 @@ class TransactionManager {
     /// this bound aborts the transaction (so its 0 return is truthful).
     /// Zero means wait forever.
     std::chrono::milliseconds commit_timeout{10000};
+    /// Flight-recorder configuration. Tracing can also be toggled at
+    /// runtime via recorder().set_enabled(); when disabled, the
+    /// instrumentation cost is one relaxed atomic load per hook.
+    TraceOptions trace;
   };
 
   TransactionManager(LogManager* log, ObjectStore* store, Options options);
@@ -281,6 +287,17 @@ class TransactionManager {
   KernelStats& stats() { return stats_; }
   LockManager& lock_manager() { return locks_; }
 
+  /// The kernel's flight recorder: per-thread rings of timestamped
+  /// kernel events, drainable as Chrome trace JSON. Always present;
+  /// recording is governed by Options::trace.enabled / set_enabled().
+  FlightRecorder& recorder() { return recorder_; }
+
+  /// Consistent snapshot of the kernel's control structures — TD table,
+  /// lock wait-for edges, dependency graph, permits, last deadlock
+  /// cycle — taken under one kernel-mutex hold. Render with
+  /// RenderKernelStateJson / RenderWaitForDot (introspection.h).
+  KernelStateSnapshot SnapshotState() const;
+
   /// Count of begun-but-unterminated transactions.
   size_t ActiveTransactions() const;
 
@@ -360,8 +377,9 @@ class TransactionManager {
   /// RELEASED: no-op when the log is not forced at commit; a flusher
   /// nudge under DurabilityPolicy::kRelaxed; a WaitDurable(commit_lsn)
   /// sleep under kStrict. A flush failure surfaces here as the commit's
-  /// return Status (the commit is applied in memory regardless).
-  Status AwaitCommitDurable(Lsn commit_lsn);
+  /// return Status (the commit is applied in memory regardless). `t` is
+  /// the committing transaction, for the commit-stall trace event.
+  Status AwaitCommitDurable(Tid t, Lsn commit_lsn);
 
   /// Marks `td` aborting (recording `reason` as its abort reason if none
   /// is set yet) and wakes its observers: its lifecycle waiters, a lock
@@ -428,6 +446,8 @@ class TransactionManager {
 
   mutable KernelSync sync_;
   KernelStats stats_;
+  /// Declared before locks_: the LockManager holds a pointer to it.
+  FlightRecorder recorder_;
   PermitTable permit_table_;
   DependencyGraph deps_;
   TdTable txns_;

@@ -308,6 +308,10 @@ Lsn LogManager::Append(LogRecord rec) {
   } else {
     appended_bytes_ += EstimateEncodedSize(rec);
   }
+  if (sink_.recorder != nullptr) {
+    sink_.recorder->Emit(TraceEventType::kWalAppend, rec.tid, rec.other_tid,
+                         rec.oid, lsn);
+  }
   records_.push_back(std::move(rec));
   if (sink_.appends != nullptr) {
     sink_.appends->fetch_add(1, std::memory_order_relaxed);
@@ -399,15 +403,18 @@ void LogManager::FlusherMain() {
 
     // Device I/O happens here, with no lock held: appenders keep
     // reserving lsns and committers keep queueing requests meanwhile.
+    const int64_t io_start_ns = FlightRecorder::NowNs();
     Status io = PwriteFully(fd, batch.data(), batch.size(), write_at,
                             "log file");
     if (io.ok()) {
       if (hook) hook();
       io = FsyncRetry(fd);
     }
+    const int64_t io_ns = FlightRecorder::NowNs() - io_start_ns;
 
     lk.lock();
-    CompleteFlushLocked(from, target, batch.size(), io, /*did_sync=*/io.ok());
+    CompleteFlushLocked(from, target, batch.size(), io, /*did_sync=*/io.ok(),
+                        io_ns);
   }
 }
 
@@ -421,7 +428,8 @@ std::pair<size_t, size_t> LogManager::BatchRangeLocked(Lsn from,
 }
 
 void LogManager::CompleteFlushLocked(Lsn from, Lsn target, size_t nbytes,
-                                     const Status& io, bool did_sync) {
+                                     const Status& io, bool did_sync,
+                                     int64_t io_ns) {
   if (io.ok()) {
     for (Lsn l = from + 1; l <= target; ++l) {
       const LogRecord& r = records_[l - 1 - truncated_];
@@ -454,8 +462,18 @@ void LogManager::CompleteFlushLocked(Lsn from, Lsn target, size_t nbytes,
       sink_.records_flushed->fetch_add(target - from,
                                        std::memory_order_relaxed);
     }
-    if (did_sync && sink_.fsyncs != nullptr) {
-      sink_.fsyncs->fetch_add(1, std::memory_order_relaxed);
+    if (did_sync) {
+      if (sink_.fsyncs != nullptr) {
+        sink_.fsyncs->fetch_add(1, std::memory_order_relaxed);
+      }
+      if (io_ns < 0) io_ns = 0;
+      if (sink_.fsync_hist != nullptr) {
+        sink_.fsync_hist->Record(static_cast<uint64_t>(io_ns));
+      }
+      if (sink_.recorder != nullptr) {
+        sink_.recorder->Emit(TraceEventType::kWalFsync, kNullTid, kNullTid,
+                             kNullObjectId, target, io_ns);
+      }
     }
   } else {
     // Sticky: the tail may be torn on disk; nothing past `from` may be
@@ -477,13 +495,16 @@ Status LogManager::FlushInlineLocked(Lsn target) {
     return Status::OK();
   }
   auto [lo, hi] = BatchRangeLocked(durable_lsn_, target);
+  const int64_t io_start_ns = FlightRecorder::NowNs();
   Status io = PwriteFully(fd_, buf_.data() + lo, hi - lo, file_end_,
                           "log file");
   if (io.ok()) {
     if (fsync_hook_) fsync_hook_();
     io = FsyncRetry(fd_);
   }
-  CompleteFlushLocked(durable_lsn_, target, hi - lo, io, /*did_sync=*/io.ok());
+  const int64_t io_ns = FlightRecorder::NowNs() - io_start_ns;
+  CompleteFlushLocked(durable_lsn_, target, hi - lo, io, /*did_sync=*/io.ok(),
+                      io_ns);
   return io.ok() ? Status::OK() : io_status_;
 }
 
@@ -690,7 +711,9 @@ void LogManager::UnbindStats(const WalStatsSink& sink) {
   if (sink_.appends == sink.appends && sink_.fsyncs == sink.fsyncs &&
       sink_.records_flushed == sink.records_flushed &&
       sink_.truncations == sink.truncations &&
-      sink_.records_truncated == sink.records_truncated) {
+      sink_.records_truncated == sink.records_truncated &&
+      sink_.fsync_hist == sink.fsync_hist &&
+      sink_.recorder == sink.recorder) {
     sink_ = WalStatsSink{};
   }
 }

@@ -49,9 +49,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/ids.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace asset {
 
@@ -170,6 +172,10 @@ struct WalStatsSink {
   std::atomic<uint64_t>* records_flushed = nullptr;
   std::atomic<uint64_t>* truncations = nullptr;
   std::atomic<uint64_t>* records_truncated = nullptr;
+  /// Per-flush pwrite+fsync duration samples (kernel's fsync_latency).
+  LatencyHistogram* fsync_hist = nullptr;
+  /// Flight recorder for kWalAppend / kWalFsync events.
+  FlightRecorder* recorder = nullptr;
 };
 
 /// Append-only log. Thread-safe. Records become *durable* only when
@@ -349,9 +355,12 @@ class LogManager {
   /// Bookkeeping after a flush attempt of (from, target] that wrote
   /// `nbytes` (0 when not file-backed): advances the durable boundary
   /// and checkpoint watermark, trims the consumed buffer prefix, bumps
-  /// counters — or records the sticky error. Caller holds mu_.
+  /// counters (`io_ns` — the pwrite+fsync wall time — feeds the fsync
+  /// histogram and trace event when did_sync) — or records the sticky
+  /// error. Caller holds mu_.
   void CompleteFlushLocked(Lsn from, Lsn target, size_t nbytes,
-                           const Status& io, bool did_sync);
+                           const Status& io, bool did_sync,
+                           int64_t io_ns = 0);
 
   /// kSynchronous-mode flush of records up to `target`, inline under
   /// mu_ (the caller pays the pwrite+fsync — the reference behaviour).

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/database.h"
 #include "kernel_fixture.h"
 
 namespace asset {
@@ -99,6 +104,100 @@ TEST_F(StatsTest, ResetZeroesEverything) {
   EXPECT_EQ(s.txns_initiated, 0u);
   EXPECT_EQ(s.writes, 0u);
   EXPECT_EQ(s.locks_granted, 0u);
+  EXPECT_EQ(s.commit_latency.count, 0u);
+  EXPECT_EQ(s.commit_latency.p99(), 0u);
+}
+
+TEST_F(StatsTest, CommitLatencyHistogramFillsAndOrdersPercentiles) {
+  for (int i = 0; i < 20; ++i) MakeObject("x");  // 20 acked commits
+  auto s = tm_->stats().snapshot();
+  EXPECT_GE(s.commit_latency.count, 20u);
+  EXPECT_GT(s.commit_latency.sum, 0u);
+  EXPECT_GT(s.commit_latency.p50(), 0u);
+  EXPECT_LE(s.commit_latency.p50(), s.commit_latency.p95());
+  EXPECT_LE(s.commit_latency.p95(), s.commit_latency.p99());
+}
+
+TEST_F(StatsTest, FsyncHistogramFillsOnAFileBackedLog) {
+  // The fixture's in-memory log never syncs a device; a file-backed
+  // database is where the fsync histogram gets its samples.
+  Database::Options o;
+  o.path = ::testing::TempDir() + "/asset_stats_fsync.db";
+  std::remove(o.path.c_str());
+  std::remove((o.path + ".wal").c_str());
+  auto db = Database::Open(o);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(t->Create<int64_t>(i).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  auto s = (*db)->txn().stats().snapshot();
+  EXPECT_GT(s.fsync_latency.count, 0u);
+  EXPECT_EQ(s.fsync_latency.count, s.wal_fsyncs);
+  EXPECT_GT(s.fsync_latency.p50(), 0u);
+  EXPECT_LE(s.fsync_latency.p50(), s.fsync_latency.p99());
+}
+
+TEST_F(StatsTest, LockWaitHistogramRecordsOnlyBlockingAcquires) {
+  ObjectId oid = MakeObject("x");
+  auto before = tm_->stats().snapshot();
+  // Uncontended traffic: no blocking, so no lock-wait samples.
+  Tid a = tm_->Initiate([&] {
+    tm_->Read(TransactionManager::Self(), oid).ok();
+  });
+  tm_->Begin(a);
+  tm_->Commit(a);
+  auto mid = tm_->stats().snapshot();
+  EXPECT_EQ(mid.lock_wait_latency.count, before.lock_wait_latency.count);
+
+  // Contended write: the second writer blocks until the first commits.
+  Tid holder = tm_->Initiate([&] {
+    tm_->Write(TransactionManager::Self(), oid, TestBytes("y")).ok();
+  });
+  tm_->Begin(holder);
+  tm_->Wait(holder);
+  std::thread blocked([&] {
+    Tid w = tm_->Initiate([&] {
+      tm_->Write(TransactionManager::Self(), oid, TestBytes("z")).ok();
+    });
+    tm_->Begin(w);
+    tm_->Commit(w);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  tm_->Commit(holder);
+  blocked.join();
+  auto after = tm_->stats().snapshot();
+  EXPECT_GT(after.lock_wait_latency.count, mid.lock_wait_latency.count);
+  EXPECT_GT(after.lock_wait_latency.p50(), 0u);
+}
+
+TEST_F(StatsTest, HistogramPercentilesMonotoneByConstruction) {
+  LatencyHistogram h;
+  // A deliberately skewed distribution across many buckets.
+  for (int i = 0; i < 1000; ++i) h.Record(100);
+  for (int i = 0; i < 50; ++i) h.Record(1 << 20);
+  h.Record(uint64_t{1} << 40);
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1051u);
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+  EXPECT_LE(s.p99(), s.ValueAtPercentile(100));
+  // The p50 bucket upper bound still brackets the dominant value.
+  EXPECT_GE(s.p50(), 100u);
+  EXPECT_LT(s.p50(), 256u);
+  // Tail landed where the big samples went.
+  EXPECT_GE(s.ValueAtPercentile(100), uint64_t{1} << 40);
+  h.Reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(StatsTest, ToStringMentionsHistograms) {
+  MakeObject("x");
+  std::string s = tm_->stats().snapshot().ToString();
+  EXPECT_NE(s.find("commit_latency"), std::string::npos) << s;
+  EXPECT_NE(s.find("p99"), std::string::npos) << s;
 }
 
 }  // namespace

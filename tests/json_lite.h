@@ -1,0 +1,218 @@
+#ifndef ASSET_TESTS_JSON_LITE_H_
+#define ASSET_TESTS_JSON_LITE_H_
+
+// Minimal recursive-descent JSON parser for test assertions: enough to
+// round-trip the dumps the observability layer emits (DumpTrace,
+// DumpState) and poke at values, with strict syntax checking so a
+// malformed dump fails the test rather than sliding through.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asset {
+namespace testjson {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> arr;
+  std::map<std::string, Value> obj;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr if absent or not an object.
+  const Value* Find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  /// Parses `text` as one JSON document (trailing whitespace allowed,
+  /// trailing garbage rejected). Returns false on any syntax error.
+  static bool Parse(const std::string& text, Value* out) {
+    Parser p(text);
+    if (!p.ParseValue(out)) return false;
+    p.SkipWs();
+    return p.pos_ == text.size();
+  }
+
+ private:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, Value* out, Value::Kind kind, bool b) {
+    size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    out->kind = kind;
+    out->boolean = b;
+    return true;
+  }
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        return Literal("true", out, Value::Kind::kBool, true);
+      case 'f':
+        return Literal("false", out, Value::Kind::kBool, false);
+      case 'n':
+        return Literal("null", out, Value::Kind::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value* out) {
+    out->kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->obj.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    out->kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->arr.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // ASCII escapes decode exactly; anything wider is kept as '?'
+          // (the dumps only \u-escape control characters).
+          out->push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(Value* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) return false;
+    out->kind = Value::Kind::kNumber;
+    out->number = v;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline bool ParseJson(const std::string& text, Value* out) {
+  return Parser::Parse(text, out);
+}
+
+}  // namespace testjson
+}  // namespace asset
+
+#endif  // ASSET_TESTS_JSON_LITE_H_
