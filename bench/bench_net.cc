@@ -1,0 +1,490 @@
+// B18: the network front door under load.
+//
+// Unlike B1-B17 this is not a google-benchmark binary: the quantities
+// that matter here — concurrently open sessions at a fixed fd budget,
+// and open-loop latency percentiles under a *scheduled* arrival rate —
+// do not fit the stopwatch-around-a-loop model. Three phases:
+//
+//  1. Session ramp: open C connections and leave S session
+//     transactions open on each (C*S >= 10k), prove the server still
+//     answers, then commit everything. Loopback costs two fds per
+//     connection (client end + server end, same process), so 10k
+//     sessions ride on ~5-6k connections well inside a 20k fd limit.
+//  2. Closed loop: T threads x K connections, each cycling one
+//     pipelined Begin+Add+Commit batch (one flush, three replies) per
+//     connection. Latency is flush-to-last-reply; load is bounded by
+//     the clients themselves.
+//  3. Open loop: batches are *scheduled* at a target rate and latency
+//     is measured from the intended send time, so a stalled server
+//     accrues queueing delay instead of silently slowing the load
+//     (coordinated omission). One sender thread walks the schedule;
+//     one receiver drains replies in send order.
+//
+// Prints a JSON document to stdout; BENCH_net.json holds one measured
+// run with commentary.
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/command.h"
+#include "client/client.h"
+#include "common/histogram.h"
+#include "core/database.h"
+#include "server/server.h"
+
+namespace {
+
+using asset::Database;
+using asset::LatencyHistogram;
+using asset::ObjectId;
+using asset::Tid;
+using asset::client::Client;
+using asset::server::Server;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Config {
+  int ramp_connections = 5200;
+  int sessions_per_connection = 2;
+  int closed_threads = 2;
+  int closed_connections_per_thread = 8;
+  double closed_seconds = 4.0;
+  std::vector<int> open_rates = {2000, 5000, 10000};
+  double open_seconds = 3.0;
+  int open_connections = 8;
+  bool skip_ramp = false;
+};
+
+Config ParseArgs(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto val = [&](const char* key) -> const char* {
+      size_t n = strlen(key);
+      return a.compare(0, n, key) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--ramp-connections=")) {
+      cfg.ramp_connections = atoi(v);
+    } else if (const char* v = val("--sessions-per-connection=")) {
+      cfg.sessions_per_connection = atoi(v);
+    } else if (const char* v = val("--closed-threads=")) {
+      cfg.closed_threads = atoi(v);
+    } else if (const char* v = val("--closed-connections=")) {
+      cfg.closed_connections_per_thread = atoi(v);
+    } else if (const char* v = val("--closed-seconds=")) {
+      cfg.closed_seconds = atof(v);
+    } else if (const char* v = val("--open-seconds=")) {
+      cfg.open_seconds = atof(v);
+    } else if (const char* v = val("--open-rates=")) {
+      cfg.open_rates.clear();
+      for (const char* p = v; *p != '\0';) {
+        cfg.open_rates.push_back(atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else if (a == "--skip-ramp") {
+      cfg.skip_ramp = true;
+    } else {
+      fprintf(stderr, "unknown flag %s\n", a.c_str());
+      exit(2);
+    }
+  }
+  return cfg;
+}
+
+/// Raises the soft fd limit to the hard limit and returns it.
+rlim_t RaiseFdLimit() {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return 0;
+  rl.rlim_cur = rl.rlim_max;
+  setrlimit(RLIMIT_NOFILE, &rl);
+  getrlimit(RLIMIT_NOFILE, &rl);
+  return rl.rlim_cur;
+}
+
+void Die(const char* what, const asset::Status& s) {
+  fprintf(stderr, "bench_net: %s: %s\n", what, s.ToString().c_str());
+  exit(1);
+}
+
+// --- Phase 1: session ramp --------------------------------------------
+
+struct RampResult {
+  int connections = 0;
+  uint64_t peak_sessions = 0;
+  double open_s = 0;
+  double close_s = 0;
+  bool responsive_at_peak = false;
+};
+
+RampResult RunRamp(Database* db, uint16_t port, const Config& cfg) {
+  RampResult res;
+  const int kThreads = 4;
+  std::vector<std::vector<std::unique_ptr<Client>>> clients(kThreads);
+  std::vector<std::vector<std::vector<Tid>>> tids(kThreads);
+  std::atomic<int> failures{0};
+
+  uint64_t t0 = NowNs();
+  {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+      threads.emplace_back([&, w] {
+        int share = cfg.ramp_connections / kThreads +
+                    (w < cfg.ramp_connections % kThreads ? 1 : 0);
+        for (int i = 0; i < share; ++i) {
+          auto c = Client::Connect("127.0.0.1", port);
+          if (!c.ok()) {
+            failures.fetch_add(1);
+            return;  // fd budget exhausted: stop this worker
+          }
+          Client* cl = c.value().get();
+          // Pipeline the Begins: one flush, S replies.
+          for (int s = 0; s < cfg.sessions_per_connection; ++s) {
+            cl->Send(asset::api::Command::Begin());
+          }
+          if (!cl->Flush().ok()) {
+            failures.fetch_add(1);
+            return;
+          }
+          std::vector<Tid> opened;
+          for (int s = 0; s < cfg.sessions_per_connection; ++s) {
+            auto r = cl->Receive();
+            if (!r.ok() || r.value().code != asset::StatusCode::kOk) {
+              failures.fetch_add(1);
+              return;
+            }
+            opened.push_back(r.value().u64);
+          }
+          clients[w].push_back(std::move(c.value()));
+          tids[w].push_back(std::move(opened));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  res.open_s = static_cast<double>(NowNs() - t0) / 1e9;
+  for (auto& v : clients) res.connections += static_cast<int>(v.size());
+  res.peak_sessions = db->ActiveTransactions();
+
+  // The server must still answer with everything open.
+  for (int w = 0; w < kThreads && !clients[w].empty(); ++w) {
+    res.responsive_at_peak = clients[w].front()->Ping().ok();
+    if (!res.responsive_at_peak) break;
+  }
+
+  // Commit every session (pipelined per connection), then drop the
+  // connections.
+  t0 = NowNs();
+  {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+      threads.emplace_back([&, w] {
+        for (size_t i = 0; i < clients[w].size(); ++i) {
+          Client* cl = clients[w][i].get();
+          for (Tid t : tids[w][i]) {
+            cl->Send(asset::api::Command::Commit(t));
+          }
+          if (!cl->Flush().ok()) continue;
+          for (size_t s = 0; s < tids[w][i].size(); ++s) {
+            auto r = cl->Receive();
+            (void)r;
+          }
+        }
+        clients[w].clear();
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  res.close_s = static_cast<double>(NowNs() - t0) / 1e9;
+  return res;
+}
+
+// --- Phase 2: closed loop ---------------------------------------------
+
+struct LoopResult {
+  uint64_t txns = 0;
+  double seconds = 0;
+  double throughput = 0;
+  uint64_t p50_us = 0, p95_us = 0, p99_us = 0;
+  double mean_us = 0;
+};
+
+/// One Begin+Add+Commit batch on `cl` against its private counter;
+/// returns false on any transport or command error.
+bool RunBatch(Client* cl, ObjectId counter) {
+  cl->Send(asset::api::Command::Begin());
+  cl->Send(asset::api::Command::Add(counter, 1));
+  cl->Send(asset::api::Command::Commit());
+  if (!cl->Flush().ok()) return false;
+  for (int i = 0; i < 3; ++i) {
+    auto r = cl->Receive();
+    if (!r.ok() || r.value().code != asset::StatusCode::kOk) return false;
+  }
+  return true;
+}
+
+asset::Result<ObjectId> MakeCounter(Client* cl) {
+  auto begin = cl->Begin();
+  if (!begin.ok()) return begin.status();
+  auto oid = cl->CreateCounter(0);
+  if (!oid.ok()) return oid.status();
+  auto commit = cl->Commit();
+  if (!commit.ok()) return commit;
+  return oid;
+}
+
+LoopResult RunClosedLoop(uint16_t port, const Config& cfg) {
+  LatencyHistogram hist;
+  std::atomic<uint64_t> txns{0};
+  uint64_t t0 = NowNs();
+  uint64_t deadline =
+      t0 + static_cast<uint64_t>(cfg.closed_seconds * 1e9);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < cfg.closed_threads; ++w) {
+    threads.emplace_back([&] {
+      std::vector<std::unique_ptr<Client>> conns;
+      std::vector<ObjectId> counters;
+      for (int i = 0; i < cfg.closed_connections_per_thread; ++i) {
+        auto c = Client::Connect("127.0.0.1", port);
+        if (!c.ok()) Die("closed-loop connect", c.status());
+        auto oid = MakeCounter(c.value().get());
+        if (!oid.ok()) Die("closed-loop counter", oid.status());
+        conns.push_back(std::move(c.value()));
+        counters.push_back(oid.value());
+      }
+      while (NowNs() < deadline) {
+        for (size_t i = 0; i < conns.size(); ++i) {
+          uint64_t start = NowNs();
+          if (!RunBatch(conns[i].get(), counters[i])) {
+            Die("closed-loop batch", asset::Status::IOError("batch failed"));
+          }
+          hist.Record(NowNs() - start);
+          txns.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoopResult res;
+  res.txns = txns.load();
+  res.seconds = static_cast<double>(NowNs() - t0) / 1e9;
+  res.throughput = static_cast<double>(res.txns) / res.seconds;
+  auto snap = hist.snapshot();
+  res.p50_us = snap.p50() / 1000;
+  res.p95_us = snap.p95() / 1000;
+  res.p99_us = snap.p99() / 1000;
+  res.mean_us = snap.mean() / 1000.0;
+  return res;
+}
+
+// --- Phase 3: open loop -----------------------------------------------
+
+struct OpenResult {
+  int target_rate = 0;
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  double seconds = 0;
+  double throughput = 0;
+  uint64_t p50_us = 0, p95_us = 0, p99_us = 0;
+};
+
+OpenResult RunOpenLoop(uint16_t port, int rate, const Config& cfg) {
+  // Connections with a private counter each; the sender round-robins
+  // batches over them so replies on any one connection stay in order.
+  std::vector<std::unique_ptr<Client>> conns;
+  std::vector<ObjectId> counters;
+  for (int i = 0; i < cfg.open_connections; ++i) {
+    auto c = Client::Connect("127.0.0.1", port);
+    if (!c.ok()) Die("open-loop connect", c.status());
+    auto oid = MakeCounter(c.value().get());
+    if (!oid.ok()) Die("open-loop counter", oid.status());
+    conns.push_back(std::move(c.value()));
+    counters.push_back(oid.value());
+  }
+
+  struct Pending {
+    int conn;         // -1 = sender is done
+    uint64_t intended_ns;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Pending> queue;
+
+  LatencyHistogram hist;
+  std::atomic<uint64_t> completed{0};
+  uint64_t sent = 0;
+
+  uint64_t t0 = NowNs();
+  const uint64_t period = static_cast<uint64_t>(1e9 / rate);
+  const uint64_t stop = t0 + static_cast<uint64_t>(cfg.open_seconds * 1e9);
+
+  // Receiver: drain replies in send order, charging each batch from
+  // its *intended* send time.
+  std::thread receiver([&] {
+    for (;;) {
+      Pending p;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return !queue.empty(); });
+        p = queue.front();
+        queue.pop_front();
+      }
+      if (p.conn < 0) return;
+      bool ok = true;
+      for (int i = 0; i < 3; ++i) {
+        auto r = conns[p.conn]->Receive();
+        if (!r.ok() || r.value().code != asset::StatusCode::kOk) ok = false;
+      }
+      if (ok) {
+        hist.Record(NowNs() - p.intended_ns);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Sender: walk the schedule. Never waits for replies; if the
+  // schedule is behind, send immediately — the lateness lands in the
+  // receiver's latency measurement, not in a reduced rate.
+  int which = 0;
+  for (uint64_t intended = t0; intended < stop; intended += period) {
+    uint64_t now = NowNs();
+    if (intended > now) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(intended - now));
+    }
+    Client* cl = conns[which].get();
+    cl->Send(asset::api::Command::Begin());
+    cl->Send(asset::api::Command::Add(counters[which], 1));
+    cl->Send(asset::api::Command::Commit());
+    if (!cl->Flush().ok()) {
+      Die("open-loop flush", asset::Status::IOError("flush failed"));
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      queue.push_back({which, intended});
+    }
+    cv.notify_one();
+    ++sent;
+    which = (which + 1) % static_cast<int>(conns.size());
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    queue.push_back({-1, 0});
+  }
+  cv.notify_one();
+  receiver.join();
+
+  OpenResult res;
+  res.target_rate = rate;
+  res.sent = sent;
+  res.completed = completed.load();
+  res.seconds = static_cast<double>(NowNs() - t0) / 1e9;
+  res.throughput = static_cast<double>(res.completed) / res.seconds;
+  auto snap = hist.snapshot();
+  res.p50_us = snap.p50() / 1000;
+  res.p95_us = snap.p95() / 1000;
+  res.p99_us = snap.p99() / 1000;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg = ParseArgs(argc, argv);
+  rlim_t fd_limit = RaiseFdLimit();
+
+  // Scale the ramp down if the fd budget cannot carry it: each loopback
+  // connection consumes two fds in this process, plus slack for the
+  // store, epoll instances, and eventfds.
+  rlim_t need = static_cast<rlim_t>(cfg.ramp_connections) * 2 + 256;
+  if (fd_limit != 0 && need > fd_limit) {
+    cfg.ramp_connections = static_cast<int>((fd_limit - 256) / 2);
+    fprintf(stderr, "bench_net: fd limit %llu, ramp scaled to %d conns\n",
+            static_cast<unsigned long long>(fd_limit), cfg.ramp_connections);
+  }
+
+  auto db = Database::Open();
+  if (!db.ok()) Die("database open", db.status());
+
+  Server::Options sopts;
+  sopts.workers = 2;
+  sopts.max_connections = static_cast<size_t>(cfg.ramp_connections) + 64;
+  sopts.max_txns_per_conn =
+      static_cast<size_t>(cfg.sessions_per_connection) + 2;
+  auto server_or = Server::Start(db.value().get(), sopts);
+  if (!server_or.ok()) Die("server start", server_or.status());
+  Server& server = *server_or.value();
+
+  printf("{\n");
+  printf("  \"fd_limit\": %llu,\n", static_cast<unsigned long long>(fd_limit));
+
+  if (!cfg.skip_ramp) {
+    RampResult ramp = RunRamp(db.value().get(), server.port(), cfg);
+    printf("  \"session_ramp\": {\n");
+    printf("    \"connections\": %d,\n", ramp.connections);
+    printf("    \"sessions_per_connection\": %d,\n",
+           cfg.sessions_per_connection);
+    printf("    \"peak_concurrent_sessions\": %llu,\n",
+           static_cast<unsigned long long>(ramp.peak_sessions));
+    printf("    \"responsive_at_peak\": %s,\n",
+           ramp.responsive_at_peak ? "true" : "false");
+    printf("    \"open_all_s\": %.2f,\n", ramp.open_s);
+    printf("    \"commit_all_s\": %.2f\n", ramp.close_s);
+    printf("  },\n");
+    fflush(stdout);
+  }
+
+  LoopResult closed = RunClosedLoop(server.port(), cfg);
+  printf("  \"closed_loop\": {\n");
+  printf("    \"threads\": %d,\n", cfg.closed_threads);
+  printf("    \"connections\": %d,\n",
+         cfg.closed_threads * cfg.closed_connections_per_thread);
+  printf("    \"txns\": %llu,\n", static_cast<unsigned long long>(closed.txns));
+  printf("    \"seconds\": %.2f,\n", closed.seconds);
+  printf("    \"throughput_txn_s\": %.0f,\n", closed.throughput);
+  printf("    \"latency_us\": { \"mean\": %.0f, \"p50\": %llu, "
+         "\"p95\": %llu, \"p99\": %llu }\n",
+         closed.mean_us, static_cast<unsigned long long>(closed.p50_us),
+         static_cast<unsigned long long>(closed.p95_us),
+         static_cast<unsigned long long>(closed.p99_us));
+  printf("  },\n");
+  fflush(stdout);
+
+  printf("  \"open_loop\": [\n");
+  for (size_t i = 0; i < cfg.open_rates.size(); ++i) {
+    OpenResult r = RunOpenLoop(server.port(), cfg.open_rates[i], cfg);
+    printf("    { \"target_rate\": %d, \"sent\": %llu, \"completed\": %llu, "
+           "\"throughput_txn_s\": %.0f, "
+           "\"latency_from_intended_us\": { \"p50\": %llu, \"p95\": %llu, "
+           "\"p99\": %llu } }%s\n",
+           r.target_rate, static_cast<unsigned long long>(r.sent),
+           static_cast<unsigned long long>(r.completed), r.throughput,
+           static_cast<unsigned long long>(r.p50_us),
+           static_cast<unsigned long long>(r.p95_us),
+           static_cast<unsigned long long>(r.p99_us),
+           i + 1 < cfg.open_rates.size() ? "," : "");
+    fflush(stdout);
+  }
+  printf("  ]\n}\n");
+
+  server.Shutdown();
+  return 0;
+}

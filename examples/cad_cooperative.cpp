@@ -20,7 +20,6 @@ using asset::Database;
 using asset::ObjectId;
 using asset::ObjectSet;
 using asset::Tid;
-using asset::TransactionManager;
 
 namespace {
 
@@ -35,10 +34,9 @@ struct Design {
 
 int main() {
   auto db = Database::Open().value();
-  TransactionManager& tm = db->txn();
 
   ObjectId design = 0;
-  asset::models::RunAtomic(tm, [&] {
+  asset::models::RunAtomic(*db, [&] {
     design = db->Create(Design{0, 100, 100, "init"}).value();
   });
 
@@ -48,7 +46,7 @@ int main() {
 
   auto designer = [&](const char* name, int me, int rounds,
                       int64_t Design::*field, int64_t delta) {
-    Tid self = TransactionManager::Self();
+    Tid self = Database::Self();
     for (int r = 0; r < rounds; ++r) {
       while (turn.load() % 2 != me) std::this_thread::yield();
       auto d = db->Get<Design>(design, self);
@@ -67,34 +65,34 @@ int main() {
 
   // Two designers, initiated (not yet begun) so permits can be set up
   // first — the §2.2 design point.
-  Tid alice = tm.Initiate([&] {
+  Tid alice = db->Initiate([&] {
     designer("alice", 0, 4, &Design::width, +10);
   });
-  Tid bob = tm.Initiate([&] {
+  Tid bob = db->Initiate([&] {
     designer("bob", 1, 4, &Design::height, -5);
   });
 
   // Enroll both in a cooperative group over the design object: mutual
   // permits plus GC coupling (both designs land or neither).
   asset::models::CooperativeGroup group(
-      tm, ObjectSet{design}, asset::models::CommitCoupling::kAtomic);
+      *db, ObjectSet{design}, asset::models::CommitCoupling::kAtomic);
   group.Enroll(alice).ok();
   group.Enroll(bob).ok();
 
   std::printf("designers working concurrently on one object:\n");
-  tm.Begin({alice, bob});
+  db->Begin({alice, bob});
   bool committed = group.CommitAll();
   std::printf("cooperative session %s\n",
               committed ? "committed as a group" : "aborted as a group");
 
-  asset::models::RunAtomic(tm, [&] {
+  asset::models::RunAtomic(*db, [&] {
     auto d = db->Get<Design>(design).value();
     std::printf("final design: rev=%lld width=%lld height=%lld by=%s\n",
                 (long long)d.revision, (long long)d.width,
                 (long long)d.height, d.last_editor);
   });
 
-  auto stats = tm.stats().snapshot();
+  auto stats = db->Stats();
   std::printf("lock suspensions (permit ping-pong): %llu\n",
               (unsigned long long)stats.lock_suspensions);
   return 0;

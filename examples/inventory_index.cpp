@@ -16,7 +16,6 @@
 using asset::Database;
 using asset::ObjectId;
 using asset::Tid;
-using asset::TransactionManager;
 using asset::ode::BTree;
 using asset::ode::Catalog;
 
@@ -32,25 +31,24 @@ struct Item {
 
 int main() {
   auto db = Database::Open().value();
-  TransactionManager& tm = db->txn();
-  Catalog catalog(&tm);
+  Catalog catalog(db.get());
 
   // Schema setup: an index over SKUs and a couple of statistics
   // counters, all registered under well-known names.
-  asset::models::RunAtomic(tm, [&] {
-    Tid self = TransactionManager::Self();
-    catalog.Bootstrap(self, &db->store()).ok();
-    auto tree = BTree::Create(&tm, self);
+  asset::models::RunAtomic(*db, [&] {
+    Tid self = Database::Self();
+    catalog.Bootstrap(self).ok();
+    auto tree = BTree::Create(db.get(), self);
     catalog.Bind(self, "sku_index", tree->header_oid()).ok();
     catalog.Bind(self, "orders_placed", db->CreateCounter(0).value()).ok();
     catalog.Bind(self, "revenue_cents", db->CreateCounter(0).value()).ok();
   });
 
   // Load the inventory.
-  asset::models::RunAtomic(tm, [&] {
-    Tid self = TransactionManager::Self();
+  asset::models::RunAtomic(*db, [&] {
+    Tid self = Database::Self();
     BTree index =
-        BTree::Open(&tm, catalog.Lookup(self, "sku_index").value());
+        BTree::Open(db.get(), catalog.Lookup(self, "sku_index").value());
     for (int64_t sku = 1000; sku < 1016; ++sku) {
       Item item{sku, /*stock=*/3, /*price=*/2500 + (sku % 7) * 100};
       ObjectId oid = db->Create(item, self).value();
@@ -64,39 +62,39 @@ int main() {
     asset::models::Saga saga;
     saga.AddStep(
         [&, sku] {  // reserve stock (via the index)
-          Tid self = TransactionManager::Self();
+          Tid self = Database::Self();
           BTree index =
-              BTree::Open(&tm, catalog.Lookup(self, "sku_index").value());
+              BTree::Open(db.get(), catalog.Lookup(self, "sku_index").value());
           auto oid = index.Search(self, sku);
           if (!oid.ok()) {
-            tm.Abort(self);
+            db->Abort(self);
             return;
           }
           auto item = db->Get<Item>(*oid, self).value();
           if (item.stock == 0) {
-            tm.Abort(self);
+            db->Abort(self);
             return;
           }
           item.stock--;
           db->Put(*oid, item, self).ok();
         },
         [&, sku] {  // compensation: put the unit back
-          Tid self = TransactionManager::Self();
+          Tid self = Database::Self();
           BTree index =
-              BTree::Open(&tm, catalog.Lookup(self, "sku_index").value());
+              BTree::Open(db.get(), catalog.Lookup(self, "sku_index").value());
           auto oid = index.Search(self, sku).value();
           auto item = db->Get<Item>(oid, self).value();
           item.stock++;
           db->Put(oid, item, self).ok();
         });
     saga.AddStep([&, sku, payment_ok] {  // charge + tally
-      Tid self = TransactionManager::Self();
+      Tid self = Database::Self();
       if (!payment_ok) {
-        tm.Abort(self);
+        db->Abort(self);
         return;
       }
       BTree index =
-          BTree::Open(&tm, catalog.Lookup(self, "sku_index").value());
+          BTree::Open(db.get(), catalog.Lookup(self, "sku_index").value());
       auto oid = index.Search(self, sku).value();
       auto item = db->Get<Item>(oid, self).value();
       // Counters use semantic increments: concurrent orders never
@@ -106,7 +104,7 @@ int main() {
               self)
           .ok();
     });
-    return saga.Run(tm).committed;
+    return saga.Run(*db).committed;
   };
 
   int ok_orders = 0, failed_orders = 0;
@@ -120,10 +118,10 @@ int main() {
     }
   }
 
-  asset::models::RunAtomic(tm, [&] {
-    Tid self = TransactionManager::Self();
+  asset::models::RunAtomic(*db, [&] {
+    Tid self = Database::Self();
     BTree index =
-        BTree::Open(&tm, catalog.Lookup(self, "sku_index").value());
+        BTree::Open(db.get(), catalog.Lookup(self, "sku_index").value());
     std::printf("orders: %d fulfilled, %d failed (compensated)\n", ok_orders,
                 failed_orders);
     std::printf("stats : placed=%lld revenue=%lld cents\n",

@@ -31,7 +31,6 @@
 using asset::Database;
 using asset::ObjectId;
 using asset::Tid;
-using asset::TransactionManager;
 using asset::Txn;
 
 namespace {
@@ -58,7 +57,6 @@ int main(int argc, char** argv) {
   }
 
   auto db = Database::Open().value();
-  TransactionManager& tm = db->txn();
 
   Slots s{};
   {
@@ -69,17 +67,17 @@ int main(int argc, char** argv) {
   }
 
   // --- Version 1: the model layer ------------------------------------
-  bool ok = asset::models::RunNestedRoot(tm, [&] {
+  bool ok = asset::models::RunNestedRoot(*db, [&] {
     asset::models::RunSubtransaction(
-        tm,
+        *db,
         [&] { db->Put<int64_t>(s.airline, 1).ok(); },
         asset::models::OnChildAbort::kAbortParent)
         .ok();
     asset::models::RunSubtransaction(
-        tm,
+        *db,
         [&] {
           if (!hotel_available) {
-            tm.Abort(TransactionManager::Self());
+            db->Abort(Database::Self());
             return;
           }
           db->Put<int64_t>(s.hotel, 1).ok();
@@ -104,41 +102,41 @@ int main(int argc, char** argv) {
   };
   auto make_hotel_reservation = [&] {
     if (!hotel_available) {
-      tm.Abort(TransactionManager::Self());
+      db->Abort(Database::Self());
       return;
     }
     db->Put<int64_t>(s.hotel, 1).ok();
   };
 
   auto trip = [&] {
-    Tid self = TransactionManager::Self();
+    Tid self = Database::Self();
     {
-      Tid t1 = tm.Initiate(make_airline_reservation);
-      tm.Permit(self, t1).ok();
-      tm.Begin(t1);
-      if (!tm.Wait(t1)) {
-        tm.Abort(self);
+      Tid t1 = db->Initiate(make_airline_reservation);
+      db->Permit(self, t1).ok();
+      db->Begin(t1);
+      if (!db->Wait(t1)) {
+        db->Abort(self);
         return;
       }
-      tm.Delegate(t1, self).ok();
-      tm.Commit(t1);
+      db->Delegate(t1, self).ok();
+      db->Commit(t1);
     }
     {
-      Tid t2 = tm.Initiate(make_hotel_reservation);
-      tm.Permit(self, t2).ok();
-      tm.Begin(t2);
-      if (!tm.Wait(t2)) {
-        tm.Abort(self);
+      Tid t2 = db->Initiate(make_hotel_reservation);
+      db->Permit(self, t2).ok();
+      db->Begin(t2);
+      if (!db->Wait(t2)) {
+        db->Abort(self);
         return;
       }
-      tm.Delegate(t2, self).ok();
-      tm.Commit(t2);
+      db->Delegate(t2, self).ok();
+      db->Commit(t2);
     }
   };
 
-  Tid t = tm.Initiate(trip);
-  tm.Begin(t);
-  bool committed = tm.Commit(t);
+  Tid t = db->Initiate(trip);
+  db->Begin(t);
+  bool committed = db->Commit(t);
   std::printf("raw-primitive trip %s\n", committed ? "committed" : "aborted");
   Report(*db, s, "after raw-primitive trip");
   return 0;

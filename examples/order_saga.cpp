@@ -25,7 +25,6 @@
 
 using asset::Database;
 using asset::ObjectId;
-using asset::TransactionManager;
 
 int main(int argc, char** argv) {
   bool truck_available = true;
@@ -34,10 +33,9 @@ int main(int argc, char** argv) {
   }
 
   auto db = Database::Open().value();
-  TransactionManager& tm = db->txn();
 
   ObjectId inventory = 0, balance = 0, shipments = 0;
-  asset::models::RunAtomic(tm, [&] {
+  asset::models::RunAtomic(*db, [&] {
     inventory = db->Create<int64_t>(5).value();    // units in stock
     balance = db->Create<int64_t>(200).value();    // customer balance
     shipments = db->Create<int64_t>(0).value();    // scheduled shipments
@@ -60,19 +58,19 @@ int main(int argc, char** argv) {
   saga.AddStep([&] {
     if (!truck_available) {
       std::printf("  schedule shipping      FAILED (no truck)\n");
-      tm.Abort(TransactionManager::Self());
+      db->Abort(Database::Self());
       return;
     }
     adjust(shipments, +1, "schedule shipping");
   });
 
   std::printf("running order saga...\n");
-  auto out = saga.Run(tm);
+  auto out = saga.Run(*db);
   std::printf("\nsaga %s: %zu/%zu steps committed, %zu compensations\n",
               out.committed ? "COMMITTED" : "ABORTED", out.steps_committed,
               saga.size(), out.compensations_run);
 
-  asset::models::RunAtomic(tm, [&] {
+  asset::models::RunAtomic(*db, [&] {
     std::printf("final state: inventory=%lld balance=%lld shipments=%lld\n",
                 (long long)db->Get<int64_t>(inventory).value(),
                 (long long)db->Get<int64_t>(balance).value(),

@@ -14,7 +14,6 @@
 using asset::Database;
 using asset::ObjectId;
 using asset::Tid;
-using asset::TransactionManager;
 using asset::Txn;
 
 int main() {
@@ -26,7 +25,6 @@ int main() {
   Database::Options options;
   options.txn.trace.enabled = trace_path != nullptr;
   auto db = Database::Open(options).value();
-  TransactionManager& tm = db->txn();
 
   // 2. db->Begin() hands back an owning transaction handle. Operations
   //    go through the handle; Commit() makes them durable atomically.
@@ -74,22 +72,22 @@ int main() {
   // 5. The raw primitives the handle (and the model layer) are built
   //    from (§2.1): initiate registers, begin starts, completion is
   //    recorded, commit is explicit and blocking.
-  Tid t = tm.Initiate(
+  Tid t = db->Initiate(
       [&](int bonus) {
         int64_t a = db->Get<int64_t>(alice).value();
         db->Put<int64_t>(alice, a + bonus).ok();
       },
       5);
-  tm.Begin(t);
-  tm.Wait(t);  // code finished; locks still held, changes volatile
+  db->Begin(t);
+  db->Wait(t);  // code finished; locks still held, changes volatile
   std::printf("after wait, status=%s\n",
-              asset::TxnStatusToString(tm.GetStatus(t)));
-  tm.Commit(t);
+              asset::TxnStatusToString(db->StatusOf(t)));
+  db->Commit(t);
   std::printf("after commit, status=%s\n",
-              asset::TxnStatusToString(tm.GetStatus(t)));
+              asset::TxnStatusToString(db->StatusOf(t)));
 
   // 6. Kernel statistics.
-  std::printf("stats: %s\n", tm.stats().snapshot().ToString().c_str());
+  std::printf("stats: %s\n", db->Stats().ToString().c_str());
 
   // 7. Observability: everything above was recorded if tracing is on.
   if (trace_path != nullptr) {

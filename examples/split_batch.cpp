@@ -24,16 +24,14 @@ using asset::Database;
 using asset::ObjectId;
 using asset::ObjectSet;
 using asset::Tid;
-using asset::TransactionManager;
 
 int main() {
   auto db = Database::Open().value();
-  TransactionManager& tm = db->txn();
 
   constexpr int kItems = 10;
   constexpr int kChunk = 3;
   std::vector<ObjectId> items;
-  asset::models::RunAtomic(tm, [&] {
+  asset::models::RunAtomic(*db, [&] {
     for (int i = 0; i < kItems; ++i) {
       items.push_back(db->Create<int64_t>(0).value());
     }
@@ -43,8 +41,8 @@ int main() {
   // only reads those, so it never blocks on the batch's held locks.
   std::atomic<int> published{0};
 
-  Tid batch = tm.Initiate([&] {
-    Tid self = TransactionManager::Self();
+  Tid batch = db->Initiate([&] {
+    Tid self = Database::Self();
     std::vector<ObjectId> chunk;
     for (int i = 0; i < kItems; ++i) {
       db->Put<int64_t>(items[i], 1000 + i, self).ok();  // "process" item i
@@ -53,8 +51,8 @@ int main() {
       if (chunk.size() == kChunk) {
         // s = split trans { }: responsibility for the finished chunk
         // moves to s; committing s publishes it mid-batch.
-        auto s = asset::models::Split(tm, ObjectSet(chunk), [] {});
-        if (s.ok() && tm.Commit(*s)) {
+        auto s = asset::models::Split(*db, ObjectSet(chunk), [] {});
+        if (s.ok() && db->Commit(*s)) {
           published.fetch_add(static_cast<int>(chunk.size()));
         }
         chunk.clear();
@@ -62,37 +60,37 @@ int main() {
     }
   });
 
-  tm.Begin(batch);
+  db->Begin(batch);
   // Watch results stream out while the batch is still running.
   int last_seen = -1;
-  while (tm.IsActiveTxn(batch) || last_seen < published.load()) {
+  while (db->IsActiveTxn(batch) || last_seen < published.load()) {
     int visible = published.load();
     if (visible != last_seen) {
       int64_t sum = 0;
-      asset::models::RunAtomic(tm, [&] {
+      asset::models::RunAtomic(*db, [&] {
         for (int i = 0; i < visible; ++i) {
           sum += db->Get<int64_t>(items[i]).value();
         }
       });
       std::printf("published=%2d (checksum %lld) — batch still %s\n",
                   visible, (long long)sum,
-                  tm.IsActiveTxn(batch) ? "running" : "finishing");
+                  db->IsActiveTxn(batch) ? "running" : "finishing");
       last_seen = visible;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    if (tm.IsCompleted(batch) && last_seen >= published.load()) break;
+    if (db->IsCompleted(batch) && last_seen >= published.load()) break;
   }
 
   // The last partial chunk still belongs to the batch: join it into a
   // finisher (join(s, t) = wait(s); delegate(s, t)) and commit that.
-  Tid finisher = tm.Initiate([] {});
-  asset::models::Join(tm, batch, finisher).ok();
-  tm.Commit(batch);  // nothing left in the batch itself
-  tm.Begin(finisher);
-  tm.Commit(finisher);
+  Tid finisher = db->Initiate([] {});
+  asset::models::Join(*db, batch, finisher).ok();
+  db->Commit(batch);  // nothing left in the batch itself
+  db->Begin(finisher);
+  db->Commit(finisher);
 
   int64_t done = 0;
-  asset::models::RunAtomic(tm, [&] {
+  asset::models::RunAtomic(*db, [&] {
     for (ObjectId it : items) {
       done += db->Get<int64_t>(it).value() != 0 ? 1 : 0;
     }

@@ -25,7 +25,6 @@
 
 using asset::Database;
 using asset::ObjectId;
-using asset::TransactionManager;
 using asset::models::Workflow;
 
 namespace {
@@ -55,21 +54,20 @@ int main(int argc, char** argv) {
   }
 
   auto db = Database::Open().value();
-  TransactionManager& tm = db->txn();
 
   // Reservation records in the database.
   ObjectId flight = 0, hotel = 0, car = 0;
-  asset::models::RunAtomic(tm, [&] {
+  asset::models::RunAtomic(*db, [&] {
     flight = db->Create(MakeReservation("none", false)).value();
     hotel = db->Create(MakeReservation("none", false)).value();
     car = db->Create(MakeReservation("none", false)).value();
   });
 
   auto reserve = [&](ObjectId slot, const char* who, bool available) {
-    return [&db, &tm, slot, who, available] {
+    return [&db, slot, who, available] {
       if (!available) {
         std::printf("  %-8s : sold out\n", who);
-        tm.Abort(TransactionManager::Self());
+        db->Abort(Database::Self());
         return;
       }
       db->Put(slot, MakeReservation(who, true)).ok();
@@ -113,7 +111,7 @@ int main(int argc, char** argv) {
   wf.AddStep(std::move(cars));
 
   std::printf("running X_conference workflow...\n");
-  auto out = wf.Run(tm);
+  auto out = wf.Run(*db);
 
   std::printf("\nworkflow %s\n", out.succeeded ? "SUCCEEDED" : "FAILED");
   for (const auto& step : out.steps) {
@@ -124,7 +122,7 @@ int main(int argc, char** argv) {
     std::printf("  compensations run: %zu\n", out.compensations_run);
   }
 
-  asset::models::RunAtomic(tm, [&] {
+  asset::models::RunAtomic(*db, [&] {
     auto f = db->Get<Reservation>(flight).value();
     auto h = db->Get<Reservation>(hotel).value();
     auto c = db->Get<Reservation>(car).value();

@@ -1,0 +1,183 @@
+#include "api/session.h"
+
+#include <string>
+#include <utility>
+
+namespace asset::api {
+
+ApiSession::ApiSession(Database* db, Limits limits)
+    : db_(db), limits_(limits) {}
+
+void ApiSession::AbortAll() {
+  txns_.clear();  // Txn destructors abort anything still active
+  current_ = kNullTid;
+}
+
+Txn* ApiSession::Resolve(Tid wire_tid, Reply* error) {
+  Tid t = wire_tid == kCurrentTxn ? current_ : wire_tid;
+  if (t == kNullTid) {
+    *error = Reply::FromStatus(
+        Status::InvalidArgument("session: no current transaction"));
+    return nullptr;
+  }
+  auto it = txns_.find(t);
+  if (it == txns_.end()) {
+    *error = Reply::FromStatus(Status::NotFound(
+        "session: transaction " + std::to_string(t) +
+        " is not owned by this session"));
+    return nullptr;
+  }
+  return &it->second;
+}
+
+Reply ApiSession::Execute(const Command& cmd) {
+  if (limits_.require_hello && !handshaken_ &&
+      cmd.type != CommandType::kHello) {
+    return Reply::FromStatus(
+        Status::IllegalState("session: handshake required before " +
+                             std::string(CommandTypeToString(cmd.type))));
+  }
+  switch (cmd.type) {
+    case CommandType::kHello: {
+      if (cmd.magic != kProtocolMagic) {
+        return Reply::FromStatus(
+            Status::InvalidArgument("hello: bad protocol magic"));
+      }
+      if (cmd.version != kProtocolVersion) {
+        return Reply::FromStatus(Status::InvalidArgument(
+            "hello: unsupported protocol version " +
+            std::to_string(cmd.version) + " (server speaks " +
+            std::to_string(kProtocolVersion) + ")"));
+      }
+      handshaken_ = true;
+      return Reply::OkI64(kProtocolVersion);
+    }
+    case CommandType::kPing:
+      return Reply::Ok();
+
+    case CommandType::kBegin: {
+      if (txns_.size() >= limits_.max_open_txns) {
+        return Reply::FromStatus(Status::ResourceExhausted(
+            "session: open-transaction limit (" +
+            std::to_string(limits_.max_open_txns) + ") reached"));
+      }
+      auto txn = db_->Begin();
+      if (!txn.ok()) return Reply::FromStatus(txn.status());
+      Tid t = txn->id();
+      txns_.emplace(t, std::move(*txn));
+      current_ = t;
+      return Reply::OkTid(t);
+    }
+
+    case CommandType::kCommit:
+    case CommandType::kAbort: {
+      Reply error;
+      Txn* txn = Resolve(cmd.tid, &error);
+      if (txn == nullptr) return error;
+      Tid t = txn->id();
+      Status s = cmd.type == CommandType::kCommit ? txn->Commit()
+                                                  : txn->Abort();
+      txns_.erase(t);
+      if (current_ == t) current_ = kNullTid;
+      return Reply::FromStatus(s);
+    }
+
+    case CommandType::kCreate: {
+      Reply error;
+      Txn* txn = Resolve(cmd.tid, &error);
+      if (txn == nullptr) return error;
+      auto oid = txn->CreateObject(cmd.payload);
+      if (!oid.ok()) return Reply::FromStatus(oid.status());
+      return Reply::OkOid(*oid);
+    }
+    case CommandType::kGet: {
+      Reply error;
+      Txn* txn = Resolve(cmd.tid, &error);
+      if (txn == nullptr) return error;
+      auto bytes = txn->Read(cmd.oid);
+      if (!bytes.ok()) return Reply::FromStatus(bytes.status());
+      return Reply::OkBytes(std::move(*bytes));
+    }
+    case CommandType::kPut: {
+      Reply error;
+      Txn* txn = Resolve(cmd.tid, &error);
+      if (txn == nullptr) return error;
+      return Reply::FromStatus(txn->Write(cmd.oid, cmd.payload));
+    }
+    case CommandType::kDelete: {
+      Reply error;
+      Txn* txn = Resolve(cmd.tid, &error);
+      if (txn == nullptr) return error;
+      return Reply::FromStatus(txn->Delete(cmd.oid));
+    }
+
+    case CommandType::kCreateCounter: {
+      Reply error;
+      Txn* txn = Resolve(cmd.tid, &error);
+      if (txn == nullptr) return error;
+      auto oid = txn->CreateCounter(cmd.i64);
+      if (!oid.ok()) return Reply::FromStatus(oid.status());
+      return Reply::OkOid(*oid);
+    }
+    case CommandType::kAdd: {
+      Reply error;
+      Txn* txn = Resolve(cmd.tid, &error);
+      if (txn == nullptr) return error;
+      return Reply::FromStatus(txn->Add(cmd.oid, cmd.i64));
+    }
+    case CommandType::kGetCounter: {
+      Reply error;
+      Txn* txn = Resolve(cmd.tid, &error);
+      if (txn == nullptr) return error;
+      auto v = txn->GetCounter(cmd.oid);
+      if (!v.ok()) return Reply::FromStatus(v.status());
+      return Reply::OkI64(*v);
+    }
+
+    case CommandType::kDelegate: {
+      Tid ti = ResolveLoose(cmd.tid);
+      Tid tj = ResolveLoose(cmd.tid2);
+      if (ti == kNullTid || tj == kNullTid) {
+        return Reply::FromStatus(Status::InvalidArgument(
+            "delegate: no current transaction to resolve"));
+      }
+      return Reply::FromStatus(db_->Delegate(ti, tj, cmd.object_set()));
+    }
+    case CommandType::kPermit: {
+      Tid ti = ResolveLoose(cmd.tid);
+      if (ti == kNullTid) {
+        return Reply::FromStatus(Status::InvalidArgument(
+            "permit: no current transaction to resolve"));
+      }
+      OpSet ops = OpSet::FromBits(cmd.ops);
+      if (cmd.tid2 == kAnyTxn) {
+        return Reply::FromStatus(db_->PermitAny(ti, cmd.object_set(), ops));
+      }
+      Tid tj = ResolveLoose(cmd.tid2);
+      if (tj == kNullTid) {
+        return Reply::FromStatus(Status::InvalidArgument(
+            "permit: no current transaction to resolve"));
+      }
+      return Reply::FromStatus(db_->Permit(ti, tj, cmd.object_set(), ops));
+    }
+    case CommandType::kDependency: {
+      Tid ti = ResolveLoose(cmd.tid);
+      Tid tj = ResolveLoose(cmd.tid2);
+      if (ti == kNullTid || tj == kNullTid) {
+        return Reply::FromStatus(Status::InvalidArgument(
+            "dependency: no current transaction to resolve"));
+      }
+      return Reply::FromStatus(db_->FormDependency(
+          static_cast<DependencyType>(cmd.dep_type), ti, tj));
+    }
+
+    case CommandType::kCheckpoint:
+      return Reply::FromStatus(db_->Checkpoint());
+    case CommandType::kMetrics:
+      return Reply::OkText(db_->MetricsText());
+  }
+  return Reply::FromStatus(
+      Status::InvalidArgument("session: unknown command"));
+}
+
+}  // namespace asset::api

@@ -1,0 +1,90 @@
+#ifndef ASSET_API_SESSION_H_
+#define ASSET_API_SESSION_H_
+
+/// \file session.h
+/// The in-process dispatcher of the command API.
+///
+/// An `ApiSession` is one client's seat at the database: it executes
+/// `Command`s against a `Database` and owns every transaction the
+/// client begins, so a dropped connection (the session's destruction)
+/// aborts whatever was in flight — a network client can never leak a
+/// lock-holding transaction any more than a local `Txn` holder can.
+///
+/// Confinement: a session must be driven from one thread at a time
+/// (the transactions it owns are kernel *session* transactions, which
+/// carry the same rule). The epoll server satisfies this by pinning
+/// each connection to one event-loop worker; in-process users just
+/// call Execute from one thread.
+///
+/// Tid resolution: `kCurrentTxn` (0) in a command resolves to the
+/// session's most recently begun, still-open transaction; data
+/// operations and commit/abort are only valid on transactions this
+/// session owns. Delegation/permit/dependency targets may be any
+/// kernel tid — cross-session cooperation is the point of those
+/// primitives.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "api/command.h"
+#include "core/database.h"
+
+namespace asset::api {
+
+/// Per-client command executor and transaction owner.
+class ApiSession {
+ public:
+  struct Limits {
+    /// Open (begun, unterminated) transactions one session may hold;
+    /// kBegin past this returns kResourceExhausted.
+    size_t max_open_txns = 64;
+    /// Whether a kHello must precede every other command (the wire
+    /// server requires it; in-process users may skip).
+    bool require_hello = false;
+  };
+
+  explicit ApiSession(Database* db) : ApiSession(db, Limits{}) {}
+  ApiSession(Database* db, Limits limits);
+
+  /// Aborts every still-open transaction of this session.
+  ~ApiSession() = default;
+
+  ApiSession(const ApiSession&) = delete;
+  ApiSession& operator=(const ApiSession&) = delete;
+  ApiSession(ApiSession&&) = default;
+  ApiSession& operator=(ApiSession&&) = default;
+
+  /// Executes one command; never throws, never returns garbage — every
+  /// failure is a Reply with the status code and message.
+  Reply Execute(const Command& cmd);
+
+  /// Aborts every open transaction now (graceful server drain).
+  void AbortAll();
+
+  /// Open transactions owned by this session.
+  size_t open_txns() const { return txns_.size(); }
+  /// The tid kCurrentTxn resolves to (kNullTid if none).
+  Tid current() const { return current_; }
+  /// True once a valid kHello was executed.
+  bool handshaken() const { return handshaken_; }
+
+ private:
+  /// Maps a wire tid to an owned transaction handle, resolving
+  /// kCurrentTxn. Null on failure, with *error filled.
+  Txn* Resolve(Tid wire_tid, Reply* error);
+  /// Resolves a primitive's tid argument (kCurrentTxn allowed, any
+  /// kernel tid passed through).
+  Tid ResolveLoose(Tid wire_tid) const {
+    return wire_tid == kCurrentTxn ? current_ : wire_tid;
+  }
+
+  Database* db_;
+  Limits limits_;
+  bool handshaken_ = false;
+  std::unordered_map<Tid, Txn> txns_;
+  Tid current_ = kNullTid;
+};
+
+}  // namespace asset::api
+
+#endif  // ASSET_API_SESSION_H_

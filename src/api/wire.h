@@ -1,0 +1,162 @@
+#ifndef ASSET_API_WIRE_H_
+#define ASSET_API_WIRE_H_
+
+/// \file wire.h
+/// Byte-level primitives of the ASSET wire protocol (docs/NETWORK.md).
+///
+/// Everything on the wire is little-endian and fixed-width; variable
+/// payloads are length-prefixed. `WireWriter` appends onto a caller's
+/// vector (so one connection reuses one buffer); `WireReader` is a
+/// bounds-checked cursor over a received payload — every getter fails
+/// cleanly on truncation instead of reading past the end, which is the
+/// property the malformed-frame fuzz tests lean on.
+///
+/// A *frame* is a u32 payload length followed by that many payload
+/// bytes. The length never counts its own four bytes. Frame assembly
+/// and splitting live here so the server, the client, and the tests
+/// share one implementation.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace asset::api {
+
+/// Bytes of the u32 frame length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Appends integers/blobs to a byte vector in wire order.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU16(uint16_t v) { PutLE(v, 2); }
+  void PutU32(uint32_t v) { PutLE(v, 4); }
+  void PutU64(uint64_t v) { PutLE(v, 8); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  /// u32 length + raw bytes.
+  void PutBytes(std::span<const uint8_t> data) {
+    PutU32(static_cast<uint32_t>(data.size()));
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+  void PutString(const std::string& s) {
+    PutBytes(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+
+ private:
+  void PutLE(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked cursor over one received payload. Every getter
+/// returns false (leaving the output untouched) once the payload is
+/// exhausted; `ok()` stays false from the first failure on.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) { return GetLE(v, 1); }
+  bool GetU16(uint16_t* v) { return GetLE(v, 2); }
+  bool GetU32(uint32_t* v) { return GetLE(v, 4); }
+  bool GetU64(uint64_t* v) { return GetLE(v, 8); }
+  bool GetI64(int64_t* v) {
+    uint64_t u;
+    if (!GetU64(&u)) return false;
+    std::memcpy(v, &u, sizeof(u));
+    return true;
+  }
+
+  /// u32 length + raw bytes. Fails if the advertised length overruns
+  /// the payload (a truncated or lying frame).
+  bool GetBytes(std::vector<uint8_t>* out) {
+    uint32_t n;
+    if (!GetU32(&n)) return false;
+    if (n > Remaining()) return Fail();
+    out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+  bool GetString(std::string* out) {
+    std::vector<uint8_t> bytes;
+    if (!GetBytes(&bytes)) return false;
+    out->assign(bytes.begin(), bytes.end());
+    return true;
+  }
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  template <typename T>
+  bool GetLE(T* v, size_t bytes) {
+    if (!ok_ || Remaining() < bytes) return Fail();
+    uint64_t acc = 0;
+    for (size_t i = 0; i < bytes; ++i) {
+      acc |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    *v = static_cast<T>(acc);
+    pos_ += bytes;
+    return true;
+  }
+
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Wraps `payload` in a frame appended to `out`.
+inline void AppendFrame(std::span<const uint8_t> payload,
+                        std::vector<uint8_t>* out) {
+  WireWriter w(out);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+/// Outcome of TrySplitFrame on a receive buffer.
+enum class FrameSplit : uint8_t {
+  /// `*payload` holds one complete frame payload; consume
+  /// kFrameHeaderBytes + payload->size() from the buffer.
+  kFrame,
+  /// Not enough buffered bytes yet; read more.
+  kNeedMore,
+  /// The advertised length is 0 or exceeds `max_frame_bytes`; the
+  /// stream cannot be resynchronized and must be closed.
+  kOversized,
+};
+
+/// Peeks at the front of a receive buffer for one complete frame.
+/// Does not consume; the caller erases the frame after processing so a
+/// failed dispatch can still see the bytes.
+inline FrameSplit TrySplitFrame(std::span<const uint8_t> buffer,
+                                size_t max_frame_bytes,
+                                std::span<const uint8_t>* payload) {
+  if (buffer.size() < kFrameHeaderBytes) return FrameSplit::kNeedMore;
+  uint32_t len = 0;
+  for (size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    len |= static_cast<uint32_t>(buffer[i]) << (8 * i);
+  }
+  if (len == 0 || len > max_frame_bytes) return FrameSplit::kOversized;
+  if (buffer.size() < kFrameHeaderBytes + len) return FrameSplit::kNeedMore;
+  *payload = buffer.subspan(kFrameHeaderBytes, len);
+  return FrameSplit::kFrame;
+}
+
+}  // namespace asset::api
+
+#endif  // ASSET_API_WIRE_H_

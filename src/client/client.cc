@@ -1,0 +1,216 @@
+#include "client/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "api/wire.h"
+
+namespace asset::client {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(int fd, Options options) : fd_(fd), options_(options) {}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                Options options) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("client: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("client: bad host " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("client: connect " + host + ":" + std::to_string(port));
+    close(fd);
+    return s;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto client = std::unique_ptr<Client>(new Client(fd, options));
+  if (!options.skip_handshake) {
+    ASSET_ASSIGN_OR_RETURN(api::Reply hello,
+                           client->Call(api::Command::Hello()));
+    if (!hello.ok()) return hello.ToStatus();
+    if (hello.i64 != static_cast<int64_t>(api::kProtocolVersion)) {
+      return Status::IllegalState(
+          "client: server speaks protocol version " +
+          std::to_string(hello.i64) + ", this client speaks " +
+          std::to_string(api::kProtocolVersion));
+    }
+  }
+  return client;
+}
+
+void Client::Send(const api::Command& cmd) {
+  std::vector<uint8_t> payload;
+  api::EncodeCommand(cmd, &payload);
+  api::AppendFrame(payload, &send_buf_);
+  ++staged_;
+}
+
+Status Client::Flush() {
+  size_t off = 0;
+  while (off < send_buf_.size()) {
+    ssize_t sent = send(fd_, send_buf_.data() + off, send_buf_.size() - off,
+                        MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("client: send");
+    }
+    off += static_cast<size_t>(sent);
+  }
+  send_buf_.clear();
+  staged_ = 0;
+  return Status::OK();
+}
+
+Status Client::FillTo(size_t need) {
+  // Compact the consumed prefix before growing the buffer.
+  if (recv_off_ > 0 && recv_off_ == recv_buf_.size()) {
+    recv_buf_.clear();
+    recv_off_ = 0;
+  }
+  while (recv_buf_.size() - recv_off_ < need) {
+    size_t base = recv_buf_.size();
+    size_t chunk = 64 * 1024;
+    recv_buf_.resize(base + chunk);
+    ssize_t got = recv(fd_, recv_buf_.data() + base, chunk, 0);
+    if (got < 0) {
+      recv_buf_.resize(base);
+      if (errno == EINTR) continue;
+      return Errno("client: recv");
+    }
+    if (got == 0) {
+      recv_buf_.resize(base);
+      return Status::IOError("client: connection closed by server");
+    }
+    recv_buf_.resize(base + static_cast<size_t>(got));
+  }
+  return Status::OK();
+}
+
+Result<api::Reply> Client::Receive() {
+  ASSET_RETURN_NOT_OK(FillTo(api::kFrameHeaderBytes));
+  std::span<const uint8_t> buffered(recv_buf_.data() + recv_off_,
+                                    recv_buf_.size() - recv_off_);
+  std::span<const uint8_t> payload;
+  api::FrameSplit split =
+      api::TrySplitFrame(buffered, options_.max_frame_bytes, &payload);
+  if (split == api::FrameSplit::kNeedMore) {
+    api::WireReader header(buffered.subspan(0, api::kFrameHeaderBytes));
+    uint32_t len = 0;
+    header.GetU32(&len);
+    ASSET_RETURN_NOT_OK(FillTo(api::kFrameHeaderBytes + len));
+    buffered = std::span<const uint8_t>(recv_buf_.data() + recv_off_,
+                                        recv_buf_.size() - recv_off_);
+    split = api::TrySplitFrame(buffered, options_.max_frame_bytes, &payload);
+  }
+  if (split != api::FrameSplit::kFrame) {
+    return Status::InvalidArgument("client: oversized or zero-length frame");
+  }
+  auto reply = api::DecodeReply(payload);
+  recv_off_ += api::kFrameHeaderBytes + payload.size();
+  return reply;
+}
+
+Result<api::Reply> Client::Call(const api::Command& cmd) {
+  Send(cmd);
+  ASSET_RETURN_NOT_OK(Flush());
+  return Receive();
+}
+
+Result<Tid> Client::Begin() {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Begin()));
+  if (!r.ok()) return r.ToStatus();
+  return static_cast<Tid>(r.u64);
+}
+
+Status Client::Commit(Tid t) {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Commit(t)));
+  return r.ToStatus();
+}
+
+Status Client::Abort(Tid t) {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Abort(t)));
+  return r.ToStatus();
+}
+
+Result<ObjectId> Client::Create(const std::vector<uint8_t>& bytes, Tid t) {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Create(bytes, t)));
+  if (!r.ok()) return r.ToStatus();
+  return static_cast<ObjectId>(r.u64);
+}
+
+Result<std::vector<uint8_t>> Client::Get(ObjectId oid, Tid t) {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Get(oid, t)));
+  if (!r.ok()) return r.ToStatus();
+  return std::move(r.bytes);
+}
+
+Status Client::Put(ObjectId oid, const std::vector<uint8_t>& bytes, Tid t) {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Put(oid, bytes, t)));
+  return r.ToStatus();
+}
+
+Status Client::Delete(ObjectId oid, Tid t) {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Delete(oid, t)));
+  return r.ToStatus();
+}
+
+Result<ObjectId> Client::CreateCounter(int64_t initial, Tid t) {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r,
+                         Call(api::Command::CreateCounter(initial, t)));
+  if (!r.ok()) return r.ToStatus();
+  return static_cast<ObjectId>(r.u64);
+}
+
+Status Client::Add(ObjectId oid, int64_t delta, Tid t) {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Add(oid, delta, t)));
+  return r.ToStatus();
+}
+
+Result<int64_t> Client::GetCounter(ObjectId oid, Tid t) {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::GetCounter(oid, t)));
+  if (!r.ok()) return r.ToStatus();
+  return r.i64;
+}
+
+Status Client::Ping() {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Ping()));
+  return r.ToStatus();
+}
+
+Status Client::Checkpoint() {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Checkpoint()));
+  return r.ToStatus();
+}
+
+Result<std::string> Client::Metrics() {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Metrics()));
+  if (!r.ok()) return r.ToStatus();
+  return std::move(r.text);
+}
+
+}  // namespace asset::client

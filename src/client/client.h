@@ -1,0 +1,106 @@
+#ifndef ASSET_CLIENT_CLIENT_H_
+#define ASSET_CLIENT_CLIENT_H_
+
+/// \file client.h
+/// Blocking client for the ASSET wire protocol.
+///
+/// One `Client` is one TCP connection and one server-side session; it
+/// is single-threaded like the session it drives. Two calling styles
+/// share the connection state:
+///
+///  - RPC: `Call(cmd)` sends one command and blocks for its reply.
+///    The typed wrappers (Begin/Put/Commit/...) are sugar over it.
+///  - Pipelining: `Send(cmd)` stages frames locally, `Flush()` writes
+///    them in one syscall burst, and `Receive()` is then called once
+///    per staged command, in order (the server replies strictly in
+///    request order). This is how a round trip is amortized over a
+///    whole Begin/Write/Commit batch — see `kCurrentTxn`.
+///
+/// Destruction closes the socket; the server aborts whatever
+/// transactions the session still had open.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/command.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace asset::client {
+
+class Client {
+ public:
+  struct Options {
+    /// Largest reply frame payload this client will accept.
+    size_t max_frame_bytes = 1 << 20;
+    /// Skip the kHello exchange in Connect (only for talking to an
+    /// endpoint that does not require it; the stock server does).
+    bool skip_handshake = false;
+  };
+
+  /// Connects and (unless skipped) completes the version handshake.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 Options options);
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port) {
+    return Connect(host, port, Options{});
+  }
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- Pipelined core -------------------------------------------------
+
+  /// Stages one command frame in the local send buffer.
+  void Send(const api::Command& cmd);
+  /// Writes every staged frame to the socket.
+  Status Flush();
+  /// Blocks for the next reply frame. Call exactly once per Send()
+  /// that was flushed, in order.
+  Result<api::Reply> Receive();
+  /// Send + Flush + Receive.
+  Result<api::Reply> Call(const api::Command& cmd);
+
+  // --- Typed RPC sugar ------------------------------------------------
+
+  Result<Tid> Begin();
+  Status Commit(Tid t = api::kCurrentTxn);
+  Status Abort(Tid t = api::kCurrentTxn);
+  Result<ObjectId> Create(const std::vector<uint8_t>& bytes,
+                          Tid t = api::kCurrentTxn);
+  Result<std::vector<uint8_t>> Get(ObjectId oid, Tid t = api::kCurrentTxn);
+  Status Put(ObjectId oid, const std::vector<uint8_t>& bytes,
+             Tid t = api::kCurrentTxn);
+  Status Delete(ObjectId oid, Tid t = api::kCurrentTxn);
+  Result<ObjectId> CreateCounter(int64_t initial, Tid t = api::kCurrentTxn);
+  Status Add(ObjectId oid, int64_t delta, Tid t = api::kCurrentTxn);
+  Result<int64_t> GetCounter(ObjectId oid, Tid t = api::kCurrentTxn);
+  Status Ping();
+  Status Checkpoint();
+  /// The server's metrics text (kernel + asset_server_* families).
+  Result<std::string> Metrics();
+
+  /// Frames staged by Send() and not yet flushed.
+  size_t staged() const { return staged_; }
+
+ private:
+  Client(int fd, Options options);
+
+  /// Reads from the socket until `need` bytes are buffered.
+  Status FillTo(size_t need);
+
+  int fd_;
+  Options options_;
+  std::vector<uint8_t> send_buf_;
+  size_t staged_ = 0;
+  std::vector<uint8_t> recv_buf_;
+  size_t recv_off_ = 0;
+};
+
+}  // namespace asset::client
+
+#endif  // ASSET_CLIENT_CLIENT_H_

@@ -2,9 +2,36 @@
 
 namespace asset {
 
+Status Database::Options::Validate() const {
+  if (buffer_pool_pages == 0) {
+    return Status::InvalidArgument("options: buffer_pool_pages must be > 0");
+  }
+  if (txn.max_transactions == 0) {
+    return Status::InvalidArgument("options: max_transactions must be > 0");
+  }
+  if (txn.commit_timeout.count() < 0) {
+    return Status::InvalidArgument("options: commit_timeout is negative");
+  }
+  if (txn.lock.lock_timeout.count() < 0) {
+    return Status::InvalidArgument("options: lock_timeout is negative");
+  }
+  if (txn.lock.shards == 0) {
+    return Status::InvalidArgument("options: lock shards must be > 0");
+  }
+  if (checkpoint.interval.count() < 0) {
+    return Status::InvalidArgument("options: checkpoint interval is negative");
+  }
+  if (checkpoint.drain_timeout.count() < 0) {
+    return Status::InvalidArgument(
+        "options: checkpoint drain_timeout is negative");
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Database>> Database::Open() { return Open(Options()); }
 
 Result<std::unique_ptr<Database>> Database::Open(Options options) {
+  ASSET_RETURN_NOT_OK(options.Validate());
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = options;
   if (options.path.empty()) {

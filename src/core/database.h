@@ -3,17 +3,23 @@
 
 /// \file database.h
 /// The assembled system: disk, page cache, WAL, object store, and the
-/// ASSET transaction kernel, with typed convenience accessors.
+/// ASSET transaction kernel, behind one application-facing facade.
 ///
-/// This is the surface the examples and the model library (src/models/)
-/// program against — the Ode-database role in the paper, minus the O++
-/// compiler (whose generated code src/models/ supplies as a library).
+/// This is the surface applications program against — the Ode-database
+/// role in the paper, minus the O++ compiler (whose generated code
+/// src/models/ supplies as a library). Everything user-facing goes
+/// through `Database`, the RAII `Txn` handle, or the command API
+/// (src/api/) that mirrors this class onto the wire; the raw subsystem
+/// references (TransactionManager, ObjectStore, LogManager, BufferPool)
+/// are reachable only through the `DatabaseInternal` seam
+/// (database_internal.h), which is for tests and in-tree subsystems.
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -23,9 +29,12 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/object_set.h"
+#include "common/op_set.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/introspection.h"
+#include "core/statistics.h"
 #include "core/transaction_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -36,6 +45,7 @@
 namespace asset {
 
 class Database;
+class DatabaseInternal;
 
 /// A movable RAII handle over one caller-driven transaction.
 ///
@@ -46,23 +56,36 @@ class Database;
 /// a lock-holding transaction. The handle must not outlive the Database
 /// that issued it.
 ///
+/// Move semantics: moving transfers ownership of the transaction (and
+/// the last_status record); the moved-from handle reads as inactive —
+/// `bool(moved_from)` is false, id() is kNullTid, and every operation
+/// on it returns IllegalState. Move-assigning over an active handle
+/// aborts the overwritten transaction first, exactly like destruction.
+///
 /// This is sugar over the kernel's session transactions
 /// (TransactionManager::BeginSession); the tid is exposed for mixing
-/// with the raw §2 primitives (delegation, permits, dependencies).
+/// with the §2 primitives (delegation, permits, dependencies) on
+/// Database.
 class Txn {
  public:
   Txn() = default;
-  Txn(Txn&& other) noexcept : db_(other.db_), tid_(other.tid_) {
+  Txn(Txn&& other) noexcept
+      : db_(other.db_),
+        tid_(other.tid_),
+        last_status_(std::move(other.last_status_)) {
     other.db_ = nullptr;
     other.tid_ = kNullTid;
+    other.last_status_ = Status::OK();
   }
   Txn& operator=(Txn&& other) noexcept {
     if (this != &other) {
       AbortIfActive();
       db_ = other.db_;
       tid_ = other.tid_;
+      last_status_ = std::move(other.last_status_);
       other.db_ = nullptr;
       other.tid_ = kNullTid;
+      other.last_status_ = Status::OK();
     }
     return *this;
   }
@@ -80,6 +103,15 @@ class Txn {
   /// committed or aborted through it.
   bool active() const { return db_ != nullptr && tid_ != kNullTid; }
 
+  /// `if (txn) ...` — same as active().
+  explicit operator bool() const { return active(); }
+
+  /// The Status of the most recent operation issued through this
+  /// handle (including Commit/Abort). OK on a fresh or moved-from
+  /// handle. Lets call sites chain `t.Put(..); t.Put(..);` and check
+  /// once, client-handle style.
+  const Status& last_status() const { return last_status_; }
+
   /// Blocking commit; the handle becomes inactive either way. Returns
   /// the kernel's verdict (kTxnAborted carries the abort reason).
   Status Commit();
@@ -91,6 +123,7 @@ class Txn {
   //
   // Each returns IllegalState on an inactive (finished or moved-from)
   // handle; otherwise it is the matching Database call under this tid.
+  // Every outcome is also recorded in last_status().
 
   Result<std::vector<uint8_t>> Read(ObjectId oid);
   Status Write(ObjectId oid, std::span<const uint8_t> data);
@@ -121,8 +154,20 @@ class Txn {
                     : Status::IllegalState("transaction handle is inactive");
   }
 
+  /// Records an operation's outcome in last_status() on the way out.
+  Status Track(Status s) {
+    last_status_ = s;
+    return s;
+  }
+  template <typename T>
+  Result<T> Track(Result<T> r) {
+    last_status_ = r.status();
+    return r;
+  }
+
   Database* db_ = nullptr;
   Tid tid_ = kNullTid;
+  Status last_status_;
 };
 
 /// One database instance. Construction wires the storage stack and the
@@ -149,6 +194,11 @@ class Database {
     std::chrono::milliseconds drain_timeout{30000};
   };
 
+  /// The one validated options surface: storage, kernel, and
+  /// checkpointer knobs nest here, and `Validate()` is the single gate
+  /// every `Open()` goes through — nonsense (a zero-page pool, a
+  /// negative timeout) is rejected up front instead of misbehaving
+  /// later. Server options (src/server/) follow the same pattern.
   struct Options {
     /// Page frames in the cache.
     size_t buffer_pool_pages = 1024;
@@ -156,19 +206,19 @@ class Database {
     std::string path;
     TransactionManager::Options txn;
     CheckpointOptions checkpoint;
+
+    /// OK iff every knob (including the nested kernel, lock, and
+    /// checkpoint options) is in its legal range.
+    Status Validate() const;
   };
 
-  /// Opens (or creates) a database.
+  /// Opens (or creates) a database. Fails with kInvalidArgument if
+  /// `options.Validate()` does.
   static Result<std::unique_ptr<Database>> Open(Options options);
   /// Opens with default options (in-memory device).
   static Result<std::unique_ptr<Database>> Open();
 
   ~Database();
-
-  TransactionManager& txn() { return *tm_; }
-  ObjectStore& store() { return *store_; }
-  LogManager& log() { return log_; }
-  BufferPool& pool() { return *pool_; }
 
   // --- RAII transactions -------------------------------------------------
 
@@ -179,6 +229,80 @@ class Database {
     auto tid = tm_->BeginSession();
     if (!tid.ok()) return tid.status();
     return Txn(this, *tid);
+  }
+
+  // --- Paper primitives (§2.1) -----------------------------------------
+  //
+  // The raw initiate/begin/commit/wait/abort surface, re-exported from
+  // the kernel so applications (and the command API) never hold a
+  // TransactionManager reference. See transaction_manager.h for the
+  // full contracts; the bool forms are the paper's bare verdicts, the
+  // *Txn forms preserve the reason.
+
+  /// initiate(f, args): registers a transaction to run f(args...) when
+  /// begun. Returns kNullTid if the transaction table is full.
+  template <typename F, typename... Args>
+  Tid Initiate(F&& f, Args&&... args) {
+    return tm_->Initiate(std::forward<F>(f), std::forward<Args>(args)...);
+  }
+  /// Type-erased initiate.
+  Tid InitiateFn(std::function<void()> fn) {
+    return tm_->InitiateFn(std::move(fn));
+  }
+
+  /// begin(t) / begin(t1..tn): the group form is all-or-nothing.
+  bool Begin(Tid t) { return tm_->Begin(t); }
+  bool Begin(std::initializer_list<Tid> ts) { return tm_->Begin(ts); }
+  Status BeginTxn(Tid t) { return tm_->BeginTxn(t); }
+
+  /// commit(t): blocking; waits for completion and dependency
+  /// resolution.
+  bool Commit(Tid t) { return tm_->Commit(t); }
+  Status CommitTxn(Tid t) { return tm_->CommitTxn(t); }
+
+  /// wait(t): 1 once t's code completed (or t committed), 0 on abort.
+  int Wait(Tid t) { return tm_->Wait(t); }
+
+  /// abort(t): true unless t already committed.
+  bool Abort(Tid t) { return tm_->Abort(t); }
+  Status AbortTxn(Tid t) { return tm_->AbortTxn(t); }
+
+  /// The tid of the transaction running on the calling thread
+  /// (kNullTid outside any transaction body).
+  static Tid Self() { return TransactionManager::Self(); }
+
+  /// Status queries.
+  TxnStatus StatusOf(Tid t) const { return tm_->GetStatus(t); }
+  bool IsCommitted(Tid t) const { return tm_->IsCommitted(t); }
+  bool IsAborted(Tid t) const { return tm_->IsAborted(t); }
+  bool IsActiveTxn(Tid t) const { return tm_->IsActiveTxn(t); }
+  bool IsCompleted(Tid t) const { return tm_->IsCompleted(t); }
+  /// Count of begun-but-unterminated transactions.
+  size_t ActiveTransactions() const { return tm_->ActiveTransactions(); }
+
+  // --- New primitives (§2.2) --------------------------------------------
+
+  /// delegate(ti, tj, ob_set) / delegate(ti, tj).
+  Status Delegate(Tid ti, Tid tj, const ObjectSet& objs) {
+    return tm_->Delegate(ti, tj, objs);
+  }
+  Status Delegate(Tid ti, Tid tj) { return tm_->Delegate(ti, tj); }
+
+  /// The four permit forms of §2.2.
+  Status Permit(Tid ti, Tid tj, const ObjectSet& objs, OpSet ops) {
+    return tm_->Permit(ti, tj, objs, ops);
+  }
+  Status Permit(Tid ti, Tid tj, OpSet ops) {
+    return tm_->Permit(ti, tj, ops);
+  }
+  Status Permit(Tid ti, Tid tj) { return tm_->Permit(ti, tj); }
+  Status PermitAny(Tid ti, const ObjectSet& objs, OpSet ops) {
+    return tm_->PermitAny(ti, objs, ops);
+  }
+
+  /// form_dependency(type, ti, tj): tj becomes dependent on ti.
+  Status FormDependency(DependencyType type, Tid ti, Tid tj) {
+    return tm_->FormDependency(type, ti, tj);
   }
 
   // --- Typed object helpers (trivially-copyable values) ----------------
@@ -225,7 +349,24 @@ class Database {
     return tm_->Write(ResolveTid(t), oid, Encode(value));
   }
 
-  // --- Counters (semantic increments, paper Â§5) -------------------------
+  /// Raw-bytes data operations under transaction `t` (defaults to the
+  /// calling transaction).
+  Result<std::vector<uint8_t>> ReadObject(ObjectId oid, Tid t = kNullTid) {
+    return tm_->Read(ResolveTid(t), oid);
+  }
+  Status WriteObject(ObjectId oid, std::span<const uint8_t> data,
+                     Tid t = kNullTid) {
+    return tm_->Write(ResolveTid(t), oid, data);
+  }
+  Result<ObjectId> CreateObject(std::span<const uint8_t> data,
+                                Tid t = kNullTid) {
+    return tm_->CreateObject(ResolveTid(t), data);
+  }
+  Status DeleteObject(ObjectId oid, Tid t = kNullTid) {
+    return tm_->DeleteObject(ResolveTid(t), oid);
+  }
+
+  // --- Counters (semantic increments, paper §5) -------------------------
 
   /// Creates a counter initialized to `initial`.
   Result<ObjectId> CreateCounter(int64_t initial, Tid t = kNullTid) {
@@ -266,11 +407,18 @@ class Database {
 
   // --- Observability -----------------------------------------------------
 
+  /// Plain-value snapshot of the kernel's counters and latency
+  /// percentiles.
+  KernelStats::Snapshot Stats() const { return tm_->stats().snapshot(); }
+
   /// The kernel's flight recorder, drained as Chrome trace_event JSON
   /// (load in chrome://tracing or ui.perfetto.dev). Empty trace unless
   /// tracing was enabled (Options::txn.trace.enabled or
-  /// txn().recorder().set_enabled(true)).
+  /// set_trace_enabled(true)).
   std::string DumpTrace() { return tm_->recorder().DumpChromeJson(); }
+
+  /// Toggles flight recording at runtime.
+  void set_trace_enabled(bool on) { tm_->recorder().set_enabled(on); }
 
   /// Consistent JSON snapshot of the kernel's control structures —
   /// transactions, lock wait-for edges, dependencies, permits, the last
@@ -285,13 +433,30 @@ class Database {
   }
 
   /// Counters, latency percentiles, and WAL watermarks in Prometheus
-  /// text exposition format.
+  /// text exposition format. Served over the wire by the kMetrics
+  /// command (src/api/), which makes this the network server's ops
+  /// endpoint.
   std::string MetricsText() {
     return RenderMetricsText(tm_->stats().snapshot(), WalMarks());
   }
 
  private:
+  friend class Txn;
+  /// The white-box seam (database_internal.h): tests and in-tree
+  /// subsystems reach the raw kernel/storage references through it;
+  /// applications do not.
+  friend class DatabaseInternal;
+
   Database() = default;
+
+  // Raw subsystem references. Deliberately private: every public path
+  // goes through the facade methods above (or the command API), so the
+  // kernel can evolve without leaking through the examples and
+  // benchmarks.
+  TransactionManager& txn() { return *tm_; }
+  ObjectStore& store() { return *store_; }
+  LogManager& log() { return log_; }
+  BufferPool& pool() { return *pool_; }
 
   static Tid ResolveTid(Tid t) {
     return t == kNullTid ? TransactionManager::Self() : t;
@@ -339,74 +504,78 @@ class Database {
 // --- Txn inline definitions (need the complete Database type) ------------
 
 inline Status Txn::Commit() {
-  if (!active()) return Status::IllegalState("transaction handle is inactive");
+  if (!active()) {
+    return Track(Status::IllegalState("transaction handle is inactive"));
+  }
   Database* db = db_;
   Tid tid = tid_;
   db_ = nullptr;
   tid_ = kNullTid;
-  return db->txn().CommitTxn(tid);
+  return Track(db->txn().CommitTxn(tid));
 }
 
 inline Status Txn::Abort() {
-  if (!active()) return Status::IllegalState("transaction handle is inactive");
+  if (!active()) {
+    return Track(Status::IllegalState("transaction handle is inactive"));
+  }
   Database* db = db_;
   Tid tid = tid_;
   db_ = nullptr;
   tid_ = kNullTid;
-  return db->txn().AbortTxn(tid);
+  return Track(db->txn().AbortTxn(tid));
 }
 
 inline Result<std::vector<uint8_t>> Txn::Read(ObjectId oid) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->txn().Read(tid_, oid);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->txn().Read(tid_, oid));
 }
 
 inline Status Txn::Write(ObjectId oid, std::span<const uint8_t> data) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->txn().Write(tid_, oid, data);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->txn().Write(tid_, oid, data));
 }
 
 inline Result<ObjectId> Txn::CreateObject(std::span<const uint8_t> data) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->txn().CreateObject(tid_, data);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->txn().CreateObject(tid_, data));
 }
 
 inline Status Txn::Delete(ObjectId oid) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->txn().DeleteObject(tid_, oid);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->txn().DeleteObject(tid_, oid));
 }
 
 template <typename T>
 Result<ObjectId> Txn::Create(const T& value) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->Create(value, tid_);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->Create(value, tid_));
 }
 
 template <typename T>
 Result<T> Txn::Get(ObjectId oid) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->Get<T>(oid, tid_);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->Get<T>(oid, tid_));
 }
 
 template <typename T>
 Status Txn::Put(ObjectId oid, const T& value) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->Put(oid, value, tid_);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->Put(oid, value, tid_));
 }
 
 inline Result<ObjectId> Txn::CreateCounter(int64_t initial) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->CreateCounter(initial, tid_);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->CreateCounter(initial, tid_));
 }
 
 inline Status Txn::Add(ObjectId oid, int64_t delta) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->Add(oid, delta, tid_);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->Add(oid, delta, tid_));
 }
 
 inline Result<int64_t> Txn::GetCounter(ObjectId oid) {
-  if (Status s = CheckActive(); !s.ok()) return s;
-  return db_->GetCounter(oid, tid_);
+  if (Status s = CheckActive(); !s.ok()) return Track(s);
+  return Track(db_->GetCounter(oid, tid_));
 }
 
 }  // namespace asset

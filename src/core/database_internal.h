@@ -1,0 +1,49 @@
+#ifndef ASSET_CORE_DATABASE_INTERNAL_H_
+#define ASSET_CORE_DATABASE_INTERNAL_H_
+
+/// \file database_internal.h
+/// White-box access to a Database's subsystems.
+///
+/// `Database` deliberately does not expose its TransactionManager,
+/// ObjectStore, LogManager, or BufferPool: applications (examples,
+/// benchmarks, network clients) program against the facade in
+/// database.h or the command API in src/api/. Tests and in-tree
+/// subsystems that legitimately need the raw references reach them
+/// through this seam instead — including this header is the explicit,
+/// grep-able marker that a file is allowed behind the facade. Do not
+/// include it from user-facing code.
+
+#include "core/database.h"
+
+namespace asset {
+
+/// A borrowed white-box view over one Database. Copyable and cheap;
+/// must not outlive the Database.
+class DatabaseInternal {
+ public:
+  explicit DatabaseInternal(Database& db) : db_(&db) {}
+
+  TransactionManager& txn() { return db_->txn(); }
+  ObjectStore& store() { return db_->store(); }
+  LogManager& log() { return db_->log(); }
+  BufferPool& pool() { return db_->pool(); }
+
+ private:
+  Database* db_;
+};
+
+/// Convenience accessors for test code: `KernelOf(*db).BeginTxn(...)`.
+inline TransactionManager& KernelOf(Database& db) {
+  return DatabaseInternal(db).txn();
+}
+inline ObjectStore& StoreOf(Database& db) {
+  return DatabaseInternal(db).store();
+}
+inline LogManager& LogOf(Database& db) { return DatabaseInternal(db).log(); }
+inline BufferPool& PoolOf(Database& db) {
+  return DatabaseInternal(db).pool();
+}
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_DATABASE_INTERNAL_H_

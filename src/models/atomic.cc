@@ -1,5 +1,7 @@
 #include "models/atomic.h"
 
+#include "core/database_internal.h"
+
 #include <thread>
 
 namespace asset::models {
@@ -19,6 +21,16 @@ bool RunAtomicWithRetry(TransactionManager& tm, std::function<void()> body,
     std::this_thread::sleep_for(std::chrono::microseconds(50 << attempt));
   }
   return false;
+}
+
+
+bool RunAtomic(Database& db, std::function<void()> body) {
+  return RunAtomic(KernelOf(db), std::move(body));
+}
+
+bool RunAtomicWithRetry(Database& db, std::function<void()> body,
+                        int max_attempts) {
+  return RunAtomicWithRetry(KernelOf(db), std::move(body), max_attempts);
 }
 
 }  // namespace asset::models

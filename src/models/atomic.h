@@ -19,18 +19,25 @@
 
 #include "core/transaction_manager.h"
 
+namespace asset {
+class Database;
+}
+
 namespace asset::models {
 
 /// Runs `body` as a serializable, failure-atomic transaction. Returns
 /// true iff the transaction committed. The body may call Abort(Self())
 /// to abandon its own work.
 bool RunAtomic(TransactionManager& tm, std::function<void()> body);
+bool RunAtomic(Database& db, std::function<void()> body);
 
 /// RunAtomic with automatic retry on abort (deadlock victims, lock
 /// timeouts). Retries the body up to `max_attempts` times in total;
 /// returns true iff some attempt committed. The body must therefore be
 /// written to be re-executable from scratch.
 bool RunAtomicWithRetry(TransactionManager& tm, std::function<void()> body,
+                        int max_attempts = 3);
+bool RunAtomicWithRetry(Database& db, std::function<void()> body,
                         int max_attempts = 3);
 
 }  // namespace asset::models

@@ -1,5 +1,7 @@
 #include "models/cooperative.h"
 
+#include "core/database_internal.h"
+
 namespace asset::models {
 
 Status CooperativeGroup::Enroll(Tid t, OpSet ops) {
@@ -37,5 +39,10 @@ bool CooperativeGroup::CommitAll() {
 void CooperativeGroup::AbortAll() {
   for (Tid m : members_) tm_.Abort(m);
 }
+
+
+CooperativeGroup::CooperativeGroup(Database& db, ObjectSet shared,
+                                   CommitCoupling coupling)
+    : CooperativeGroup(KernelOf(db), std::move(shared), coupling) {}
 
 }  // namespace asset::models

@@ -24,6 +24,10 @@
 #include "common/status.h"
 #include "core/transaction_manager.h"
 
+namespace asset {
+class Database;
+}
+
 namespace asset::models {
 
 /// How cooperative members' commits are tied together.
@@ -39,6 +43,8 @@ class CooperativeGroup {
   CooperativeGroup(TransactionManager& tm, ObjectSet shared,
                    CommitCoupling coupling = CommitCoupling::kOrdered)
       : tm_(tm), shared_(std::move(shared)), coupling_(coupling) {}
+  CooperativeGroup(Database& db, ObjectSet shared,
+                   CommitCoupling coupling = CommitCoupling::kOrdered);
 
   /// Adds `t` to the group: mutual permits with every existing member on
   /// the shared objects, plus the coupling dependencies. `ops` bounds

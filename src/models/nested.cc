@@ -1,5 +1,7 @@
 #include "models/nested.h"
 
+#include "core/database_internal.h"
+
 #include "models/atomic.h"
 
 namespace asset::models {
@@ -39,6 +41,16 @@ Status RunSubtransaction(TransactionManager& tm, std::function<void()> body,
 
 bool RunNestedRoot(TransactionManager& tm, std::function<void()> body) {
   return RunAtomic(tm, std::move(body));
+}
+
+
+Status RunSubtransaction(Database& db, std::function<void()> body,
+                         OnChildAbort on_abort) {
+  return RunSubtransaction(KernelOf(db), std::move(body), on_abort);
+}
+
+bool RunNestedRoot(Database& db, std::function<void()> body) {
+  return RunNestedRoot(KernelOf(db), std::move(body));
 }
 
 }  // namespace asset::models

@@ -22,6 +22,10 @@
 #include "common/status.h"
 #include "core/transaction_manager.h"
 
+namespace asset {
+class Database;
+}
+
 namespace asset::models {
 
 /// What to do with the parent when a subtransaction aborts.
@@ -42,10 +46,13 @@ enum class OnChildAbort {
 /// marked aborting under kAbortParent).
 Status RunSubtransaction(TransactionManager& tm, std::function<void()> body,
                          OnChildAbort on_abort = OnChildAbort::kReportOnly);
+Status RunSubtransaction(Database& db, std::function<void()> body,
+                         OnChildAbort on_abort = OnChildAbort::kReportOnly);
 
 /// Convenience root runner: RunAtomic with a name that reads well at
 /// nested call sites.
 bool RunNestedRoot(TransactionManager& tm, std::function<void()> body);
+bool RunNestedRoot(Database& db, std::function<void()> body);
 
 }  // namespace asset::models
 

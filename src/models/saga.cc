@@ -1,5 +1,7 @@
 #include "models/saga.h"
 
+#include "core/database_internal.h"
+
 namespace asset::models {
 
 Saga& Saga::AddStep(std::function<void()> action,
@@ -47,6 +49,11 @@ Saga::Outcome Saga::Run(TransactionManager& tm,
     outcome.compensations_run++;
   }
   return outcome;
+}
+
+
+Saga::Outcome Saga::Run(Database& db, int max_compensation_attempts) {
+  return Run(KernelOf(db), max_compensation_attempts);
 }
 
 }  // namespace asset::models

@@ -21,6 +21,10 @@
 
 #include "core/transaction_manager.h"
 
+namespace asset {
+class Database;
+}
+
 namespace asset::models {
 
 /// Builder and runner for one saga.
@@ -48,6 +52,7 @@ class Saga {
   /// unbounded retry loop so a permanently failing compensation cannot
   /// hang the caller (0 = retry forever).
   Outcome Run(TransactionManager& tm, int max_compensation_attempts = 100);
+  Outcome Run(Database& db, int max_compensation_attempts = 100);
 
   size_t size() const { return steps_.size(); }
 

@@ -1,5 +1,7 @@
 #include "models/split_join.h"
 
+#include "core/database_internal.h"
+
 namespace asset::models {
 
 Result<Tid> Split(TransactionManager& tm, const ObjectSet& delegated,
@@ -27,5 +29,13 @@ Status Join(TransactionManager& tm, Tid s, Tid t) {
   }
   return tm.Delegate(s, t);
 }
+
+
+Result<Tid> Split(Database& db, const ObjectSet& delegated,
+                  std::function<void()> body) {
+  return Split(KernelOf(db), delegated, std::move(body));
+}
+
+Status Join(Database& db, Tid s, Tid t) { return Join(KernelOf(db), s, t); }
 
 }  // namespace asset::models

@@ -23,6 +23,10 @@
 #include "common/status.h"
 #include "core/transaction_manager.h"
 
+namespace asset {
+class Database;
+}
+
 namespace asset::models {
 
 /// Splits the calling transaction: operations already performed on the
@@ -31,11 +35,14 @@ namespace asset::models {
 /// from inside a running transaction.
 Result<Tid> Split(TransactionManager& tm, const ObjectSet& delegated,
                   std::function<void()> body);
+Result<Tid> Split(Database& db, const ObjectSet& delegated,
+                  std::function<void()> body);
 
 /// Joins transaction `s` into transaction `t`: waits for s's code to
 /// complete, then delegates everything s is responsible for to t.
 /// Returns kTxnAborted if s aborted before it could be joined.
 Status Join(TransactionManager& tm, Tid s, Tid t);
+Status Join(Database& db, Tid s, Tid t);
 
 }  // namespace asset::models
 

@@ -1,5 +1,7 @@
 #include "models/workflow.h"
 
+#include "core/database_internal.h"
+
 #include <thread>
 
 namespace asset::models {
@@ -116,5 +118,8 @@ Workflow::Outcome Workflow::Run(TransactionManager& tm) {
   outcome.succeeded = true;
   return outcome;
 }
+
+
+Workflow::Outcome Workflow::Run(Database& db) { return Run(KernelOf(db)); }
 
 }  // namespace asset::models

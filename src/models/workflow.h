@@ -25,6 +25,10 @@
 
 #include "core/transaction_manager.h"
 
+namespace asset {
+class Database;
+}
+
 namespace asset::models {
 
 /// Builder and runner for one workflow activity.
@@ -79,6 +83,7 @@ class Workflow {
   };
 
   Outcome Run(TransactionManager& tm);
+  Outcome Run(Database& db);
 
   size_t size() const { return steps_.size(); }
 

@@ -1,5 +1,7 @@
 #include "ode/btree.h"
 
+#include "core/database_internal.h"
+
 #include <algorithm>
 
 #include "ode/bytes.h"
@@ -492,6 +494,15 @@ Status BTree::CheckRec(Tid t, ObjectId node_oid, uint32_t depth,
         CheckRec(t, n.children[i], depth + 1, height, clo, chi, leaf_keys));
   }
   return Status::OK();
+}
+
+
+Result<BTree> BTree::Create(Database* db, Tid t) {
+  return Create(&KernelOf(*db), t);
+}
+
+BTree BTree::Open(Database* db, ObjectId header_oid) {
+  return Open(&KernelOf(*db), header_oid);
 }
 
 }  // namespace asset::ode

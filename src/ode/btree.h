@@ -26,6 +26,10 @@
 #include "common/status.h"
 #include "core/transaction_manager.h"
 
+namespace asset {
+class Database;
+}
+
 namespace asset::ode {
 
 /// One key/value pair as returned by range scans.
@@ -47,11 +51,13 @@ class BTree {
   /// Creates an empty tree under transaction `t`; durable when `t`
   /// commits.
   static Result<BTree> Create(TransactionManager* tm, Tid t);
+  static Result<BTree> Create(Database* db, Tid t);
 
   /// Opens an existing tree by its header object id.
   static BTree Open(TransactionManager* tm, ObjectId header_oid) {
     return BTree(tm, header_oid);
   }
+  static BTree Open(Database* db, ObjectId header_oid);
 
   /// The durable handle to pass to Open later.
   ObjectId header_oid() const { return header_; }

@@ -1,5 +1,7 @@
 #include "ode/catalog.h"
 
+#include "core/database_internal.h"
+
 #include <algorithm>
 
 #include "ode/bytes.h"
@@ -87,6 +89,18 @@ Result<std::vector<std::string>> Catalog::List(Tid t) const {
   for (const Entry& e : *entries) names.push_back(e.name);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+
+Catalog::Catalog(Database* db)
+    : tm_(&KernelOf(*db)), store_(&StoreOf(*db)) {}
+
+Status Catalog::Bootstrap(Tid t) {
+  if (store_ == nullptr) {
+    return Status::IllegalState(
+        "catalog: Bootstrap(t) needs a Database-constructed catalog");
+  }
+  return Bootstrap(t, store_);
 }
 
 }  // namespace asset::ode

@@ -17,6 +17,10 @@
 #include "common/status.h"
 #include "core/transaction_manager.h"
 
+namespace asset {
+class Database;
+}
+
 namespace asset::ode {
 
 /// The name → ObjectId root directory.
@@ -26,12 +30,18 @@ class Catalog {
   static constexpr ObjectId kCatalogOid = 1;
 
   explicit Catalog(TransactionManager* tm) : tm_(tm) {}
+  /// The application-facing form: everything Bootstrap needs comes from
+  /// the database, so callers never touch the subsystems.
+  explicit Catalog(Database* db);
 
   /// Creates the (empty) catalog object if it does not exist yet.
   /// Idempotent; call once inside a transaction after opening a fresh
   /// store. Uses the store directly for the existence probe, the
   /// transaction for the create.
   Status Bootstrap(Tid t, ObjectStore* store);
+  /// Database-constructed form of Bootstrap; IllegalState on a catalog
+  /// built from a raw TransactionManager.
+  Status Bootstrap(Tid t);
 
   /// Binds `name` to `oid`, replacing any previous binding.
   Status Bind(Tid t, const std::string& name, ObjectId oid);
@@ -55,6 +65,8 @@ class Catalog {
   Status Store(Tid t, const std::vector<Entry>& entries);
 
   TransactionManager* tm_;
+  /// Set only by the Database constructor (used by Bootstrap(Tid)).
+  ObjectStore* store_ = nullptr;
 };
 
 }  // namespace asset::ode

@@ -1,0 +1,561 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/command.h"
+#include "api/session.h"
+#include "api/wire.h"
+#include "core/database.h"
+
+namespace asset::server {
+
+namespace {
+
+/// Bytes read from one socket per readiness event before the loop
+/// moves on (level-triggered epoll re-reports leftover data, so this
+/// bounds per-connection monopoly, not total throughput).
+constexpr size_t kReadBudget = 256 * 1024;
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr int kMaxEpollEvents = 256;
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+int SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -1;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+std::string ServerStats::Render() const {
+  std::string out;
+  auto emit = [&out](const char* name, const char* help, uint64_t v) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += " counter\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  emit("asset_server_connections_accepted_total", "Connections accepted.",
+       connections_accepted.load(std::memory_order_relaxed));
+  emit("asset_server_connections_rejected_total",
+       "Connections refused at the max_connections cap.",
+       connections_rejected.load(std::memory_order_relaxed));
+  emit("asset_server_connections_closed_total", "Connections closed.",
+       connections_closed.load(std::memory_order_relaxed));
+  emit("asset_server_frames_in_total", "Request frames decoded.",
+       frames_in.load(std::memory_order_relaxed));
+  emit("asset_server_frames_out_total", "Reply frames sent.",
+       frames_out.load(std::memory_order_relaxed));
+  emit("asset_server_bytes_in_total", "Bytes received.",
+       bytes_in.load(std::memory_order_relaxed));
+  emit("asset_server_bytes_out_total", "Bytes sent.",
+       bytes_out.load(std::memory_order_relaxed));
+  emit("asset_server_protocol_errors_total",
+       "Malformed or oversized frames (each closes its connection).",
+       protocol_errors.load(std::memory_order_relaxed));
+  emit("asset_server_txns_aborted_on_close_total",
+       "Open transactions aborted because their connection went away.",
+       txns_aborted_on_close.load(std::memory_order_relaxed));
+  emit("asset_server_idle_closed_total", "Connections closed as idle.",
+       idle_closed.load(std::memory_order_relaxed));
+  emit("asset_server_backpressure_pauses_total",
+       "Times reading was paused because a send buffer hit its limit.",
+       backpressure_pauses.load(std::memory_order_relaxed));
+  out += "# HELP asset_server_connections_active Currently open "
+         "connections.\n# TYPE asset_server_connections_active gauge\n";
+  out += "asset_server_connections_active " +
+         std::to_string(connections_active.load(std::memory_order_relaxed)) +
+         '\n';
+  return out;
+}
+
+Status Server::Options::Validate() const {
+  if (workers <= 0) {
+    return Status::InvalidArgument("server: workers must be > 0");
+  }
+  if (max_connections == 0) {
+    return Status::InvalidArgument("server: max_connections must be > 0");
+  }
+  if (max_txns_per_conn == 0) {
+    return Status::InvalidArgument("server: max_txns_per_conn must be > 0");
+  }
+  if (max_frame_bytes < 16) {
+    return Status::InvalidArgument(
+        "server: max_frame_bytes too small to hold any command");
+  }
+  if (max_frame_bytes > (64u << 20)) {
+    return Status::InvalidArgument("server: max_frame_bytes above 64 MiB");
+  }
+  if (write_buffer_limit < max_frame_bytes) {
+    return Status::InvalidArgument(
+        "server: write_buffer_limit must hold at least one frame");
+  }
+  if (idle_timeout.count() < 0 || drain_timeout.count() < 0) {
+    return Status::InvalidArgument("server: negative timeout");
+  }
+  if (listen_backlog <= 0) {
+    return Status::InvalidArgument("server: listen_backlog must be > 0");
+  }
+  return Status::OK();
+}
+
+struct Server::Impl {
+  /// One client connection, owned by exactly one worker.
+  struct Conn {
+    explicit Conn(int fd_in, Database* db, size_t max_txns)
+        : fd(fd_in),
+          session(db, api::ApiSession::Limits{max_txns, true}) {}
+
+    int fd;
+    api::ApiSession session;
+    /// Received-but-unparsed bytes; `in_off` is the consumed prefix
+    /// (compacted lazily so frame processing is not O(n^2)).
+    std::vector<uint8_t> in;
+    size_t in_off = 0;
+    /// Encoded-but-unsent reply bytes; `out_off` is the sent prefix.
+    std::vector<uint8_t> out;
+    size_t out_off = 0;
+    bool want_write = false;
+    bool read_paused = false;
+    /// Close once `out` is flushed (set after a protocol error).
+    bool closing = false;
+    std::chrono::steady_clock::time_point last_activity;
+
+    size_t pending_out() const { return out.size() - out_off; }
+    size_t pending_in() const { return in.size() - in_off; }
+  };
+
+  struct Worker {
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::mutex intake_mu;
+    std::vector<int> intake;
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  };
+
+  Database* db = nullptr;
+  Options options;
+  ServerStats* stats = nullptr;
+  int listen_fd = -1;
+  int acceptor_wake_fd = -1;
+  std::thread acceptor;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> shut_down{false};
+
+  ~Impl() {
+    if (listen_fd >= 0) close(listen_fd);
+    if (acceptor_wake_fd >= 0) close(acceptor_wake_fd);
+    for (auto& w : workers) {
+      if (w->epoll_fd >= 0) close(w->epoll_fd);
+      if (w->wake_fd >= 0) close(w->wake_fd);
+    }
+  }
+
+  // --- Acceptor ------------------------------------------------------
+
+  void AcceptorMain() {
+    size_t next_worker = 0;
+    struct pollfd fds[2];
+    fds[0] = {listen_fd, POLLIN, 0};
+    fds[1] = {acceptor_wake_fd, POLLIN, 0};
+    while (!stop.load(std::memory_order_acquire)) {
+      int n = poll(fds, 2, 1000);
+      if (n <= 0) continue;
+      if (fds[1].revents != 0) continue;  // woken for shutdown; loop checks
+      for (;;) {
+        int fd = accept4(listen_fd, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;  // EAGAIN or transient error: back to poll
+        int64_t active =
+            stats->connections_active.load(std::memory_order_relaxed);
+        if (active >= static_cast<int64_t>(options.max_connections)) {
+          stats->connections_rejected.fetch_add(1, std::memory_order_relaxed);
+          close(fd);
+          continue;
+        }
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        stats->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        stats->connections_active.fetch_add(1, std::memory_order_relaxed);
+        Worker& w = *workers[next_worker];
+        next_worker = (next_worker + 1) % workers.size();
+        {
+          std::lock_guard<std::mutex> g(w.intake_mu);
+          w.intake.push_back(fd);
+        }
+        uint64_t one64 = 1;
+        ssize_t ignored = write(w.wake_fd, &one64, sizeof(one64));
+        (void)ignored;
+      }
+    }
+  }
+
+  // --- Worker event loop ---------------------------------------------
+
+  void WorkerMain(Worker* w) {
+    epoll_event events[kMaxEpollEvents];
+    auto last_idle_sweep = std::chrono::steady_clock::now();
+    while (!stop.load(std::memory_order_acquire)) {
+      int timeout_ms = options.idle_timeout.count() > 0 ? 100 : 1000;
+      int n = epoll_wait(w->epoll_fd, events, kMaxEpollEvents, timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.fd == w->wake_fd) {
+          uint64_t drain;
+          while (read(w->wake_fd, &drain, sizeof(drain)) > 0) {
+          }
+          AdoptIntake(w);
+          continue;
+        }
+        auto it = w->conns.find(events[i].data.fd);
+        if (it == w->conns.end()) continue;
+        Conn* c = it->second.get();
+        uint32_t ev = events[i].events;
+        if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+          CloseConn(w, c);
+          continue;
+        }
+        bool alive = true;
+        if ((ev & EPOLLOUT) != 0) alive = HandleWrite(w, c);
+        if (alive && (ev & EPOLLIN) != 0) HandleRead(w, c);
+      }
+      if (options.idle_timeout.count() > 0) {
+        auto now = std::chrono::steady_clock::now();
+        if (now - last_idle_sweep >= options.idle_timeout / 4 ||
+            now - last_idle_sweep >= std::chrono::milliseconds(100)) {
+          SweepIdle(w, now);
+          last_idle_sweep = now;
+        }
+      }
+    }
+    DrainAndCloseAll(w);
+  }
+
+  void AdoptIntake(Worker* w) {
+    std::vector<int> fds;
+    {
+      std::lock_guard<std::mutex> g(w->intake_mu);
+      fds.swap(w->intake);
+    }
+    for (int fd : fds) {
+      auto conn = std::make_unique<Conn>(fd, db, options.max_txns_per_conn);
+      conn->last_activity = std::chrono::steady_clock::now();
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        close(fd);
+        stats->connections_active.fetch_sub(1, std::memory_order_relaxed);
+        stats->connections_closed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      w->conns.emplace(fd, std::move(conn));
+    }
+  }
+
+  void UpdateInterest(Worker* w, Conn* c) {
+    uint32_t want = 0;
+    if (!c->read_paused && !c->closing) want |= EPOLLIN;
+    if (c->pending_out() > 0) want |= EPOLLOUT;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.fd = c->fd;
+    epoll_ctl(w->epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+  }
+
+  void HandleRead(Worker* w, Conn* c) {
+    size_t budget = kReadBudget;
+    bool eof = false;
+    while (budget > 0) {
+      size_t chunk = std::min(budget, kReadChunk);
+      size_t base = c->in.size();
+      c->in.resize(base + chunk);
+      ssize_t got = recv(c->fd, c->in.data() + base, chunk, 0);
+      if (got > 0) {
+        c->in.resize(base + static_cast<size_t>(got));
+        stats->bytes_in.fetch_add(static_cast<uint64_t>(got),
+                                  std::memory_order_relaxed);
+        budget -= static_cast<size_t>(got);
+        if (static_cast<size_t>(got) < chunk) break;  // socket drained
+        continue;
+      }
+      c->in.resize(base);
+      if (got == 0) {
+        eof = true;  // peer closed; dispatch what we have, then close
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // drained
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        eof = true;
+      }
+      break;
+    }
+    c->last_activity = std::chrono::steady_clock::now();
+    ProcessFrames(w, c);
+    if (eof && !c->closing) {
+      // Whatever remains buffered is (at most) a truncated frame; the
+      // peer is gone, so flush nothing more and abort its sessions.
+      CloseConn(w, c);
+      return;
+    }
+    if (w->conns.count(c->fd) == 0) return;  // closed during processing
+    FlushOut(w, c, /*from_epollout=*/false);
+  }
+
+  /// Decodes and dispatches every complete frame in `c->in`, queueing
+  /// replies into `c->out` (one flush at the end = batched pipeline).
+  void ProcessFrames(Worker* w, Conn* c) {
+    while (!c->closing) {
+      std::span<const uint8_t> buffered(c->in.data() + c->in_off,
+                                        c->pending_in());
+      std::span<const uint8_t> payload;
+      api::FrameSplit split =
+          api::TrySplitFrame(buffered, options.max_frame_bytes, &payload);
+      if (split == api::FrameSplit::kNeedMore) break;
+      if (split == api::FrameSplit::kOversized) {
+        stats->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        QueueReply(c, api::Reply::FromStatus(Status::InvalidArgument(
+                          "frame: length 0 or above max_frame_bytes")));
+        c->closing = true;
+        break;
+      }
+      auto cmd = api::DecodeCommand(payload);
+      c->in_off += api::kFrameHeaderBytes + payload.size();
+      stats->frames_in.fetch_add(1, std::memory_order_relaxed);
+      if (!cmd.ok()) {
+        stats->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        QueueReply(c, api::Reply::FromStatus(cmd.status()));
+        c->closing = true;
+        break;
+      }
+      api::Reply reply = c->session.Execute(*cmd);
+      if (cmd->type == api::CommandType::kMetrics && reply.ok()) {
+        reply.text += stats->Render();
+      }
+      QueueReply(c, reply);
+    }
+    // Lazy compaction: drop the consumed prefix once it dominates.
+    if (c->in_off > 0 &&
+        (c->in_off >= c->in.size() || c->in_off > (64u << 10))) {
+      c->in.erase(c->in.begin(),
+                  c->in.begin() + static_cast<ptrdiff_t>(c->in_off));
+      c->in_off = 0;
+    }
+  }
+
+  void QueueReply(Conn* c, const api::Reply& reply) {
+    std::vector<uint8_t> payload;
+    api::EncodeReply(reply, &payload);
+    api::AppendFrame(payload, &c->out);
+    stats->frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Writes as much of `c->out` as the socket takes. Returns false if
+  /// the connection was closed.
+  bool FlushOut(Worker* w, Conn* c, bool from_epollout) {
+    (void)from_epollout;
+    while (c->pending_out() > 0) {
+      ssize_t sent = send(c->fd, c->out.data() + c->out_off,
+                          c->pending_out(), MSG_NOSIGNAL);
+      if (sent > 0) {
+        c->out_off += static_cast<size_t>(sent);
+        stats->bytes_out.fetch_add(static_cast<uint64_t>(sent),
+                                   std::memory_order_relaxed);
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (sent < 0 && errno == EINTR) continue;
+      CloseConn(w, c);
+      return false;
+    }
+    if (c->pending_out() == 0) {
+      c->out.clear();
+      c->out_off = 0;
+      if (c->closing) {
+        CloseConn(w, c);
+        return false;
+      }
+      if (c->read_paused) c->read_paused = false;
+    } else if (!c->read_paused &&
+               c->pending_out() > options.write_buffer_limit) {
+      c->read_paused = true;
+      stats->backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+    }
+    UpdateInterest(w, c);
+    return true;
+  }
+
+  bool HandleWrite(Worker* w, Conn* c) {
+    c->last_activity = std::chrono::steady_clock::now();
+    return FlushOut(w, c, /*from_epollout=*/true);
+  }
+
+  void SweepIdle(Worker* w, std::chrono::steady_clock::time_point now) {
+    std::vector<Conn*> doomed;
+    for (auto& [fd, conn] : w->conns) {
+      if (now - conn->last_activity >= options.idle_timeout) {
+        doomed.push_back(conn.get());
+      }
+    }
+    for (Conn* c : doomed) {
+      stats->idle_closed.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(w, c);
+    }
+  }
+
+  void CloseConn(Worker* w, Conn* c) {
+    stats->txns_aborted_on_close.fetch_add(c->session.open_txns(),
+                                           std::memory_order_relaxed);
+    epoll_ctl(w->epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+    close(c->fd);
+    stats->connections_active.fetch_sub(1, std::memory_order_relaxed);
+    stats->connections_closed.fetch_add(1, std::memory_order_relaxed);
+    w->conns.erase(c->fd);  // destroys the ApiSession -> aborts open txns
+  }
+
+  /// Shutdown path: give queued replies one bounded chance to land,
+  /// then close everything (aborting open transactions).
+  void DrainAndCloseAll(Worker* w) {
+    auto deadline = std::chrono::steady_clock::now() + options.drain_timeout;
+    bool pending = true;
+    while (pending && std::chrono::steady_clock::now() < deadline) {
+      pending = false;
+      for (auto& [fd, conn] : w->conns) {
+        if (conn->pending_out() == 0) continue;
+        ssize_t sent = send(fd, conn->out.data() + conn->out_off,
+                            conn->pending_out(), MSG_NOSIGNAL);
+        if (sent > 0) {
+          conn->out_off += static_cast<size_t>(sent);
+          stats->bytes_out.fetch_add(static_cast<uint64_t>(sent),
+                                     std::memory_order_relaxed);
+        }
+        if (conn->pending_out() > 0) pending = true;
+      }
+      if (pending) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    while (!w->conns.empty()) {
+      CloseConn(w, w->conns.begin()->second.get());
+    }
+  }
+};
+
+Result<std::unique_ptr<Server>> Server::Start(Database* db, Options options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("server: null database");
+  }
+  ASSET_RETURN_NOT_OK(options.Validate());
+
+  auto server = std::unique_ptr<Server>(new Server());
+  server->impl_ = std::make_unique<Impl>();
+  Impl& impl = *server->impl_;
+  impl.db = db;
+  impl.options = options;
+  impl.stats = &server->stats_;
+
+  impl.listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (impl.listen_fd < 0) return Errno("server: socket");
+  int one = 1;
+  setsockopt(impl.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("server: bad host " + options.host);
+  }
+  if (bind(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Errno("server: bind " + options.host + ":" +
+                 std::to_string(options.port));
+  }
+  if (listen(impl.listen_fd, options.listen_backlog) != 0) {
+    return Errno("server: listen");
+  }
+  if (SetNonBlocking(impl.listen_fd) != 0) {
+    return Errno("server: set listen nonblocking");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                  &len) != 0) {
+    return Errno("server: getsockname");
+  }
+  server->port_ = ntohs(addr.sin_port);
+
+  impl.acceptor_wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (impl.acceptor_wake_fd < 0) return Errno("server: eventfd");
+
+  for (int i = 0; i < options.workers; ++i) {
+    auto w = std::make_unique<Impl::Worker>();
+    w->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (w->epoll_fd < 0) return Errno("server: epoll_create1");
+    w->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->wake_fd < 0) return Errno("server: eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w->wake_fd;
+    if (epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev) != 0) {
+      return Errno("server: epoll_ctl wake_fd");
+    }
+    impl.workers.push_back(std::move(w));
+  }
+
+  for (auto& w : impl.workers) {
+    Impl::Worker* raw = w.get();
+    w->thread = std::thread([&impl, raw] { impl.WorkerMain(raw); });
+  }
+  impl.acceptor = std::thread([&impl] { impl.AcceptorMain(); });
+  return server;
+}
+
+void Server::Shutdown() {
+  if (impl_ == nullptr) return;
+  bool expected = false;
+  if (!impl_->shut_down.compare_exchange_strong(expected, true)) return;
+  impl_->stop.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  ssize_t ignored = write(impl_->acceptor_wake_fd, &one, sizeof(one));
+  (void)ignored;
+  for (auto& w : impl_->workers) {
+    ignored = write(w->wake_fd, &one, sizeof(one));
+    (void)ignored;
+  }
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  for (auto& w : impl_->workers) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+std::string Server::MetricsText() const {
+  return impl_->db->MetricsText() + stats_.Render();
+}
+
+}  // namespace asset::server

@@ -12,6 +12,7 @@
 
 #include "common/random.h"
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "models/atomic.h"
 #include "models/cooperative.h"
 #include "models/nested.h"
@@ -60,14 +61,14 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
   std::vector<ObjectId> accounts;
   ObjectId op_counter = kNullObjectId;
   ObjectId index_header = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     Tid self = TransactionManager::Self();
     for (int i = 0; i < kAccounts; ++i) {
       accounts.push_back(db->Create<int64_t>(kInitial).value());
     }
     op_counter = db->CreateCounter(0).value();
     index_header =
-        ode::BTree::Create(&db->txn(), self)->header_oid();
+        ode::BTree::Create(&KernelOf(*db), self)->header_oid();
   });
 
   std::atomic<int64_t> committed_ops{0};
@@ -81,7 +82,7 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
     int64_t amount = static_cast<int64_t>(rng.Range(1, 20));
     bool abandon = rng.Bernoulli(0.2);
     bool ok = models::RunAtomicWithRetry(
-        db->txn(),
+        KernelOf(*db),
         [&] {
           Tid self = TransactionManager::Self();
           ObjectId lo = std::min(accounts[from], accounts[to]);
@@ -94,7 +95,7 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
           if (!db->Put<int64_t>(lo, *vlo + dlo, self).ok()) return;
           if (!db->Put<int64_t>(hi, *vhi - dlo, self).ok()) return;
           if (!db->Add(op_counter, 1, self).ok()) return;
-          if (abandon) db->txn().Abort(self);
+          if (abandon) KernelOf(*db).Abort(self);
         },
         10);
     if (ok) committed_ops.fetch_add(1);
@@ -120,7 +121,7 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
     saga.AddStep([&, acct, fail_late] {
       Tid self = TransactionManager::Self();
       if (fail_late) {
-        db->txn().Abort(self);
+        KernelOf(*db).Abort(self);
         return;
       }
       auto v = db->Get<int64_t>(accounts[acct], self);
@@ -128,23 +129,23 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
       db->Put<int64_t>(accounts[acct], *v + 5, self).ok();
       db->Add(op_counter, 1, self).ok();
     });
-    if (saga.Run(db->txn()).committed) committed_ops.fetch_add(1);
+    if (saga.Run(KernelOf(*db)).committed) committed_ops.fetch_add(1);
   };
 
   auto nested_work = [&](Random& rng) {
     size_t acct = rng.Uniform(kAccounts);
     bool child_fails = rng.Bernoulli(0.3);
-    bool ok = models::RunAtomic(db->txn(), [&] {
+    bool ok = models::RunAtomic(KernelOf(*db), [&] {
       Tid self = TransactionManager::Self();
       auto v = db->Get<int64_t>(accounts[acct], self);
       if (!v.ok()) return;
       if (!db->Put<int64_t>(accounts[acct], *v - 7, self).ok()) return;
       Status s = models::RunSubtransaction(
-          db->txn(),
+          KernelOf(*db),
           [&] {
             Tid me = TransactionManager::Self();
             if (child_fails) {
-              db->txn().Abort(me);
+              KernelOf(*db).Abort(me);
               return;
             }
             auto w = db->Get<int64_t>(accounts[acct], me);
@@ -162,14 +163,14 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
     int64_t key = worker * 1000000 + round;
     bool abandon = rng.Bernoulli(0.2);
     bool ok = models::RunAtomicWithRetry(
-        db->txn(),
+        KernelOf(*db),
         [&] {
           Tid self = TransactionManager::Self();
-          ode::BTree tree = ode::BTree::Open(&db->txn(), index_header);
+          ode::BTree tree = ode::BTree::Open(&KernelOf(*db), index_header);
           if (!tree.Insert(self, key, static_cast<uint64_t>(worker)).ok()) {
             return;
           }
-          if (abandon) db->txn().Abort(self);
+          if (abandon) KernelOf(*db).Abort(self);
         },
         10);
     if (ok) {
@@ -184,29 +185,29 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
     // A worker writes, delegates everything to a fresh transaction, and
     // that transaction flips a coin: commit keeps the (net-zero) write,
     // abort reverts it. Either way the total is conserved.
-    Tid worker = db->txn().InitiateFn([&, acct] {
+    Tid worker = KernelOf(*db).InitiateFn([&, acct] {
       Tid self = TransactionManager::Self();
       auto v = db->Get<int64_t>(accounts[acct], self);
       if (!v.ok()) return;
       db->Put<int64_t>(accounts[acct], *v, self).ok();  // net-zero write
     });
-    db->txn().Begin(worker);
-    if (db->txn().Wait(worker) != 1) {
-      db->txn().Abort(worker);
+    KernelOf(*db).Begin(worker);
+    if (KernelOf(*db).Wait(worker) != 1) {
+      KernelOf(*db).Abort(worker);
       return;
     }
-    Tid owner = db->txn().InitiateFn([] {});
-    if (!db->txn().Delegate(worker, owner).ok()) {
-      db->txn().Abort(worker);
-      db->txn().Abort(owner);
+    Tid owner = KernelOf(*db).InitiateFn([] {});
+    if (!KernelOf(*db).Delegate(worker, owner).ok()) {
+      KernelOf(*db).Abort(worker);
+      KernelOf(*db).Abort(owner);
       return;
     }
-    db->txn().Commit(worker);
-    db->txn().Begin(owner);
+    KernelOf(*db).Commit(worker);
+    KernelOf(*db).Begin(owner);
     if (rng.Bernoulli(0.5)) {
-      db->txn().Commit(owner);
+      KernelOf(*db).Commit(owner);
     } else {
-      db->txn().Abort(owner);
+      KernelOf(*db).Abort(owner);
     }
   };
 
@@ -239,11 +240,11 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
 
   if (c.checkpoints) {
     // The background checkpointer really ran against the live workload.
-    EXPECT_GE(db->txn().stats().checkpoints.load(), 1u);
+    EXPECT_GE(KernelOf(*db).stats().checkpoints.load(), 1u);
   }
 
   auto check_world = [&](const char* when) {
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       Tid self = TransactionManager::Self();
       int64_t total = 0;
       for (ObjectId a : accounts) {
@@ -253,7 +254,7 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
       EXPECT_EQ(db->GetCounter(op_counter, self).value(),
                 committed_ops.load())
           << when;
-      ode::BTree tree = ode::BTree::Open(&db->txn(), index_header);
+      ode::BTree tree = ode::BTree::Open(&KernelOf(*db), index_header);
       EXPECT_TRUE(tree.CheckInvariants(self).ok()) << when;
       EXPECT_EQ(tree.Size(self).value(), committed_index_entries.size())
           << when;
@@ -268,7 +269,7 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
   // lag what was acked, never exceed it, and the index may hold only
   // entries that were actually acked.
   auto check_world_prefix = [&](const char* when) {
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       Tid self = TransactionManager::Self();
       int64_t total = 0;
       for (ObjectId a : accounts) {
@@ -278,7 +279,7 @@ TEST_P(ChaosProperty, InvariantsHoldThroughChaosAndRecovery) {
       EXPECT_LE(db->GetCounter(op_counter, self).value(),
                 committed_ops.load())
           << when;
-      ode::BTree tree = ode::BTree::Open(&db->txn(), index_header);
+      ode::BTree tree = ode::BTree::Open(&KernelOf(*db), index_header);
       EXPECT_TRUE(tree.CheckInvariants(self).ok()) << when;
       uint64_t size = tree.Size(self).value();
       EXPECT_LE(size, committed_index_entries.size()) << when;

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "core/database.h"
+#include "core/database_internal.h"
 
 namespace asset {
 namespace {
@@ -42,7 +43,7 @@ TEST(DatabaseCheckpointTest, CheckpointDoesNotBlockOpenTransaction) {
   // t is unharmed: it can keep operating and commit.
   ASSERT_TRUE(t->Put<int64_t>(*oid, 42).ok());
   ASSERT_TRUE(t->Commit().ok());
-  EXPECT_EQ((*db)->txn().stats().checkpoints.load(), 1u);
+  EXPECT_EQ(KernelOf(**db).stats().checkpoints.load(), 1u);
 
   ASSERT_TRUE((*db)->CrashAndRecover().ok());
   auto t2 = (*db)->Begin();
@@ -93,12 +94,12 @@ TEST(DatabaseCheckpointTest, CheckpointTruncatesWal) {
     ASSERT_TRUE(t->Put<int64_t>(oid, i).ok());
     ASSERT_TRUE(t->Commit().ok());
   }
-  size_t before = (*db)->log().size();
+  size_t before = LogOf(**db).size();
   ASSERT_TRUE((*db)->Checkpoint().ok());
-  size_t after = (*db)->log().size();
+  size_t after = LogOf(**db).size();
   EXPECT_LT(after, before);
-  EXPECT_GE((*db)->txn().stats().wal_truncations.load(), 1u);
-  EXPECT_GT((*db)->txn().stats().wal_records_truncated.load(), 0u);
+  EXPECT_GE(KernelOf(**db).stats().wal_truncations.load(), 1u);
+  EXPECT_GT(KernelOf(**db).stats().wal_records_truncated.load(), 0u);
 
   // The physically shortened log still recovers the full state.
   ASSERT_TRUE((*db)->CrashAndRecover().ok());
@@ -115,11 +116,11 @@ TEST(DatabaseCheckpointTest, TruncationCanBeDisabled) {
   auto db = Database::Open(o);
   ASSERT_TRUE(db.ok());
   ObjectId oid = CommitOne(db->get(), 7);
-  size_t before = (*db)->log().size();
+  size_t before = LogOf(**db).size();
   ASSERT_TRUE((*db)->Checkpoint().ok());
   // The checkpoint record itself was appended; nothing was dropped.
-  EXPECT_GT((*db)->log().size(), before);
-  EXPECT_EQ((*db)->txn().stats().wal_truncations.load(), 0u);
+  EXPECT_GT(LogOf(**db).size(), before);
+  EXPECT_EQ(KernelOf(**db).stats().wal_truncations.load(), 0u);
   auto t = (*db)->Begin();
   ASSERT_TRUE(t.ok());
   EXPECT_TRUE(t->Get<int64_t>(oid).ok());
@@ -133,15 +134,15 @@ TEST(DatabaseCheckpointTest, BackgroundBytesTriggerCheckpointsAndTruncates) {
   ObjectId oid = CommitOne(db->get(), 0);
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
   int64_t i = 0;
-  while ((*db)->txn().stats().wal_truncations.load() < 1 &&
+  while (KernelOf(**db).stats().wal_truncations.load() < 1 &&
          std::chrono::steady_clock::now() < deadline) {
     auto t = (*db)->Begin();
     ASSERT_TRUE(t.ok());
     ASSERT_TRUE(t->Put<int64_t>(oid, ++i).ok());
     ASSERT_TRUE(t->Commit().ok());
   }
-  EXPECT_GE((*db)->txn().stats().checkpoints.load(), 1u);
-  EXPECT_GE((*db)->txn().stats().wal_truncations.load(), 1u);
+  EXPECT_GE(KernelOf(**db).stats().checkpoints.load(), 1u);
+  EXPECT_GE(KernelOf(**db).stats().wal_truncations.load(), 1u);
   // User traffic was never blocked (every commit above succeeded) and
   // the state survives a crash with the truncated log.
   ASSERT_TRUE((*db)->CrashAndRecover().ok());
@@ -159,11 +160,11 @@ TEST(DatabaseCheckpointTest, BackgroundIntervalTriggerFires) {
   ASSERT_TRUE(db.ok());
   ObjectId oid = CommitOne(db->get(), 5);
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
-  while ((*db)->txn().stats().checkpoints.load() < 2 &&
+  while (KernelOf(**db).stats().checkpoints.load() < 2 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  EXPECT_GE((*db)->txn().stats().checkpoints.load(), 2u);
+  EXPECT_GE(KernelOf(**db).stats().checkpoints.load(), 2u);
   RecoveryManager::Report report;
   ASSERT_TRUE((*db)->CrashAndRecover(&report).ok());
   auto t = (*db)->Begin();
@@ -203,7 +204,7 @@ TEST(DatabaseCheckpointTest, FileBackedCheckpointSurvivesReopen) {
     }
     // Physically rewrites the on-disk WAL down to the checkpoint tail.
     ASSERT_TRUE((*db)->Checkpoint().ok());
-    EXPECT_GE((*db)->txn().stats().wal_truncations.load(), 1u);
+    EXPECT_GE(KernelOf(**db).stats().wal_truncations.load(), 1u);
   }
   // Reopen from the truncated file: AttachFile must re-derive the
   // dropped-prefix length and the checkpoint watermark from the frames.

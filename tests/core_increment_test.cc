@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "kernel_fixture.h"
 #include "models/atomic.h"
 
@@ -216,7 +217,7 @@ TEST_P(IncrementProperty, FinalValueIsSumOfCommittedDeltas) {
   const auto& c = GetParam();
   auto db = Database::Open().value();
   ObjectId counter = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     counter = db->CreateCounter(0).value();
   });
   std::atomic<int64_t> committed_sum{0};
@@ -227,20 +228,20 @@ TEST_P(IncrementProperty, FinalValueIsSumOfCommittedDeltas) {
       for (int i = 0; i < c.adds_per_thread; ++i) {
         int64_t delta = static_cast<int64_t>(rng.Range(1, 9));
         bool abandon = rng.Bernoulli(c.abort_probability);
-        Tid t = db->txn().InitiateFn([&, delta, abandon] {
+        Tid t = KernelOf(*db).InitiateFn([&, delta, abandon] {
           Tid self = TransactionManager::Self();
           if (!db->Add(counter, delta, self).ok()) return;
-          if (abandon) db->txn().Abort(self);
+          if (abandon) KernelOf(*db).Abort(self);
         });
-        db->txn().Begin(t);
-        if (db->txn().Commit(t)) {
+        KernelOf(*db).Begin(t);
+        if (KernelOf(*db).Commit(t)) {
           committed_sum.fetch_add(delta);
         }
       }
     });
   }
   for (auto& th : threads) th.join();
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->GetCounter(counter).value(), committed_sum.load());
   });
 }
@@ -258,10 +259,10 @@ INSTANTIATE_TEST_SUITE_P(
 TEST_F(IncrementTest, RecoveryReplaysCommittedIncrements) {
   auto db = Database::Open().value();
   ObjectId c = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] { c = db->CreateCounter(5).value(); });
-  models::RunAtomic(db->txn(), [&] { ASSERT_TRUE(db->Add(c, 7).ok()); });
+  models::RunAtomic(KernelOf(*db), [&] { c = db->CreateCounter(5).value(); });
+  models::RunAtomic(KernelOf(*db), [&] { ASSERT_TRUE(db->Add(c, 7).ok()); });
   ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->GetCounter(c).value(), 12);
   });
 }
@@ -269,17 +270,17 @@ TEST_F(IncrementTest, RecoveryReplaysCommittedIncrements) {
 TEST_F(IncrementTest, RecoveryUndoesLoserIncrements) {
   auto db = Database::Open().value();
   ObjectId c = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] { c = db->CreateCounter(5).value(); });
+  models::RunAtomic(KernelOf(*db), [&] { c = db->CreateCounter(5).value(); });
   // Committed +7, then an in-flight +100 that only reached the log.
-  models::RunAtomic(db->txn(), [&] { ASSERT_TRUE(db->Add(c, 7).ok()); });
-  Tid loser = db->txn().InitiateFn([&] {
+  models::RunAtomic(KernelOf(*db), [&] { ASSERT_TRUE(db->Add(c, 7).ok()); });
+  Tid loser = KernelOf(*db).InitiateFn([&] {
     ASSERT_TRUE(db->Add(c, 100).ok());
   });
-  db->txn().Begin(loser);
-  ASSERT_EQ(db->txn().Wait(loser), 1);
-  db->log().Flush();
+  KernelOf(*db).Begin(loser);
+  ASSERT_EQ(KernelOf(*db).Wait(loser), 1);
+  LogOf(*db).Flush();
   ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->GetCounter(c).value(), 12);
   });
 }
@@ -289,17 +290,17 @@ TEST_F(IncrementTest, RecoveryIsIdempotentDespiteDeltas) {
   // page was flushed mid-sequence.
   auto db = Database::Open().value();
   ObjectId c = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] { c = db->CreateCounter(0).value(); });
+  models::RunAtomic(KernelOf(*db), [&] { c = db->CreateCounter(0).value(); });
   for (int i = 0; i < 5; ++i) {
-    models::RunAtomic(db->txn(), [&] { ASSERT_TRUE(db->Add(c, 10).ok()); });
+    models::RunAtomic(KernelOf(*db), [&] { ASSERT_TRUE(db->Add(c, 10).ok()); });
   }
-  ASSERT_TRUE(db->pool().FlushAll().ok());  // deltas already on disk
+  ASSERT_TRUE(PoolOf(*db).FlushAll().ok());  // deltas already on disk
   ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->GetCounter(c).value(), 50);  // not 100
   });
   ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->GetCounter(c).value(), 50);
   });
 }

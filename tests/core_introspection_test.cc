@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "json_lite.h"
 
 namespace asset {
@@ -180,7 +181,7 @@ TEST(IntrospectionTest, PermitEntriesAppearInTheDump) {
   ASSERT_TRUE(t1.ok() && t2.ok());
   auto oid = t1->Create<int64_t>(7);
   ASSERT_TRUE(oid.ok());
-  ASSERT_TRUE(db->txn()
+  ASSERT_TRUE(KernelOf(*db)
                   .Permit(t1->id(), t2->id(), ObjectSet{*oid},
                           OpSet(Operation::kWrite))
                   .ok());

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "kernel_fixture.h"
 
 namespace asset {
@@ -133,7 +134,7 @@ TEST_F(StatsTest, FsyncHistogramFillsOnAFileBackedLog) {
     ASSERT_TRUE(t->Create<int64_t>(i).ok());
     ASSERT_TRUE(t->Commit().ok());
   }
-  auto s = (*db)->txn().stats().snapshot();
+  auto s = KernelOf(**db).stats().snapshot();
   EXPECT_GT(s.fsync_latency.count, 0u);
   EXPECT_EQ(s.fsync_latency.count, s.wal_fsyncs);
   EXPECT_GT(s.fsync_latency.p50(), 0u);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "json_lite.h"
 
 namespace asset {
@@ -111,7 +112,7 @@ TEST(TraceTest, EventsAreCausallyOrderedPerTransaction) {
   auto db = OpenTracedDb();
   RunMixedWorkload(db.get());
 
-  std::vector<TraceEvent> events = db->txn().recorder().Drain();
+  std::vector<TraceEvent> events = KernelOf(*db).recorder().Drain();
   ASSERT_FALSE(events.empty());
   // Drain() returns events sorted by timestamp; verify, then check each
   // transaction's lifecycle reads initiate -> begin -> terminal.
@@ -162,7 +163,7 @@ TEST(TraceTest, LockWaitEventCarriesBlockerAndDuration) {
   ASSERT_TRUE(t2->Commit().ok());
 
   bool found = false;
-  for (const TraceEvent& e : db->txn().recorder().Drain()) {
+  for (const TraceEvent& e : KernelOf(*db).recorder().Drain()) {
     if (e.type != TraceEventType::kLockWait || e.tid != waiter) continue;
     found = true;
     EXPECT_EQ(e.other, blocker);
@@ -182,19 +183,19 @@ TEST(TraceTest, DisabledByDefaultProducesEmptyTrace) {
     ASSERT_TRUE(t->Create<int64_t>(1).ok());
     ASSERT_TRUE(t->Commit().ok());
   }
-  EXPECT_FALSE((*db)->txn().recorder().enabled());
+  EXPECT_FALSE(KernelOf(**db).recorder().enabled());
   std::string json = (*db)->DumpTrace();
   Value root;
   ASSERT_TRUE(ParseJson(json, &root));
   EXPECT_TRUE(root.Find("traceEvents")->arr.empty());
   // Disabled tracing never materializes a ring.
-  EXPECT_EQ((*db)->txn().recorder().ring_count(), 0u);
+  EXPECT_EQ(KernelOf(**db).recorder().ring_count(), 0u);
 }
 
 TEST(TraceTest, RuntimeToggleStartsAndStopsRecording) {
   auto db = Database::Open();
   ASSERT_TRUE(db.ok());
-  FlightRecorder& rec = (*db)->txn().recorder();
+  FlightRecorder& rec = KernelOf(**db).recorder();
 
   rec.set_enabled(true);
   {
@@ -229,9 +230,9 @@ TEST(TraceTest, FullRingOverwritesAndCountsDrops) {
     ASSERT_TRUE(t->Create<int64_t>(i).ok());
     ASSERT_TRUE(t->Commit().ok());
   }
-  EXPECT_LE((*db)->txn().recorder().Drain().size(),
-            64u * (*db)->txn().recorder().ring_count() + 64u);
-  EXPECT_GT((*db)->txn().stats().trace_events_dropped.load(), 0u);
+  EXPECT_LE(KernelOf(**db).recorder().Drain().size(),
+            64u * KernelOf(**db).recorder().ring_count() + 64u);
+  EXPECT_GT(KernelOf(**db).stats().trace_events_dropped.load(), 0u);
 }
 
 }  // namespace

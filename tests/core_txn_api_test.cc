@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/database_internal.h"
 
 namespace asset {
 namespace {
@@ -128,12 +129,12 @@ TEST_F(TxnApiTest, InactiveHandleRejectsEverything) {
 // --- Status-returning kernel overloads ---------------------------------
 
 TEST_F(TxnApiTest, BeginTxnReportsUnknownTid) {
-  Status s = db_->txn().BeginTxn(987654);
+  Status s = KernelOf(*db_).BeginTxn(987654);
   EXPECT_TRUE(s.IsNotFound());
 }
 
 TEST_F(TxnApiTest, CommitTxnCarriesTheAbortReason) {
-  TransactionManager& tm = db_->txn();
+  TransactionManager& tm = KernelOf(*db_);
   Tid t = tm.Initiate([] {});
   ASSERT_TRUE(tm.Begin(t));
   ASSERT_TRUE(tm.Abort(t));
@@ -145,7 +146,7 @@ TEST_F(TxnApiTest, CommitTxnCarriesTheAbortReason) {
 }
 
 TEST_F(TxnApiTest, AbortTxnAfterCommitIsIllegal) {
-  TransactionManager& tm = db_->txn();
+  TransactionManager& tm = KernelOf(*db_);
   Tid t = tm.Initiate([] {});
   ASSERT_TRUE(tm.Begin(t));
   ASSERT_TRUE(tm.Commit(t));
@@ -153,7 +154,7 @@ TEST_F(TxnApiTest, AbortTxnAfterCommitIsIllegal) {
 }
 
 TEST_F(TxnApiTest, GroupBeginIsAllOrNothing) {
-  TransactionManager& tm = db_->txn();
+  TransactionManager& tm = KernelOf(*db_);
   Tid valid = tm.Initiate([] {});
   // One bogus tid poisons the whole call: nothing starts.
   EXPECT_FALSE(tm.Begin({valid, Tid{987654}}));
@@ -168,7 +169,7 @@ TEST_F(TxnApiTest, GroupBeginIsAllOrNothing) {
 // lands before it (nothing starts) or after it (everything started) —
 // never in between, with some members started and some not.
 TEST_F(TxnApiTest, GroupBeginStartsNothingWhenAMemberAbortsConcurrently) {
-  TransactionManager& tm = db_->txn();
+  TransactionManager& tm = KernelOf(*db_);
   for (int round = 0; round < 50; ++round) {
     Tid t1 = tm.Initiate([] {});
     Tid t2 = tm.Initiate([] {});
@@ -199,7 +200,7 @@ TEST_F(TxnApiTest, GroupBeginStartsNothingWhenAMemberAbortsConcurrently) {
 // until the in-flight operation is out, so the driver sees clean
 // kTxnAborted failures and the committed image survives the undo.
 TEST_F(TxnApiTest, ConcurrentAbortOfSessionTransactionMidOperation) {
-  TransactionManager& tm = db_->txn();
+  TransactionManager& tm = KernelOf(*db_);
   ObjectId oid = MakeInt(42);
   const std::vector<uint8_t> garbage(sizeof(int64_t), 0x5A);
   for (int round = 0; round < 20; ++round) {
@@ -225,6 +226,106 @@ TEST_F(TxnApiTest, ConcurrentAbortOfSessionTransactionMidOperation) {
     driver.join();
     EXPECT_EQ(tm.GetStatus(t), TxnStatus::kAborted);
     EXPECT_EQ(Committed(oid), 42);
+  }
+}
+
+
+// --- Handle affordances: id(), operator bool, last_status, moves -----
+
+TEST_F(TxnApiTest, HandleExposesIdAndBoolConversion) {
+  Txn t = db_->Begin().value();
+  EXPECT_NE(t.id(), kNullTid);
+  EXPECT_TRUE(static_cast<bool>(t));
+  EXPECT_TRUE(db_->IsActiveTxn(t.id()));
+  ASSERT_TRUE(t.Commit().ok());
+  EXPECT_FALSE(static_cast<bool>(t));
+  EXPECT_EQ(t.id(), kNullTid);
+
+  Txn fresh;
+  EXPECT_FALSE(static_cast<bool>(fresh));
+  EXPECT_EQ(fresh.id(), kNullTid);
+}
+
+TEST_F(TxnApiTest, LastStatusTracksEveryOperation) {
+  Txn t = db_->Begin().value();
+  EXPECT_TRUE(t.last_status().ok());  // fresh handle
+
+  ObjectId oid = t.Create<int64_t>(1).value();
+  EXPECT_TRUE(t.last_status().ok());
+
+  // A failing read is recorded...
+  EXPECT_FALSE(t.Get<int64_t>(9999999).ok());
+  EXPECT_FALSE(t.last_status().ok());
+
+  // ...and the next success overwrites it (client-handle style: chain
+  // operations, check once).
+  EXPECT_TRUE(t.Put<int64_t>(oid, 2).ok());
+  EXPECT_TRUE(t.last_status().ok());
+
+  ASSERT_TRUE(t.Commit().ok());
+  EXPECT_TRUE(t.last_status().ok());  // Commit outcome is recorded too
+
+  // Operations on the now-inactive handle record IllegalState.
+  EXPECT_FALSE(t.Put<int64_t>(oid, 3).ok());
+  EXPECT_EQ(t.last_status().code(), StatusCode::kIllegalState);
+}
+
+TEST_F(TxnApiTest, MoveResetsSourceAffordances) {
+  Txn a = db_->Begin().value();
+  EXPECT_FALSE(a.Get<int64_t>(9999999).ok());  // taint last_status
+  Tid id = a.id();
+
+  Txn b = std::move(a);
+  // The moved-from handle reads as inactive with a clean status; the
+  // destination carries the transaction AND the last_status record.
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_EQ(a.id(), kNullTid);
+  EXPECT_TRUE(a.last_status().ok());
+  EXPECT_EQ(b.id(), id);
+  EXPECT_FALSE(b.last_status().ok());
+
+  ASSERT_TRUE(b.Commit().ok());
+}
+
+// --- Options::Validate ------------------------------------------------
+
+TEST(DatabaseOptionsTest, ValidateRejectsNonsense) {
+  {
+    Database::Options o;
+    o.buffer_pool_pages = 0;
+    EXPECT_FALSE(o.Validate().ok());
+    EXPECT_FALSE(Database::Open(o).ok());
+  }
+  {
+    Database::Options o;
+    o.txn.max_transactions = 0;
+    EXPECT_FALSE(o.Validate().ok());
+    EXPECT_FALSE(Database::Open(o).ok());
+  }
+  {
+    Database::Options o;
+    o.txn.commit_timeout = std::chrono::milliseconds(-5);
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    Database::Options o;
+    o.txn.lock.lock_timeout = std::chrono::milliseconds(-1);
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    Database::Options o;
+    o.txn.lock.shards = 0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    Database::Options o;
+    o.checkpoint.interval = std::chrono::milliseconds(-1);
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    Database::Options o;
+    EXPECT_TRUE(o.Validate().ok());
+    EXPECT_TRUE(Database::Open(o).ok());
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "models/atomic.h"
 #include "models/saga.h"
 
@@ -25,13 +26,13 @@ std::vector<uint8_t> Bytes(const std::string& s) {
 TEST(DatabaseTest, OpenTypedRoundTrip) {
   auto db = Database::Open().value();
   ObjectId oid = kNullObjectId;
-  bool ok = models::RunAtomic(db->txn(), [&] {
+  bool ok = models::RunAtomic(KernelOf(*db), [&] {
     oid = db->Create<int64_t>(41).value();
     ASSERT_TRUE(db->Put<int64_t>(oid, 42).ok());
     EXPECT_EQ(db->Get<int64_t>(oid).value(), 42);
   });
   EXPECT_TRUE(ok);
-  ok = models::RunAtomic(db->txn(), [&] {
+  ok = models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->Get<int64_t>(oid).value(), 42);
   });
   EXPECT_TRUE(ok);
@@ -40,12 +41,12 @@ TEST(DatabaseTest, OpenTypedRoundTrip) {
 TEST(DatabaseTest, DecodeSizeMismatchIsCorruption) {
   auto db = Database::Open().value();
   ObjectId oid = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] {
-    oid = db->txn().CreateObject(TransactionManager::Self(),
+  models::RunAtomic(KernelOf(*db), [&] {
+    oid = KernelOf(*db).CreateObject(TransactionManager::Self(),
                                  Bytes("3bytes"))
               .value();
   });
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->Get<int64_t>(oid).status().code(),
               StatusCode::kCorruption);
   });
@@ -54,20 +55,20 @@ TEST(DatabaseTest, DecodeSizeMismatchIsCorruption) {
 TEST(DatabaseTest, CrashRecoveryKeepsCommittedDropsInFlight) {
   auto db = Database::Open().value();
   ObjectId committed_oid = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     committed_oid = db->Create<int64_t>(7).value();
   });
   // An in-flight transaction that never commits: its create must vanish.
   ObjectId doomed_oid = kNullObjectId;
-  Tid straggler = db->txn().Initiate([&] {
+  Tid straggler = KernelOf(*db).Initiate([&] {
     doomed_oid = db->Create<int64_t>(666).value();
   });
-  db->txn().Begin(straggler);
-  ASSERT_EQ(db->txn().Wait(straggler), 1);
+  KernelOf(*db).Begin(straggler);
+  ASSERT_EQ(KernelOf(*db).Wait(straggler), 1);
 
   RecoveryManager::Report report;
   ASSERT_TRUE(db->CrashAndRecover(&report).ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->Get<int64_t>(committed_oid).value(), 7);
     EXPECT_TRUE(db->Get<int64_t>(doomed_oid).status().IsNotFound());
   });
@@ -77,16 +78,16 @@ TEST(DatabaseTest, CrashRecoveryKeepsCommittedDropsInFlight) {
 TEST(DatabaseTest, CrashAfterUpdateRestoresCommittedValue) {
   auto db = Database::Open().value();
   ObjectId oid = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] { oid = db->Create<int64_t>(1).value(); });
+  models::RunAtomic(KernelOf(*db), [&] { oid = db->Create<int64_t>(1).value(); });
   // Uncommitted overwrite, flushed to the log but not committed.
-  Tid t = db->txn().Initiate([&] {
+  Tid t = KernelOf(*db).Initiate([&] {
     ASSERT_TRUE(db->Put<int64_t>(oid, 999).ok());
   });
-  db->txn().Begin(t);
-  ASSERT_EQ(db->txn().Wait(t), 1);
-  db->log().Flush();
+  KernelOf(*db).Begin(t);
+  ASSERT_EQ(KernelOf(*db).Wait(t), 1);
+  LogOf(*db).Flush();
   ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->Get<int64_t>(oid).value(), 1);
   });
 }
@@ -94,14 +95,14 @@ TEST(DatabaseTest, CrashAfterUpdateRestoresCommittedValue) {
 TEST(DatabaseTest, CheckpointThenCrashRecoversQuickly) {
   auto db = Database::Open().value();
   ObjectId oid = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] { oid = db->Create<int64_t>(5).value(); });
+  models::RunAtomic(KernelOf(*db), [&] { oid = db->Create<int64_t>(5).value(); });
   ASSERT_TRUE(db->Checkpoint().ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     ASSERT_TRUE(db->Put<int64_t>(oid, 6).ok());
   });
   RecoveryManager::Report report;
   ASSERT_TRUE(db->CrashAndRecover(&report).ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->Get<int64_t>(oid).value(), 6);
   });
   // Analysis started at the checkpoint, not at the log head.
@@ -111,13 +112,13 @@ TEST(DatabaseTest, CheckpointThenCrashRecoversQuickly) {
 TEST(DatabaseTest, RepeatedCrashRecoverCycles) {
   auto db = Database::Open().value();
   ObjectId oid = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] { oid = db->Create<int64_t>(0).value(); });
+  models::RunAtomic(KernelOf(*db), [&] { oid = db->Create<int64_t>(0).value(); });
   for (int64_t round = 1; round <= 5; ++round) {
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       ASSERT_TRUE(db->Put<int64_t>(oid, round).ok());
     });
     ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       EXPECT_EQ(db->Get<int64_t>(oid).value(), round);
     });
   }
@@ -131,7 +132,7 @@ TEST(DatabaseTest, FileBackedDataSurvivesReopen) {
     Database::Options opts;
     opts.path = path;
     auto db = Database::Open(opts).value();
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       oid = db->Create<int64_t>(1234).value();
     });
     ASSERT_TRUE(db->Checkpoint().ok());  // pages to disk
@@ -140,7 +141,7 @@ TEST(DatabaseTest, FileBackedDataSurvivesReopen) {
     Database::Options opts;
     opts.path = path;
     auto db = Database::Open(opts).value();
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       EXPECT_EQ(db->Get<int64_t>(oid).value(), 1234);
     });
   }
@@ -152,7 +153,7 @@ TEST(DatabaseTest, ConcurrentBankTransfersConserveTotal) {
   constexpr int kAccounts = 8;
   constexpr int64_t kInitial = 1000;
   std::vector<ObjectId> accounts;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     for (int i = 0; i < kAccounts; ++i) {
       accounts.push_back(db->Create<int64_t>(kInitial).value());
     }
@@ -170,7 +171,7 @@ TEST(DatabaseTest, ConcurrentBankTransfersConserveTotal) {
         if (from == to) continue;
         int64_t amount = static_cast<int64_t>(rng.Range(1, 50));
         bool ok = models::RunAtomicWithRetry(
-            db->txn(),
+            KernelOf(*db),
             [&] {
               // Fixed lock order prevents deadlocks.
               ObjectId lo = std::min(accounts[from], accounts[to]);
@@ -181,7 +182,7 @@ TEST(DatabaseTest, ConcurrentBankTransfersConserveTotal) {
               if (!vhi.ok()) return;
               int64_t f = accounts[from] == lo ? *vlo : *vhi;
               if (f < amount) {
-                db->txn().Abort(TransactionManager::Self());
+                KernelOf(*db).Abort(TransactionManager::Self());
                 return;
               }
               int64_t flo = *vlo + (accounts[from] == lo ? -amount : amount);
@@ -199,7 +200,7 @@ TEST(DatabaseTest, ConcurrentBankTransfersConserveTotal) {
   std::atomic<int> bad_audits{0};
   std::thread auditor([&] {
     while (!stop_audit) {
-      models::RunAtomic(db->txn(), [&] {
+      models::RunAtomic(KernelOf(*db), [&] {
         int64_t total = 0;
         for (ObjectId a : accounts) {
           auto v = db->Get<int64_t>(a);
@@ -217,7 +218,7 @@ TEST(DatabaseTest, ConcurrentBankTransfersConserveTotal) {
   EXPECT_EQ(bad_audits.load(), 0);
   EXPECT_GT(transfers_done.load(), 0);
   int64_t total = 0;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     total = 0;
     for (ObjectId a : accounts) total += db->Get<int64_t>(a).value();
   });
@@ -230,7 +231,7 @@ TEST(DatabaseTest, SagaSurvivesCrashAfterCommittedSteps) {
   auto db = Database::Open().value();
   ObjectId inventory = kNullObjectId;
   ObjectId orders = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     inventory = db->Create<int64_t>(10).value();
     orders = db->Create<int64_t>(0).value();
   });
@@ -249,10 +250,10 @@ TEST(DatabaseTest, SagaSurvivesCrashAfterCommittedSteps) {
     int64_t v = db->Get<int64_t>(orders).value();
     ASSERT_TRUE(db->Put<int64_t>(orders, v + 1).ok());
   });
-  auto out = saga.Run(db->txn());
+  auto out = saga.Run(KernelOf(*db));
   EXPECT_TRUE(out.committed);
   ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->Get<int64_t>(inventory).value(), 9);
     EXPECT_EQ(db->Get<int64_t>(orders).value(), 1);
   });
@@ -271,25 +272,25 @@ TEST(DatabaseTest, FileBackedWalReplaysWithoutCheckpoint) {
     Database::Options opts;
     opts.path = path;
     auto db = Database::Open(opts).value();
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       oid = db->Create<int64_t>(777).value();
       counter = db->CreateCounter(5).value();
     });
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       ASSERT_TRUE(db->Add(counter, 10).ok());
     });
     // An in-flight transaction at "process exit": must not survive.
-    Tid straggler = db->txn().Initiate([&] {
+    Tid straggler = KernelOf(*db).Initiate([&] {
       db->Put<int64_t>(oid, -1).ok();
     });
-    db->txn().Begin(straggler);
-    ASSERT_EQ(db->txn().Wait(straggler), 1);
+    KernelOf(*db).Begin(straggler);
+    ASSERT_EQ(KernelOf(*db).Wait(straggler), 1);
   }
   {
     Database::Options opts;
     opts.path = path;
     auto db = Database::Open(opts).value();
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       EXPECT_EQ(db->Get<int64_t>(oid).value(), 777);
       EXPECT_EQ(db->GetCounter(counter).value(), 15);
     });
@@ -308,11 +309,11 @@ TEST(DatabaseTest, FileBackedSurvivesRepeatedReopens) {
     opts.path = path;
     auto db = Database::Open(opts).value();
     if (round == 0) {
-      models::RunAtomic(db->txn(), [&] {
+      models::RunAtomic(KernelOf(*db), [&] {
         counter = db->CreateCounter(0).value();
       });
     }
-    models::RunAtomic(db->txn(), [&] {
+    models::RunAtomic(KernelOf(*db), [&] {
       EXPECT_EQ(db->GetCounter(counter).value(), round);
       ASSERT_TRUE(db->Add(counter, 1).ok());
     });
@@ -321,7 +322,7 @@ TEST(DatabaseTest, FileBackedSurvivesRepeatedReopens) {
   Database::Options opts;
   opts.path = path;
   auto db = Database::Open(opts).value();
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->GetCounter(counter).value(), 4);
   });
   std::remove(path.c_str());

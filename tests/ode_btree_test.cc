@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "kernel_fixture.h"
 #include "models/atomic.h"
 #include "ode/btree.h"
@@ -315,8 +316,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST_F(BTreeTest, SurvivesCrashRecovery) {
   auto db = Database::Open().value();
   ObjectId header = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] {
-    auto tree = BTree::Create(&db->txn(), TransactionManager::Self());
+  models::RunAtomic(KernelOf(*db), [&] {
+    auto tree = BTree::Create(&KernelOf(*db), TransactionManager::Self());
     header = tree->header_oid();
     for (int i = 0; i < 100; ++i) {
       ASSERT_TRUE(
@@ -325,20 +326,20 @@ TEST_F(BTreeTest, SurvivesCrashRecovery) {
   });
   // An in-flight transaction splits nodes, then the system crashes.
   {
-    BTree tree = BTree::Open(&db->txn(), header);
-    Tid straggler = db->txn().Initiate([&] {
+    BTree tree = BTree::Open(&KernelOf(*db), header);
+    Tid straggler = KernelOf(*db).Initiate([&] {
       Tid self = TransactionManager::Self();
       for (int i = 100; i < 400; ++i) {
         tree.Insert(self, i, 0).value();
       }
     });
-    db->txn().Begin(straggler);
-    ASSERT_EQ(db->txn().Wait(straggler), 1);
-    db->log().Flush();
+    KernelOf(*db).Begin(straggler);
+    ASSERT_EQ(KernelOf(*db).Wait(straggler), 1);
+    LogOf(*db).Flush();
   }
   ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-  BTree tree = BTree::Open(&db->txn(), header);
-  models::RunAtomic(db->txn(), [&] {
+  BTree tree = BTree::Open(&KernelOf(*db), header);
+  models::RunAtomic(KernelOf(*db), [&] {
     Tid self = TransactionManager::Self();
     EXPECT_EQ(tree.Size(self).value(), 100u);
     EXPECT_TRUE(tree.CheckInvariants(self).ok());

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "kernel_fixture.h"
 #include "models/atomic.h"
 #include "ode/catalog.h"
@@ -106,17 +107,17 @@ TEST_F(CatalogTest, AbortedBindRollsBack) {
 
 TEST_F(CatalogTest, BindingsSurviveCrashRecovery) {
   auto db = Database::Open().value();
-  Catalog catalog(&db->txn());
+  Catalog catalog(&KernelOf(*db));
   ObjectId target = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     Tid self = TransactionManager::Self();
-    ASSERT_TRUE(catalog.Bootstrap(self, &db->store()).ok());
+    ASSERT_TRUE(catalog.Bootstrap(self, &StoreOf(*db)).ok());
     target = db->Create<int64_t>(9).value();
     ASSERT_TRUE(catalog.Bind(self, "survivor", target).ok());
   });
   ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-  Catalog after(&db->txn());
-  models::RunAtomic(db->txn(), [&] {
+  Catalog after(&KernelOf(*db));
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(after.Lookup(TransactionManager::Self(), "survivor").value(),
               target);
   });

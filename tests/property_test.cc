@@ -13,6 +13,7 @@
 
 #include "common/random.h"
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "kernel_fixture.h"
 #include "models/atomic.h"
 #include "storage/recovery.h"
@@ -38,7 +39,7 @@ TEST_P(SnapshotConsistencyProperty, ReadersSeeInvariant) {
   const auto& c = GetParam();
   auto db = Database::Open().value();
   ObjectId x = kNullObjectId, y = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     x = db->Create<int64_t>(0).value();
     y = db->Create<int64_t>(0).value();
   });
@@ -50,7 +51,7 @@ TEST_P(SnapshotConsistencyProperty, ReadersSeeInvariant) {
       for (int i = 0; i < c.ops; ++i) {
         int64_t delta = static_cast<int64_t>(rng.Range(1, 9));
         models::RunAtomicWithRetry(
-            db->txn(),
+            KernelOf(*db),
             [&] {
               auto vx = db->Get<int64_t>(x);
               if (!vx.ok()) return;
@@ -67,7 +68,7 @@ TEST_P(SnapshotConsistencyProperty, ReadersSeeInvariant) {
     threads.emplace_back([&] {
       for (int i = 0; i < c.ops; ++i) {
         models::RunAtomicWithRetry(
-            db->txn(),
+            KernelOf(*db),
             [&] {
               auto vx = db->Get<int64_t>(x);
               if (!vx.ok()) return;
@@ -81,7 +82,7 @@ TEST_P(SnapshotConsistencyProperty, ReadersSeeInvariant) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(violations.load(), 0);
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->Get<int64_t>(x).value() + db->Get<int64_t>(y).value(), 0);
   });
 }

@@ -16,6 +16,7 @@
 
 #include "common/random.h"
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "kernel_fixture.h"
 #include "models/atomic.h"
 
@@ -213,7 +214,7 @@ TEST_P(SerializabilityProperty, CommittedHistoryIsConflictSerializable) {
 
   // Objects hold VersionedValue; version seq counts writes per object.
   std::vector<ObjectId> oids;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     for (int i = 0; i < c.objects; ++i) {
       oids.push_back(db->Create(VersionedValue{kNullTid, 0}).value());
     }
@@ -236,7 +237,7 @@ TEST_P(SerializabilityProperty, CommittedHistoryIsConflictSerializable) {
         picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
         std::vector<Event> local;
         Tid committed_tid = kNullTid;
-        Tid t = db->txn().InitiateFn([&] {
+        Tid t = KernelOf(*db).InitiateFn([&] {
           local.clear();
           Tid self = TransactionManager::Self();
           for (size_t j = 0; j < picks.size(); ++j) {
@@ -255,8 +256,8 @@ TEST_P(SerializabilityProperty, CommittedHistoryIsConflictSerializable) {
             }
           }
         });
-        db->txn().Begin(t);
-        if (db->txn().Commit(t)) committed_tid = t;
+        KernelOf(*db).Begin(t);
+        if (KernelOf(*db).Commit(t)) committed_tid = t;
         if (committed_tid != kNullTid) {
           for (const Event& e : local) history.Record(e);
           history.MarkCommitted(committed_tid);

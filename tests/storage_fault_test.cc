@@ -11,6 +11,7 @@
 #include <numeric>
 
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "kernel_fixture.h"
 #include "models/atomic.h"
 #include "storage/io_util.h"
@@ -91,12 +92,12 @@ TEST(FaultTest, CommittedDataSurvivesTransientWritebackFaults) {
   // recovered from the log once the device heals.
   auto db = Database::Open().value();
   ObjectId oid = kNullObjectId;
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     oid = db->Create<int64_t>(31337).value();
   });
   // No page was ever flushed; crash and recover purely from the WAL.
   ASSERT_TRUE(db->CrashAndRecover(nullptr).ok());
-  models::RunAtomic(db->txn(), [&] {
+  models::RunAtomic(KernelOf(*db), [&] {
     EXPECT_EQ(db->Get<int64_t>(oid).value(), 31337);
   });
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/database_internal.h"
 #include "storage/wal.h"
 
 namespace asset {
@@ -424,7 +425,7 @@ TEST(WalPipelineTest, CrashMidGroupCommitRecoversExactlyTheDurableGroups) {
   }
   ASSERT_TRUE(db->SyncWal().ok());  // the baseline must survive the crash
 
-  TransactionManager& tm = db->txn();
+  TransactionManager& tm = KernelOf(*db);
   Database* dbp = db.get();
   auto commit_pair_group = [&](ObjectId a, ObjectId b) {
     Tid t1 = tm.Initiate([dbp, a] { (void)dbp->Put<int>(a, 1); });
@@ -436,12 +437,12 @@ TEST(WalPipelineTest, CrashMidGroupCommitRecoversExactlyTheDurableGroups) {
   };
 
   commit_pair_group(obj[0], obj[1]);
-  Lsn first_group_end = db->log().last_lsn();
+  Lsn first_group_end = LogOf(*db).last_lsn();
   commit_pair_group(obj[2], obj[3]);
 
   // Only the first group's records reach the durable prefix; the
   // second group's commit records die with the crash.
-  ASSERT_TRUE(db->log().Flush(first_group_end).ok());
+  ASSERT_TRUE(LogOf(*db).Flush(first_group_end).ok());
   ASSERT_TRUE(db->CrashAndRecover().ok());
 
   auto txn = db->Begin();
@@ -471,12 +472,12 @@ TEST(WalPipelineTest, ConcurrentCommittersBatchOntoFewerFsyncs) {
 
   std::mutex mu;
   std::set<std::thread::id> fsync_threads;
-  db->log().SetFsyncHookForTest([&] {
+  LogOf(*db).SetFsyncHookForTest([&] {
     std::lock_guard<std::mutex> g(mu);
     fsync_threads.insert(std::this_thread::get_id());
   });
 
-  auto before = db->txn().stats().snapshot();
+  auto before = KernelOf(*db).stats().snapshot();
   constexpr int kThreads = 8, kPer = 25;
   std::atomic<int> committed{0};
   std::vector<std::thread> threads;
@@ -491,7 +492,7 @@ TEST(WalPipelineTest, ConcurrentCommittersBatchOntoFewerFsyncs) {
     });
   }
   for (auto& th : threads) th.join();
-  auto after = db->txn().stats().snapshot();
+  auto after = KernelOf(*db).stats().snapshot();
 
   const uint64_t commits = after.txns_committed - before.txns_committed;
   const uint64_t fsyncs = after.wal_fsyncs - before.wal_fsyncs;
@@ -501,14 +502,14 @@ TEST(WalPipelineTest, ConcurrentCommittersBatchOntoFewerFsyncs) {
   // The batching win: strictly fewer fsyncs than commits.
   EXPECT_LT(fsyncs, commits);
   // Every commit was acked durable (strict policy, default).
-  EXPECT_GE(db->log().durable_lsn(), static_cast<Lsn>(kThreads * kPer));
+  EXPECT_GE(LogOf(*db).durable_lsn(), static_cast<Lsn>(kThreads * kPer));
 
   {
     std::lock_guard<std::mutex> g(mu);
     ASSERT_EQ(fsync_threads.size(), 1u);
-    EXPECT_EQ(*fsync_threads.begin(), db->log().flusher_thread_id_for_test());
+    EXPECT_EQ(*fsync_threads.begin(), LogOf(*db).flusher_thread_id_for_test());
   }
-  db->log().SetFsyncHookForTest(nullptr);
+  LogOf(*db).SetFsyncHookForTest(nullptr);
   db.reset();
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
@@ -525,22 +526,22 @@ TEST(WalPipelineTest, StolenPageNeverOutrunsTheCreateRecord) {
   ASSERT_TRUE(open.ok());
   auto db = std::move(*open);
 
-  auto tid = db->txn().BeginSession();
+  auto tid = KernelOf(*db).BeginSession();
   ASSERT_TRUE(tid.ok());
-  auto created = db->txn().CreateObject(*tid, Database::Encode<int>(7));
+  auto created = KernelOf(*db).CreateObject(*tid, Database::Encode<int>(7));
   ASSERT_TRUE(created.ok());
   ObjectId oid = *created;
 
   // Steal every dirty page while the creator is still uncommitted. The
   // page_lsn watermark must cover the kCreate record, so this force
   // makes it durable before the page image lands.
-  ASSERT_TRUE(db->pool().FlushAll().ok());
-  EXPECT_TRUE(db->store().Exists(oid));
+  ASSERT_TRUE(PoolOf(*db).FlushAll().ok());
+  EXPECT_TRUE(StoreOf(*db).Exists(oid));
 
   // Crash with the creator unterminated. The device holds the page
   // image with the object; recovery must roll the create back.
   ASSERT_TRUE(db->CrashAndRecover().ok());
-  EXPECT_FALSE(db->store().Exists(oid));
+  EXPECT_FALSE(StoreOf(*db).Exists(oid));
 }
 
 // Under relaxed durability the commit ack does not wait for the fsync —
@@ -559,7 +560,7 @@ TEST(WalPipelineTest, RelaxedCommitAcksFailAfterTheWalGoesBad) {
     ASSERT_TRUE(txn->Create<int>(1).ok());
     ASSERT_TRUE(txn->Commit().ok());  // healthy: the no-wait ack is OK
   }
-  db->log().InjectFlushErrorForTest(Status::IOError("injected device failure"));
+  LogOf(*db).InjectFlushErrorForTest(Status::IOError("injected device failure"));
   // The injection fires on the next flush the flusher actually runs; at
   // this point everything is already durable, so push fresh records
   // through a failing flush to make the error stick. This commit's own
