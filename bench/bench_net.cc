@@ -19,6 +19,14 @@
 //     accrues queueing delay instead of silently slowing the load
 //     (coordinated omission). One sender thread walks the schedule;
 //     one receiver drains replies in send order.
+//  4. Overload (B19): a second server with admission control on is
+//     offered `overload_factor` times the measured closed-loop peak.
+//     Every command carries a deadline; shed Begins, expired commands,
+//     and completed batches are accounted separately. The claim under
+//     test: goodput stays near the closed-loop peak (the server sheds
+//     cheap instead of executing slow) and *admitted* work keeps a
+//     bounded send-to-reply latency, instead of everyone queueing
+//     toward infinity.
 //
 // Prints a JSON document to stdout; BENCH_net.json holds one measured
 // run with commentary.
@@ -71,6 +79,10 @@ struct Config {
   double open_seconds = 3.0;
   int open_connections = 8;
   bool skip_ramp = false;
+  double overload_factor = 3.0;
+  double overload_seconds = 3.0;
+  int overload_deadline_ms = 500;
+  bool skip_overload = false;
 };
 
 Config ParseArgs(int argc, char** argv) {
@@ -100,8 +112,16 @@ Config ParseArgs(int argc, char** argv) {
         while (*p != '\0' && *p != ',') ++p;
         if (*p == ',') ++p;
       }
+    } else if (const char* v = val("--overload-factor=")) {
+      cfg.overload_factor = atof(v);
+    } else if (const char* v = val("--overload-seconds=")) {
+      cfg.overload_seconds = atof(v);
+    } else if (const char* v = val("--overload-deadline-ms=")) {
+      cfg.overload_deadline_ms = atoi(v);
     } else if (a == "--skip-ramp") {
       cfg.skip_ramp = true;
+    } else if (a == "--skip-overload") {
+      cfg.skip_overload = true;
     } else {
       fprintf(stderr, "unknown flag %s\n", a.c_str());
       exit(2);
@@ -405,6 +425,140 @@ OpenResult RunOpenLoop(uint16_t port, int rate, const Config& cfg) {
   return res;
 }
 
+// --- Phase 4: overload (B19) ------------------------------------------
+
+struct OverloadResult {
+  int target_rate = 0;
+  uint64_t sent = 0;
+  uint64_t good = 0;       // all three replies OK
+  uint64_t shed = 0;       // Begin answered kOverloaded
+  uint64_t timed_out = 0;  // a reply carried kTimedOut (deadline)
+  uint64_t errored = 0;    // anything else non-OK
+  double seconds = 0;
+  double goodput = 0;
+  /// Send-to-last-reply latency of *good* batches: what a client that
+  /// was admitted actually experienced.
+  uint64_t admitted_p50_us = 0, admitted_p95_us = 0, admitted_p99_us = 0;
+};
+
+/// Offers `rate` Begin+Add+Commit batches per second, all deadlined,
+/// against a server running admission control. A shed Begin fails its
+/// whole batch cheaply (the Add and Commit resolve no transaction);
+/// that is the design — the server spends execution only on admitted
+/// work.
+OverloadResult RunOverload(uint16_t port, int rate, const Config& cfg) {
+  std::vector<std::unique_ptr<Client>> conns;
+  std::vector<ObjectId> counters;
+  for (int i = 0; i < cfg.open_connections; ++i) {
+    auto c = Client::Connect("127.0.0.1", port);
+    if (!c.ok()) Die("overload connect", c.status());
+    auto oid = MakeCounter(c.value().get());
+    if (!oid.ok()) Die("overload counter", oid.status());
+    conns.push_back(std::move(c.value()));
+    counters.push_back(oid.value());
+  }
+
+  struct Pending {
+    int conn;  // -1 = sender is done
+    uint64_t sent_ns;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Pending> queue;
+
+  LatencyHistogram admitted;
+  std::atomic<uint64_t> good{0}, shed{0}, timed_out{0}, errored{0};
+
+  uint64_t t0 = NowNs();
+  const uint64_t period = static_cast<uint64_t>(1e9 / rate);
+  const uint64_t stop =
+      t0 + static_cast<uint64_t>(cfg.overload_seconds * 1e9);
+  const uint32_t deadline =
+      static_cast<uint32_t>(cfg.overload_deadline_ms);
+
+  std::thread receiver([&] {
+    for (;;) {
+      Pending p;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return !queue.empty(); });
+        p = queue.front();
+        queue.pop_front();
+      }
+      if (p.conn < 0) return;
+      asset::StatusCode worst = asset::StatusCode::kOk;
+      bool first_shed = false;
+      for (int i = 0; i < 3; ++i) {
+        auto r = conns[p.conn]->Receive();
+        if (!r.ok()) Die("overload receive", r.status());
+        asset::StatusCode code = r.value().code;
+        if (i == 0 && code == asset::StatusCode::kOverloaded) {
+          first_shed = true;
+        }
+        if (code != asset::StatusCode::kOk && worst == asset::StatusCode::kOk) {
+          worst = code;
+        }
+      }
+      if (first_shed) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+      } else if (worst == asset::StatusCode::kOk) {
+        admitted.Record(NowNs() - p.sent_ns);
+        good.fetch_add(1, std::memory_order_relaxed);
+      } else if (worst == asset::StatusCode::kTimedOut) {
+        timed_out.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        errored.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  uint64_t sent = 0;
+  int which = 0;
+  for (uint64_t intended = t0; intended < stop; intended += period) {
+    uint64_t now = NowNs();
+    if (intended > now) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(intended - now));
+    }
+    Client* cl = conns[which].get();
+    cl->Send(asset::api::Command::Begin().WithDeadline(deadline));
+    cl->Send(asset::api::Command::Add(counters[which], 1)
+                 .WithDeadline(deadline));
+    cl->Send(asset::api::Command::Commit().WithDeadline(deadline));
+    uint64_t sent_ns = NowNs();
+    if (!cl->Flush().ok()) {
+      Die("overload flush", asset::Status::IOError("flush failed"));
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      queue.push_back({which, sent_ns});
+    }
+    cv.notify_one();
+    ++sent;
+    which = (which + 1) % static_cast<int>(conns.size());
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    queue.push_back({-1, 0});
+  }
+  cv.notify_one();
+  receiver.join();
+
+  OverloadResult res;
+  res.target_rate = rate;
+  res.sent = sent;
+  res.good = good.load();
+  res.shed = shed.load();
+  res.timed_out = timed_out.load();
+  res.errored = errored.load();
+  res.seconds = static_cast<double>(NowNs() - t0) / 1e9;
+  res.goodput = static_cast<double>(res.good) / res.seconds;
+  auto snap = admitted.snapshot();
+  res.admitted_p50_us = snap.p50() / 1000;
+  res.admitted_p95_us = snap.p95() / 1000;
+  res.admitted_p99_us = snap.p99() / 1000;
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -483,7 +637,59 @@ int main(int argc, char** argv) {
            i + 1 < cfg.open_rates.size() ? "," : "");
     fflush(stdout);
   }
-  printf("  ]\n}\n");
+  printf("  ]%s\n", cfg.skip_overload ? "" : ",");
+  fflush(stdout);
+
+  if (!cfg.skip_overload) {
+    // A fresh server with the admission controller armed: shed Begins
+    // once dispatch lag passes 20 ms or 256 transactions sit open.
+    auto db2 = Database::Open();
+    if (!db2.ok()) Die("overload database open", db2.status());
+    Server::Options oopts;
+    oopts.workers = 2;
+    oopts.admission_max_lag = std::chrono::milliseconds(20);
+    oopts.admission_max_open_txns = 256;
+    auto over_server = Server::Start(db2.value().get(), oopts);
+    if (!over_server.ok()) Die("overload server start", over_server.status());
+
+    int rate = static_cast<int>(closed.throughput * cfg.overload_factor);
+    if (rate < 100) rate = 100;
+    OverloadResult r =
+        RunOverload(over_server.value()->port(), rate, cfg);
+    const auto& st = over_server.value()->stats();
+    printf("  \"overload\": {\n");
+    printf("    \"closed_loop_peak_txn_s\": %.0f,\n", closed.throughput);
+    printf("    \"overload_factor\": %.1f,\n", cfg.overload_factor);
+    printf("    \"target_rate\": %d,\n", r.target_rate);
+    printf("    \"deadline_ms\": %d,\n", cfg.overload_deadline_ms);
+    printf("    \"sent\": %llu,\n", static_cast<unsigned long long>(r.sent));
+    printf("    \"good\": %llu,\n", static_cast<unsigned long long>(r.good));
+    printf("    \"shed\": %llu,\n", static_cast<unsigned long long>(r.shed));
+    printf("    \"timed_out\": %llu,\n",
+           static_cast<unsigned long long>(r.timed_out));
+    printf("    \"errored\": %llu,\n",
+           static_cast<unsigned long long>(r.errored));
+    printf("    \"goodput_txn_s\": %.0f,\n", r.goodput);
+    printf("    \"goodput_fraction_of_peak\": %.2f,\n",
+           closed.throughput > 0 ? r.goodput / closed.throughput : 0.0);
+    printf("    \"admitted_latency_us\": { \"p50\": %llu, \"p95\": %llu, "
+           "\"p99\": %llu },\n",
+           static_cast<unsigned long long>(r.admitted_p50_us),
+           static_cast<unsigned long long>(r.admitted_p95_us),
+           static_cast<unsigned long long>(r.admitted_p99_us));
+    printf("    \"server\": { \"admission_shed_total\": %llu, "
+           "\"deadline_expired_total\": %llu, "
+           "\"deadline_timeout_aborts_total\": %llu }\n",
+           static_cast<unsigned long long>(
+               st.admission_shed.load(std::memory_order_relaxed)),
+           static_cast<unsigned long long>(
+               st.deadline_expired.load(std::memory_order_relaxed)),
+           static_cast<unsigned long long>(
+               st.deadline_timeout_aborts.load(std::memory_order_relaxed)));
+    printf("  }\n");
+    over_server.value()->Shutdown();
+  }
+  printf("}\n");
 
   server.Shutdown();
   return 0;

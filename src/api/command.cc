@@ -11,6 +11,12 @@ namespace {
 /// frame anyway and bounds allocation on hostile input).
 constexpr uint32_t kMaxObjSetIds = 1u << 20;
 
+/// Envelope flag bits (the u8 after the command tag). Unknown bits are
+/// a decode error — a v3 sender cannot silently lose semantics on a v2
+/// receiver.
+constexpr uint8_t kFlagHasDeadline = 1u << 0;
+constexpr uint8_t kKnownFlags = kFlagHasDeadline;
+
 bool HasOid(CommandType t) {
   switch (t) {
     case CommandType::kGet:
@@ -282,6 +288,9 @@ Reply Reply::FromStatus(const Status& s) {
 void EncodeCommand(const Command& cmd, std::vector<uint8_t>* out) {
   WireWriter w(out);
   w.PutU8(static_cast<uint8_t>(cmd.type));
+  // The v2 envelope header: flags, then the optional deadline budget.
+  w.PutU8(cmd.deadline_ms > 0 ? kFlagHasDeadline : 0);
+  if (cmd.deadline_ms > 0) w.PutU32(cmd.deadline_ms);
   switch (cmd.type) {
     case CommandType::kHello:
       w.PutU32(cmd.magic);
@@ -330,6 +339,22 @@ Result<Command> DecodeCommand(std::span<const uint8_t> payload) {
   }
   Command cmd;
   cmd.type = static_cast<CommandType>(raw);
+  uint8_t flags;
+  if (!r.GetU8(&flags)) {
+    return Status::InvalidArgument("command: truncated envelope");
+  }
+  if ((flags & ~kKnownFlags) != 0) {
+    return Status::InvalidArgument("command: unknown envelope flags " +
+                                   std::to_string(flags));
+  }
+  if ((flags & kFlagHasDeadline) != 0) {
+    if (!r.GetU32(&cmd.deadline_ms)) {
+      return Status::InvalidArgument("command: truncated deadline");
+    }
+    if (cmd.deadline_ms == 0) {
+      return Status::InvalidArgument("command: zero deadline with flag set");
+    }
+  }
   bool ok = true;
   switch (cmd.type) {
     case CommandType::kHello:
@@ -403,7 +428,7 @@ Result<Reply> DecodeReply(std::span<const uint8_t> payload) {
   if (!r.GetU8(&code) || !r.GetString(&reply.message) || !r.GetU8(&kind)) {
     return Status::InvalidArgument("reply: truncated payload");
   }
-  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::InvalidArgument("reply: unknown status code");
   }
   if (kind > static_cast<uint8_t>(ReplyValueKind::kText)) {

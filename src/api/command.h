@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -41,7 +42,9 @@ namespace asset::api {
 /// Protocol magic ("ASET" as a little-endian u32) and version, both
 /// carried by the mandatory kHello first command of a connection.
 inline constexpr uint32_t kProtocolMagic = 0x54455341;
-inline constexpr uint16_t kProtocolVersion = 1;
+/// v2 added the per-command flags byte and the optional deadline field
+/// to the command envelope (see EncodeCommand).
+inline constexpr uint16_t kProtocolVersion = 2;
 
 /// In a command's `tid` field: the session's current transaction.
 inline constexpr Tid kCurrentTxn = kNullTid;
@@ -85,6 +88,16 @@ const char* CommandTypeToString(CommandType t);
 struct Command {
   CommandType type = CommandType::kPing;
 
+  /// Optional deadline: the remaining budget, in milliseconds, this
+  /// command is worth executing for (0 = none). Deadlines are *relative*
+  /// on the wire — no clock synchronization between client and server is
+  /// assumed; the server anchors the budget at the moment the command's
+  /// bytes arrived. An expired command is rejected with kTimedOut before
+  /// dispatch, and an admitted one has its kernel lock waits bounded by
+  /// what is left of the budget, aborting the target transaction on
+  /// expiry so it can never half-execute (docs/ROBUSTNESS.md).
+  uint32_t deadline_ms = 0;
+
   /// Primary transaction (kCurrentTxn = the session's current).
   Tid tid = kCurrentTxn;
   /// Delegation/permit grantee or dependency dependent. For kPermit,
@@ -108,6 +121,16 @@ struct Command {
 
   ObjectSet object_set() const {
     return objs_all ? ObjectSet::All() : ObjectSet(objs);
+  }
+
+  /// Fluent deadline attachment: `Command::Begin().WithDeadline(50)`.
+  Command&& WithDeadline(uint32_t ms) && {
+    deadline_ms = ms;
+    return std::move(*this);
+  }
+  Command& WithDeadline(uint32_t ms) & {
+    deadline_ms = ms;
+    return *this;
   }
 
   // --- Constructors for every shape (the client and tests use these;

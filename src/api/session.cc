@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "core/op_deadline.h"
+
 namespace asset::api {
 
 ApiSession::ApiSession(Database* db, Limits limits)
@@ -11,6 +13,71 @@ ApiSession::ApiSession(Database* db, Limits limits)
 void ApiSession::AbortAll() {
   txns_.clear();  // Txn destructors abort anything still active
   current_ = kNullTid;
+}
+
+bool ApiSession::TargetsOwnedTxn(CommandType t) {
+  switch (t) {
+    case CommandType::kCommit:
+    case CommandType::kCreate:
+    case CommandType::kGet:
+    case CommandType::kPut:
+    case CommandType::kDelete:
+    case CommandType::kCreateCounter:
+    case CommandType::kAdd:
+    case CommandType::kGetCounter:
+      return true;
+    default:
+      // kBegin has no transaction yet; kDelegate/kPermit/kDependency may
+      // name other sessions' transactions, which a deadline expiry here
+      // must never abort; control commands touch none.
+      return false;
+  }
+}
+
+bool ApiSession::AbortOwned(Tid wire_tid) {
+  Tid t = wire_tid == kCurrentTxn ? current_ : wire_tid;
+  if (t == kNullTid) return false;
+  auto it = txns_.find(t);
+  if (it == txns_.end()) return false;
+  it->second.Abort();
+  txns_.erase(it);
+  if (current_ == t) current_ = kNullTid;
+  return true;
+}
+
+Reply ApiSession::Execute(const Command& cmd,
+                          std::chrono::steady_clock::time_point arrival) {
+  if (cmd.deadline_ms == 0 || cmd.type == CommandType::kAbort) {
+    return Execute(cmd);
+  }
+  const auto deadline = arrival + std::chrono::milliseconds(cmd.deadline_ms);
+  if (std::chrono::steady_clock::now() >= deadline) {
+    ++deadline_stats_.expired_rejects;
+    std::string detail = "session: deadline of " +
+                         std::to_string(cmd.deadline_ms) +
+                         " ms expired before " +
+                         std::string(CommandTypeToString(cmd.type)) +
+                         " was dispatched";
+    if (TargetsOwnedTxn(cmd.type) && AbortOwned(cmd.tid)) {
+      detail += "; transaction aborted";
+    }
+    return Reply::FromStatus(Status::TimedOut(std::move(detail)));
+  }
+  Reply reply;
+  {
+    ScopedOpDeadline guard(deadline);
+    reply = Execute(cmd);
+  }
+  if (reply.code == StatusCode::kTimedOut && TargetsOwnedTxn(cmd.type)) {
+    // The kernel wait hit the deadline. The operation itself unwound
+    // cleanly (a timed-out lock acquire changes nothing), but the
+    // transaction now holds a half-executed *intent*; abort it so the
+    // client can retry from a clean slate. Commit resolves its own
+    // handle, so the txn may already be gone — AbortOwned tolerates that.
+    ++deadline_stats_.timeout_aborts;
+    if (AbortOwned(cmd.tid)) reply.message += "; transaction aborted";
+  }
+  return reply;
 }
 
 Txn* ApiSession::Resolve(Tid wire_tid, Reply* error) {

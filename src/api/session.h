@@ -23,6 +23,7 @@
 /// kernel tid — cross-session cooperation is the point of those
 /// primitives.
 
+#include <chrono>
 #include <cstdint>
 #include <unordered_map>
 
@@ -54,9 +55,33 @@ class ApiSession {
   ApiSession(ApiSession&&) = default;
   ApiSession& operator=(ApiSession&&) = default;
 
+  /// Deadline outcomes of this session, for the server's metrics (the
+  /// session is single-threaded, so plain counters suffice).
+  struct DeadlineStats {
+    /// Commands whose budget had already expired before dispatch.
+    uint64_t expired_rejects = 0;
+    /// Commands whose kernel wait hit the deadline mid-flight; each
+    /// aborted its target transaction.
+    uint64_t timeout_aborts = 0;
+  };
+
   /// Executes one command; never throws, never returns garbage — every
-  /// failure is a Reply with the status code and message.
+  /// failure is a Reply with the status code and message. Ignores any
+  /// deadline the command carries (in-process callers have no arrival
+  /// anchor); the wire server uses the overload below.
   Reply Execute(const Command& cmd);
+
+  /// Executes one command whose deadline budget (if any) is anchored at
+  /// `arrival` — the moment the command's bytes were received. An
+  /// already-expired command is rejected with kTimedOut before dispatch
+  /// and its target transaction (if this session owns it) is aborted so
+  /// a skipped step can never leave a half-executed transaction; an
+  /// admitted command runs with its kernel lock waits bounded by the
+  /// remaining budget and gets the same abort treatment if a wait times
+  /// out. kAbort is exempt: aborts are how deadlines clean up, so they
+  /// always dispatch.
+  Reply Execute(const Command& cmd,
+                std::chrono::steady_clock::time_point arrival);
 
   /// Aborts every open transaction now (graceful server drain).
   void AbortAll();
@@ -67,11 +92,18 @@ class ApiSession {
   Tid current() const { return current_; }
   /// True once a valid kHello was executed.
   bool handshaken() const { return handshaken_; }
+  const DeadlineStats& deadline_stats() const { return deadline_stats_; }
 
  private:
   /// Maps a wire tid to an owned transaction handle, resolving
   /// kCurrentTxn. Null on failure, with *error filled.
   Txn* Resolve(Tid wire_tid, Reply* error);
+  /// Aborts the owned transaction `wire_tid` names (kCurrentTxn
+  /// resolved); returns false if this session owns no such transaction.
+  bool AbortOwned(Tid wire_tid);
+  /// True for commands that operate on a transaction this session owns
+  /// (the ones a deadline expiry must abort).
+  static bool TargetsOwnedTxn(CommandType t);
   /// Resolves a primitive's tid argument (kCurrentTxn allowed, any
   /// kernel tid passed through).
   Tid ResolveLoose(Tid wire_tid) const {
@@ -80,6 +112,7 @@ class ApiSession {
 
   Database* db_;
   Limits limits_;
+  DeadlineStats deadline_stats_;
   bool handshaken_ = false;
   std::unordered_map<Tid, Txn> txns_;
   Tid current_ = kNullTid;

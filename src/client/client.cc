@@ -1,16 +1,21 @@
 #include "client/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "api/wire.h"
+#include "common/socket_io.h"
 
 namespace asset::client {
 
@@ -22,62 +27,223 @@ Status Errno(const std::string& what) {
 
 }  // namespace
 
-Client::Client(int fd, Options options) : fd_(fd), options_(options) {}
+Status Client::Options::Validate() const {
+  if (max_frame_bytes < 16) {
+    return Status::InvalidArgument(
+        "client: max_frame_bytes too small to hold any reply");
+  }
+  if (connect_timeout.count() < 0 || io_timeout.count() < 0) {
+    return Status::InvalidArgument("client: negative timeout");
+  }
+  if (max_retries < 0) {
+    return Status::InvalidArgument("client: negative max_retries");
+  }
+  if (backoff_base.count() <= 0) {
+    return Status::InvalidArgument("client: backoff_base must be > 0");
+  }
+  if (backoff_max < backoff_base) {
+    return Status::InvalidArgument(
+        "client: backoff_max below backoff_base");
+  }
+  return Status::OK();
+}
+
+Client::Client(const std::string& host, uint16_t port, Options options)
+    : host_(host),
+      port_(port),
+      options_(options),
+      jitter_rng_(static_cast<unsigned>(
+          std::chrono::steady_clock::now().time_since_epoch().count() ^
+          reinterpret_cast<uintptr_t>(this))) {}
 
 Client::~Client() {
   if (fd_ >= 0) close(fd_);
 }
 
-Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
-                                                uint16_t port,
-                                                Options options) {
-  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+void Client::DropConnection() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  send_buf_.clear();
+  staged_ = 0;
+  recv_buf_.clear();
+  recv_off_ = 0;
+}
+
+Status Client::WaitFor(short events, const char* what) {
+  pollfd pfd{fd_, events, 0};
+  int timeout = options_.io_timeout.count() > 0
+                    ? static_cast<int>(options_.io_timeout.count())
+                    : -1;
+  for (;;) {
+    int n = SockPoll(&pfd, 1, timeout);
+    if (n > 0) return Status::OK();
+    if (n == 0) {
+      ++stats_.timeouts;
+      return Status::TimedOut(std::string("client: ") + what +
+                              " timed out after " +
+                              std::to_string(options_.io_timeout.count()) +
+                              " ms");
+    }
+    if (errno == EINTR) continue;
+    return Errno(std::string("client: poll for ") + what);
+  }
+}
+
+Status Client::DialOnce() {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd < 0) return Errno("client: socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(port_);
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     close(fd);
-    return Status::InvalidArgument("client: bad host " + host);
+    return Status::InvalidArgument("client: bad host " + host_);
   }
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = Errno("client: connect " + host + ":" + std::to_string(port));
-    close(fd);
-    return s;
+  const std::string where = host_ + ":" + std::to_string(port_);
+  if (SockConnect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      Status s = Errno("client: connect " + where);
+      close(fd);
+      return s;
+    }
+    // Nonblocking connect in flight: bounded wait for writability,
+    // then read the final verdict out of SO_ERROR.
+    pollfd pfd{fd, POLLOUT, 0};
+    int timeout = options_.connect_timeout.count() > 0
+                      ? static_cast<int>(options_.connect_timeout.count())
+                      : -1;
+    int n;
+    do {
+      n = SockPoll(&pfd, 1, timeout);
+    } while (n < 0 && errno == EINTR);
+    if (n == 0) {
+      close(fd);
+      ++stats_.timeouts;
+      return Status::TimedOut(
+          "client: connect " + where + " timed out after " +
+          std::to_string(options_.connect_timeout.count()) + " ms");
+    }
+    if (n < 0) {
+      Status s = Errno("client: poll for connect " + where);
+      close(fd);
+      return s;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      if (err != 0) errno = err;
+      Status s = Errno("client: connect " + where);
+      close(fd);
+      return s;
+    }
   }
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
 
-  auto client = std::unique_ptr<Client>(new Client(fd, options));
-  if (!options.skip_handshake) {
-    ASSET_ASSIGN_OR_RETURN(api::Reply hello,
-                           client->Call(api::Command::Hello()));
-    if (!hello.ok()) return hello.ToStatus();
-    if (hello.i64 != static_cast<int64_t>(api::kProtocolVersion)) {
-      return Status::IllegalState(
-          "client: server speaks protocol version " +
-          std::to_string(hello.i64) + ", this client speaks " +
-          std::to_string(api::kProtocolVersion));
+  if (!options_.skip_handshake) {
+    Send(api::Command::Hello());
+    Status fs = Flush();
+    if (fs.ok()) {
+      auto hello = Receive();
+      if (!hello.ok()) fs = hello.status();
+      else if (!hello->ok()) fs = hello->ToStatus();
+      else if (hello->i64 != static_cast<int64_t>(api::kProtocolVersion)) {
+        fs = Status::IllegalState(
+            "client: server speaks protocol version " +
+            std::to_string(hello->i64) + ", this client speaks " +
+            std::to_string(api::kProtocolVersion));
+      }
+    }
+    if (!fs.ok()) {
+      DropConnection();
+      return fs;
     }
   }
+  return Status::OK();
+}
+
+Status Client::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  // A fresh dial sends nothing until it succeeds, so connect failures
+  // are always safe to retry.
+  Status s;
+  for (int attempt = 0;; ++attempt) {
+    s = DialOnce();
+    if (s.ok()) {
+      if (attempt > 0) ++stats_.reconnects;
+      return s;
+    }
+    if (s.code() == StatusCode::kInvalidArgument ||
+        attempt >= options_.max_retries) {
+      return s;  // a bad host never gets better; retries exhausted
+    }
+    Backoff(attempt, 0);
+  }
+}
+
+void Client::Backoff(int attempt, int64_t hint_ms) {
+  int64_t base = options_.backoff_base.count();
+  int64_t cap = options_.backoff_max.count();
+  int64_t exp = base << std::min(attempt, 20);
+  int64_t ceiling = std::min(exp, cap);
+  // Full jitter: sleep uniformly in [0, ceiling] so a thundering herd
+  // of shed clients decorrelates, but never under the server's hint.
+  int64_t sleep_ms =
+      static_cast<int64_t>(jitter_rng_() % static_cast<uint64_t>(ceiling + 1));
+  sleep_ms = std::max(sleep_ms, hint_ms);
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                Options options) {
+  ASSET_RETURN_NOT_OK(options.Validate());
+  auto client =
+      std::unique_ptr<Client>(new Client(host, port, options));
+  ASSET_RETURN_NOT_OK(client->EnsureConnected());
   return client;
 }
 
 void Client::Send(const api::Command& cmd) {
   std::vector<uint8_t> payload;
-  api::EncodeCommand(cmd, &payload);
+  if (cmd.deadline_ms == 0 && options_.default_deadline_ms > 0) {
+    api::Command stamped = cmd;
+    stamped.deadline_ms = options_.default_deadline_ms;
+    api::EncodeCommand(stamped, &payload);
+  } else {
+    api::EncodeCommand(cmd, &payload);
+  }
   api::AppendFrame(payload, &send_buf_);
   ++staged_;
 }
 
 Status Client::Flush() {
+  if (fd_ < 0) {
+    return Status::Unavailable("client: not connected");
+  }
   size_t off = 0;
   while (off < send_buf_.size()) {
-    ssize_t sent = send(fd_, send_buf_.data() + off, send_buf_.size() - off,
-                        MSG_NOSIGNAL);
+    ssize_t sent = SockSend(fd_, send_buf_.data() + off,
+                            send_buf_.size() - off, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
-      return Errno("client: send");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Status w = WaitFor(POLLOUT, "send");
+        if (!w.ok()) {
+          DropConnection();
+          return w;
+        }
+        continue;
+      }
+      Status s = errno == EPIPE || errno == ECONNRESET
+                     ? Status::Unavailable("client: connection reset by peer")
+                     : Errno("client: send");
+      DropConnection();
+      return s;
     }
     off += static_cast<size_t>(sent);
   }
@@ -87,6 +253,9 @@ Status Client::Flush() {
 }
 
 Status Client::FillTo(size_t need) {
+  if (fd_ < 0) {
+    return Status::Unavailable("client: not connected");
+  }
   // Compact the consumed prefix before growing the buffer.
   if (recv_off_ > 0 && recv_off_ == recv_buf_.size()) {
     recv_buf_.clear();
@@ -96,15 +265,28 @@ Status Client::FillTo(size_t need) {
     size_t base = recv_buf_.size();
     size_t chunk = 64 * 1024;
     recv_buf_.resize(base + chunk);
-    ssize_t got = recv(fd_, recv_buf_.data() + base, chunk, 0);
+    ssize_t got = SockRecv(fd_, recv_buf_.data() + base, chunk, 0);
     if (got < 0) {
       recv_buf_.resize(base);
       if (errno == EINTR) continue;
-      return Errno("client: recv");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Status w = WaitFor(POLLIN, "recv");
+        if (!w.ok()) {
+          DropConnection();
+          return w;
+        }
+        continue;
+      }
+      Status s = errno == ECONNRESET
+                     ? Status::Unavailable("client: connection reset by peer")
+                     : Errno("client: recv");
+      DropConnection();
+      return s;
     }
     if (got == 0) {
       recv_buf_.resize(base);
-      return Status::IOError("client: connection closed by server");
+      DropConnection();
+      return Status::Unavailable("client: connection closed by server");
     }
     recv_buf_.resize(base + static_cast<size_t>(got));
   }
@@ -136,9 +318,26 @@ Result<api::Reply> Client::Receive() {
 }
 
 Result<api::Reply> Client::Call(const api::Command& cmd) {
-  Send(cmd);
-  ASSET_RETURN_NOT_OK(Flush());
-  return Receive();
+  for (int attempt = 0;; ++attempt) {
+    if (fd_ < 0) {
+      if (!options_.auto_reconnect) {
+        return Status::Unavailable("client: not connected");
+      }
+      ASSET_RETURN_NOT_OK(EnsureConnected());
+    }
+    Send(cmd);
+    // A transport error from here on is NOT retried: the command's
+    // bytes may have reached the server and executed, and re-sending
+    // would risk executing twice. Only the server saying "I shed this
+    // before executing it" (kOverloaded) is safe to re-send.
+    ASSET_RETURN_NOT_OK(Flush());
+    ASSET_ASSIGN_OR_RETURN(api::Reply reply, Receive());
+    if (reply.code != StatusCode::kOverloaded) return reply;
+    ++stats_.overloaded_seen;
+    if (attempt >= options_.max_retries) return reply;
+    ++stats_.retries;
+    Backoff(attempt, reply.kind == api::ReplyValueKind::kI64 ? reply.i64 : 0);
+  }
 }
 
 Result<Tid> Client::Begin() {

@@ -16,11 +16,31 @@
 ///    request order). This is how a round trip is amortized over a
 ///    whole Begin/Write/Commit batch — see `kCurrentTxn`.
 ///
+/// Robustness (docs/ROBUSTNESS.md):
+///
+///  - Every socket wait is bounded: connects by `connect_timeout`,
+///    reads and writes by `io_timeout`. A stalled or silent peer
+///    yields kTimedOut instead of hanging the caller forever.
+///  - A transport failure (timeout, reset, EOF) marks the connection
+///    dead; with `auto_reconnect` the next Call() transparently
+///    re-dials and re-handshakes. Reconnection restores the
+///    *transport*, not the session: the server aborted every
+///    transaction the old session had open, so callers must restart
+///    in-flight work from Begin.
+///  - Only provably-unexecuted work is retried automatically: a
+///    kOverloaded reply (the server shed the command before executing
+///    it) and a failed connect (nothing was ever sent). Both back off
+///    exponentially with jitter, honoring the server's retry-after
+///    hint. A mid-flight transport error is *not* retried — the
+///    command may have executed — and surfaces to the caller.
+///
 /// Destruction closes the socket; the server aborts whatever
 /// transactions the session still had open.
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -38,9 +58,42 @@ class Client {
     /// Skip the kHello exchange in Connect (only for talking to an
     /// endpoint that does not require it; the stock server does).
     bool skip_handshake = false;
+    /// Bound on establishing one TCP connection (0 = OS default,
+    /// which can be minutes — prefer a real bound).
+    std::chrono::milliseconds connect_timeout{5000};
+    /// Bound on every individual socket wait while sending a request
+    /// or awaiting a reply; 0 = wait forever (pre-robustness
+    /// behavior, only for debugging).
+    std::chrono::milliseconds io_timeout{5000};
+    /// Automatic retries of retryable failures (kOverloaded replies,
+    /// failed connects); 0 disables retry.
+    int max_retries = 3;
+    /// Exponential backoff between retries: attempt k sleeps
+    /// base * 2^k (full jitter applied), never more than backoff_max,
+    /// never less than the server's retry-after hint.
+    std::chrono::milliseconds backoff_base{10};
+    std::chrono::milliseconds backoff_max{500};
+    /// Re-dial and re-handshake on the next Call() after the
+    /// transport died. See the session-loss caveat above.
+    bool auto_reconnect = true;
+    /// Deadline budget stamped onto every command Send() stages that
+    /// does not already carry one (0 = stamp nothing).
+    uint32_t default_deadline_ms = 0;
+
+    Status Validate() const;
   };
 
-  /// Connects and (unless skipped) completes the version handshake.
+  /// What the robustness machinery has done so far (single-threaded,
+  /// like the client).
+  struct Stats {
+    uint64_t retries = 0;          ///< Calls re-sent after kOverloaded.
+    uint64_t reconnects = 0;       ///< Transports re-established.
+    uint64_t overloaded_seen = 0;  ///< kOverloaded replies received.
+    uint64_t timeouts = 0;         ///< Socket waits that hit io/connect timeout.
+  };
+
+  /// Connects (retrying failed dials per `max_retries`) and, unless
+  /// skipped, completes the version handshake.
   static Result<std::unique_ptr<Client>> Connect(const std::string& host,
                                                  uint16_t port,
                                                  Options options);
@@ -55,14 +108,18 @@ class Client {
 
   // --- Pipelined core -------------------------------------------------
 
-  /// Stages one command frame in the local send buffer.
+  /// Stages one command frame in the local send buffer (stamping
+  /// default_deadline_ms if the command carries no deadline).
   void Send(const api::Command& cmd);
-  /// Writes every staged frame to the socket.
+  /// Writes every staged frame to the socket. kTimedOut if a write
+  /// stalls past io_timeout (the connection is then dead).
   Status Flush();
-  /// Blocks for the next reply frame. Call exactly once per Send()
-  /// that was flushed, in order.
+  /// Blocks (bounded by io_timeout per wait) for the next reply
+  /// frame. Call exactly once per Send() that was flushed, in order.
   Result<api::Reply> Receive();
-  /// Send + Flush + Receive.
+  /// Send + Flush + Receive, plus the retry loop: a kOverloaded reply
+  /// backs off and re-sends up to max_retries times before being
+  /// returned to the caller.
   Result<api::Reply> Call(const api::Command& cmd);
 
   // --- Typed RPC sugar ------------------------------------------------
@@ -86,15 +143,35 @@ class Client {
 
   /// Frames staged by Send() and not yet flushed.
   size_t staged() const { return staged_; }
+  /// False after a transport failure until the next successful
+  /// (re)connect.
+  bool connected() const { return fd_ >= 0; }
+  const Stats& stats() const { return stats_; }
 
  private:
-  Client(int fd, Options options);
+  Client(const std::string& host, uint16_t port, Options options);
 
+  /// One bounded nonblocking dial + optional handshake; fills fd_.
+  Status DialOnce();
+  /// Reconnects (with backoff retries) if the transport is dead.
+  Status EnsureConnected();
+  /// Closes the socket and forgets buffered state; the session it
+  /// backed is gone.
+  void DropConnection();
+  /// Bounded poll for `events` on fd_; kTimedOut on expiry.
+  Status WaitFor(short events, const char* what);
   /// Reads from the socket until `need` bytes are buffered.
   Status FillTo(size_t need);
+  /// Full-jitter exponential backoff sleep for retry `attempt`,
+  /// at least `hint_ms` (the server's retry-after hint) long.
+  void Backoff(int attempt, int64_t hint_ms);
 
-  int fd_;
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
   Options options_;
+  Stats stats_;
+  std::minstd_rand jitter_rng_;
   std::vector<uint8_t> send_buf_;
   size_t staged_ = 0;
   std::vector<uint8_t> recv_buf_;

@@ -1,0 +1,39 @@
+#include "common/socket_io.h"
+
+namespace asset {
+
+namespace {
+inline const SocketHooks* Hooks() {
+  return internal::socket_hooks.load(std::memory_order_acquire);
+}
+}  // namespace
+
+ssize_t SockRecv(int fd, void* buf, size_t len, int flags) {
+  if (const SocketHooks* h = Hooks(); h != nullptr && h->recv) {
+    return h->recv(fd, buf, len, flags);
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t SockSend(int fd, const void* buf, size_t len, int flags) {
+  if (const SocketHooks* h = Hooks(); h != nullptr && h->send) {
+    return h->send(fd, buf, len, flags);
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+int SockConnect(int fd, const sockaddr* addr, socklen_t len) {
+  if (const SocketHooks* h = Hooks(); h != nullptr && h->connect) {
+    return h->connect(fd, addr, len);
+  }
+  return ::connect(fd, addr, len);
+}
+
+int SockPoll(pollfd* fds, nfds_t nfds, int timeout_ms) {
+  if (const SocketHooks* h = Hooks(); h != nullptr && h->poll) {
+    return h->poll(fds, nfds, timeout_ms);
+  }
+  return ::poll(fds, nfds, timeout_ms);
+}
+
+}  // namespace asset

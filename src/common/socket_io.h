@@ -1,0 +1,79 @@
+#ifndef ASSET_COMMON_SOCKET_IO_H_
+#define ASSET_COMMON_SOCKET_IO_H_
+
+/// \file socket_io.h
+/// Injectable socket syscalls.
+///
+/// Mirror of storage/io_util.h for the network path: every recv/send/
+/// connect/poll the server and client perform goes through these
+/// wrappers, so a fault test can serve partial transfers, EINTR,
+/// stalls, resets, and added latency deterministically — no traffic
+/// shaping, no real signal storms, no flaky timing.
+///
+/// Installation is process-global (one atomic pointer) because the
+/// interesting faults span both ends of a loopback pair inside one
+/// test binary. Hooks may be called concurrently from every server
+/// worker plus the client thread; a hook implementation must be
+/// thread-safe. Production code never installs hooks, and the
+/// fast path is one relaxed atomic load.
+///
+/// A hook that is installed but leaves a member empty falls through to
+/// the real syscall for that operation — tests override only what they
+/// break.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <atomic>
+#include <functional>
+
+namespace asset {
+
+/// Signature-compatible stand-ins for the socket syscalls the server
+/// and client use. Each returns the syscall's result and communicates
+/// failure via errno, exactly like the real thing.
+struct SocketHooks {
+  std::function<ssize_t(int fd, void* buf, size_t len, int flags)> recv;
+  std::function<ssize_t(int fd, const void* buf, size_t len, int flags)> send;
+  std::function<int(int fd, const sockaddr* addr, socklen_t len)> connect;
+  std::function<int(pollfd* fds, nfds_t nfds, int timeout_ms)> poll;
+};
+
+namespace internal {
+inline std::atomic<const SocketHooks*> socket_hooks{nullptr};
+}  // namespace internal
+
+/// ::recv unless a recv hook is installed.
+ssize_t SockRecv(int fd, void* buf, size_t len, int flags);
+/// ::send unless a send hook is installed.
+ssize_t SockSend(int fd, const void* buf, size_t len, int flags);
+/// ::connect unless a connect hook is installed.
+int SockConnect(int fd, const sockaddr* addr, socklen_t len);
+/// ::poll unless a poll hook is installed.
+int SockPoll(pollfd* fds, nfds_t nfds, int timeout_ms);
+
+/// Installs `hooks` process-wide for the lifetime of the guard.
+/// `hooks` must outlive the guard; in-flight calls may still be
+/// executing a hook briefly after destruction, so a test must join its
+/// traffic (stop server, destroy clients) before destroying the hook
+/// object itself.
+class ScopedSocketHooks {
+ public:
+  explicit ScopedSocketHooks(const SocketHooks* hooks)
+      : prev_(internal::socket_hooks.exchange(hooks,
+                                              std::memory_order_release)) {}
+  ~ScopedSocketHooks() {
+    internal::socket_hooks.store(prev_, std::memory_order_release);
+  }
+
+  ScopedSocketHooks(const ScopedSocketHooks&) = delete;
+  ScopedSocketHooks& operator=(const ScopedSocketHooks&) = delete;
+
+ private:
+  const SocketHooks* prev_;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_COMMON_SOCKET_IO_H_

@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "TimedOut";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

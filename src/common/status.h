@@ -46,6 +46,12 @@ enum class StatusCode : uint8_t {
   kTimedOut = 10,
   /// Internal invariant violation; indicates a bug in the library.
   kInternal = 11,
+  /// The server shed this request under overload before executing any of
+  /// it; safe to retry after backing off (see Status::IsRetryable).
+  kOverloaded = 12,
+  /// The peer or transport is gone (connection refused, reset, closed).
+  /// The request may or may not have executed if it was in flight.
+  kUnavailable = 13,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
@@ -95,6 +101,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -105,6 +117,17 @@ class Status {
   bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
   bool IsTxnAborted() const { return code_ == StatusCode::kTxnAborted; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// True for errors a client may retry without risking a double
+  /// execution: kOverloaded guarantees the request was shed before any
+  /// of it ran, and a failed *connect* (kUnavailable before anything was
+  /// sent) never reached the server. kUnavailable on an in-flight
+  /// request and kTimedOut are NOT classified retryable here — the
+  /// request may have executed; only the caller knows whether a replay
+  /// is idempotent.
+  bool IsRetryable() const { return code_ == StatusCode::kOverloaded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "core/op_deadline.h"
+
 namespace asset {
 
 namespace {
@@ -81,9 +83,14 @@ void LockManager::Deregister(ObjectDescriptor* od, TransactionDescriptor* td) {
 Status LockManager::Acquire(TransactionDescriptor* td, ObjectId oid,
                             LockMode mode) {
   if (mode == LockMode::kNone) return Status::OK();
-  const bool bounded = options_.lock_timeout.count() > 0;
-  const auto deadline =
-      std::chrono::steady_clock::now() + options_.lock_timeout;
+  bool bounded = options_.lock_timeout.count() > 0;
+  auto deadline = std::chrono::steady_clock::now() + options_.lock_timeout;
+  // A request admitted with a deadline budget (the thread-local set by
+  // its dispatcher) must not sleep past it, whatever lock_timeout says.
+  if (auto op_deadline = CurrentOpDeadline()) {
+    if (!bounded || *op_deadline < deadline) deadline = *op_deadline;
+    bounded = true;
+  }
   Shard& shard = ShardFor(oid);
   bool waited = false;
   bool registered = false;  // on the OD's waiter list (shard-latched)

@@ -1,0 +1,64 @@
+#ifndef ASSET_CORE_OP_DEADLINE_H_
+#define ASSET_CORE_OP_DEADLINE_H_
+
+/// \file op_deadline.h
+/// Per-thread operation deadlines for kernel waits.
+///
+/// The network front door admits requests that carry a deadline budget
+/// (api::Command::deadline_ms). An admitted request runs its data
+/// operation synchronously on the dispatching thread, so the cheapest
+/// way to bound every kernel wait it performs — without threading a
+/// deadline parameter through the whole TransactionManager/LockManager
+/// surface — is a thread-local: the dispatcher installs the absolute
+/// deadline around the call, and any wait-with-deadline site
+/// (LockManager::Acquire today) clamps its own timeout to it.
+///
+/// A wait that hits the operation deadline fails with kTimedOut exactly
+/// like a lock_timeout expiry; the dispatcher (ApiSession) then aborts
+/// the transaction so a deadline expiry can never leave half-executed
+/// work behind (docs/ROBUSTNESS.md).
+///
+/// The guard nests: an inner scope (e.g. a tighter per-step budget)
+/// shadows the outer one and restores it on destruction. Scopes must be
+/// destroyed in reverse construction order on the same thread — the
+/// natural stack discipline.
+
+#include <chrono>
+#include <optional>
+
+namespace asset {
+
+namespace internal {
+/// Steady-clock ticks of the current thread's operation deadline;
+/// 0 = no deadline installed.
+inline thread_local std::chrono::steady_clock::rep op_deadline_ticks = 0;
+}  // namespace internal
+
+/// The calling thread's operation deadline, if one is installed.
+inline std::optional<std::chrono::steady_clock::time_point>
+CurrentOpDeadline() {
+  if (internal::op_deadline_ticks == 0) return std::nullopt;
+  return std::chrono::steady_clock::time_point(
+      std::chrono::steady_clock::duration(internal::op_deadline_ticks));
+}
+
+/// Installs `deadline` as the calling thread's operation deadline for
+/// the lifetime of the guard.
+class ScopedOpDeadline {
+ public:
+  explicit ScopedOpDeadline(std::chrono::steady_clock::time_point deadline)
+      : prev_(internal::op_deadline_ticks) {
+    internal::op_deadline_ticks = deadline.time_since_epoch().count();
+  }
+  ~ScopedOpDeadline() { internal::op_deadline_ticks = prev_; }
+
+  ScopedOpDeadline(const ScopedOpDeadline&) = delete;
+  ScopedOpDeadline& operator=(const ScopedOpDeadline&) = delete;
+
+ private:
+  std::chrono::steady_clock::rep prev_;
+};
+
+}  // namespace asset
+
+#endif  // ASSET_CORE_OP_DEADLINE_H_

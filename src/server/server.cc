@@ -21,6 +21,7 @@
 #include "api/command.h"
 #include "api/session.h"
 #include "api/wire.h"
+#include "common/socket_io.h"
 #include "core/database.h"
 
 namespace asset::server {
@@ -87,11 +88,34 @@ std::string ServerStats::Render() const {
   emit("asset_server_backpressure_pauses_total",
        "Times reading was paused because a send buffer hit its limit.",
        backpressure_pauses.load(std::memory_order_relaxed));
-  out += "# HELP asset_server_connections_active Currently open "
-         "connections.\n# TYPE asset_server_connections_active gauge\n";
-  out += "asset_server_connections_active " +
-         std::to_string(connections_active.load(std::memory_order_relaxed)) +
-         '\n';
+  emit("asset_server_admission_shed_total",
+       "Begin commands shed with kOverloaded by admission control.",
+       admission_shed.load(std::memory_order_relaxed));
+  emit("asset_server_deadline_expired_total",
+       "Commands rejected because their deadline expired before dispatch.",
+       deadline_expired.load(std::memory_order_relaxed));
+  emit("asset_server_deadline_timeout_aborts_total",
+       "Commands whose kernel wait hit the deadline (each aborted its "
+       "transaction).",
+       deadline_timeout_aborts.load(std::memory_order_relaxed));
+  auto gauge = [&out](const char* name, const char* help, int64_t v) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += " gauge\n";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  gauge("asset_server_connections_active", "Currently open connections.",
+        connections_active.load(std::memory_order_relaxed));
+  gauge("asset_server_open_txns",
+        "Open transactions across all connections.",
+        open_txns.load(std::memory_order_relaxed));
   return out;
 }
 
@@ -118,6 +142,12 @@ Status Server::Options::Validate() const {
   }
   if (idle_timeout.count() < 0 || drain_timeout.count() < 0) {
     return Status::InvalidArgument("server: negative timeout");
+  }
+  if (admission_max_lag.count() < 0) {
+    return Status::InvalidArgument("server: negative admission_max_lag");
+  }
+  if (overload_retry_hint.count() < 0) {
+    return Status::InvalidArgument("server: negative overload_retry_hint");
   }
   if (listen_backlog <= 0) {
     return Status::InvalidArgument("server: listen_backlog must be > 0");
@@ -146,6 +176,10 @@ struct Server::Impl {
     /// Close once `out` is flushed (set after a protocol error).
     bool closing = false;
     std::chrono::steady_clock::time_point last_activity;
+    /// When the bytes of the batch being dispatched were received;
+    /// anchors deadline budgets and measures dispatch lag, so commands
+    /// queued behind a slow batch-mate are charged for the wait.
+    std::chrono::steady_clock::time_point batch_arrival;
 
     size_t pending_out() const { return out.size() - out_off; }
     size_t pending_in() const { return in.size() - in_off; }
@@ -187,7 +221,7 @@ struct Server::Impl {
     fds[0] = {listen_fd, POLLIN, 0};
     fds[1] = {acceptor_wake_fd, POLLIN, 0};
     while (!stop.load(std::memory_order_acquire)) {
-      int n = poll(fds, 2, 1000);
+      int n = SockPoll(fds, 2, 1000);
       if (n <= 0) continue;
       if (fds[1].revents != 0) continue;  // woken for shutdown; loop checks
       for (;;) {
@@ -297,7 +331,7 @@ struct Server::Impl {
       size_t chunk = std::min(budget, kReadChunk);
       size_t base = c->in.size();
       c->in.resize(base + chunk);
-      ssize_t got = recv(c->fd, c->in.data() + base, chunk, 0);
+      ssize_t got = SockRecv(c->fd, c->in.data() + base, chunk, 0);
       if (got > 0) {
         c->in.resize(base + static_cast<size_t>(got));
         stats->bytes_in.fetch_add(static_cast<uint64_t>(got),
@@ -319,6 +353,7 @@ struct Server::Impl {
       break;
     }
     c->last_activity = std::chrono::steady_clock::now();
+    c->batch_arrival = c->last_activity;
     ProcessFrames(w, c);
     if (eof && !c->closing) {
       // Whatever remains buffered is (at most) a truncated frame; the
@@ -356,7 +391,28 @@ struct Server::Impl {
         c->closing = true;
         break;
       }
-      api::Reply reply = c->session.Execute(*cmd);
+      if (cmd->type == api::CommandType::kBegin) {
+        auto lag = std::chrono::steady_clock::now() - c->batch_arrival;
+        if (Overloaded(lag)) {
+          stats->admission_shed.fetch_add(1, std::memory_order_relaxed);
+          QueueReply(c, ShedReply(lag));
+          continue;
+        }
+      }
+      auto dl_before = c->session.deadline_stats();
+      size_t txns_before = c->session.open_txns();
+      api::Reply reply = c->session.Execute(*cmd, c->batch_arrival);
+      auto dl_after = c->session.deadline_stats();
+      stats->deadline_expired.fetch_add(
+          dl_after.expired_rejects - dl_before.expired_rejects,
+          std::memory_order_relaxed);
+      stats->deadline_timeout_aborts.fetch_add(
+          dl_after.timeout_aborts - dl_before.timeout_aborts,
+          std::memory_order_relaxed);
+      stats->open_txns.fetch_add(
+          static_cast<int64_t>(c->session.open_txns()) -
+              static_cast<int64_t>(txns_before),
+          std::memory_order_relaxed);
       if (cmd->type == api::CommandType::kMetrics && reply.ok()) {
         reply.text += stats->Render();
       }
@@ -371,6 +427,33 @@ struct Server::Impl {
     }
   }
 
+  /// The admission controller's overload predicate for new Begins.
+  /// Operations on running transactions are never shed — they make
+  /// progress toward *shedding* load (a commit or abort frees locks),
+  /// so refusing them would only deepen the overload.
+  bool Overloaded(std::chrono::steady_clock::duration lag) const {
+    if (options.admission_max_open_txns > 0 &&
+        stats->open_txns.load(std::memory_order_relaxed) >=
+            static_cast<int64_t>(options.admission_max_open_txns)) {
+      return true;
+    }
+    return options.admission_max_lag.count() > 0 &&
+           lag > options.admission_max_lag;
+  }
+
+  /// A retryable kOverloaded reply whose i64 value is the suggested
+  /// backoff in milliseconds: the base hint plus the observed dispatch
+  /// lag, so hints stretch as the server falls further behind.
+  api::Reply ShedReply(std::chrono::steady_clock::duration lag) const {
+    auto lag_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(lag).count();
+    api::Reply r = api::Reply::FromStatus(Status::Overloaded(
+        "server: overloaded, retry Begin after backoff"));
+    r.kind = api::ReplyValueKind::kI64;
+    r.i64 = options.overload_retry_hint.count() + lag_ms;
+    return r;
+  }
+
   void QueueReply(Conn* c, const api::Reply& reply) {
     std::vector<uint8_t> payload;
     api::EncodeReply(reply, &payload);
@@ -383,8 +466,8 @@ struct Server::Impl {
   bool FlushOut(Worker* w, Conn* c, bool from_epollout) {
     (void)from_epollout;
     while (c->pending_out() > 0) {
-      ssize_t sent = send(c->fd, c->out.data() + c->out_off,
-                          c->pending_out(), MSG_NOSIGNAL);
+      ssize_t sent = SockSend(c->fd, c->out.data() + c->out_off,
+                              c->pending_out(), MSG_NOSIGNAL);
       if (sent > 0) {
         c->out_off += static_cast<size_t>(sent);
         stats->bytes_out.fetch_add(static_cast<uint64_t>(sent),
@@ -434,6 +517,8 @@ struct Server::Impl {
   void CloseConn(Worker* w, Conn* c) {
     stats->txns_aborted_on_close.fetch_add(c->session.open_txns(),
                                            std::memory_order_relaxed);
+    stats->open_txns.fetch_sub(static_cast<int64_t>(c->session.open_txns()),
+                               std::memory_order_relaxed);
     epoll_ctl(w->epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
     close(c->fd);
     stats->connections_active.fetch_sub(1, std::memory_order_relaxed);
@@ -450,8 +535,8 @@ struct Server::Impl {
       pending = false;
       for (auto& [fd, conn] : w->conns) {
         if (conn->pending_out() == 0) continue;
-        ssize_t sent = send(fd, conn->out.data() + conn->out_off,
-                            conn->pending_out(), MSG_NOSIGNAL);
+        ssize_t sent = SockSend(fd, conn->out.data() + conn->out_off,
+                                conn->pending_out(), MSG_NOSIGNAL);
         if (sent > 0) {
           conn->out_off += static_cast<size_t>(sent);
           stats->bytes_out.fetch_add(static_cast<uint64_t>(sent),

@@ -66,7 +66,17 @@ struct ServerStats {
   std::atomic<uint64_t> txns_aborted_on_close{0};
   std::atomic<uint64_t> idle_closed{0};
   std::atomic<uint64_t> backpressure_pauses{0};
+  /// kBegin commands shed with kOverloaded by the admission controller.
+  std::atomic<uint64_t> admission_shed{0};
+  /// Commands rejected because their deadline expired before dispatch.
+  std::atomic<uint64_t> deadline_expired{0};
+  /// Commands whose kernel wait hit the deadline mid-flight (each
+  /// aborted its transaction).
+  std::atomic<uint64_t> deadline_timeout_aborts{0};
   std::atomic<int64_t> connections_active{0};
+  /// Server-wide open transactions across every connection (the
+  /// admission controller's load signal).
+  std::atomic<int64_t> open_txns{0};
 
   /// Prometheus text exposition lines (asset_server_* family).
   std::string Render() const;
@@ -95,6 +105,23 @@ class Server {
     size_t write_buffer_limit = 4u << 20;
     /// Close connections idle longer than this (0 = never).
     std::chrono::milliseconds idle_timeout{0};
+    /// Admission control, class-aware: operations on already-running
+    /// transactions (and commit/abort — finishing work *sheds* load)
+    /// are always admitted; kBegin — the only command that *adds*
+    /// load — is shed with a retryable kOverloaded reply when either
+    /// overload signal trips. 0 disables that signal.
+    ///
+    /// Signal 1: server-wide open transactions at or above this cap.
+    size_t admission_max_open_txns = 0;
+    /// Signal 2: dispatch lag — time between a command's bytes
+    /// arriving and the worker getting to it — above this bound. Lag
+    /// grows when workers are stuck executing, which is exactly
+    /// overload.
+    std::chrono::milliseconds admission_max_lag{0};
+    /// Base retry-after hint carried in a kOverloaded reply's i64
+    /// value (the observed dispatch lag is added on top, so hints
+    /// stretch as the server falls further behind).
+    std::chrono::milliseconds overload_retry_hint{20};
     /// On Shutdown, how long to keep flushing already-queued replies
     /// before closing everyone.
     std::chrono::milliseconds drain_timeout{1000};

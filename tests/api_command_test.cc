@@ -228,7 +228,7 @@ TEST(CommandCodecTest, RejectsTrailingGarbage) {
 TEST(CommandCodecTest, RejectsBadDependencyType) {
   std::vector<uint8_t> buf =
       Encode(Command::Dependency(DependencyType::kCommit, 1, 2));
-  buf[1] = 200;  // dep_type byte right after the command tag
+  buf[2] = 200;  // dep_type byte right after the tag + flags envelope
   EXPECT_FALSE(DecodeCommand(buf).ok());
 }
 
@@ -237,6 +237,7 @@ TEST(CommandCodecTest, RejectsObjectSetCountOverrun) {
   std::vector<uint8_t> buf;
   WireWriter w(&buf);
   w.PutU8(static_cast<uint8_t>(CommandType::kDelegate));
+  w.PutU8(0);  // envelope flags: no deadline
   w.PutU64(1);
   w.PutU64(2);
   w.PutU8(0);          // not-all: explicit list follows

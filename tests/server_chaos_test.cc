@@ -1,0 +1,358 @@
+// Wire-level fault injection against a real server (docs/ROBUSTNESS.md).
+//
+// Every scenario here drives the stock Server + Client through the
+// SocketHooks seam (common/socket_io.h): partial transfers, EINTR
+// storms, stalls past the deadline, resets mid-batch, and admission
+// sheds. The invariants under test are the robustness layer's
+// promises: no call hangs forever, a deadline or disconnect aborts the
+// affected transaction exactly once, and the asset_server_* metrics
+// account for every outcome.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/command.h"
+#include "client/client.h"
+#include "common/socket_io.h"
+#include "core/database.h"
+#include "server/server.h"
+
+namespace asset {
+namespace {
+
+using api::Command;
+using api::Reply;
+using client::Client;
+using server::Server;
+
+/// Pulls one metric value out of Prometheus exposition text.
+int64_t Metric(const std::string& text, const std::string& name) {
+  std::string needle = "\n" + name + " ";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    if (text.rfind(name + " ", 0) == 0) {
+      pos = 0;
+      needle = name + " ";
+    } else {
+      return -1;
+    }
+  }
+  return std::stoll(text.substr(pos + needle.size()));
+}
+
+class ServerChaosTest : public ::testing::Test {
+ protected:
+  void StartServer(Server::Options opts = {}) {
+    db_ = Database::Open().value();
+    server_ = Server::Start(db_.get(), opts).value();
+  }
+
+  std::unique_ptr<Client> Connect(Client::Options copts = {}) {
+    return Client::Connect("127.0.0.1", server_->port(), copts).value();
+  }
+
+  int64_t ServerMetric(const std::string& name) {
+    return Metric(server_->MetricsText(), name);
+  }
+
+  void TearDown() override {
+    // Quiesce all traffic before any test-scoped hook dies.
+    server_.reset();
+    db_.reset();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Server> server_;
+};
+
+// --- Satellite regression: a silent peer cannot hang the client ------
+
+TEST_F(ServerChaosTest, SilentServerTimesOutInsteadOfHanging) {
+  // A listener that accepts and then says nothing, ever — the
+  // handshake's reply read must hit io_timeout, not block forever.
+  int lfd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(listen(lfd, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  uint16_t port = ntohs(addr.sin_port);
+  std::thread accepter([lfd] {
+    int c = accept(lfd, nullptr, nullptr);
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+    if (c >= 0) close(c);
+  });
+
+  Client::Options copts;
+  copts.io_timeout = std::chrono::milliseconds(200);
+  copts.max_retries = 0;
+  auto start = std::chrono::steady_clock::now();
+  auto result = Client::Connect("127.0.0.1", port, copts);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimedOut()) << result.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+
+  accepter.join();
+  close(lfd);
+}
+
+// --- Partial transfers and EINTR never corrupt the stream ------------
+
+TEST_F(ServerChaosTest, PartialWritesAndShortReadsMidFrame) {
+  StartServer();
+  // Clamp every transfer to a handful of bytes and serve EINTR every
+  // third call: frames fragment at arbitrary boundaries on both ends.
+  std::atomic<uint64_t> calls{0};
+  SocketHooks hooks;
+  hooks.send = [&calls](int fd, const void* buf, size_t len, int flags) {
+    uint64_t n = calls.fetch_add(1, std::memory_order_relaxed);
+    if (n % 3 == 2) {
+      errno = EINTR;
+      return static_cast<ssize_t>(-1);
+    }
+    return ::send(fd, buf, std::min<size_t>(len, 7), flags);
+  };
+  hooks.recv = [&calls](int fd, void* buf, size_t len, int flags) {
+    uint64_t n = calls.fetch_add(1, std::memory_order_relaxed);
+    if (n % 3 == 2) {
+      errno = EINTR;
+      return static_cast<ssize_t>(-1);
+    }
+    return ::recv(fd, buf, std::min<size_t>(len, 5), flags);
+  };
+  {
+    ScopedSocketHooks guard(&hooks);
+    auto c = Connect();
+    ASSERT_TRUE(c->Begin().ok());
+    auto oid = c->Create({1, 2, 3, 4, 5, 6, 7, 8});
+    ASSERT_TRUE(oid.ok());
+    auto bytes = c->Get(*oid);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(bytes->size(), 8u);
+    ASSERT_TRUE(c->Commit().ok());
+    c.reset();
+    server_->Shutdown();  // join all traffic before the hook dies
+  }
+  server_.reset();
+}
+
+// --- Deadlines bound kernel waits and abort exactly once -------------
+
+TEST_F(ServerChaosTest, StalledLockWaitHitsDeadlineAndAbortsOnce) {
+  StartServer();
+  auto holder = Connect();
+  ASSERT_TRUE(holder->Begin().ok());
+  auto oid = holder->Create({42});
+  ASSERT_TRUE(oid.ok());  // write lock held until commit
+
+  auto waiter = Connect();
+  ASSERT_TRUE(waiter->Begin().ok());
+  auto start = std::chrono::steady_clock::now();
+  auto r = waiter->Call(
+      Command::Put(*oid, std::vector<uint8_t>{7}).WithDeadline(100));
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->code, StatusCode::kTimedOut) << r->message;
+  EXPECT_NE(r->message.find("transaction aborted"), std::string::npos)
+      << r->message;
+  EXPECT_LT(elapsed, std::chrono::seconds(3));  // not lock_timeout (5s)
+
+  // Aborted exactly once: the session no longer owns the transaction,
+  // so a second abort attempt finds nothing.
+  auto again = waiter->Call(Command::Abort());
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again->code, StatusCode::kOk);
+
+  EXPECT_EQ(ServerMetric("asset_server_deadline_timeout_aborts_total"), 1);
+  ASSERT_TRUE(holder->Commit().ok());
+  EXPECT_EQ(ServerMetric("asset_server_open_txns"), 0);
+}
+
+TEST_F(ServerChaosTest, BatchMateBurnsBudgetExpiresBeforeDispatch) {
+  StartServer();
+  auto holder = Connect();
+  ASSERT_TRUE(holder->Begin().ok());
+  auto oid = holder->Create({42});
+  ASSERT_TRUE(oid.ok());
+
+  // One pipelined batch: the first Put blocks ~150 ms on the held
+  // lock, exhausting the second command's 50 ms budget while it sits
+  // queued behind its batch-mate.
+  auto waiter = Connect();
+  ASSERT_TRUE(waiter->Begin().ok());
+  waiter->Send(Command::Put(*oid, std::vector<uint8_t>{7}).WithDeadline(150));
+  waiter->Send(Command::Put(*oid, std::vector<uint8_t>{8}).WithDeadline(50));
+  ASSERT_TRUE(waiter->Flush().ok());
+  auto first = waiter->Receive();
+  auto second = waiter->Receive();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->code, StatusCode::kTimedOut) << first->message;
+  EXPECT_EQ(second->code, StatusCode::kTimedOut) << second->message;
+  EXPECT_NE(second->message.find("expired before"), std::string::npos)
+      << second->message;
+
+  EXPECT_EQ(ServerMetric("asset_server_deadline_timeout_aborts_total"), 1);
+  EXPECT_EQ(ServerMetric("asset_server_deadline_expired_total"), 1);
+  ASSERT_TRUE(holder->Commit().ok());
+}
+
+// --- Admission control ------------------------------------------------
+
+TEST_F(ServerChaosTest, OverloadShedsBeginsButAdmitsFinishingWork) {
+  Server::Options opts;
+  opts.admission_max_open_txns = 2;
+  StartServer(opts);
+
+  Client::Options no_retry;
+  no_retry.max_retries = 0;
+  auto c1 = Connect(no_retry);
+  auto c2 = Connect(no_retry);
+  ASSERT_TRUE(c1->Begin().ok());
+  ASSERT_TRUE(c2->Begin().ok());
+
+  // At the cap: a third Begin is shed with a retryable kOverloaded
+  // carrying a retry-after hint.
+  auto c3 = Connect(no_retry);
+  auto shed = c3->Call(Command::Begin());
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->code, StatusCode::kOverloaded) << shed->message;
+  EXPECT_TRUE(shed->ToStatus().IsRetryable());
+  ASSERT_EQ(shed->kind, api::ReplyValueKind::kI64);
+  EXPECT_GE(shed->i64, 20);  // at least the base hint
+
+  // Work on running transactions is class 1: admitted even while
+  // overloaded, because finishing is how the overload clears.
+  auto obj = c1->Create({1});
+  EXPECT_TRUE(obj.ok());
+  ASSERT_TRUE(c1->Commit().ok());
+
+  // Capacity freed: the retried Begin is admitted.
+  EXPECT_TRUE(c3->Begin().ok());
+  EXPECT_EQ(ServerMetric("asset_server_admission_shed_total"), 1);
+  ASSERT_TRUE(c2->Abort().ok());
+  ASSERT_TRUE(c3->Abort().ok());
+  EXPECT_EQ(ServerMetric("asset_server_open_txns"), 0);
+}
+
+TEST_F(ServerChaosTest, ClientRetriesShedBeginUntilAdmitted) {
+  Server::Options opts;
+  opts.admission_max_open_txns = 1;
+  StartServer(opts);
+
+  Client::Options retrying;
+  retrying.max_retries = 20;
+  retrying.backoff_base = std::chrono::milliseconds(5);
+  auto blocker = Connect();
+  ASSERT_TRUE(blocker->Begin().ok());
+
+  std::thread release([&blocker] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_TRUE(blocker->Abort().ok());
+  });
+  auto c = Connect(retrying);
+  auto begun = c->Begin();
+  release.join();
+  ASSERT_TRUE(begun.ok()) << begun.status().ToString();
+  EXPECT_GE(c->stats().retries, 1u);
+  EXPECT_GE(c->stats().overloaded_seen, 1u);
+  ASSERT_TRUE(c->Commit().ok());
+}
+
+// --- Reset mid-batch aborts the open transaction ----------------------
+
+TEST_F(ServerChaosTest, ResetDuringPipelinedBatchAbortsOpenTxn) {
+  StartServer();
+  {
+    auto victim = Connect();
+    ASSERT_TRUE(victim->Begin().ok());
+    victim->Send(Command::Create(std::vector<uint8_t>{1}));
+    victim->Send(Command::Create(std::vector<uint8_t>{2}));
+    ASSERT_TRUE(victim->Flush().ok());
+    // Destruction closes the socket with the batch's replies unread —
+    // the server finds the peer gone mid-conversation and must abort
+    // the connection's open transaction.
+  }
+  // The abrupt close aborts the victim's open transaction exactly once.
+  for (int i = 0; i < 500; ++i) {
+    if (ServerMetric("asset_server_open_txns") == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(ServerMetric("asset_server_open_txns"), 0);
+  EXPECT_GE(ServerMetric("asset_server_txns_aborted_on_close_total"), 1);
+}
+
+// --- The long haul: 1000+ faulted iterations, zero hangs --------------
+
+TEST_F(ServerChaosTest, ThousandFaultedTransactionsNoHangsNoLeaks) {
+  StartServer();
+  // Deterministic fault pattern keyed off a shared call counter:
+  // every transfer is clamped, every 5th call takes EINTR, every 64th
+  // stalls a moment. No call in the loop may hang or fail.
+  std::atomic<uint64_t> calls{0};
+  SocketHooks hooks;
+  auto fault = [&calls](size_t len) -> ssize_t {
+    uint64_t n = calls.fetch_add(1, std::memory_order_relaxed);
+    if (n % 5 == 4) {
+      errno = EINTR;
+      return -1;
+    }
+    if (n % 64 == 63) {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    size_t clamp = 1 + (n % 96);
+    return static_cast<ssize_t>(std::min(len, clamp));
+  };
+  hooks.send = [&fault](int fd, const void* buf, size_t len, int flags) {
+    ssize_t budget = fault(len);
+    if (budget < 0) return budget;
+    return ::send(fd, buf, static_cast<size_t>(budget), flags);
+  };
+  hooks.recv = [&fault](int fd, void* buf, size_t len, int flags) {
+    ssize_t budget = fault(len);
+    if (budget < 0) return budget;
+    return ::recv(fd, buf, static_cast<size_t>(budget), flags);
+  };
+  {
+    ScopedSocketHooks guard(&hooks);
+    Client::Options copts;
+    copts.io_timeout = std::chrono::seconds(10);
+    copts.default_deadline_ms = 5000;
+    auto c = Connect(copts);
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(c->Begin().ok()) << "iteration " << i;
+      auto oid = c->Create({static_cast<uint8_t>(i), 2, 3});
+      ASSERT_TRUE(oid.ok()) << "iteration " << i;
+      ASSERT_TRUE(c->Put(*oid, {4, 5, 6}).ok()) << "iteration " << i;
+      auto bytes = c->Get(*oid);
+      ASSERT_TRUE(bytes.ok()) << "iteration " << i;
+      ASSERT_EQ(bytes->size(), 3u);
+      ASSERT_TRUE(i % 2 == 0 ? c->Commit().ok() : c->Abort().ok())
+          << "iteration " << i;
+    }
+    EXPECT_EQ(ServerMetric("asset_server_open_txns"), 0);
+    c.reset();
+    server_->Shutdown();  // join all traffic before the hook dies
+  }
+  server_.reset();
+}
+
+}  // namespace
+}  // namespace asset
