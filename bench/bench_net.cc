@@ -50,6 +50,7 @@
 #include "api/command.h"
 #include "client/client.h"
 #include "common/histogram.h"
+#include "common/trace.h"
 #include "core/database.h"
 #include "server/server.h"
 
@@ -83,6 +84,9 @@ struct Config {
   double overload_seconds = 3.0;
   int overload_deadline_ms = 500;
   bool skip_overload = false;
+  /// When nonempty: record wire-traced spans during the closed loop and
+  /// write the Chrome trace_event JSON here (chrome://tracing).
+  std::string trace_file;
 };
 
 Config ParseArgs(int argc, char** argv) {
@@ -118,6 +122,8 @@ Config ParseArgs(int argc, char** argv) {
       cfg.overload_seconds = atof(v);
     } else if (const char* v = val("--overload-deadline-ms=")) {
       cfg.overload_deadline_ms = atoi(v);
+    } else if (const char* v = val("--trace=")) {
+      cfg.trace_file = v;
     } else if (a == "--skip-ramp") {
       cfg.skip_ramp = true;
     } else if (a == "--skip-overload") {
@@ -271,7 +277,8 @@ asset::Result<ObjectId> MakeCounter(Client* cl) {
   return oid;
 }
 
-LoopResult RunClosedLoop(uint16_t port, const Config& cfg) {
+LoopResult RunClosedLoop(uint16_t port, const Config& cfg,
+                         asset::FlightRecorder* rec = nullptr) {
   LatencyHistogram hist;
   std::atomic<uint64_t> txns{0};
   uint64_t t0 = NowNs();
@@ -280,10 +287,12 @@ LoopResult RunClosedLoop(uint16_t port, const Config& cfg) {
   std::vector<std::thread> threads;
   for (int w = 0; w < cfg.closed_threads; ++w) {
     threads.emplace_back([&] {
+      Client::Options copts;
+      copts.trace_recorder = rec;  // null when tracing is off
       std::vector<std::unique_ptr<Client>> conns;
       std::vector<ObjectId> counters;
       for (int i = 0; i < cfg.closed_connections_per_thread; ++i) {
-        auto c = Client::Connect("127.0.0.1", port);
+        auto c = Client::Connect("127.0.0.1", port, copts);
         if (!c.ok()) Die("closed-loop connect", c.status());
         auto oid = MakeCounter(c.value().get());
         if (!oid.ok()) Die("closed-loop counter", oid.status());
@@ -606,7 +615,29 @@ int main(int argc, char** argv) {
     fflush(stdout);
   }
 
-  LoopResult closed = RunClosedLoop(server.port(), cfg);
+  // With --trace=<file>, the closed loop runs wire-traced: the kernel
+  // recorder is enabled and every client stamps trace context, so the
+  // dump shows client round trips over server stage spans over kernel
+  // lock/WAL events on one timeline.
+  asset::FlightRecorder* rec = nullptr;
+  if (!cfg.trace_file.empty()) {
+    db.value()->set_trace_enabled(true);
+    rec = &db.value()->trace_recorder();
+  }
+  LoopResult closed = RunClosedLoop(server.port(), cfg, rec);
+  if (rec != nullptr) {
+    db.value()->set_trace_enabled(false);
+    std::string json = db.value()->DumpTrace();
+    FILE* f = fopen(cfg.trace_file.c_str(), "w");
+    if (f == nullptr) {
+      Die("trace file open", asset::Status::IOError(cfg.trace_file));
+    }
+    fwrite(json.data(), 1, json.size(), f);
+    fclose(f);
+    printf("  \"trace\": { \"file\": \"%s\", \"events\": %llu },\n",
+           cfg.trace_file.c_str(),
+           static_cast<unsigned long long>(rec->Drain().size()));
+  }
   printf("  \"closed_loop\": {\n");
   printf("    \"threads\": %d,\n", cfg.closed_threads);
   printf("    \"connections\": %d,\n",

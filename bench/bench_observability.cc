@@ -11,8 +11,10 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "client/client.h"
 #include "common/trace.h"
 #include "core/database.h"
+#include "server/server.h"
 
 namespace asset::bench {
 namespace {
@@ -96,6 +98,44 @@ void BM_EmitEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EmitEnabled);
+
+// B20 — wire-tracing overhead on a loopback RPC round trip. Off, the
+// request-stage instrumentation is histogram records plus disabled
+// Emit() calls, and must run at parity with B18's per-RPC cost. On,
+// every round trip writes seven span events (client + six server
+// stages) into the shared recorder.
+void RunNetRpc(benchmark::State& state, bool trace_enabled) {
+  auto db = Database::Open().value();
+  db->set_trace_enabled(trace_enabled);
+  auto server = server::Server::Start(db.get(), {}).value();
+  client::Client::Options copts;
+  if (trace_enabled) copts.trace_recorder = &db->trace_recorder();
+  auto c =
+      client::Client::Connect("127.0.0.1", server->port(), copts).value();
+  for (auto _ : state) {
+    if (!c->Begin().ok() || !c->Commit().ok()) {
+      state.SkipWithError("begin/commit round trip failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // two RPCs per txn
+  if (trace_enabled) {
+    state.counters["trace_events"] =
+        static_cast<double>(db->trace_recorder().Drain().size());
+  }
+  c.reset();
+  server->Shutdown();
+}
+
+void BM_NetRpcTraceOff(benchmark::State& state) {
+  RunNetRpc(state, /*trace_enabled=*/false);
+}
+BENCHMARK(BM_NetRpcTraceOff)->UseRealTime();
+
+void BM_NetRpcTraceOn(benchmark::State& state) {
+  RunNetRpc(state, /*trace_enabled=*/true);
+}
+BENCHMARK(BM_NetRpcTraceOn)->UseRealTime();
 
 // Cost of one consistent kernel-state snapshot (DumpState) while the
 // kernel is quiet but populated: what a monitoring scrape pays.

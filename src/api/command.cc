@@ -15,7 +15,8 @@ constexpr uint32_t kMaxObjSetIds = 1u << 20;
 /// a decode error — a v3 sender cannot silently lose semantics on a v2
 /// receiver.
 constexpr uint8_t kFlagHasDeadline = 1u << 0;
-constexpr uint8_t kKnownFlags = kFlagHasDeadline;
+constexpr uint8_t kFlagHasTrace = 1u << 1;  ///< v3: trace id + span id
+constexpr uint8_t kKnownFlags = kFlagHasDeadline | kFlagHasTrace;
 
 bool HasOid(CommandType t) {
   switch (t) {
@@ -71,7 +72,7 @@ bool GetObjectSetFields(WireReader* r, Command* cmd) {
 
 bool IsValidCommandType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(CommandType::kHello) &&
-         raw <= static_cast<uint8_t>(CommandType::kMetrics);
+         raw <= static_cast<uint8_t>(CommandType::kSlowLog);
 }
 
 const char* CommandTypeToString(CommandType t) {
@@ -93,6 +94,8 @@ const char* CommandTypeToString(CommandType t) {
     case CommandType::kDependency: return "dependency";
     case CommandType::kCheckpoint: return "checkpoint";
     case CommandType::kMetrics: return "metrics";
+    case CommandType::kDumpTrace: return "dump_trace";
+    case CommandType::kSlowLog: return "slow_log";
   }
   return "unknown";
 }
@@ -236,6 +239,18 @@ Command Command::Metrics() {
   return c;
 }
 
+Command Command::DumpTrace() {
+  Command c;
+  c.type = CommandType::kDumpTrace;
+  return c;
+}
+
+Command Command::SlowLog() {
+  Command c;
+  c.type = CommandType::kSlowLog;
+  return c;
+}
+
 Status Reply::ToStatus() const {
   if (ok()) return Status::OK();
   return Status(code, message);
@@ -288,9 +303,17 @@ Reply Reply::FromStatus(const Status& s) {
 void EncodeCommand(const Command& cmd, std::vector<uint8_t>* out) {
   WireWriter w(out);
   w.PutU8(static_cast<uint8_t>(cmd.type));
-  // The v2 envelope header: flags, then the optional deadline budget.
-  w.PutU8(cmd.deadline_ms > 0 ? kFlagHasDeadline : 0);
+  // The envelope header: flags, then each flagged optional field in
+  // flag-bit order (deadline budget, then v3 trace context).
+  uint8_t flags = 0;
+  if (cmd.deadline_ms > 0) flags |= kFlagHasDeadline;
+  if (cmd.trace_id != 0) flags |= kFlagHasTrace;
+  w.PutU8(flags);
   if (cmd.deadline_ms > 0) w.PutU32(cmd.deadline_ms);
+  if (cmd.trace_id != 0) {
+    w.PutU64(cmd.trace_id);
+    w.PutU64(cmd.span_id);
+  }
   switch (cmd.type) {
     case CommandType::kHello:
       w.PutU32(cmd.magic);
@@ -300,6 +323,8 @@ void EncodeCommand(const Command& cmd, std::vector<uint8_t>* out) {
     case CommandType::kBegin:
     case CommandType::kCheckpoint:
     case CommandType::kMetrics:
+    case CommandType::kDumpTrace:
+    case CommandType::kSlowLog:
       return;
     case CommandType::kDelegate:
       w.PutU64(cmd.tid);
@@ -355,6 +380,14 @@ Result<Command> DecodeCommand(std::span<const uint8_t> payload) {
       return Status::InvalidArgument("command: zero deadline with flag set");
     }
   }
+  if ((flags & kFlagHasTrace) != 0) {
+    if (!r.GetU64(&cmd.trace_id) || !r.GetU64(&cmd.span_id)) {
+      return Status::InvalidArgument("command: truncated trace context");
+    }
+    if (cmd.trace_id == 0) {
+      return Status::InvalidArgument("command: zero trace id with flag set");
+    }
+  }
   bool ok = true;
   switch (cmd.type) {
     case CommandType::kHello:
@@ -364,6 +397,8 @@ Result<Command> DecodeCommand(std::span<const uint8_t> payload) {
     case CommandType::kBegin:
     case CommandType::kCheckpoint:
     case CommandType::kMetrics:
+    case CommandType::kDumpTrace:
+    case CommandType::kSlowLog:
       break;
     case CommandType::kDelegate:
       ok = r.GetU64(&cmd.tid) && r.GetU64(&cmd.tid2) &&

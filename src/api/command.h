@@ -43,8 +43,14 @@ namespace asset::api {
 /// carried by the mandatory kHello first command of a connection.
 inline constexpr uint32_t kProtocolMagic = 0x54455341;
 /// v2 added the per-command flags byte and the optional deadline field
-/// to the command envelope (see EncodeCommand).
-inline constexpr uint16_t kProtocolVersion = 2;
+/// to the command envelope (see EncodeCommand); v3 added the optional
+/// trace-context field (trace id + span id) plus the kDumpTrace and
+/// kSlowLog admin commands.
+inline constexpr uint16_t kProtocolVersion = 3;
+/// Oldest peer version the handshake still accepts. A v2 client speaks
+/// a strict subset of v3 (no trace flag, no tags 18/19), so the server
+/// interoperates without translation.
+inline constexpr uint16_t kMinProtocolVersion = 2;
 
 /// In a command's `tid` field: the session's current transaction.
 inline constexpr Tid kCurrentTxn = kNullTid;
@@ -74,6 +80,8 @@ enum class CommandType : uint8_t {
   kDependency = 15,    ///< form_dependency(dep_type, tid, tid2)
   kCheckpoint = 16,    ///< fuzzy checkpoint now
   kMetrics = 17,       ///< Prometheus metrics text -> text
+  kDumpTrace = 18,     ///< flight-recorder Chrome trace JSON -> text (v3)
+  kSlowLog = 19,       ///< slow-request log JSON -> text (v3)
 };
 
 /// True for values that decode to a known CommandType.
@@ -97,6 +105,15 @@ struct Command {
   /// what is left of the budget, aborting the target transaction on
   /// expiry so it can never half-execute (docs/ROBUSTNESS.md).
   uint32_t deadline_ms = 0;
+
+  /// Optional trace context (0 = untraced). A client stamps a fresh
+  /// span id per attempt under one trace id per logical call, and the
+  /// server tags every stage span it emits for this command with the
+  /// pair — one DumpChromeJson then shows the request crossing client
+  /// and server on the shared steady clock. Carried on the wire only
+  /// when trace_id != 0 (envelope flag bit 1, v3).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 
   /// Primary transaction (kCurrentTxn = the session's current).
   Tid tid = kCurrentTxn;
@@ -133,6 +150,19 @@ struct Command {
     return *this;
   }
 
+  /// Fluent trace-context attachment (trace must be nonzero to ride the
+  /// wire): `Command::Get(oid).WithTrace(trace, span)`.
+  Command&& WithTrace(uint64_t trace, uint64_t span) && {
+    trace_id = trace;
+    span_id = span;
+    return std::move(*this);
+  }
+  Command& WithTrace(uint64_t trace, uint64_t span) & {
+    trace_id = trace;
+    span_id = span;
+    return *this;
+  }
+
   // --- Constructors for every shape (the client and tests use these;
   // the field soup above is for the codec and dispatcher) -------------
   static Command Hello();
@@ -156,6 +186,8 @@ struct Command {
   static Command Dependency(DependencyType type, Tid ti, Tid tj);
   static Command Checkpoint();
   static Command Metrics();
+  static Command DumpTrace();
+  static Command SlowLog();
 };
 
 /// What a reply carries besides its status.

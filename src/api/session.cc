@@ -110,10 +110,12 @@ Reply ApiSession::Execute(const Command& cmd) {
         return Reply::FromStatus(
             Status::InvalidArgument("hello: bad protocol magic"));
       }
-      if (cmd.version != kProtocolVersion) {
+      if (cmd.version < kMinProtocolVersion ||
+          cmd.version > kProtocolVersion) {
         return Reply::FromStatus(Status::InvalidArgument(
             "hello: unsupported protocol version " +
             std::to_string(cmd.version) + " (server speaks " +
+            std::to_string(kMinProtocolVersion) + ".." +
             std::to_string(kProtocolVersion) + ")"));
       }
       handshaken_ = true;
@@ -242,6 +244,12 @@ Reply ApiSession::Execute(const Command& cmd) {
       return Reply::FromStatus(db_->Checkpoint());
     case CommandType::kMetrics:
       return Reply::OkText(db_->MetricsText());
+    case CommandType::kDumpTrace:
+      return Reply::OkText(db_->DumpTrace());
+    case CommandType::kSlowLog:
+      // In-process sessions have no connection stages, so no slow log;
+      // the server overlays its own entries (kMetrics-style).
+      return Reply::OkText("{\"slow_requests\":[]}");
   }
   return Reply::FromStatus(
       Status::InvalidArgument("session: unknown command"));

@@ -67,6 +67,16 @@ void Client::DropConnection() {
   staged_ = 0;
   recv_buf_.clear();
   recv_off_ = 0;
+  inflight_.clear();
+}
+
+uint64_t Client::NewTraceId() {
+  // minstd_rand yields 31 bits per draw; two draws plus the counter
+  // fill 64 bits without ever minting zero (the "untraced" value).
+  uint64_t id = (static_cast<uint64_t>(jitter_rng_()) << 33) ^
+                (static_cast<uint64_t>(jitter_rng_()) << 11) ^
+                ++trace_counter_;
+  return id == 0 ? 1 : id;
 }
 
 Status Client::WaitFor(short events, const char* what) {
@@ -149,11 +159,15 @@ Status Client::DialOnce() {
       auto hello = Receive();
       if (!hello.ok()) fs = hello.status();
       else if (!hello->ok()) fs = hello->ToStatus();
-      else if (hello->i64 != static_cast<int64_t>(api::kProtocolVersion)) {
+      else if (hello->i64 < static_cast<int64_t>(api::kMinProtocolVersion) ||
+               hello->i64 > static_cast<int64_t>(api::kProtocolVersion)) {
         fs = Status::IllegalState(
             "client: server speaks protocol version " +
             std::to_string(hello->i64) + ", this client speaks " +
+            std::to_string(api::kMinProtocolVersion) + ".." +
             std::to_string(api::kProtocolVersion));
+      } else {
+        server_version_ = static_cast<uint16_t>(hello->i64);
       }
     }
     if (!fs.ok()) {
@@ -167,12 +181,15 @@ Status Client::DialOnce() {
 Status Client::EnsureConnected() {
   if (fd_ >= 0) return Status::OK();
   // A fresh dial sends nothing until it succeeds, so connect failures
-  // are always safe to retry.
+  // are always safe to retry. Re-dialing after the transport died
+  // counts as a reconnect even when the first attempt lands.
+  const bool redial = ever_connected_;
   Status s;
   for (int attempt = 0;; ++attempt) {
     s = DialOnce();
     if (s.ok()) {
-      if (attempt > 0) ++stats_.reconnects;
+      if (redial || attempt > 0) ++stats_.reconnects;
+      ever_connected_ = true;
       return s;
     }
     if (s.code() == StatusCode::kInvalidArgument ||
@@ -209,14 +226,37 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
 }
 
 void Client::Send(const api::Command& cmd) {
+  const bool stamp_deadline =
+      cmd.deadline_ms == 0 && options_.default_deadline_ms > 0;
+  // Trace stamping: a command arriving pre-stamped (Call's retry loop,
+  // or an explicit WithTrace) keeps its trace id and gets a fresh span
+  // per send; an unstamped command gets a whole new context when
+  // tracing is on.
+  uint64_t trace = cmd.trace_id;
+  uint64_t span = cmd.span_id;
+  if (trace == 0 && TracingOn()) trace = NewTraceId();
+  if (trace != 0 && server_version_ != 0 && server_version_ < 3) {
+    trace = 0;  // a v2 server rejects the trace flag; drop, don't break
+    span = 0;
+  }
+  if (trace != 0 && span == 0) span = ++trace_counter_;
   std::vector<uint8_t> payload;
-  if (cmd.deadline_ms == 0 && options_.default_deadline_ms > 0) {
+  if (stamp_deadline || trace != cmd.trace_id || span != cmd.span_id) {
     api::Command stamped = cmd;
-    stamped.deadline_ms = options_.default_deadline_ms;
+    if (stamp_deadline) stamped.deadline_ms = options_.default_deadline_ms;
+    stamped.trace_id = trace;
+    stamped.span_id = span;
     api::EncodeCommand(stamped, &payload);
   } else {
     api::EncodeCommand(cmd, &payload);
   }
+  if (trace != 0) last_trace_id_ = trace;
+  Inflight inflight;
+  inflight.trace_id = trace;
+  inflight.span_id = span;
+  inflight.tag = static_cast<uint8_t>(cmd.type);
+  inflight.send_ns = trace != 0 ? FlightRecorder::NowNs() : 0;
+  inflight_.push_back(inflight);
   api::AppendFrame(payload, &send_buf_);
   ++staged_;
 }
@@ -314,10 +354,25 @@ Result<api::Reply> Client::Receive() {
   }
   auto reply = api::DecodeReply(payload);
   recv_off_ += api::kFrameHeaderBytes + payload.size();
+  if (!inflight_.empty()) {
+    const Inflight sent = inflight_.front();
+    inflight_.pop_front();
+    if (sent.trace_id != 0 && options_.trace_recorder != nullptr) {
+      const uint64_t code =
+          reply.ok() ? static_cast<uint64_t>(reply->code) : 0;
+      options_.trace_recorder->Emit(
+          TraceEventType::kClientRpc, sent.trace_id, sent.span_id, sent.tag,
+          code, FlightRecorder::NowNs() - sent.send_ns);
+    }
+  }
   return reply;
 }
 
 Result<api::Reply> Client::Call(const api::Command& cmd) {
+  // One trace id for the whole logical call: stamped up front (once
+  // connected, when tracing is on) so every retry and reconnected
+  // re-send shares it, each attempt distinguished by its span id.
+  api::Command attempt_cmd = cmd;
   for (int attempt = 0;; ++attempt) {
     if (fd_ < 0) {
       if (!options_.auto_reconnect) {
@@ -325,7 +380,11 @@ Result<api::Reply> Client::Call(const api::Command& cmd) {
       }
       ASSET_RETURN_NOT_OK(EnsureConnected());
     }
-    Send(cmd);
+    if (attempt_cmd.trace_id == 0 && TracingOn()) {
+      attempt_cmd.trace_id = NewTraceId();
+    }
+    attempt_cmd.span_id = 0;  // Send mints a fresh span per attempt
+    Send(attempt_cmd);
     // A transport error from here on is NOT retried: the command's
     // bytes may have reached the server and executed, and re-sending
     // would risk executing twice. Only the server saying "I shed this
@@ -408,6 +467,18 @@ Status Client::Checkpoint() {
 
 Result<std::string> Client::Metrics() {
   ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::Metrics()));
+  if (!r.ok()) return r.ToStatus();
+  return std::move(r.text);
+}
+
+Result<std::string> Client::DumpTrace() {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::DumpTrace()));
+  if (!r.ok()) return r.ToStatus();
+  return std::move(r.text);
+}
+
+Result<std::string> Client::SlowLog() {
+  ASSET_ASSIGN_OR_RETURN(api::Reply r, Call(api::Command::SlowLog()));
   if (!r.ok()) return r.ToStatus();
   return std::move(r.text);
 }

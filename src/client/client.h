@@ -39,6 +39,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <random>
 #include <string>
@@ -47,6 +48,7 @@
 #include "api/command.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace asset::client {
 
@@ -79,6 +81,13 @@ class Client {
     /// Deadline budget stamped onto every command Send() stages that
     /// does not already carry one (0 = stamp nothing).
     uint32_t default_deadline_ms = 0;
+    /// When set and enabled, every command is stamped with a wire
+    /// trace context (one trace id per logical Call, a fresh span id
+    /// per attempt) and each reply emits a kClientRpc round-trip span
+    /// into this recorder. Stamping is version-gated: it only happens
+    /// once the handshake proved the server speaks protocol v3+. The
+    /// recorder must outlive the client.
+    FlightRecorder* trace_recorder = nullptr;
 
     Status Validate() const;
   };
@@ -140,6 +149,10 @@ class Client {
   Status Checkpoint();
   /// The server's metrics text (kernel + asset_server_* families).
   Result<std::string> Metrics();
+  /// The server's flight-recorder dump as Chrome trace_event JSON.
+  Result<std::string> DumpTrace();
+  /// The server's slow-request log as JSON.
+  Result<std::string> SlowLog();
 
   /// Frames staged by Send() and not yet flushed.
   size_t staged() const { return staged_; }
@@ -147,6 +160,13 @@ class Client {
   /// (re)connect.
   bool connected() const { return fd_ >= 0; }
   const Stats& stats() const { return stats_; }
+  /// Protocol version the server declared in the handshake (0 before
+  /// the first successful handshake).
+  uint16_t server_version() const { return server_version_; }
+  /// Trace id of the most recently stamped command (0 if none was
+  /// ever stamped) — lets a caller correlate its last workload with a
+  /// drained trace.
+  uint64_t last_trace_id() const { return last_trace_id_; }
 
  private:
   Client(const std::string& host, uint16_t port, Options options);
@@ -165,6 +185,25 @@ class Client {
   /// Full-jitter exponential backoff sleep for retry `attempt`,
   /// at least `hint_ms` (the server's retry-after hint) long.
   void Backoff(int attempt, int64_t hint_ms);
+  /// True once trace stamping may happen: a recorder is bound and
+  /// enabled, and the server proved it speaks protocol v3+.
+  bool TracingOn() const {
+    return options_.trace_recorder != nullptr &&
+           options_.trace_recorder->enabled() &&
+           server_version_ >= 3;
+  }
+  /// A fresh nonzero trace/span id (rng-seeded so concurrent clients
+  /// do not collide, counter-mixed so one client never repeats).
+  uint64_t NewTraceId();
+
+  /// One sent-but-unanswered command, matched FIFO to replies (the
+  /// server answers strictly in request order).
+  struct Inflight {
+    uint64_t trace_id = 0;  ///< 0 = untraced (no kClientRpc emitted)
+    uint64_t span_id = 0;
+    uint8_t tag = 0;
+    int64_t send_ns = 0;
+  };
 
   std::string host_;
   uint16_t port_;
@@ -176,6 +215,11 @@ class Client {
   size_t staged_ = 0;
   std::vector<uint8_t> recv_buf_;
   size_t recv_off_ = 0;
+  std::deque<Inflight> inflight_;
+  bool ever_connected_ = false;  ///< a dial once succeeded (reconnect stat)
+  uint16_t server_version_ = 0;
+  uint64_t trace_counter_ = 0;
+  uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace asset::client

@@ -42,6 +42,13 @@ const char* TraceEventTypeName(TraceEventType t) {
     case TraceEventType::kWalFsync: return "wal_fsync";
     case TraceEventType::kCommitStall: return "commit_stall";
     case TraceEventType::kCheckpoint: return "checkpoint";
+    case TraceEventType::kClientRpc: return "client_rpc";
+    case TraceEventType::kFrameDecoded: return "frame_decoded";
+    case TraceEventType::kAdmission: return "admission";
+    case TraceEventType::kRpcQueue: return "rpc_queue";
+    case TraceEventType::kRpcExecute: return "rpc_execute";
+    case TraceEventType::kReplyEnqueued: return "reply_enqueued";
+    case TraceEventType::kReplyFlushed: return "reply_flushed";
   }
   return "unknown";
 }
@@ -158,24 +165,31 @@ void AppendEventJson(const TraceEvent& ev, std::string* out) {
   const double dur_us = static_cast<double>(ev.dur_ns) / 1000.0;
   const double ts_us =
       static_cast<double>(ev.ts_ns - ev.dur_ns) / 1000.0;  // start time
+  // Network stage events repurpose tid/other/oid as trace/span/tag, so
+  // label the args accordingly — a viewer query on "trace" then matches
+  // only wire-correlated events.
+  const bool net = IsNetworkTraceEvent(ev.type);
+  const char* k1 = net ? "trace" : "txn";
+  const char* k2 = net ? "span" : "other";
+  const char* k3 = net ? "tag" : "oid";
   if (ev.dur_ns > 0) {
     std::snprintf(
         buf, sizeof(buf),
         "{\"name\":\"%s\",\"cat\":\"asset\",\"ph\":\"X\",\"ts\":%.3f,"
         "\"dur\":%.3f,\"pid\":1,\"tid\":%" PRIu32
-        ",\"args\":{\"txn\":%" PRIu64 ",\"other\":%" PRIu64
-        ",\"oid\":%" PRIu64 ",\"arg\":%" PRIu64 "}}",
-        TraceEventTypeName(ev.type), ts_us, dur_us, ev.thread, ev.tid,
-        ev.other, ev.oid, ev.arg);
+        ",\"args\":{\"%s\":%" PRIu64 ",\"%s\":%" PRIu64
+        ",\"%s\":%" PRIu64 ",\"arg\":%" PRIu64 "}}",
+        TraceEventTypeName(ev.type), ts_us, dur_us, ev.thread, k1, ev.tid,
+        k2, ev.other, k3, ev.oid, ev.arg);
   } else {
     std::snprintf(
         buf, sizeof(buf),
         "{\"name\":\"%s\",\"cat\":\"asset\",\"ph\":\"i\",\"s\":\"t\","
         "\"ts\":%.3f,\"pid\":1,\"tid\":%" PRIu32
-        ",\"args\":{\"txn\":%" PRIu64 ",\"other\":%" PRIu64
-        ",\"oid\":%" PRIu64 ",\"arg\":%" PRIu64 "}}",
-        TraceEventTypeName(ev.type), ts_us, ev.thread, ev.tid, ev.other,
-        ev.oid, ev.arg);
+        ",\"args\":{\"%s\":%" PRIu64 ",\"%s\":%" PRIu64
+        ",\"%s\":%" PRIu64 ",\"arg\":%" PRIu64 "}}",
+        TraceEventTypeName(ev.type), ts_us, ev.thread, k1, ev.tid, k2,
+        ev.other, k3, ev.oid, ev.arg);
   }
   out->append(buf);
 }

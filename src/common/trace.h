@@ -55,7 +55,24 @@ enum class TraceEventType : uint8_t {
   kCommitStall = 10, ///< strict-durability ack slept; arg = commit lsn
   // Checkpointer.
   kCheckpoint = 11,  ///< fuzzy checkpoint; arg = record lsn; dur_ns = duration
+  // Network request stages. These carry *wire* trace context instead of
+  // kernel ids: tid = trace id, other = span id, oid = command tag.
+  kClientRpc = 12,      ///< client call; dur_ns = send-to-reply round trip
+  kFrameDecoded = 13,   ///< server decoded the command frame
+  kAdmission = 14,      ///< admission decision; arg = 0 admitted / 1 shed
+  kRpcQueue = 15,       ///< dispatch queue span; dur_ns = time since arrival
+  kRpcExecute = 16,     ///< kernel execute span; arg = kernel tid (if any)
+  kReplyEnqueued = 17,  ///< reply bytes queued; arg = status code
+  kReplyFlushed = 18,   ///< reply fully on the wire; arg = status code;
+                        ///< dur_ns = time spent in the outbound buffer
 };
+
+/// True for the network request-stage events (kClientRpc..kReplyFlushed),
+/// whose tid/other/oid fields carry wire trace context, not kernel ids.
+inline bool IsNetworkTraceEvent(TraceEventType t) {
+  return t >= TraceEventType::kClientRpc &&
+         t <= TraceEventType::kReplyFlushed;
+}
 
 /// arg values of kLockWait events.
 enum class LockWaitOutcome : uint8_t {
@@ -131,6 +148,9 @@ class FlightRecorder {
 
   /// Number of per-thread rings created so far.
   size_t ring_count() const;
+
+  /// Slots per ring (after power-of-two rounding).
+  size_t ring_slots() const { return slots_; }
 
  private:
   /// One event slot. All fields are relaxed atomics guarded by a

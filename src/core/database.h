@@ -420,6 +420,11 @@ class Database {
   /// Toggles flight recording at runtime.
   void set_trace_enabled(bool on) { tm_->recorder().set_enabled(on); }
 
+  /// The kernel's flight recorder itself, for layers that emit their
+  /// own events into the shared timeline (server stage spans, client
+  /// RPC spans) or inspect ring state for metrics.
+  FlightRecorder& trace_recorder() { return tm_->recorder(); }
+
   /// Consistent JSON snapshot of the kernel's control structures —
   /// transactions, lock wait-for edges, dependencies, permits, the last
   /// deadlock cycle — plus the WAL watermarks. One kernel-mutex hold.

@@ -57,12 +57,23 @@ void AppendObjectSet(const ObjectSet& objs, std::ostringstream& os) {
 void AppendHistogramMetrics(const char* name,
                             const LatencyHistogram::Snapshot& h,
                             std::ostringstream& os) {
-  os << "# TYPE asset_" << name << "_count counter\n"
+  os << "# HELP asset_" << name << "_count Observations in the " << name
+     << " latency histogram.\n"
+     << "# TYPE asset_" << name << "_count counter\n"
      << "asset_" << name << "_count " << h.count << "\n"
-     << "asset_" << name << "_sum_ns " << h.sum << "\n"
-     << "asset_" << name << "_p50_ns " << h.p50() << "\n"
-     << "asset_" << name << "_p95_ns " << h.p95() << "\n"
-     << "asset_" << name << "_p99_ns " << h.p99() << "\n";
+     << "# HELP asset_" << name << "_sum_ns Summed " << name
+     << " latency, nanoseconds.\n"
+     << "# TYPE asset_" << name << "_sum_ns counter\n"
+     << "asset_" << name << "_sum_ns " << h.sum << "\n";
+  auto pct = [&](const char* p, uint64_t v) {
+    os << "# HELP asset_" << name << "_p" << p << "_ns " << p
+       << "th percentile " << name << " latency, nanoseconds.\n"
+       << "# TYPE asset_" << name << "_p" << p << "_ns gauge\n"
+       << "asset_" << name << "_p" << p << "_ns " << v << "\n";
+  };
+  pct("50", h.p50());
+  pct("95", h.p95());
+  pct("99", h.p99());
 }
 
 }  // namespace
@@ -151,8 +162,10 @@ std::string RenderWaitForDot(const KernelStateSnapshot& snap) {
 std::string RenderMetricsText(const KernelStats::Snapshot& stats,
                               const WalWatermarks& wal) {
   std::ostringstream os;
-#define ASSET_METRIC_LINE(group, field, label)            \
-  os << "# TYPE asset_" #group "_" #label " counter\n"    \
+#define ASSET_METRIC_LINE(group, field, label)                        \
+  os << "# HELP asset_" #group "_" #label " Kernel counter " #group   \
+        "/" #label ".\n"                                              \
+     << "# TYPE asset_" #group "_" #label " counter\n"                \
      << "asset_" #group "_" #label " " << stats.field << "\n";
   ASSET_KERNEL_COUNTERS(ASSET_METRIC_LINE)
 #undef ASSET_METRIC_LINE
@@ -160,11 +173,20 @@ std::string RenderMetricsText(const KernelStats::Snapshot& stats,
   AppendHistogramMetrics(#field, stats.field, os);
   ASSET_KERNEL_HISTOGRAMS(ASSET_METRIC_HIST)
 #undef ASSET_METRIC_HIST
-  os << "# TYPE asset_wal_last_lsn gauge\n"
-     << "asset_wal_last_lsn " << wal.last_lsn << "\n"
-     << "asset_wal_durable_lsn " << wal.durable_lsn << "\n"
-     << "asset_wal_checkpoint_lsn " << wal.checkpoint_lsn << "\n"
-     << "asset_wal_min_recovery_lsn " << wal.min_recovery_lsn << "\n";
+  auto wal_gauge = [&os](const char* name, const char* help, uint64_t v) {
+    os << "# HELP " << name << ' ' << help << "\n"
+       << "# TYPE " << name << " gauge\n"
+       << name << ' ' << v << "\n";
+  };
+  wal_gauge("asset_wal_last_lsn", "Highest LSN appended to the WAL.",
+            wal.last_lsn);
+  wal_gauge("asset_wal_durable_lsn", "Highest LSN known durable on disk.",
+            wal.durable_lsn);
+  wal_gauge("asset_wal_checkpoint_lsn", "LSN of the last fuzzy checkpoint.",
+            wal.checkpoint_lsn);
+  wal_gauge("asset_wal_min_recovery_lsn",
+            "Oldest LSN recovery would need to replay.",
+            wal.min_recovery_lsn);
   return os.str();
 }
 

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -21,7 +22,9 @@
 #include "api/command.h"
 #include "api/session.h"
 #include "api/wire.h"
+#include "common/histogram.h"
 #include "common/socket_io.h"
+#include "common/trace.h"
 #include "core/database.h"
 
 namespace asset::server {
@@ -149,6 +152,12 @@ Status Server::Options::Validate() const {
   if (overload_retry_hint.count() < 0) {
     return Status::InvalidArgument("server: negative overload_retry_hint");
   }
+  if (slow_request_threshold.count() < 0) {
+    return Status::InvalidArgument("server: negative slow_request_threshold");
+  }
+  if (slow_log_slots == 0) {
+    return Status::InvalidArgument("server: slow_log_slots must be > 0");
+  }
   if (listen_backlog <= 0) {
     return Status::InvalidArgument("server: listen_backlog must be > 0");
   }
@@ -156,6 +165,41 @@ Status Server::Options::Validate() const {
 }
 
 struct Server::Impl {
+  /// Stage accounting for one queued reply, matched to its flush by
+  /// cumulative byte position (`out_end` vs Conn::out_total_sent).
+  struct PendingReply {
+    uint64_t out_end = 0;     ///< out_total_queued after this reply
+    uint64_t trace_id = 0;    ///< 0 = untraced (no events, still timed)
+    uint64_t span_id = 0;
+    uint64_t kernel_tid = 0;  ///< resolved kernel tid, if any
+    uint8_t tag = 0;          ///< CommandType
+    uint8_t code = 0;         ///< StatusCode of the reply
+    int64_t queue_ns = 0;
+    int64_t execute_ns = 0;
+    int64_t enqueued_ns = 0;  ///< FlightRecorder::NowNs at enqueue
+  };
+
+  /// One captured slow request (kSlowLog's payload).
+  struct SlowRequest {
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t kernel_tid = 0;
+    uint8_t tag = 0;
+    uint8_t code = 0;
+    int64_t queue_ns = 0;
+    int64_t execute_ns = 0;
+    int64_t flush_ns = 0;
+    int64_t ts_ns = 0;  ///< flush completion, process trace clock
+  };
+
+  /// Per-command-tag stage latencies (recorded for every request,
+  /// traced or not; Record is three relaxed fetch_adds).
+  struct StageHistograms {
+    LatencyHistogram queue;
+    LatencyHistogram execute;
+    LatencyHistogram flush;
+  };
+
   /// One client connection, owned by exactly one worker.
   struct Conn {
     explicit Conn(int fd_in, Database* db, size_t max_txns)
@@ -180,6 +224,13 @@ struct Server::Impl {
     /// anchors deadline budgets and measures dispatch lag, so commands
     /// queued behind a slow batch-mate are charged for the wait.
     std::chrono::steady_clock::time_point batch_arrival;
+    /// batch_arrival on the trace clock (set together with it).
+    int64_t batch_arrival_ns = 0;
+    /// Stage accounting, one entry per dispatched command, in reply
+    /// order; cumulative byte counters survive `out` compaction.
+    std::deque<PendingReply> pending_replies;
+    uint64_t out_total_queued = 0;
+    uint64_t out_total_sent = 0;
 
     size_t pending_out() const { return out.size() - out_off; }
     size_t pending_in() const { return in.size() - in_off; }
@@ -197,6 +248,18 @@ struct Server::Impl {
   Database* db = nullptr;
   Options options;
   ServerStats* stats = nullptr;
+  /// The kernel's flight recorder; server stage spans land in the same
+  /// rings as lock/WAL events, so one dump shows both layers.
+  FlightRecorder* rec = nullptr;
+  /// Indexed by raw CommandType (1..kSlowLog).
+  static constexpr size_t kNumTags =
+      static_cast<size_t>(api::CommandType::kSlowLog) + 1;
+  StageHistograms stage_hist[kNumTags];
+  /// Slow-request ring (any worker may append; kSlowLog reads).
+  mutable std::mutex slow_mu;
+  std::vector<SlowRequest> slow_ring;
+  size_t slow_next = 0;
+  uint64_t slow_total = 0;
   int listen_fd = -1;
   int acceptor_wake_fd = -1;
   std::thread acceptor;
@@ -354,6 +417,7 @@ struct Server::Impl {
     }
     c->last_activity = std::chrono::steady_clock::now();
     c->batch_arrival = c->last_activity;
+    c->batch_arrival_ns = FlightRecorder::NowNs();
     ProcessFrames(w, c);
     if (eof && !c->closing) {
       // Whatever remains buffered is (at most) a truncated frame; the
@@ -391,17 +455,53 @@ struct Server::Impl {
         c->closing = true;
         break;
       }
+      const uint64_t trace = cmd->trace_id;
+      const uint64_t span = cmd->span_id;
+      const uint8_t tag = static_cast<uint8_t>(cmd->type);
+      // Stage clock: one read here (ends the queue span, starts
+      // execute) and one after Execute. Untraced commands skip the
+      // Emits but still feed the per-tag histograms.
+      const int64_t t_dispatch = FlightRecorder::NowNs();
+      const int64_t queue_ns = t_dispatch - c->batch_arrival_ns;
+      if (trace != 0) {
+        rec->Emit(TraceEventType::kFrameDecoded, trace, span, tag);
+        rec->Emit(TraceEventType::kRpcQueue, trace, span, tag, 0, queue_ns);
+      }
       if (cmd->type == api::CommandType::kBegin) {
         auto lag = std::chrono::steady_clock::now() - c->batch_arrival;
         if (Overloaded(lag)) {
           stats->admission_shed.fetch_add(1, std::memory_order_relaxed);
-          QueueReply(c, ShedReply(lag));
+          if (trace != 0) {
+            rec->Emit(TraceEventType::kAdmission, trace, span, tag, 1);
+          }
+          stage_hist[tag].queue.Record(static_cast<uint64_t>(queue_ns));
+          api::Reply shed = ShedReply(lag);
+          QueueReply(c, shed);
+          FinishDispatch(c, *cmd, shed, queue_ns, /*execute_ns=*/0,
+                         /*kernel_tid=*/0, t_dispatch);
           continue;
+        }
+        if (trace != 0) {
+          rec->Emit(TraceEventType::kAdmission, trace, span, tag, 0);
         }
       }
       auto dl_before = c->session.deadline_stats();
       size_t txns_before = c->session.open_txns();
       api::Reply reply = c->session.Execute(*cmd, c->batch_arrival);
+      const int64_t t_done = FlightRecorder::NowNs();
+      const int64_t execute_ns = t_done - t_dispatch;
+      // The kernel tid bridges the wire trace to kernel events (lock
+      // waits, WAL appends) emitted under that transaction.
+      uint64_t kernel_tid = c->session.current();
+      if (cmd->type == api::CommandType::kBegin && reply.ok()) {
+        kernel_tid = reply.u64;
+      }
+      if (trace != 0) {
+        rec->Emit(TraceEventType::kRpcExecute, trace, span, tag, kernel_tid,
+                  execute_ns);
+      }
+      stage_hist[tag].queue.Record(static_cast<uint64_t>(queue_ns));
+      stage_hist[tag].execute.Record(static_cast<uint64_t>(execute_ns));
       auto dl_after = c->session.deadline_stats();
       stats->deadline_expired.fetch_add(
           dl_after.expired_rejects - dl_before.expired_rejects,
@@ -414,9 +514,14 @@ struct Server::Impl {
               static_cast<int64_t>(txns_before),
           std::memory_order_relaxed);
       if (cmd->type == api::CommandType::kMetrics && reply.ok()) {
-        reply.text += stats->Render();
+        reply.text += stats->Render() + RenderExtraMetrics();
+      }
+      if (cmd->type == api::CommandType::kSlowLog && reply.ok()) {
+        reply.text = RenderSlowLogJson();
       }
       QueueReply(c, reply);
+      FinishDispatch(c, *cmd, reply, queue_ns, execute_ns, kernel_tid,
+                     FlightRecorder::NowNs());
     }
     // Lazy compaction: drop the consumed prefix once it dominates.
     if (c->in_off > 0 &&
@@ -455,10 +560,81 @@ struct Server::Impl {
   }
 
   void QueueReply(Conn* c, const api::Reply& reply) {
+    const size_t before = c->out.size();
     std::vector<uint8_t> payload;
     api::EncodeReply(reply, &payload);
     api::AppendFrame(payload, &c->out);
+    c->out_total_queued += c->out.size() - before;
     stats->frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Books the stage record for one dispatched command right after its
+  /// reply was queued; the matching kReplyFlushed / slow-log entry is
+  /// produced by AccountFlushed once the bytes are on the wire.
+  void FinishDispatch(Conn* c, const api::Command& cmd,
+                      const api::Reply& reply, int64_t queue_ns,
+                      int64_t execute_ns, uint64_t kernel_tid,
+                      int64_t now_ns) {
+    if (cmd.trace_id != 0) {
+      rec->Emit(TraceEventType::kReplyEnqueued, cmd.trace_id, cmd.span_id,
+                static_cast<uint8_t>(cmd.type),
+                static_cast<uint64_t>(reply.code));
+    }
+    PendingReply p;
+    p.out_end = c->out_total_queued;
+    p.trace_id = cmd.trace_id;
+    p.span_id = cmd.span_id;
+    p.kernel_tid = kernel_tid;
+    p.tag = static_cast<uint8_t>(cmd.type);
+    p.code = static_cast<uint8_t>(reply.code);
+    p.queue_ns = queue_ns;
+    p.execute_ns = execute_ns;
+    p.enqueued_ns = now_ns;
+    c->pending_replies.push_back(p);
+  }
+
+  /// Settles every pending reply whose bytes have fully left the
+  /// socket: records the flush histogram, emits kReplyFlushed, and
+  /// captures a slow-log entry when the stage total crosses the
+  /// threshold. Called after every successful send.
+  void AccountFlushed(Conn* c) {
+    const int64_t threshold_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            options.slow_request_threshold)
+            .count();
+    while (!c->pending_replies.empty() &&
+           c->pending_replies.front().out_end <= c->out_total_sent) {
+      const PendingReply p = c->pending_replies.front();
+      c->pending_replies.pop_front();
+      const int64_t now = FlightRecorder::NowNs();
+      const int64_t flush_ns = now - p.enqueued_ns;
+      stage_hist[p.tag].flush.Record(static_cast<uint64_t>(flush_ns));
+      if (p.trace_id != 0) {
+        rec->Emit(TraceEventType::kReplyFlushed, p.trace_id, p.span_id,
+                  p.tag, p.code, flush_ns);
+      }
+      if (threshold_ns > 0 &&
+          p.queue_ns + p.execute_ns + flush_ns >= threshold_ns) {
+        SlowRequest s;
+        s.trace_id = p.trace_id;
+        s.span_id = p.span_id;
+        s.kernel_tid = p.kernel_tid;
+        s.tag = p.tag;
+        s.code = p.code;
+        s.queue_ns = p.queue_ns;
+        s.execute_ns = p.execute_ns;
+        s.flush_ns = flush_ns;
+        s.ts_ns = now;
+        std::lock_guard<std::mutex> g(slow_mu);
+        if (slow_ring.size() < options.slow_log_slots) {
+          slow_ring.push_back(s);
+        } else {
+          slow_ring[slow_next] = s;
+        }
+        slow_next = (slow_next + 1) % options.slow_log_slots;
+        ++slow_total;
+      }
+    }
   }
 
   /// Writes as much of `c->out` as the socket takes. Returns false if
@@ -470,8 +646,10 @@ struct Server::Impl {
                               c->pending_out(), MSG_NOSIGNAL);
       if (sent > 0) {
         c->out_off += static_cast<size_t>(sent);
+        c->out_total_sent += static_cast<uint64_t>(sent);
         stats->bytes_out.fetch_add(static_cast<uint64_t>(sent),
                                    std::memory_order_relaxed);
+        AccountFlushed(c);
         continue;
       }
       if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -539,8 +717,10 @@ struct Server::Impl {
                                 conn->pending_out(), MSG_NOSIGNAL);
         if (sent > 0) {
           conn->out_off += static_cast<size_t>(sent);
+          conn->out_total_sent += static_cast<uint64_t>(sent);
           stats->bytes_out.fetch_add(static_cast<uint64_t>(sent),
                                      std::memory_order_relaxed);
+          AccountFlushed(conn.get());
         }
         if (conn->pending_out() > 0) pending = true;
       }
@@ -549,6 +729,133 @@ struct Server::Impl {
     while (!w->conns.empty()) {
       CloseConn(w, w->conns.begin()->second.get());
     }
+  }
+
+  // --- Introspection rendering ---------------------------------------
+
+  /// Per-command stage-latency summaries plus the flight-recorder and
+  /// slow-log state gauges — appended after ServerStats::Render() both
+  /// in Server::MetricsText() and in the wire kMetrics reply.
+  std::string RenderExtraMetrics() const {
+    std::string out;
+    out +=
+        "# HELP asset_server_stage_ns Per-command request stage latency "
+        "(dispatch queue, kernel execute, reply flush), nanoseconds.\n"
+        "# TYPE asset_server_stage_ns summary\n";
+    auto summary = [&out](const char* command, const char* stage,
+                          const LatencyHistogram& h) {
+      const LatencyHistogram::Snapshot s = h.snapshot();
+      if (s.count == 0) return;
+      auto line = [&](const char* suffix, const char* quantile,
+                      uint64_t v) {
+        out += "asset_server_stage_ns";
+        out += suffix;
+        out += "{command=\"";
+        out += command;
+        out += "\",stage=\"";
+        out += stage;
+        out += '"';
+        if (quantile != nullptr) {
+          out += ",quantile=\"";
+          out += quantile;
+          out += '"';
+        }
+        out += "} ";
+        out += std::to_string(v);
+        out += '\n';
+      };
+      line("", "0.5", s.p50());
+      line("", "0.95", s.p95());
+      line("", "0.99", s.p99());
+      line("_count", nullptr, s.count);
+      line("_sum", nullptr, s.sum);
+    };
+    for (size_t tag = 1; tag < kNumTags; ++tag) {
+      const char* name = api::CommandTypeToString(
+          static_cast<api::CommandType>(tag));
+      const StageHistograms& h = stage_hist[tag];
+      summary(name, "queue", h.queue);
+      summary(name, "execute", h.execute);
+      summary(name, "flush", h.flush);
+    }
+    auto gauge = [&out](const char* name, const char* help, int64_t v) {
+      out += "# HELP ";
+      out += name;
+      out += ' ';
+      out += help;
+      out += "\n# TYPE ";
+      out += name;
+      out += " gauge\n";
+      out += name;
+      out += ' ';
+      out += std::to_string(v);
+      out += '\n';
+    };
+    gauge("asset_server_trace_enabled",
+          "Whether the flight recorder is recording (1) or not (0).",
+          rec->enabled() ? 1 : 0);
+    gauge("asset_server_trace_ring_slots",
+          "Event slots per per-thread flight-recorder ring.",
+          static_cast<int64_t>(rec->ring_slots()));
+    gauge("asset_server_trace_rings",
+          "Per-thread flight-recorder rings created so far.",
+          static_cast<int64_t>(rec->ring_count()));
+    gauge("asset_server_slow_request_threshold_ms",
+          "Slow-request capture threshold in milliseconds (0 = off).",
+          options.slow_request_threshold.count());
+    uint64_t total;
+    {
+      std::lock_guard<std::mutex> g(slow_mu);
+      total = slow_total;
+    }
+    out +=
+        "# HELP asset_server_slow_requests_total Requests whose "
+        "queue+execute+flush total met the slow-request threshold.\n"
+        "# TYPE asset_server_slow_requests_total counter\n"
+        "asset_server_slow_requests_total " +
+        std::to_string(total) + '\n';
+    return out;
+  }
+
+  /// The slow-request ring as JSON, oldest entry first.
+  std::string RenderSlowLogJson() const {
+    std::vector<SlowRequest> entries;
+    uint64_t total;
+    {
+      std::lock_guard<std::mutex> g(slow_mu);
+      total = slow_total;
+      entries.reserve(slow_ring.size());
+      // slow_next is the oldest slot once the ring has wrapped.
+      const size_t n = slow_ring.size();
+      const size_t start = n < options.slow_log_slots ? 0 : slow_next;
+      for (size_t i = 0; i < n; ++i) {
+        entries.push_back(slow_ring[(start + i) % n]);
+      }
+    }
+    std::string out = "{\"threshold_ms\":" +
+                      std::to_string(options.slow_request_threshold.count()) +
+                      ",\"total\":" + std::to_string(total) +
+                      ",\"slow_requests\":[";
+    bool first = true;
+    for (const SlowRequest& s : entries) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"trace_id\":" + std::to_string(s.trace_id) +
+             ",\"span_id\":" + std::to_string(s.span_id) +
+             ",\"command\":\"" +
+             api::CommandTypeToString(static_cast<api::CommandType>(s.tag)) +
+             "\",\"kernel_tid\":" + std::to_string(s.kernel_tid) +
+             ",\"outcome\":\"" +
+             StatusCodeToString(static_cast<StatusCode>(s.code)) +
+             "\",\"queue_ns\":" + std::to_string(s.queue_ns) +
+             ",\"execute_ns\":" + std::to_string(s.execute_ns) +
+             ",\"flush_ns\":" + std::to_string(s.flush_ns) +
+             ",\"total_ns\":" +
+             std::to_string(s.queue_ns + s.execute_ns + s.flush_ns) +
+             ",\"ts_ns\":" + std::to_string(s.ts_ns) + '}';
+    }
+    out += "]}";
+    return out;
   }
 };
 
@@ -564,6 +871,7 @@ Result<std::unique_ptr<Server>> Server::Start(Database* db, Options options) {
   impl.db = db;
   impl.options = options;
   impl.stats = &server->stats_;
+  impl.rec = &db->trace_recorder();
 
   impl.listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (impl.listen_fd < 0) return Errno("server: socket");
@@ -640,7 +948,10 @@ void Server::Shutdown() {
 Server::~Server() { Shutdown(); }
 
 std::string Server::MetricsText() const {
-  return impl_->db->MetricsText() + stats_.Render();
+  return impl_->db->MetricsText() + stats_.Render() +
+         impl_->RenderExtraMetrics();
 }
+
+std::string Server::SlowLogJson() const { return impl_->RenderSlowLogJson(); }
 
 }  // namespace asset::server

@@ -125,6 +125,12 @@ class Server {
     /// On Shutdown, how long to keep flushing already-queued replies
     /// before closing everyone.
     std::chrono::milliseconds drain_timeout{1000};
+    /// Requests whose queue+execute+flush total meets this threshold
+    /// are captured in the slow-request ring, drainable over the wire
+    /// with kSlowLog (0 = slow-log disabled).
+    std::chrono::milliseconds slow_request_threshold{0};
+    /// Entries the slow-request ring retains (oldest overwritten).
+    size_t slow_log_slots = 128;
     int listen_backlog = 1024;
 
     Status Validate() const;
@@ -151,9 +157,13 @@ class Server {
   const ServerStats& stats() const { return stats_; }
 
   /// The ops endpoint body: kernel metrics (Database::MetricsText)
-  /// plus the asset_server_* family. This is exactly what a kMetrics
-  /// command returns over the wire.
+  /// plus the asset_server_* family, the per-command stage-latency
+  /// summaries, and the flight-recorder / slow-log state gauges. This
+  /// is exactly what a kMetrics command returns over the wire.
   std::string MetricsText() const;
+
+  /// The slow-request log as JSON — what a kSlowLog command returns.
+  std::string SlowLogJson() const;
 
  private:
   struct Impl;

@@ -183,6 +183,64 @@ TEST(CommandCodecTest, RoundtripsEveryShape) {
   }
   EXPECT_EQ(Roundtrip(Command::Checkpoint()).type, CommandType::kCheckpoint);
   EXPECT_EQ(Roundtrip(Command::Metrics()).type, CommandType::kMetrics);
+  EXPECT_EQ(Roundtrip(Command::DumpTrace()).type, CommandType::kDumpTrace);
+  EXPECT_EQ(Roundtrip(Command::SlowLog()).type, CommandType::kSlowLog);
+}
+
+TEST(CommandCodecTest, RoundtripsTraceContext) {
+  // Trace alone, trace + deadline, and every envelope-flag combination
+  // on a payload-carrying shape.
+  {
+    Command c = Roundtrip(Command::Begin().WithTrace(0xA1B2C3D4E5F60718ull,
+                                                     42));
+    EXPECT_EQ(c.trace_id, 0xA1B2C3D4E5F60718ull);
+    EXPECT_EQ(c.span_id, 42u);
+    EXPECT_EQ(c.deadline_ms, 0u);
+  }
+  {
+    Command c = Roundtrip(
+        Command::Put(9, std::vector<uint8_t>{1, 2}, 3).WithDeadline(250)
+            .WithTrace(7, 8));
+    EXPECT_EQ(c.trace_id, 7u);
+    EXPECT_EQ(c.span_id, 8u);
+    EXPECT_EQ(c.deadline_ms, 250u);
+    EXPECT_EQ(c.oid, 9u);
+    EXPECT_EQ(c.payload, (std::vector<uint8_t>{1, 2}));
+  }
+  {
+    // Untraced commands keep the exact v2 byte layout.
+    Command c = Roundtrip(Command::Commit(5));
+    EXPECT_EQ(c.trace_id, 0u);
+    EXPECT_EQ(c.span_id, 0u);
+    std::vector<uint8_t> untraced = Encode(Command::Commit(5));
+    EXPECT_EQ(untraced[1], 0);  // no envelope flags
+  }
+}
+
+TEST(CommandCodecTest, RejectsZeroTraceIdWithFlagSet) {
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  w.PutU8(static_cast<uint8_t>(CommandType::kPing));
+  w.PutU8(1u << 1);  // trace flag
+  w.PutU64(0);       // zero trace id: invalid with the flag set
+  w.PutU64(1);
+  EXPECT_FALSE(DecodeCommand(buf).ok());
+}
+
+TEST(CommandCodecTest, RejectsTruncatedTraceContext) {
+  std::vector<uint8_t> full = Encode(Command::Ping().WithTrace(77, 88));
+  for (size_t cut = 1; cut < full.size(); ++cut) {
+    std::vector<uint8_t> prefix(full.begin(), full.begin() + cut);
+    EXPECT_FALSE(DecodeCommand(prefix).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(CommandCodecTest, RejectsUnknownEnvelopeFlags) {
+  std::vector<uint8_t> buf = Encode(Command::Ping());
+  buf[1] = 1u << 2;  // first bit above the known set
+  EXPECT_FALSE(DecodeCommand(buf).ok());
+  buf[1] = 0x80;
+  EXPECT_FALSE(DecodeCommand(buf).ok());
 }
 
 TEST(CommandCodecTest, RejectsUnknownType) {
@@ -208,6 +266,10 @@ TEST(CommandCodecTest, RejectsEveryTruncation) {
       Command::Delegate(1, 2, ObjectSet({1, 2, 3})),
       Command::Permit(3, 4, ObjectSet({5, 6}), OpSet::All()),
       Command::Dependency(DependencyType::kCommit, 1, 2),
+      Command::Begin().WithTrace(11, 22),
+      Command::Get(5, 2).WithDeadline(100).WithTrace(33, 44),
+      Command::DumpTrace(),
+      Command::SlowLog(),
   };
   for (const Command& cmd : all) {
     std::vector<uint8_t> full = Encode(cmd);
@@ -273,6 +335,26 @@ TEST(CommandCodecTest, FuzzMutatedValidFramesNeverCrash) {
     buf[pos(rng)] = static_cast<uint8_t>(byte(rng));
     auto r = DecodeCommand(buf);
     (void)r;
+  }
+}
+
+TEST(CommandCodecTest, FuzzMutatedTracedFramesNeverCrash) {
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::vector<uint8_t> base =
+      Encode(Command::Put(5, std::vector<uint8_t>{1, 2, 3}, 4)
+                 .WithDeadline(50)
+                 .WithTrace(0xDEADBEEF, 7));
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> buf = base;
+    std::uniform_int_distribution<size_t> pos(0, buf.size() - 1);
+    buf[pos(rng)] = static_cast<uint8_t>(byte(rng));
+    auto r = DecodeCommand(buf);
+    if (r.ok() && r->trace_id == 0) {
+      // A decode that claims success must never surface a zero trace
+      // id out of a frame that carried the trace flag intact.
+      EXPECT_EQ(buf[1] & (1u << 1), 0u);
+    }
   }
 }
 
@@ -432,7 +514,42 @@ TEST_F(ApiSessionTest, MetricsAndCheckpointCommands) {
   Reply m = session.Execute(Command::Metrics());
   ASSERT_TRUE(m.ok());
   EXPECT_NE(m.text.find("asset_"), std::string::npos);
+  EXPECT_NE(m.text.find("# HELP asset_"), std::string::npos);
   EXPECT_TRUE(session.Execute(Command::Checkpoint()).ok());
+}
+
+TEST_F(ApiSessionTest, HelloAcceptsSupportedVersionRange) {
+  // A v2 peer (the previous release) must still handshake; anything
+  // outside [min, current] must not.
+  for (uint16_t v = kMinProtocolVersion; v <= kProtocolVersion; ++v) {
+    ApiSession session(db_.get(), ApiSession::Limits{64, true});
+    Command hello = Command::Hello();
+    hello.version = v;
+    Reply r = session.Execute(hello);
+    ASSERT_TRUE(r.ok()) << "version " << v << ": " << r.message;
+    EXPECT_EQ(r.i64, kProtocolVersion);  // server declares its own
+  }
+  ApiSession session(db_.get(), ApiSession::Limits{64, true});
+  Command too_old = Command::Hello();
+  too_old.version = kMinProtocolVersion - 1;
+  EXPECT_EQ(session.Execute(too_old).code, StatusCode::kInvalidArgument);
+  Command too_new = Command::Hello();
+  too_new.version = kProtocolVersion + 1;
+  EXPECT_EQ(session.Execute(too_new).code, StatusCode::kInvalidArgument);
+}
+
+TEST_F(ApiSessionTest, DumpTraceAndSlowLogCommands) {
+  db_->set_trace_enabled(true);
+  ApiSession session(db_.get());
+  ASSERT_TRUE(session.Execute(Command::Begin()).ok());
+  ASSERT_TRUE(session.Execute(Command::Commit()).ok());
+  Reply trace = session.Execute(Command::DumpTrace());
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace.text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.text.find("txn_commit"), std::string::npos);
+  Reply slow = session.Execute(Command::SlowLog());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_NE(slow.text.find("\"slow_requests\""), std::string::npos);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -26,6 +27,7 @@
 #include "api/command.h"
 #include "client/client.h"
 #include "common/socket_io.h"
+#include "common/trace.h"
 #include "core/database.h"
 #include "server/server.h"
 
@@ -274,6 +276,94 @@ TEST_F(ServerChaosTest, ClientRetriesShedBeginUntilAdmitted) {
   EXPECT_GE(c->stats().retries, 1u);
   EXPECT_GE(c->stats().overloaded_seen, 1u);
   ASSERT_TRUE(c->Commit().ok());
+}
+
+// --- Wire trace context survives retries and reconnects ---------------
+
+TEST_F(ServerChaosTest, TraceIdSurvivesShedRetriesWithFreshSpans) {
+  Server::Options opts;
+  opts.admission_max_open_txns = 1;
+  StartServer(opts);
+  db_->set_trace_enabled(true);
+
+  Client::Options retrying;
+  retrying.max_retries = 20;
+  retrying.backoff_base = std::chrono::milliseconds(5);
+  retrying.trace_recorder = &db_->trace_recorder();
+
+  auto blocker = Connect();  // untraced: its events stay off the drain
+  ASSERT_TRUE(blocker->Begin().ok());
+  std::thread release([&blocker] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_TRUE(blocker->Abort().ok());
+  });
+  auto c = Connect(retrying);
+  auto begun = c->Begin();
+  release.join();
+  ASSERT_TRUE(begun.ok()) << begun.status().ToString();
+  ASSERT_GE(c->stats().retries, 1u);
+  uint64_t trace = c->last_trace_id();
+  ASSERT_NE(trace, 0u);
+
+  // One logical Begin, several wire attempts: every attempt shares the
+  // one trace id, each with its own span and its own client round trip.
+  auto evs = db_->trace_recorder().Drain();
+  std::vector<uint64_t> spans;
+  size_t rpcs = 0, shed = 0, admitted = 0;
+  for (const auto& ev : evs) {
+    if (ev.tid != trace) continue;
+    if (ev.type == TraceEventType::kClientRpc) {
+      ++rpcs;
+      spans.push_back(ev.other);
+    }
+    if (ev.type == TraceEventType::kAdmission) {
+      (ev.arg != 0 ? shed : admitted) += 1;
+    }
+  }
+  EXPECT_GE(rpcs, 2u);  // at least one shed attempt plus the winner
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(admitted, 1u);
+  std::sort(spans.begin(), spans.end());
+  EXPECT_EQ(std::adjacent_find(spans.begin(), spans.end()), spans.end())
+      << "retried attempts must mint fresh span ids";
+  ASSERT_TRUE(c->Commit().ok());
+}
+
+TEST_F(ServerChaosTest, PreStampedTraceSurvivesReconnect) {
+  Server::Options opts;
+  opts.idle_timeout = std::chrono::milliseconds(100);
+  StartServer(opts);
+  db_->set_trace_enabled(true);
+
+  Client::Options copts;
+  copts.trace_recorder = &db_->trace_recorder();
+  auto c = Connect(copts);
+  ASSERT_TRUE(c->Ping().ok());
+
+  // Let the server reap the idle connection; the client discovers the
+  // dead transport on its next call.
+  for (int i = 0; i < 500 && server_->stats().idle_closed.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(server_->stats().idle_closed.load(), 1u);
+  ASSERT_FALSE(c->Ping().ok());  // discovers the close, marks fd dead
+
+  // A caller-stamped trace id must ride through the transparent
+  // re-dial + re-handshake untouched.
+  constexpr uint64_t kTrace = 0xABCDEF12345ULL;
+  auto r = c->Call(Command::Ping().WithTrace(kTrace, 0));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->ok());
+  EXPECT_GE(c->stats().reconnects, 1u);
+
+  bool client_side = false, server_side = false;
+  for (const auto& ev : db_->trace_recorder().Drain()) {
+    if (ev.tid != kTrace) continue;
+    if (ev.type == TraceEventType::kClientRpc) client_side = true;
+    if (ev.type == TraceEventType::kRpcExecute) server_side = true;
+  }
+  EXPECT_TRUE(client_side);
+  EXPECT_TRUE(server_side);
 }
 
 // --- Reset mid-batch aborts the open transaction ----------------------

@@ -19,6 +19,7 @@
 #include "api/command.h"
 #include "api/wire.h"
 #include "client/client.h"
+#include "common/trace.h"
 #include "core/database.h"
 #include "server/server.h"
 
@@ -357,6 +358,161 @@ TEST_F(ServerNetTest, IdleConnectionsAreReaped) {
   EXPECT_TRUE(
       Eventually([&] { return server_->stats().idle_closed.load() >= 1u; }));
   EXPECT_FALSE(c->Ping().ok());
+}
+
+// --- Wire tracing (docs/OBSERVABILITY.md) -----------------------------
+
+TEST_F(ServerNetTest, V2HelloWithoutTraceStillAccepted) {
+  StartServer();
+  RawConn raw(server_->port());
+  Command hello = Command::Hello();
+  hello.version = 2;  // last protocol revision without trace context
+  raw.SendCommand(hello);
+  auto r = raw.ReadReply();
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r->ok());
+  // The server states its own version; a v2 peer just ignores it.
+  EXPECT_EQ(r->i64, api::kProtocolVersion);
+  raw.SendCommand(Command::Begin());
+  auto begin = raw.ReadReply();
+  ASSERT_TRUE(begin.has_value());
+  EXPECT_TRUE(begin->ok());
+}
+
+TEST_F(ServerNetTest, StageSpansShareWireTraceId) {
+  StartServer();
+  db_->set_trace_enabled(true);
+  Client::Options copts;
+  copts.trace_recorder = &db_->trace_recorder();
+  auto c = Client::Connect("127.0.0.1", server_->port(), copts).value();
+  EXPECT_EQ(c->server_version(), api::kProtocolVersion);
+
+  Tid t = c->Begin().value();
+  uint64_t trace = c->last_trace_id();
+  ASSERT_NE(trace, 0u);
+  ASSERT_TRUE(c->Commit().ok());
+
+  // kReplyFlushed lands after the reply bytes hit the socket, so it can
+  // trail the client's Receive by a beat — poll the drain.
+  std::vector<TraceEvent> evs;
+  auto stage = [&](TraceEventType type) -> const TraceEvent* {
+    for (const auto& ev : evs) {
+      if (ev.type == type && ev.tid == trace) return &ev;
+    }
+    return nullptr;
+  };
+  ASSERT_TRUE(Eventually([&] {
+    evs = db_->trace_recorder().Drain();
+    return stage(TraceEventType::kReplyFlushed) != nullptr;
+  }));
+
+  const TraceEvent* rpc = stage(TraceEventType::kClientRpc);
+  const TraceEvent* decoded = stage(TraceEventType::kFrameDecoded);
+  const TraceEvent* admission = stage(TraceEventType::kAdmission);
+  const TraceEvent* queue = stage(TraceEventType::kRpcQueue);
+  const TraceEvent* execute = stage(TraceEventType::kRpcExecute);
+  const TraceEvent* enqueued = stage(TraceEventType::kReplyEnqueued);
+  const TraceEvent* flushed = stage(TraceEventType::kReplyFlushed);
+  ASSERT_NE(rpc, nullptr);
+  ASSERT_NE(decoded, nullptr);
+  ASSERT_NE(admission, nullptr);  // Begin goes through admission
+  ASSERT_NE(queue, nullptr);
+  ASSERT_NE(execute, nullptr);
+  ASSERT_NE(enqueued, nullptr);
+  ASSERT_NE(flushed, nullptr);
+
+  // Every span agrees on the wire span id and command tag...
+  EXPECT_NE(rpc->other, 0u);
+  EXPECT_EQ(decoded->other, rpc->other);
+  EXPECT_EQ(flushed->other, rpc->other);
+  EXPECT_EQ(decoded->oid,
+            static_cast<ObjectId>(api::CommandType::kBegin));
+  // ...the admission decision admitted it...
+  EXPECT_EQ(admission->arg, 0u);
+  // ...the execute span bridges to the kernel transaction id...
+  EXPECT_EQ(execute->arg, t);
+  // ...and the server stages run in causal order on the shared clock.
+  EXPECT_LE(decoded->ts_ns, execute->ts_ns);
+  EXPECT_LE(execute->ts_ns, enqueued->ts_ns);
+  EXPECT_LE(enqueued->ts_ns, flushed->ts_ns);
+  EXPECT_GT(rpc->dur_ns, 0);  // the round trip took nonzero time
+
+  // The stage histograms saw the command and export as summary lines.
+  std::string metrics = server_->MetricsText();
+  EXPECT_NE(metrics.find("# TYPE asset_server_stage_ns summary"),
+            std::string::npos);
+  EXPECT_NE(metrics.find(
+                "asset_server_stage_ns{command=\"begin\",stage=\"execute\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("asset_server_trace_enabled 1"), std::string::npos);
+}
+
+TEST_F(ServerNetTest, DumpTraceDrainsOneTimelineOverTheWire) {
+  StartServer();
+  db_->set_trace_enabled(true);
+  Client::Options copts;
+  copts.trace_recorder = &db_->trace_recorder();
+  auto c = Client::Connect("127.0.0.1", server_->port(), copts).value();
+
+  ASSERT_TRUE(c->Begin().ok());
+  ObjectId oid = c->Create({1}).value();
+  ASSERT_TRUE(c->Put(oid, {2}).ok());
+  ASSERT_TRUE(c->Commit().ok());
+  uint64_t trace = c->last_trace_id();  // the commit's wire trace id
+
+  std::string json = c->DumpTrace().value();
+  // One Chrome-trace timeline holds the client round trip, the server
+  // stage spans, and the kernel lifecycle events.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("client_rpc"), std::string::npos);
+  EXPECT_NE(json.find("rpc_execute"), std::string::npos);
+  EXPECT_NE(json.find("txn_commit"), std::string::npos);
+  // The commit's events are queryable by its wire trace id.
+  EXPECT_NE(json.find("\"trace\":" + std::to_string(trace)),
+            std::string::npos);
+}
+
+TEST_F(ServerNetTest, SlowRequestsLandInSlowLog) {
+  Server::Options opts;
+  opts.slow_request_threshold = std::chrono::milliseconds(20);
+  StartServer(opts);
+  auto holder = Connect();
+  ASSERT_TRUE(holder->Begin().ok());
+  ObjectId oid = holder->Create({42}).value();
+
+  // A lock wait bounded by a 60 ms deadline: well past the 20 ms
+  // threshold, with a deterministic TimedOut outcome.
+  auto waiter = Connect();
+  ASSERT_TRUE(waiter->Begin().ok());
+  auto r = waiter->Call(
+      Command::Put(oid, std::vector<uint8_t>{7}).WithDeadline(60));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->code, StatusCode::kTimedOut) << r->message;
+  ASSERT_TRUE(holder->Commit().ok());
+
+  // Capture happens when the reply finishes flushing, which can trail
+  // the client's Receive by a beat.
+  ASSERT_TRUE(Eventually([&] {
+    return server_->SlowLogJson().find("\"command\":\"put\"") !=
+           std::string::npos;
+  }));
+
+  // The entry is drainable over the wire with its stage breakdown.
+  std::string log = waiter->SlowLog().value();
+  EXPECT_NE(log.find("\"threshold_ms\":20"), std::string::npos);
+  EXPECT_NE(log.find("\"command\":\"put\""), std::string::npos);
+  EXPECT_NE(log.find("\"outcome\":\"TimedOut\""), std::string::npos);
+  EXPECT_NE(log.find("\"execute_ns\":"), std::string::npos);
+
+  std::string metrics = server_->MetricsText();
+  EXPECT_NE(metrics.find("asset_server_slow_request_threshold_ms 20"),
+            std::string::npos);
+  // "\n"-anchored so the needle skips the # HELP line.
+  size_t pos = metrics.find("\nasset_server_slow_requests_total ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_GE(std::stoll(metrics.substr(
+                pos + strlen("\nasset_server_slow_requests_total "))),
+            1);
 }
 
 TEST_F(ServerNetTest, ManyConnectionsConcurrently) {
